@@ -1,0 +1,68 @@
+//! Error type for the attestation phase.
+
+use recipe_tee::TeeError;
+use std::fmt;
+
+/// Errors produced by the attestation services and protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestError {
+    /// The quote did not verify (wrong measurement, bad signature or stale nonce).
+    QuoteRejected {
+        /// Why verification failed.
+        reason: String,
+    },
+    /// The platform that produced the quote is not registered with the verifier.
+    UnknownPlatform {
+        /// The unregistered platform id.
+        platform_id: u64,
+    },
+    /// The enclave refused an operation (crashed, missing secret, …).
+    Tee(TeeError),
+    /// The provisioned secret bundle failed to decrypt or parse on the enclave side.
+    ProvisioningFailed,
+    /// The node requesting attestation is not part of the configured membership.
+    NotInMembership {
+        /// The rejected node id.
+        node_id: u64,
+    },
+}
+
+impl fmt::Display for AttestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttestError::QuoteRejected { reason } => write!(f, "quote rejected: {reason}"),
+            AttestError::UnknownPlatform { platform_id } => {
+                write!(f, "platform {platform_id} is not registered with the verifier")
+            }
+            AttestError::Tee(err) => write!(f, "TEE error during attestation: {err}"),
+            AttestError::ProvisioningFailed => {
+                write!(f, "secret bundle could not be decrypted or parsed")
+            }
+            AttestError::NotInMembership { node_id } => {
+                write!(f, "node {node_id} is not part of the configured membership")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+impl From<TeeError> for AttestError {
+    fn from(err: TeeError) -> Self {
+        AttestError::Tee(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let err: AttestError = TeeError::EnclaveCrashed.into();
+        assert!(err.to_string().contains("TEE error"));
+        assert!(AttestError::NotInMembership { node_id: 4 }
+            .to_string()
+            .contains('4'));
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 3 experiment (value-size sweep for R-Raft vs PBFT).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recipe_bench::{run_protocol, ExperimentConfig, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_value_size");
+    group.sample_size(10);
+    for size in [256usize, 1024, 4096] {
+        for kind in [ProtocolKind::RRaft, ProtocolKind::Pbft] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        run_protocol(&ExperimentConfig {
+                            protocol: kind,
+                            read_ratio: 0.9,
+                            value_size: size,
+                            operations: 300,
+                            ..ExperimentConfig::default()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

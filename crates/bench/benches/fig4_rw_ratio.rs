@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 4 experiment (one representative R/W ratio per
+//! protocol; the full sweep lives in the `fig4_rw_ratio` binary).
+use criterion::{criterion_group, criterion_main, Criterion};
+use recipe_bench::{run_protocol, ExperimentConfig, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_rw_ratio_90R");
+    group.sample_size(10);
+    for kind in [
+        ProtocolKind::Pbft,
+        ProtocolKind::RRaft,
+        ProtocolKind::RChain,
+        ProtocolKind::RAbd,
+        ProtocolKind::RAllConcur,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                run_protocol(&ExperimentConfig {
+                    protocol: kind,
+                    read_ratio: 0.9,
+                    operations: 300,
+                    ..ExperimentConfig::default()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the Figure 5 experiment (confidential vs plain R-CR).
+use criterion::{criterion_group, criterion_main, Criterion};
+use recipe_bench::{run_protocol, ExperimentConfig, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_confidentiality");
+    group.sample_size(10);
+    for (label, confidential) in [("plain", false), ("confidential", true)] {
+        group.bench_function(format!("R-CR_{label}"), |b| {
+            b.iter(|| {
+                run_protocol(&ExperimentConfig {
+                    protocol: ProtocolKind::RChain,
+                    confidential,
+                    operations: 300,
+                    ..ExperimentConfig::default()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure 6a experiment (native vs Recipe-transformed Raft).
+use criterion::{criterion_group, criterion_main, Criterion};
+use recipe_bench::{run_protocol, ExperimentConfig, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_tee_overheads");
+    group.sample_size(10);
+    for kind in [ProtocolKind::NativeRaft, ProtocolKind::RRaft] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                run_protocol(&ExperimentConfig {
+                    protocol: kind,
+                    operations: 300,
+                    ..ExperimentConfig::default()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Criterion bench for the Figure 6b network-stack model.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig6b_network_sweep", |b| {
+        b.iter(recipe_bench::fig6b_network)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

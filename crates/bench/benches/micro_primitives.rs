@@ -1,0 +1,60 @@
+//! Microbenchmarks of Recipe's core primitives: shield/verify, the partitioned KV
+//! store and the skiplist index.
+use criterion::{criterion_group, criterion_main, Criterion};
+use recipe_core::{AuthLayer, Membership};
+use recipe_crypto::MacKey;
+use recipe_kv::{PartitionedKvStore, SkipList, StoreConfig, Timestamp};
+use recipe_net::NodeId;
+use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
+
+fn shield_pair() -> (AuthLayer, AuthLayer) {
+    let master = MacKey::from_bytes([9u8; 32]);
+    let mut e1 = Enclave::launch(EnclaveId(1), EnclaveConfig::new("code", 1));
+    let mut e2 = Enclave::launch(EnclaveId(2), EnclaveConfig::new("code", 2));
+    for label in ["cq:1->2", "cq:2->1"] {
+        e1.provision_mac_key(label, master.derive(label)).unwrap();
+        e2.provision_mac_key(label, master.derive(label)).unwrap();
+    }
+    let _ = Membership::of_size(3, 1);
+    (
+        AuthLayer::new(NodeId(1), e1, false),
+        AuthLayer::new(NodeId(2), e2, false),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("shield_and_verify_256B", |b| {
+        let (mut tx, mut rx) = shield_pair();
+        let payload = vec![0u8; 256];
+        b.iter(|| {
+            let msg = tx.shield(NodeId(2), 1, &payload).unwrap();
+            assert!(rx.verify(&msg).is_accept());
+        })
+    });
+
+    c.bench_function("kv_write_then_get_256B", |b| {
+        let mut store = PartitionedKvStore::new(StoreConfig::default());
+        let value = vec![0u8; 256];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("key-{}", i % 1000);
+            store.write(key.as_bytes(), &value, Timestamp::new(i, 0)).unwrap();
+            store.get(key.as_bytes()).unwrap();
+        })
+    });
+
+    c.bench_function("skiplist_insert_lookup", |b| {
+        let mut list: SkipList<u64> = SkipList::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("key-{}", i % 4096);
+            list.insert(key.as_bytes(), i);
+            list.get(key.as_bytes());
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

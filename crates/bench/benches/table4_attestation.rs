@@ -1,0 +1,15 @@
+//! Criterion bench for the Table 4 attestation paths (real attestation crypto;
+//! reported latency uses the calibrated service model).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_attestation");
+    group.sample_size(10);
+    group.bench_function("cas_and_ias_10_rounds", |b| {
+        b.iter(|| recipe_bench::table4_attestation(10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

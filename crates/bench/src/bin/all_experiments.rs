@@ -1,0 +1,17 @@
+//! Runs every experiment in sequence (the full evaluation, smaller op counts).
+fn main() {
+    let ops = 1_000;
+    recipe_bench::print_rows("Figure 4", &recipe_bench::fig4_rw_ratio(ops));
+    recipe_bench::print_rows("Figure 3", &recipe_bench::fig3_value_size(ops));
+    recipe_bench::print_rows("Figure 5", &recipe_bench::fig5_confidentiality(ops));
+    recipe_bench::print_rows("Figure 6a", &recipe_bench::fig6a_tee_overheads(ops));
+    println!("\n=== Figure 6b ===");
+    for (stack, size, gbps) in recipe_bench::fig6b_network() {
+        println!("{stack:<20} {size:>6} B {gbps:>10.2} Gb/s");
+    }
+    recipe_bench::print_rows("Damysus comparison", &recipe_bench::damysus_compare(ops));
+    println!("\n=== Table 4 ===");
+    for (name, mean_s, speedup) in recipe_bench::table4_attestation(50) {
+        println!("{name:<12} mean {mean_s:.3} s  ({speedup:.1}x)");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3: throughput for different value sizes (90% reads).
+fn main() {
+    let rows = recipe_bench::fig3_value_size(1_500);
+    recipe_bench::print_rows("Figure 3: throughput vs value size (90% R)", &rows);
+    println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
+}

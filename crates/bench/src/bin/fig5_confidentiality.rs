@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: Recipe with confidentiality vs PBFT.
+fn main() {
+    let rows = recipe_bench::fig5_confidentiality(1_500);
+    recipe_bench::print_rows("Figure 5: Recipe with confidentiality vs PBFT", &rows);
+    println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
+}

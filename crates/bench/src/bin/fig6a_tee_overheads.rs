@@ -1,0 +1,9 @@
+//! Regenerates Figure 6a: overhead of the transformation + TEEs vs native CFT.
+fn main() {
+    let rows = recipe_bench::fig6a_tee_overheads(1_500);
+    recipe_bench::print_rows(
+        "Figure 6a: transformation + TEE overhead (speedup column = native/R- factor)",
+        &rows,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
+}

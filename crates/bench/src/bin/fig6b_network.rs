@@ -1,0 +1,8 @@
+//! Regenerates Figure 6b: network-stack goodput (Gb/s) vs payload size.
+fn main() {
+    println!("=== Figure 6b: network stack goodput (Gb/s) ===");
+    println!("{:<20} {:>10} {:>12}", "stack", "payload(B)", "Gb/s");
+    for (stack, size, gbps) in recipe_bench::fig6b_network() {
+        println!("{stack:<20} {size:>10} {gbps:>12.2}");
+    }
+}

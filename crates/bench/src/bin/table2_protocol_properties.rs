@@ -1,0 +1,21 @@
+//! Prints Table 2: resource/fault-model properties of related protocols vs Recipe.
+fn main() {
+    println!("=== Table 2: protocol properties ===");
+    println!(
+        "{:<20} {:>8} {:>8} {:>12} {:>20} {:>6} {:>6} {:>12}",
+        "protocol", "active", "total", "resilience", "msg complexity", "TEEs", "D-IO", "fault model"
+    );
+    for row in recipe_bft::table2_rows() {
+        println!(
+            "{:<20} {:>8} {:>8} {:>12} {:>20} {:>6} {:>6} {:>12}",
+            row.name,
+            row.active_replicas,
+            row.total_replicas,
+            row.resilience,
+            row.message_complexity,
+            if row.uses_tees { "yes" } else { "no" },
+            if row.uses_direct_io { "yes" } else { "no" },
+            row.fault_model
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4: attestation latency through the Recipe CAS vs IAS.
+fn main() {
+    println!("=== Table 4: attestation latency ===");
+    println!("{:<12} {:>10} {:>10}", "service", "mean (s)", "speedup");
+    for (name, mean_s, speedup) in recipe_bench::table4_attestation(100) {
+        println!("{name:<12} {mean_s:>10.3} {speedup:>9.1}x");
+    }
+}

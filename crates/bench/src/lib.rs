@@ -1,0 +1,690 @@
+//! Benchmark harness reproducing every table and figure of the Recipe evaluation.
+//!
+//! Each `figN_*` / `tableN_*` function runs the corresponding experiment on the
+//! deterministic simulator and returns structured rows; the binaries under
+//! `src/bin/` print them, the Criterion benches under `benches/` measure
+//! representative configurations, and EXPERIMENTS.md records paper-vs-measured
+//! values. See DESIGN.md for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+
+use recipe_attest::{ConfigAndAttestService, IntelAttestationService, QuoteVerifier, SecretBundle};
+use recipe_bft::{DamysusReplica, PbftReplica};
+use recipe_core::{Membership, Operation};
+use recipe_net::{ExecMode, NetCostModel, Transport};
+use recipe_protocols::{AbdReplica, AllConcurReplica, ChainReplica, RaftReplica};
+use recipe_sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
+use recipe_workload::{WorkloadOp, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Which system a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Recipe-transformed Raft.
+    RRaft,
+    /// Recipe-transformed Chain Replication.
+    RChain,
+    /// Recipe-transformed ABD.
+    RAbd,
+    /// Recipe-transformed AllConcur.
+    RAllConcur,
+    /// Native (untransformed) Raft — Figure 6a baseline.
+    NativeRaft,
+    /// Native Chain Replication.
+    NativeChain,
+    /// Native ABD.
+    NativeAbd,
+    /// Native AllConcur.
+    NativeAllConcur,
+    /// PBFT (BFT-Smart) baseline.
+    Pbft,
+    /// Damysus baseline.
+    Damysus,
+}
+
+impl ProtocolKind {
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::RRaft => "R-Raft",
+            ProtocolKind::RChain => "R-CR",
+            ProtocolKind::RAbd => "R-ABD",
+            ProtocolKind::RAllConcur => "R-AllConcur",
+            ProtocolKind::NativeRaft => "Raft (native)",
+            ProtocolKind::NativeChain => "CR (native)",
+            ProtocolKind::NativeAbd => "ABD (native)",
+            ProtocolKind::NativeAllConcur => "AllConcur (native)",
+            ProtocolKind::Pbft => "PBFT",
+            ProtocolKind::Damysus => "Damysus",
+        }
+    }
+
+    /// The four Recipe-transformed protocols.
+    pub fn recipe_protocols() -> [ProtocolKind; 4] {
+        [
+            ProtocolKind::RRaft,
+            ProtocolKind::RChain,
+            ProtocolKind::RAllConcur,
+            ProtocolKind::RAbd,
+        ]
+    }
+
+    /// Matching native variant for a Recipe protocol (panics for baselines).
+    pub fn native_counterpart(&self) -> ProtocolKind {
+        match self {
+            ProtocolKind::RRaft => ProtocolKind::NativeRaft,
+            ProtocolKind::RChain => ProtocolKind::NativeChain,
+            ProtocolKind::RAbd => ProtocolKind::NativeAbd,
+            ProtocolKind::RAllConcur => ProtocolKind::NativeAllConcur,
+            other => panic!("{other:?} has no native counterpart"),
+        }
+    }
+}
+
+/// One experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Read fraction of the workload.
+    pub read_ratio: f64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Whether Recipe runs in confidential mode.
+    pub confidential: bool,
+    /// Total committed operations per run.
+    pub operations: usize,
+    /// Closed-loop client count.
+    pub clients: usize,
+    /// Seed for workload and simulator.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            protocol: ProtocolKind::RRaft,
+            read_ratio: 0.5,
+            value_size: 256,
+            confidential: false,
+            operations: 1_500,
+            clients: 24,
+            seed: 7,
+        }
+    }
+}
+
+/// One output row (one bar / one point of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Free-form configuration label (e.g. "90% R", "1024 B").
+    pub config: String,
+    /// Measured throughput (simulated ops/s).
+    pub throughput_ops: f64,
+    /// Mean latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Speedup relative to the row's baseline (1.0 when this row *is* the baseline).
+    pub speedup_vs_baseline: f64,
+}
+
+/// Runs one experiment configuration and returns the raw simulator statistics.
+pub fn run_protocol(config: &ExperimentConfig) -> RunStats {
+    let operations = config.operations;
+    let clients = config.clients;
+    let workload = WorkloadSpec {
+        read_ratio: config.read_ratio,
+        value_size: config.value_size,
+        seed: config.seed,
+        ..WorkloadSpec::default()
+    };
+
+    match config.protocol {
+        ProtocolKind::RRaft => run_cluster(
+            build(3, |id, m| RaftReplica::recipe(id, m, config.confidential)),
+            recipe_profile(config),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::NativeRaft => run_cluster(
+            build(3, RaftReplica::native),
+            CostProfile::native_cft(),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::RChain => run_cluster(
+            build(3, |id, m| ChainReplica::recipe(id, m, config.confidential)),
+            recipe_profile(config),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::NativeChain => run_cluster(
+            build(3, ChainReplica::native),
+            CostProfile::native_cft(),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::RAbd => run_cluster(
+            build(3, |id, m| AbdReplica::recipe(id, m, config.confidential)),
+            recipe_profile(config),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::NativeAbd => run_cluster(
+            build(3, AbdReplica::native),
+            CostProfile::native_cft(),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::RAllConcur => run_cluster(
+            build(3, |id, m| AllConcurReplica::recipe(id, m, config.confidential)),
+            recipe_profile(config),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::NativeAllConcur => run_cluster(
+            build(3, AllConcurReplica::native),
+            CostProfile::native_cft(),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::Pbft => run_cluster(
+            {
+                // PBFT needs 3f + 1 replicas for the same f = 1.
+                let membership = Membership::of_size(4, 1);
+                (0..4).map(|id| PbftReplica::new(id, membership.clone())).collect()
+            },
+            CostProfile::pbft_baseline(),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+        ProtocolKind::Damysus => run_cluster(
+            {
+                let membership = Membership::of_size(3, 1);
+                (0..3).map(|id| DamysusReplica::new(id, membership.clone())).collect()
+            },
+            CostProfile::damysus_baseline(),
+            workload,
+            operations,
+            clients,
+            config.seed,
+        ),
+    }
+}
+
+fn recipe_profile(config: &ExperimentConfig) -> CostProfile {
+    let profile = CostProfile::recipe();
+    if config.confidential {
+        profile.confidential()
+    } else {
+        profile
+    }
+}
+
+fn build<R>(n: usize, make: impl Fn(u64, Membership) -> R) -> Vec<R> {
+    recipe_protocols::build_cluster(n, (n - 1) / 2, make)
+}
+
+fn run_cluster<R: Replica>(
+    replicas: Vec<R>,
+    profile: CostProfile,
+    workload: WorkloadSpec,
+    operations: usize,
+    clients: usize,
+    seed: u64,
+) -> RunStats {
+    let n = replicas.len();
+    let mut sim_config = SimConfig::uniform(n, profile);
+    sim_config.seed = seed;
+    sim_config.clients = ClientModel {
+        clients,
+        total_operations: operations,
+    };
+    let mut cluster = SimCluster::new(replicas, sim_config);
+    let generator = RefCell::new(workload.generator());
+    cluster.run(move |_client, _seq| match generator.borrow_mut().next_op() {
+        WorkloadOp::Read { key } => Operation::Get { key },
+        WorkloadOp::Write { key, value } => Operation::Put { key, value },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figures and tables
+// ---------------------------------------------------------------------------
+
+/// Figure 4: throughput and speedup of the four R-protocols vs PBFT across
+/// read/write ratios (256 B values).
+pub fn fig4_rw_ratio(operations: usize) -> Vec<ExperimentRow> {
+    let ratios = [0.5, 0.75, 0.9, 0.95, 0.99];
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        let label = format!("{:.0}% R", ratio * 100.0);
+        let pbft = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::Pbft,
+            read_ratio: ratio,
+            operations,
+            ..ExperimentConfig::default()
+        });
+        rows.push(ExperimentRow {
+            protocol: "PBFT".into(),
+            config: label.clone(),
+            throughput_ops: pbft.throughput_ops,
+            mean_latency_us: pbft.mean_latency_us,
+            speedup_vs_baseline: 1.0,
+        });
+        for kind in ProtocolKind::recipe_protocols() {
+            let stats = run_protocol(&ExperimentConfig {
+                protocol: kind,
+                read_ratio: ratio,
+                operations,
+                ..ExperimentConfig::default()
+            });
+            rows.push(ExperimentRow {
+                protocol: kind.name().into(),
+                config: label.clone(),
+                throughput_ops: stats.throughput_ops,
+                mean_latency_us: stats.mean_latency_us,
+                speedup_vs_baseline: stats.throughput_ops / pbft.throughput_ops,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 3: throughput for different value sizes (256 B / 1024 B / 4096 B) under a
+/// 90 % read workload.
+pub fn fig3_value_size(operations: usize) -> Vec<ExperimentRow> {
+    let sizes = [256usize, 1024, 4096];
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        let label = format!("{size} B");
+        let pbft = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::Pbft,
+            read_ratio: 0.9,
+            value_size: size,
+            operations,
+            ..ExperimentConfig::default()
+        });
+        rows.push(ExperimentRow {
+            protocol: "PBFT".into(),
+            config: label.clone(),
+            throughput_ops: pbft.throughput_ops,
+            mean_latency_us: pbft.mean_latency_us,
+            speedup_vs_baseline: 1.0,
+        });
+        for kind in ProtocolKind::recipe_protocols() {
+            let stats = run_protocol(&ExperimentConfig {
+                protocol: kind,
+                read_ratio: 0.9,
+                value_size: size,
+                operations,
+                ..ExperimentConfig::default()
+            });
+            rows.push(ExperimentRow {
+                protocol: kind.name().into(),
+                config: label.clone(),
+                throughput_ops: stats.throughput_ops,
+                mean_latency_us: stats.mean_latency_us,
+                speedup_vs_baseline: stats.throughput_ops / pbft.throughput_ops,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 5: throughput with confidentiality (encrypted values and payloads) vs
+/// PBFT, for 50 % and 95 % read workloads.
+pub fn fig5_confidentiality(operations: usize) -> Vec<ExperimentRow> {
+    let ratios = [0.5, 0.95];
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        let label = format!("{:.0}% R (conf.)", ratio * 100.0);
+        let pbft = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::Pbft,
+            read_ratio: ratio,
+            operations,
+            ..ExperimentConfig::default()
+        });
+        rows.push(ExperimentRow {
+            protocol: "PBFT".into(),
+            config: label.clone(),
+            throughput_ops: pbft.throughput_ops,
+            mean_latency_us: pbft.mean_latency_us,
+            speedup_vs_baseline: 1.0,
+        });
+        for kind in ProtocolKind::recipe_protocols() {
+            let stats = run_protocol(&ExperimentConfig {
+                protocol: kind,
+                read_ratio: ratio,
+                confidential: true,
+                operations,
+                ..ExperimentConfig::default()
+            });
+            rows.push(ExperimentRow {
+                protocol: format!("{} (conf.)", kind.name()),
+                config: label.clone(),
+                throughput_ops: stats.throughput_ops,
+                mean_latency_us: stats.mean_latency_us,
+                speedup_vs_baseline: stats.throughput_ops / pbft.throughput_ops,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 6a: overhead of the transformation + TEEs — native protocol throughput
+/// divided by the R-protocol throughput, across read/write ratios.
+pub fn fig6a_tee_overheads(operations: usize) -> Vec<ExperimentRow> {
+    let ratios = [0.5, 0.75, 0.9, 0.95, 0.99];
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        let label = format!("{:.0}% R", ratio * 100.0);
+        for kind in ProtocolKind::recipe_protocols() {
+            let recipe = run_protocol(&ExperimentConfig {
+                protocol: kind,
+                read_ratio: ratio,
+                operations,
+                ..ExperimentConfig::default()
+            });
+            let native = run_protocol(&ExperimentConfig {
+                protocol: kind.native_counterpart(),
+                read_ratio: ratio,
+                operations,
+                ..ExperimentConfig::default()
+            });
+            rows.push(ExperimentRow {
+                protocol: kind.name().into(),
+                config: label.clone(),
+                throughput_ops: recipe.throughput_ops,
+                mean_latency_us: recipe.mean_latency_us,
+                // For this figure "speedup" is the overhead factor (native / recipe).
+                speedup_vs_baseline: native.throughput_ops / recipe.throughput_ops,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 6b: network-stack goodput (Gb/s) vs payload size for the five stacks.
+pub fn fig6b_network() -> Vec<(String, usize, f64)> {
+    let model = NetCostModel::default();
+    let sizes = [64usize, 256, 1024, 1460, 2048, 4096];
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        rows.push((
+            "kernel-net".to_string(),
+            size,
+            model.throughput_gbps(Transport::KernelSockets, ExecMode::Native, size),
+        ));
+        rows.push((
+            "direct I/O".to_string(),
+            size,
+            model.throughput_gbps(Transport::DirectIo, ExecMode::Native, size),
+        ));
+        rows.push((
+            "kernel-net (TEEs)".to_string(),
+            size,
+            model.throughput_gbps(Transport::KernelSockets, ExecMode::Tee, size),
+        ));
+        rows.push((
+            "direct I/O (TEEs)".to_string(),
+            size,
+            model.throughput_gbps(Transport::DirectIo, ExecMode::Tee, size),
+        ));
+        rows.push((
+            "Recipe-lib (net)".to_string(),
+            size,
+            model.recipe_lib_throughput_gbps(size),
+        ));
+    }
+    rows
+}
+
+/// The Damysus comparison of §B.3: Recipe protocols (256 B payload) vs Damysus at
+/// 0 B / 64 B / 256 B payloads.
+pub fn damysus_compare(operations: usize) -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    for &size in &[1usize, 64, 256] {
+        let damysus = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::Damysus,
+            read_ratio: 0.5,
+            value_size: size,
+            operations,
+            ..ExperimentConfig::default()
+        });
+        rows.push(ExperimentRow {
+            protocol: "Damysus".into(),
+            config: format!("{size} B"),
+            throughput_ops: damysus.throughput_ops,
+            mean_latency_us: damysus.mean_latency_us,
+            speedup_vs_baseline: 1.0,
+        });
+    }
+    // Recipe protocols with their standard 256 B payload.
+    let damysus_256 = run_protocol(&ExperimentConfig {
+        protocol: ProtocolKind::Damysus,
+        read_ratio: 0.5,
+        value_size: 256,
+        operations,
+        ..ExperimentConfig::default()
+    });
+    for kind in ProtocolKind::recipe_protocols() {
+        let stats = run_protocol(&ExperimentConfig {
+            protocol: kind,
+            read_ratio: 0.5,
+            value_size: 256,
+            operations,
+            ..ExperimentConfig::default()
+        });
+        rows.push(ExperimentRow {
+            protocol: kind.name().into(),
+            config: "256 B".into(),
+            throughput_ops: stats.throughput_ops,
+            mean_latency_us: stats.mean_latency_us,
+            speedup_vs_baseline: stats.throughput_ops / damysus_256.throughput_ops,
+        });
+    }
+    rows
+}
+
+/// Table 4: end-to-end attestation latency through the Recipe CAS vs through the
+/// vendor IAS, averaged over `rounds` attestations each.
+pub fn table4_attestation(rounds: usize) -> Vec<(String, f64, f64)> {
+    use recipe_tee::{EnclaveConfig, EnclaveId};
+
+    fn run_path<V: QuoteVerifier>(verifier: &mut V, rounds: usize) -> f64 {
+        use rand::SeedableRng;
+        use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut total_ns = 0u64;
+        for i in 0..rounds {
+            let mut enclave = Enclave::launch(
+                EnclaveId(i as u64),
+                EnclaveConfig::new("recipe-replica-v1", 1),
+            );
+            let bundle = SecretBundle {
+                node_id: i as u64,
+                signing_seed: vec![7u8; 32],
+                channel_keys: Default::default(),
+                cipher_key: None,
+                config: recipe_attest::ClusterConfig::for_replicas(3, 1, "recipe-replica-v1"),
+            };
+            let outcome =
+                recipe_attest::run_remote_attestation(verifier, &mut enclave, &bundle, &mut rng)
+                    .expect("attestation succeeds");
+            total_ns += outcome.latency_ns;
+        }
+        total_ns as f64 / rounds as f64 / 1e9
+    }
+
+    // Both services must trust platform 1's vendor key.
+    let vendor = recipe_tee::Enclave::launch(
+        EnclaveId(1000),
+        EnclaveConfig::new("recipe-replica-v1", 1),
+    )
+    .platform_vendor_key();
+    let mut cas = ConfigAndAttestService::new(vec![(1, vendor)], 5);
+    let mut ias = IntelAttestationService::new(vec![(1, vendor)], 5);
+    let cas_mean = run_path(&mut cas, rounds);
+    let ias_mean = run_path(&mut ias, rounds);
+    vec![
+        ("Recipe CAS".to_string(), cas_mean, ias_mean / cas_mean),
+        ("IAS".to_string(), ias_mean, 1.0),
+    ]
+}
+
+/// Pretty-prints experiment rows as an aligned text table.
+pub fn print_rows(title: &str, rows: &[ExperimentRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<22} {:>12} {:>16} {:>14} {:>10}",
+        "protocol", "config", "throughput(op/s)", "latency(us)", "speedup"
+    );
+    for row in rows {
+        println!(
+            "{:<22} {:>12} {:>16.0} {:>14.1} {:>9.2}x",
+            row.protocol, row.config, row.throughput_ops, row.mean_latency_us, row.speedup_vs_baseline
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPS: usize = 400;
+
+    #[test]
+    fn recipe_protocols_beat_pbft_on_a_mixed_workload() {
+        let pbft = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::Pbft,
+            operations: OPS,
+            ..ExperimentConfig::default()
+        });
+        for kind in ProtocolKind::recipe_protocols() {
+            let stats = run_protocol(&ExperimentConfig {
+                protocol: kind,
+                operations: OPS,
+                ..ExperimentConfig::default()
+            });
+            let speedup = stats.throughput_ops / pbft.throughput_ops;
+            assert!(
+                speedup > 2.0,
+                "{} only {speedup:.2}x faster than PBFT",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn confidentiality_costs_throughput_but_still_beats_pbft() {
+        let plain = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::RChain,
+            operations: OPS,
+            ..ExperimentConfig::default()
+        });
+        let confidential = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::RChain,
+            confidential: true,
+            operations: OPS,
+            ..ExperimentConfig::default()
+        });
+        let pbft = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::Pbft,
+            operations: OPS,
+            ..ExperimentConfig::default()
+        });
+        assert!(confidential.throughput_ops <= plain.throughput_ops);
+        assert!(confidential.throughput_ops > pbft.throughput_ops);
+    }
+
+    #[test]
+    fn native_protocols_are_faster_than_their_recipe_versions() {
+        let recipe = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::RRaft,
+            operations: OPS,
+            ..ExperimentConfig::default()
+        });
+        let native = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::NativeRaft,
+            operations: OPS,
+            ..ExperimentConfig::default()
+        });
+        let overhead = native.throughput_ops / recipe.throughput_ops;
+        assert!(
+            (1.2..=20.0).contains(&overhead),
+            "overhead factor was {overhead:.2}"
+        );
+    }
+
+    #[test]
+    fn value_size_degrades_recipe_throughput() {
+        let small = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::RRaft,
+            read_ratio: 0.9,
+            value_size: 256,
+            operations: OPS,
+            ..ExperimentConfig::default()
+        });
+        let large = run_protocol(&ExperimentConfig {
+            protocol: ProtocolKind::RRaft,
+            read_ratio: 0.9,
+            value_size: 4096,
+            operations: OPS,
+            ..ExperimentConfig::default()
+        });
+        assert!(large.throughput_ops < small.throughput_ops);
+    }
+
+    #[test]
+    fn table4_shows_the_cas_latency_advantage() {
+        let rows = table4_attestation(20);
+        let cas = &rows[0];
+        let ias = &rows[1];
+        assert!(cas.1 < ias.1);
+        assert!(
+            (10.0..=30.0).contains(&cas.2),
+            "CAS speedup was {:.1}x",
+            cas.2
+        );
+    }
+
+    #[test]
+    fn fig6b_orders_the_five_stacks_correctly() {
+        let rows = fig6b_network();
+        let at = |name: &str, size: usize| {
+            rows.iter()
+                .find(|(n, s, _)| n == name && *s == size)
+                .map(|(_, _, gbps)| *gbps)
+                .unwrap()
+        };
+        for size in [256, 1024, 4096] {
+            assert!(at("direct I/O", size) > at("kernel-net", size));
+            assert!(at("kernel-net", size) > at("kernel-net (TEEs)", size));
+            assert!(at("Recipe-lib (net)", size) > at("kernel-net (TEEs)", size));
+            assert!(at("direct I/O (TEEs)", size) >= at("Recipe-lib (net)", size));
+        }
+    }
+}

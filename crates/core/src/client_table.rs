@@ -1,0 +1,162 @@
+//! The client table: exactly-once execution of client requests.
+//!
+//! Coordinators keep, per client, the id of the latest processed request and its
+//! reply (paper §3.4 #3.1 / #4.2 "updates the client table"). Re-transmitted
+//! requests are answered from the table instead of being re-executed, and requests
+//! older than the latest one are dropped.
+
+use std::collections::HashMap;
+
+use crate::message::ClientReply;
+
+/// Decision for an incoming client request id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientRequestDisposition {
+    /// The request is new and should be executed.
+    Execute,
+    /// The request is the most recent one and has already been executed; re-send the
+    /// cached reply.
+    Duplicate(Box<ClientReply>),
+    /// The request is the most recent one but its execution has not completed yet.
+    InFlight,
+    /// The request is older than one already processed; drop it.
+    Stale,
+}
+
+#[derive(Debug, Clone)]
+struct ClientEntry {
+    latest_request: u64,
+    reply: Option<ClientReply>,
+}
+
+/// Tracks the latest request processed for each client.
+#[derive(Debug, Clone, Default)]
+pub struct ClientTable {
+    entries: HashMap<u64, ClientEntry>,
+}
+
+impl ClientTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ClientTable::default()
+    }
+
+    /// Number of clients tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no client has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Classifies an incoming `(client_id, request_id)` pair.
+    pub fn classify(&self, client_id: u64, request_id: u64) -> ClientRequestDisposition {
+        match self.entries.get(&client_id) {
+            None => ClientRequestDisposition::Execute,
+            Some(entry) if request_id > entry.latest_request => ClientRequestDisposition::Execute,
+            Some(entry) if request_id == entry.latest_request => match &entry.reply {
+                Some(reply) => ClientRequestDisposition::Duplicate(Box::new(reply.clone())),
+                None => ClientRequestDisposition::InFlight,
+            },
+            Some(_) => ClientRequestDisposition::Stale,
+        }
+    }
+
+    /// Records that execution of `request_id` has started for `client_id`.
+    pub fn begin(&mut self, client_id: u64, request_id: u64) {
+        let entry = self.entries.entry(client_id).or_insert(ClientEntry {
+            latest_request: request_id,
+            reply: None,
+        });
+        if request_id >= entry.latest_request {
+            entry.latest_request = request_id;
+            entry.reply = None;
+        }
+    }
+
+    /// Records the reply for the latest request of a client.
+    pub fn complete(&mut self, reply: ClientReply) {
+        let entry = self.entries.entry(reply.client_id).or_insert(ClientEntry {
+            latest_request: reply.request_id,
+            reply: None,
+        });
+        if reply.request_id >= entry.latest_request {
+            entry.latest_request = reply.request_id;
+            entry.reply = Some(reply);
+        }
+    }
+
+    /// Latest request id seen for a client.
+    pub fn latest_request(&self, client_id: u64) -> Option<u64> {
+        self.entries.get(&client_id).map(|e| e.latest_request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(client: u64, request: u64) -> ClientReply {
+        ClientReply {
+            client_id: client,
+            request_id: request,
+            value: None,
+            found: false,
+            replier: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_requests_execute() {
+        let table = ClientTable::new();
+        assert_eq!(table.classify(1, 1), ClientRequestDisposition::Execute);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn duplicate_returns_cached_reply() {
+        let mut table = ClientTable::new();
+        table.begin(1, 5);
+        assert_eq!(table.classify(1, 5), ClientRequestDisposition::InFlight);
+        table.complete(reply(1, 5));
+        match table.classify(1, 5) {
+            ClientRequestDisposition::Duplicate(r) => assert_eq!(r.request_id, 5),
+            other => panic!("expected Duplicate, got {other:?}"),
+        }
+        assert_eq!(table.latest_request(1), Some(5));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn stale_requests_are_dropped() {
+        let mut table = ClientTable::new();
+        table.begin(1, 5);
+        table.complete(reply(1, 5));
+        assert_eq!(table.classify(1, 4), ClientRequestDisposition::Stale);
+        assert_eq!(table.classify(1, 6), ClientRequestDisposition::Execute);
+    }
+
+    #[test]
+    fn begin_with_newer_request_clears_old_reply() {
+        let mut table = ClientTable::new();
+        table.begin(1, 5);
+        table.complete(reply(1, 5));
+        table.begin(1, 6);
+        assert_eq!(table.classify(1, 6), ClientRequestDisposition::InFlight);
+        // Completing an old request after a newer one started is ignored.
+        table.complete(reply(1, 5));
+        assert_eq!(table.classify(1, 6), ClientRequestDisposition::InFlight);
+    }
+
+    #[test]
+    fn clients_are_tracked_independently() {
+        let mut table = ClientTable::new();
+        table.begin(1, 10);
+        table.begin(2, 1);
+        assert_eq!(table.classify(1, 1), ClientRequestDisposition::Stale);
+        assert_eq!(table.classify(2, 2), ClientRequestDisposition::Execute);
+        assert_eq!(table.len(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Membership: the set of attested replicas and the quorum arithmetic over it.
+//!
+//! Recipe requires only `N ≥ 2f + 1` replicas — `f` fewer than classical BFT —
+//! because the attested enclaves cannot equivocate (paper §1.4). The membership is
+//! distributed as part of the attestation-time configuration and updated through the
+//! recovery protocol when replicas join or leave.
+
+use recipe_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The replica membership of a Recipe deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Membership {
+    members: Vec<NodeId>,
+    fault_threshold: usize,
+}
+
+impl Membership {
+    /// Builds a membership from the given nodes, tolerating `f` faults.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn new(mut members: Vec<NodeId>, fault_threshold: usize) -> Self {
+        assert!(!members.is_empty(), "membership cannot be empty");
+        members.sort();
+        members.dedup();
+        Membership {
+            members,
+            fault_threshold,
+        }
+    }
+
+    /// Builds the common `2f + 1` membership with node ids `0..2f+1`.
+    pub fn of_size(n: usize, fault_threshold: usize) -> Self {
+        Membership::new((0..n as u64).map(NodeId).collect(), fault_threshold)
+    }
+
+    /// All members, sorted.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Configured fault threshold `f`.
+    pub fn f(&self) -> usize {
+        self.fault_threshold
+    }
+
+    /// Majority quorum size.
+    pub fn quorum(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// True if the deployment satisfies `N ≥ 2f + 1`.
+    pub fn is_well_formed(&self) -> bool {
+        self.members.len() >= 2 * self.fault_threshold + 1
+    }
+
+    /// True if `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// Peers of `node` (everyone but itself).
+    pub fn peers_of(&self, node: NodeId) -> Vec<NodeId> {
+        self.members.iter().copied().filter(|&m| m != node).collect()
+    }
+
+    /// Deterministic leader for a view: round-robin over the sorted membership.
+    pub fn leader_for_view(&self, view: u64) -> NodeId {
+        self.members[(view as usize) % self.members.len()]
+    }
+
+    /// True if `count` acknowledgements constitute a quorum.
+    pub fn is_quorum(&self, count: usize) -> bool {
+        count >= self.quorum()
+    }
+
+    /// Adds a freshly attested node (recovery §3.7). No-op if already present.
+    pub fn add(&mut self, node: NodeId) {
+        if !self.contains(node) {
+            self.members.push(node);
+            self.members.sort();
+        }
+    }
+
+    /// Removes a node (e.g. decommissioned after a crash).
+    pub fn remove(&mut self, node: NodeId) {
+        self.members.retain(|&m| m != node);
+    }
+
+    /// The chain order used by Chain Replication: members sorted ascending, head
+    /// first, tail last.
+    pub fn chain_order(&self) -> Vec<NodeId> {
+        self.members.clone()
+    }
+
+    /// Successor of `node` in the chain, if any.
+    pub fn chain_successor(&self, node: NodeId) -> Option<NodeId> {
+        let idx = self.members.iter().position(|&m| m == node)?;
+        self.members.get(idx + 1).copied()
+    }
+
+    /// Head of the chain.
+    pub fn chain_head(&self) -> NodeId {
+        self.members[0]
+    }
+
+    /// Tail of the chain.
+    pub fn chain_tail(&self) -> NodeId {
+        *self.members.last().expect("membership is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quorum_arithmetic() {
+        let m = Membership::of_size(3, 1);
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.f(), 1);
+        assert_eq!(m.quorum(), 2);
+        assert!(m.is_well_formed());
+        assert!(m.is_quorum(2));
+        assert!(!m.is_quorum(1));
+
+        let m5 = Membership::of_size(5, 2);
+        assert_eq!(m5.quorum(), 3);
+        assert!(m5.is_well_formed());
+
+        let undersized = Membership::of_size(2, 1);
+        assert!(!undersized.is_well_formed());
+    }
+
+    #[test]
+    fn membership_and_peers() {
+        let m = Membership::of_size(3, 1);
+        assert!(m.contains(NodeId(0)));
+        assert!(!m.contains(NodeId(7)));
+        assert_eq!(m.peers_of(NodeId(1)), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(m.members(), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn leader_rotates_round_robin() {
+        let m = Membership::of_size(3, 1);
+        assert_eq!(m.leader_for_view(0), NodeId(0));
+        assert_eq!(m.leader_for_view(1), NodeId(1));
+        assert_eq!(m.leader_for_view(2), NodeId(2));
+        assert_eq!(m.leader_for_view(3), NodeId(0));
+    }
+
+    #[test]
+    fn add_and_remove_members() {
+        let mut m = Membership::of_size(3, 1);
+        m.add(NodeId(7));
+        assert!(m.contains(NodeId(7)));
+        assert_eq!(m.n(), 4);
+        m.add(NodeId(7)); // idempotent
+        assert_eq!(m.n(), 4);
+        m.remove(NodeId(0));
+        assert!(!m.contains(NodeId(0)));
+        assert_eq!(m.chain_head(), NodeId(1));
+    }
+
+    #[test]
+    fn chain_ordering() {
+        let m = Membership::new(vec![NodeId(5), NodeId(1), NodeId(3)], 1);
+        assert_eq!(m.chain_order(), vec![NodeId(1), NodeId(3), NodeId(5)]);
+        assert_eq!(m.chain_head(), NodeId(1));
+        assert_eq!(m.chain_tail(), NodeId(5));
+        assert_eq!(m.chain_successor(NodeId(1)), Some(NodeId(3)));
+        assert_eq!(m.chain_successor(NodeId(3)), Some(NodeId(5)));
+        assert_eq!(m.chain_successor(NodeId(5)), None);
+        assert_eq!(m.chain_successor(NodeId(9)), None);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let m = Membership::new(vec![NodeId(1), NodeId(1), NodeId(2)], 0);
+        assert_eq!(m.n(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "membership cannot be empty")]
+    fn empty_membership_panics() {
+        Membership::new(vec![], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn quorums_always_intersect(n in 1usize..20) {
+            // Any two majority quorums of the same membership share at least one node
+            // — the property every protocol in the workspace relies on.
+            let m = Membership::of_size(n, n.saturating_sub(1) / 2);
+            let q = m.quorum();
+            prop_assert!(q * 2 > n);
+        }
+
+        #[test]
+        fn leader_is_always_a_member(n in 1usize..10, view in 0u64..1000) {
+            let m = Membership::of_size(n, 0);
+            prop_assert!(m.contains(m.leader_for_view(view)));
+        }
+    }
+}

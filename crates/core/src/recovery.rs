@@ -1,0 +1,260 @@
+//! Recovery: adding new or recovered replicas to the membership (paper §3.7).
+//!
+//! A joining node always starts as a *fresh* replica: it is attested first, receives
+//! a unique node id and the membership configuration from the CAS, then fetches a
+//! state snapshot from an existing replica (shadow phase) before participating in the
+//! protocol. Non-equivocation is preserved because the fresh id means all of its
+//! channel counters start at zero on both ends.
+
+use recipe_kv::{PartitionedKvStore, Timestamp};
+use recipe_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::membership::Membership;
+
+/// A join request sent by a recovering/new node to a designated challenger node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinRequest {
+    /// The id the CAS assigned to the joining node after attestation.
+    pub joiner: NodeId,
+    /// Code identity the joiner claims to run (re-checked via attestation before
+    /// any state is shared).
+    pub code_identity: String,
+}
+
+/// A snapshot of replicated state shipped to a shadow replica.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StateSnapshot {
+    /// `(key, value, timestamp)` triples of every live key.
+    pub entries: Vec<(Vec<u8>, Vec<u8>, Timestamp)>,
+    /// The view in which the snapshot was taken.
+    pub view: u64,
+    /// Index/sequence number up to which the snapshot is complete (protocol
+    /// specific: Raft log index, CR version, …).
+    pub high_water_mark: u64,
+}
+
+impl StateSnapshot {
+    /// Captures a snapshot from a replica's KV store.
+    pub fn capture(store: &mut PartitionedKvStore, view: u64, high_water_mark: u64) -> Self {
+        let mut entries = Vec::with_capacity(store.len());
+        for key in store.keys() {
+            if let Ok(read) = store.get(&key) {
+                entries.push((key, read.value, read.timestamp));
+            }
+        }
+        StateSnapshot {
+            entries,
+            view,
+            high_water_mark,
+        }
+    }
+
+    /// Applies the snapshot to a (fresh) replica's KV store.
+    pub fn apply(&self, store: &mut PartitionedKvStore) {
+        for (key, value, timestamp) in &self.entries {
+            // write_if_newer keeps any writes the shadow replica already received
+            // while the snapshot was in flight.
+            let _ = store.write_if_newer(key, value, *timestamp);
+        }
+    }
+
+    /// Number of keys in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the snapshot carries no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The challenger-side state machine for admitting one joiner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinPhase {
+    /// Join request received; re-attestation of the joiner is in progress.
+    AwaitingAttestation,
+    /// Attestation succeeded; the snapshot is being transferred.
+    TransferringState,
+    /// The joiner acknowledged the snapshot and is now a full member.
+    Completed,
+    /// Attestation failed; the joiner was rejected.
+    Rejected,
+}
+
+/// Coordinates the admission of a joining replica on the challenger node.
+#[derive(Debug, Clone)]
+pub struct JoinCoordinator {
+    request: JoinRequest,
+    phase: JoinPhase,
+    expected_code_identity: String,
+}
+
+impl JoinCoordinator {
+    /// Starts handling a join request. `expected_code_identity` is the code identity
+    /// the membership requires.
+    pub fn new(request: JoinRequest, expected_code_identity: impl Into<String>) -> Self {
+        JoinCoordinator {
+            request,
+            phase: JoinPhase::AwaitingAttestation,
+            expected_code_identity: expected_code_identity.into(),
+        }
+    }
+
+    /// The joiner being admitted.
+    pub fn joiner(&self) -> NodeId {
+        self.request.joiner
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> &JoinPhase {
+        &self.phase
+    }
+
+    /// Records the attestation verdict for the joiner.
+    pub fn attestation_result(&mut self, attested_code_identity: &str, success: bool) {
+        if self.phase != JoinPhase::AwaitingAttestation {
+            return;
+        }
+        self.phase = if success && attested_code_identity == self.expected_code_identity {
+            JoinPhase::TransferringState
+        } else {
+            JoinPhase::Rejected
+        };
+    }
+
+    /// Records that the joiner acknowledged the snapshot; adds it to the membership.
+    pub fn snapshot_acknowledged(&mut self, membership: &mut Membership) -> bool {
+        if self.phase != JoinPhase::TransferringState {
+            return false;
+        }
+        membership.add(self.request.joiner);
+        self.phase = JoinPhase::Completed;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe_kv::StoreConfig;
+
+    fn store_with(entries: &[(&[u8], &[u8])]) -> PartitionedKvStore {
+        let mut store = PartitionedKvStore::new(StoreConfig::default());
+        for (i, (k, v)) in entries.iter().enumerate() {
+            store.write(k, v, Timestamp::new(i as u64 + 1, 0)).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn snapshot_capture_and_apply_roundtrip() {
+        let mut source = store_with(&[(b"a", b"1"), (b"b", b"2"), (b"c", b"3")]);
+        let snapshot = StateSnapshot::capture(&mut source, 2, 30);
+        assert_eq!(snapshot.len(), 3);
+        assert!(!snapshot.is_empty());
+        assert_eq!(snapshot.view, 2);
+
+        let mut target = PartitionedKvStore::new(StoreConfig::default());
+        snapshot.apply(&mut target);
+        assert_eq!(target.get(b"a").unwrap().value, b"1");
+        assert_eq!(target.get(b"c").unwrap().value, b"3");
+        assert_eq!(target.len(), 3);
+    }
+
+    #[test]
+    fn apply_does_not_clobber_newer_local_writes() {
+        let mut source = store_with(&[(b"k", b"old")]);
+        let snapshot = StateSnapshot::capture(&mut source, 1, 1);
+
+        let mut target = PartitionedKvStore::new(StoreConfig::default());
+        // The shadow replica already received a newer write while the snapshot was in
+        // flight.
+        target.write(b"k", b"newer", Timestamp::new(100, 1)).unwrap();
+        snapshot.apply(&mut target);
+        assert_eq!(target.get(b"k").unwrap().value, b"newer");
+    }
+
+    #[test]
+    fn join_happy_path_adds_member() {
+        let mut membership = Membership::of_size(3, 1);
+        let mut coordinator = JoinCoordinator::new(
+            JoinRequest {
+                joiner: NodeId(7),
+                code_identity: "replica-code".into(),
+            },
+            "replica-code",
+        );
+        assert_eq!(coordinator.phase(), &JoinPhase::AwaitingAttestation);
+        assert_eq!(coordinator.joiner(), NodeId(7));
+
+        coordinator.attestation_result("replica-code", true);
+        assert_eq!(coordinator.phase(), &JoinPhase::TransferringState);
+
+        assert!(coordinator.snapshot_acknowledged(&mut membership));
+        assert_eq!(coordinator.phase(), &JoinPhase::Completed);
+        assert!(membership.contains(NodeId(7)));
+        assert_eq!(membership.n(), 4);
+    }
+
+    #[test]
+    fn failed_attestation_rejects_joiner() {
+        let mut membership = Membership::of_size(3, 1);
+        let mut coordinator = JoinCoordinator::new(
+            JoinRequest {
+                joiner: NodeId(7),
+                code_identity: "replica-code".into(),
+            },
+            "replica-code",
+        );
+        coordinator.attestation_result("replica-code", false);
+        assert_eq!(coordinator.phase(), &JoinPhase::Rejected);
+        assert!(!coordinator.snapshot_acknowledged(&mut membership));
+        assert!(!membership.contains(NodeId(7)));
+    }
+
+    #[test]
+    fn wrong_code_identity_rejects_joiner() {
+        let mut coordinator = JoinCoordinator::new(
+            JoinRequest {
+                joiner: NodeId(7),
+                code_identity: "whatever".into(),
+            },
+            "replica-code",
+        );
+        coordinator.attestation_result("evil-code", true);
+        assert_eq!(coordinator.phase(), &JoinPhase::Rejected);
+    }
+
+    #[test]
+    fn phase_transitions_are_idempotent_and_ordered() {
+        let mut membership = Membership::of_size(3, 1);
+        let mut coordinator = JoinCoordinator::new(
+            JoinRequest {
+                joiner: NodeId(7),
+                code_identity: "replica-code".into(),
+            },
+            "replica-code",
+        );
+        // Cannot acknowledge before attestation.
+        assert!(!coordinator.snapshot_acknowledged(&mut membership));
+        coordinator.attestation_result("replica-code", true);
+        // Late attestation results do not change the phase again.
+        coordinator.attestation_result("replica-code", false);
+        assert_eq!(coordinator.phase(), &JoinPhase::TransferringState);
+        assert!(coordinator.snapshot_acknowledged(&mut membership));
+        // Double-ack is a no-op.
+        assert!(!coordinator.snapshot_acknowledged(&mut membership));
+    }
+
+    #[test]
+    fn empty_snapshot_is_fine() {
+        let mut empty = PartitionedKvStore::new(StoreConfig::default());
+        let snapshot = StateSnapshot::capture(&mut empty, 0, 0);
+        assert!(snapshot.is_empty());
+        let mut target = PartitionedKvStore::new(StoreConfig::default());
+        snapshot.apply(&mut target);
+        assert!(target.is_empty());
+    }
+}

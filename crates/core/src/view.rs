@@ -1,0 +1,204 @@
+//! View (epoch) tracking and trusted-lease-based failure detection.
+//!
+//! Leader-based protocols only make progress while their leader is alive; Recipe
+//! detects leader failure through the trusted lease of §3.5: followers grant the
+//! leader a lease, the leader renews it with heartbeats, and only after the lease
+//! verifiably expires do followers start a view change. The new view's leader is the
+//! next node in round-robin order (the underlying CFT protocol's own election rules
+//! could be plugged in instead; round-robin keeps the reproduction deterministic).
+
+use recipe_net::NodeId;
+use recipe_tee::{TrustedInstant, TrustedLease};
+use serde::{Deserialize, Serialize};
+
+use crate::membership::Membership;
+
+/// What a replica should do after consulting the failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewAction {
+    /// The leader's lease is still valid; keep following.
+    KeepFollowing,
+    /// The lease expired; the replica should vote for / move to the given view with
+    /// the given leader.
+    StartViewChange {
+        /// The proposed new view.
+        new_view: u64,
+        /// Deterministic leader of the proposed view.
+        new_leader: NodeId,
+    },
+}
+
+/// Per-replica view state and leader lease.
+#[derive(Debug, Clone)]
+pub struct ViewTracker {
+    view: u64,
+    lease: TrustedLease,
+    membership: Membership,
+    /// Highest view this replica has voted for (so it never votes twice for
+    /// different leaders in the same view).
+    highest_vote: u64,
+}
+
+impl ViewTracker {
+    /// Creates a tracker for view 0 with the given lease duration.
+    pub fn new(membership: Membership, lease_duration_millis: u64) -> Self {
+        ViewTracker {
+            view: 0,
+            lease: TrustedLease::with_duration_millis(lease_duration_millis),
+            membership,
+            highest_vote: 0,
+        }
+    }
+
+    /// The current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Leader of the current view.
+    pub fn leader(&self) -> NodeId {
+        self.membership.leader_for_view(self.view)
+    }
+
+    /// True if `node` leads the current view.
+    pub fn is_leader(&self, node: NodeId) -> bool {
+        self.leader() == node
+    }
+
+    /// The membership the tracker reasons over.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Mutable membership access (used by recovery when nodes join).
+    pub fn membership_mut(&mut self) -> &mut Membership {
+        &mut self.membership
+    }
+
+    /// Records a heartbeat from the current leader at `now`, renewing its lease.
+    pub fn record_leader_heartbeat(&mut self, from: NodeId, now: TrustedInstant) {
+        if self.is_leader(from) {
+            // Grant-or-renew: the first heartbeat of a view grants the lease.
+            let _ = self.lease.grant(from.0, now);
+            let _ = self.lease.renew(from.0, now);
+        }
+    }
+
+    /// Consults the failure detector at `now`.
+    pub fn check(&self, now: TrustedInstant) -> ViewAction {
+        if self.lease.is_held_by(self.leader().0, now) {
+            ViewAction::KeepFollowing
+        } else {
+            let new_view = self.view + 1;
+            ViewAction::StartViewChange {
+                new_view,
+                new_leader: self.membership.leader_for_view(new_view),
+            }
+        }
+    }
+
+    /// Records a vote by this replica for `view`; returns `true` if the vote is new
+    /// (a replica votes at most once per view).
+    pub fn vote_for(&mut self, view: u64) -> bool {
+        if view <= self.highest_vote && view != 0 {
+            return false;
+        }
+        self.highest_vote = view;
+        true
+    }
+
+    /// Installs a new view once a quorum confirmed it. Views only move forward.
+    pub fn install_view(&mut self, view: u64, now: TrustedInstant) {
+        if view <= self.view {
+            return;
+        }
+        self.view = view;
+        let leader = self.leader();
+        let _ = self.lease.grant(leader.0, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> TrustedInstant {
+        TrustedInstant::from_millis(ms)
+    }
+
+    fn tracker() -> ViewTracker {
+        ViewTracker::new(Membership::of_size(3, 1), 10)
+    }
+
+    #[test]
+    fn initial_leader_is_node_zero() {
+        let v = tracker();
+        assert_eq!(v.view(), 0);
+        assert_eq!(v.leader(), NodeId(0));
+        assert!(v.is_leader(NodeId(0)));
+        assert!(!v.is_leader(NodeId(1)));
+        assert_eq!(v.membership().n(), 3);
+    }
+
+    #[test]
+    fn heartbeats_keep_the_leader_alive() {
+        let mut v = tracker();
+        v.record_leader_heartbeat(NodeId(0), t(0));
+        assert_eq!(v.check(t(5)), ViewAction::KeepFollowing);
+        v.record_leader_heartbeat(NodeId(0), t(8));
+        assert_eq!(v.check(t(15)), ViewAction::KeepFollowing);
+    }
+
+    #[test]
+    fn missed_heartbeats_trigger_view_change() {
+        let mut v = tracker();
+        v.record_leader_heartbeat(NodeId(0), t(0));
+        match v.check(t(20)) {
+            ViewAction::StartViewChange { new_view, new_leader } => {
+                assert_eq!(new_view, 1);
+                assert_eq!(new_leader, NodeId(1));
+            }
+            other => panic!("expected view change, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeats_from_non_leaders_are_ignored() {
+        let mut v = tracker();
+        v.record_leader_heartbeat(NodeId(2), t(0));
+        assert!(matches!(v.check(t(1)), ViewAction::StartViewChange { .. }));
+    }
+
+    #[test]
+    fn view_installation_moves_forward_only() {
+        let mut v = tracker();
+        v.install_view(2, t(0));
+        assert_eq!(v.view(), 2);
+        assert_eq!(v.leader(), NodeId(2));
+        v.install_view(1, t(1));
+        assert_eq!(v.view(), 2);
+        // The new leader starts with a fresh lease.
+        assert_eq!(v.check(t(5)), ViewAction::KeepFollowing);
+        assert!(matches!(v.check(t(20)), ViewAction::StartViewChange { .. }));
+    }
+
+    #[test]
+    fn votes_are_single_per_view() {
+        let mut v = tracker();
+        assert!(v.vote_for(1));
+        assert!(!v.vote_for(1));
+        assert!(v.vote_for(2));
+        assert!(!v.vote_for(1));
+    }
+
+    #[test]
+    fn leader_rotates_across_view_changes() {
+        let mut v = tracker();
+        v.install_view(1, t(0));
+        assert_eq!(v.leader(), NodeId(1));
+        v.install_view(2, t(1));
+        assert_eq!(v.leader(), NodeId(2));
+        v.install_view(3, t(2));
+        assert_eq!(v.leader(), NodeId(0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by every cryptographic operation in the workspace.
+
+use std::fmt;
+
+/// Errors returned by cryptographic primitives.
+///
+/// The variants are intentionally coarse: callers in the replication layer only ever
+/// need to distinguish "the cryptography rejected this input" (drop the message)
+/// from "the input was malformed" (protocol bug or attack).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A MAC tag did not verify against the supplied key and message.
+    MacMismatch,
+    /// A signature did not verify against the supplied public key and message.
+    BadSignature,
+    /// Ciphertext failed its integrity check and was not decrypted.
+    CiphertextTampered,
+    /// Input had the wrong length (e.g. a truncated key or tag).
+    InvalidLength {
+        /// What the caller was trying to parse.
+        what: &'static str,
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length received.
+        actual: usize,
+    },
+    /// A key could not be parsed from its byte encoding.
+    MalformedKey,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MacMismatch => write!(f, "MAC verification failed"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::CiphertextTampered => {
+                write!(f, "ciphertext integrity check failed; refusing to decrypt")
+            }
+            CryptoError::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "invalid length for {what}: expected {expected} bytes, got {actual}"
+            ),
+            CryptoError::MalformedKey => write!(f, "malformed key encoding"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = CryptoError::InvalidLength {
+            what: "mac tag",
+            expected: 32,
+            actual: 16,
+        };
+        let text = err.to_string();
+        assert!(text.contains("mac tag"));
+        assert!(text.contains("32"));
+        assert!(text.contains("16"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CryptoError::MacMismatch, CryptoError::MacMismatch);
+        assert_ne!(CryptoError::MacMismatch, CryptoError::BadSignature);
+    }
+}

@@ -1,0 +1,240 @@
+//! Message authentication codes (HMAC-SHA-256).
+//!
+//! After remote attestation, every pair of Recipe endpoints shares a channel MAC key
+//! provisioned by the CAS. `shield_request` computes an HMAC over
+//! `payload || view || cq || cnt_cq` (paper §3.2, Algorithm 1); `verify_request`
+//! recomputes and compares it in constant time.
+
+use hmac::{Hmac, Mac};
+use serde::{Deserialize, Serialize};
+use sha2::Sha256;
+use std::fmt;
+
+use crate::{CryptoError, KeyMaterial, DIGEST_LEN};
+
+type HmacSha256 = Hmac<Sha256>;
+
+/// A 256-bit symmetric MAC key shared between two attested endpoints.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacKey([u8; DIGEST_LEN]);
+
+impl MacKey {
+    /// Builds a key from raw bytes (e.g. bytes unsealed from enclave storage or
+    /// derived from a key-exchange shared secret).
+    pub const fn from_bytes(bytes: [u8; DIGEST_LEN]) -> Self {
+        MacKey(bytes)
+    }
+
+    /// Derives a fresh, unpredictable key from the supplied RNG.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; DIGEST_LEN];
+        rng.fill_bytes(&mut bytes);
+        MacKey(bytes)
+    }
+
+    /// Derives a sub-key bound to a label, so one provisioned secret can back several
+    /// independent channels (`derive("cq:3->5")`, `derive("values")`, …).
+    pub fn derive(&self, label: &str) -> MacKey {
+        let tag = self.tag(label.as_bytes());
+        MacKey(tag.0)
+    }
+
+    /// Computes the HMAC tag over `message`.
+    pub fn tag(&self, message: &[u8]) -> MacTag {
+        let mut mac = HmacSha256::new_from_slice(&self.0).expect("HMAC accepts any key length");
+        mac.update(message);
+        let out = mac.finalize().into_bytes();
+        let mut bytes = [0u8; DIGEST_LEN];
+        bytes.copy_from_slice(&out);
+        MacTag(bytes)
+    }
+
+    /// Computes the HMAC tag over several length-prefixed parts, mirroring
+    /// [`crate::hash::hash_parts`].
+    pub fn tag_parts(&self, parts: &[&[u8]]) -> MacTag {
+        let mut mac = HmacSha256::new_from_slice(&self.0).expect("HMAC accepts any key length");
+        for part in parts {
+            mac.update(&(part.len() as u64).to_le_bytes());
+            mac.update(part);
+        }
+        let out = mac.finalize().into_bytes();
+        let mut bytes = [0u8; DIGEST_LEN];
+        bytes.copy_from_slice(&out);
+        MacTag(bytes)
+    }
+
+    /// Verifies that `tag` authenticates `message` under this key.
+    ///
+    /// Verification is constant-time in the tag comparison (delegated to the `hmac`
+    /// crate's `verify_slice`).
+    pub fn verify(&self, message: &[u8], tag: &MacTag) -> Result<(), CryptoError> {
+        let mut mac = HmacSha256::new_from_slice(&self.0).expect("HMAC accepts any key length");
+        mac.update(message);
+        mac.verify_slice(&tag.0).map_err(|_| CryptoError::MacMismatch)
+    }
+
+    /// Verifies a tag computed with [`MacKey::tag_parts`].
+    pub fn verify_parts(&self, parts: &[&[u8]], tag: &MacTag) -> Result<(), CryptoError> {
+        let mut mac = HmacSha256::new_from_slice(&self.0).expect("HMAC accepts any key length");
+        for part in parts {
+            mac.update(&(part.len() as u64).to_le_bytes());
+            mac.update(part);
+        }
+        mac.verify_slice(&tag.0).map_err(|_| CryptoError::MacMismatch)
+    }
+}
+
+impl KeyMaterial for MacKey {
+    fn expose_secret(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key bytes.
+        write!(f, "MacKey(…)")
+    }
+}
+
+/// A 256-bit HMAC tag.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacTag([u8; DIGEST_LEN]);
+
+impl MacTag {
+    /// Wraps raw tag bytes received off the wire.
+    pub const fn from_bytes(bytes: [u8; DIGEST_LEN]) -> Self {
+        MacTag(bytes)
+    }
+
+    /// Returns the tag bytes (for serialization onto the wire).
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Parses a tag from a byte slice.
+    pub fn try_from_slice(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != DIGEST_LEN {
+            return Err(CryptoError::InvalidLength {
+                what: "mac tag",
+                expected: DIGEST_LEN,
+                actual: bytes.len(),
+            });
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        out.copy_from_slice(bytes);
+        Ok(MacTag(out))
+    }
+}
+
+impl fmt::Debug for MacTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex: String = self.0[..6].iter().map(|b| format!("{b:02x}")).collect();
+        write!(f, "MacTag({hex}…)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn key() -> MacKey {
+        MacKey::from_bytes([7u8; 32])
+    }
+
+    #[test]
+    fn tag_then_verify_succeeds() {
+        let tag = key().tag(b"payload");
+        assert!(key().verify(b"payload", &tag).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_modified_message() {
+        let tag = key().tag(b"payload");
+        assert_eq!(
+            key().verify(b"Payload", &tag),
+            Err(CryptoError::MacMismatch)
+        );
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let tag = key().tag(b"payload");
+        let other = MacKey::from_bytes([9u8; 32]);
+        assert_eq!(other.verify(b"payload", &tag), Err(CryptoError::MacMismatch));
+    }
+
+    #[test]
+    fn tag_parts_is_position_sensitive() {
+        let k = key();
+        assert_ne!(k.tag_parts(&[b"ab", b"c"]), k.tag_parts(&[b"a", b"bc"]));
+    }
+
+    #[test]
+    fn derive_produces_distinct_independent_keys() {
+        let k = key();
+        let a = k.derive("channel:1");
+        let b = k.derive("channel:2");
+        assert_ne!(a, b);
+        assert_ne!(a, k);
+        // Deterministic.
+        assert_eq!(a, k.derive("channel:1"));
+    }
+
+    #[test]
+    fn generate_uses_rng() {
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(MacKey::generate(&mut rng1), MacKey::generate(&mut rng2));
+        let mut rng3 = rand::rngs::StdRng::seed_from_u64(2);
+        assert_ne!(MacKey::generate(&mut rng1), MacKey::generate(&mut rng3));
+    }
+
+    #[test]
+    fn tag_slice_roundtrip_and_length_check() {
+        let tag = key().tag(b"x");
+        let parsed = MacTag::try_from_slice(tag.as_bytes()).unwrap();
+        assert_eq!(parsed, tag);
+        assert!(matches!(
+            MacTag::try_from_slice(&[0u8; 5]),
+            Err(CryptoError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        assert_eq!(format!("{:?}", key()), "MacKey(…)");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_message(msg in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let k = key();
+            let tag = k.tag(&msg);
+            prop_assert!(k.verify(&msg, &tag).is_ok());
+        }
+
+        #[test]
+        fn tampered_message_rejected(msg in proptest::collection::vec(any::<u8>(), 1..256),
+                                     flip_idx in 0usize..256, flip_bit in 0u8..8) {
+            let k = key();
+            let tag = k.tag(&msg);
+            let mut tampered = msg.clone();
+            let idx = flip_idx % tampered.len();
+            tampered[idx] ^= 1 << flip_bit;
+            prop_assume!(tampered != msg);
+            prop_assert!(k.verify(&tampered, &tag).is_err());
+        }
+
+        #[test]
+        fn parts_verify_roundtrip(parts in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 0..6)) {
+            let k = key();
+            let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+            let tag = k.tag_parts(&refs);
+            prop_assert!(k.verify_parts(&refs, &tag).is_ok());
+        }
+    }
+}

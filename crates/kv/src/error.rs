@@ -1,0 +1,67 @@
+//! Error type for the KV store.
+
+use std::fmt;
+
+/// Errors returned by the partitioned KV store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The requested key does not exist.
+    NotFound,
+    /// The value read from untrusted host memory did not match the integrity hash
+    /// stored in the enclave — a Byzantine host tampered with it.
+    IntegrityViolation {
+        /// The key whose value failed verification.
+        key: Vec<u8>,
+    },
+    /// The value could not be decrypted (confidential mode) — either tampered with or
+    /// encrypted under a different key.
+    DecryptionFailed {
+        /// The key whose value failed to decrypt.
+        key: Vec<u8>,
+    },
+    /// A write carried a timestamp older than the one already stored; the caller
+    /// (e.g. ABD) decides whether that is an error or simply a no-op.
+    StaleTimestamp,
+    /// The host-memory arena slot referenced by the enclave metadata is missing
+    /// (the untrusted host deleted it).
+    HostValueMissing {
+        /// The key whose value vanished.
+        key: Vec<u8>,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::NotFound => write!(f, "key not found"),
+            KvError::IntegrityViolation { key } => {
+                write!(f, "integrity violation for key {:?}", String::from_utf8_lossy(key))
+            }
+            KvError::DecryptionFailed { key } => {
+                write!(f, "decryption failed for key {:?}", String::from_utf8_lossy(key))
+            }
+            KvError::StaleTimestamp => write!(f, "write carried a stale timestamp"),
+            KvError::HostValueMissing { key } => write!(
+                f,
+                "host memory no longer holds the value for key {:?}",
+                String::from_utf8_lossy(key)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_key() {
+        let err = KvError::IntegrityViolation {
+            key: b"user:1".to_vec(),
+        };
+        assert!(err.to_string().contains("user:1"));
+        assert!(KvError::NotFound.to_string().contains("not found"));
+    }
+}

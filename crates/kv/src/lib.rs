@@ -1,0 +1,38 @@
+//! Recipe's partitioned key-value store (the data layer).
+//!
+//! The paper's KV store (§A.3, "Recipe key-value store") makes two deliberate design
+//! choices that this crate reproduces:
+//!
+//! 1. **Partitioned placement** — keys and their metadata (value hash, version,
+//!    Lamport timestamp, pointer) live *inside* the enclave, while the bulk values
+//!    live in untrusted host memory. This keeps the trusted working set small
+//!    (limiting EPC pressure) while still letting a replica verify the integrity of
+//!    everything it reads, which is what makes trustworthy **local reads** possible.
+//! 2. **Skiplist index** — the enclave-resident index is a skiplist (the paper bases
+//!    its hybrid skiplist on folly); ours is a from-scratch deterministic skiplist
+//!    ([`skiplist::SkipList`]).
+//!
+//! In confidential mode the store encrypts values before they leave the enclave
+//! region, which is the basis of the Figure 5 experiment.
+//!
+//! ```
+//! use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
+//!
+//! let mut store = PartitionedKvStore::new(StoreConfig::default());
+//! store.write(b"user:1", b"alice", Timestamp::new(1, 0)).unwrap();
+//! let value = store.get(b"user:1").unwrap();
+//! assert_eq!(value.value, b"alice");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod skiplist;
+pub mod store;
+pub mod timestamp;
+
+pub use error::KvError;
+pub use skiplist::SkipList;
+pub use store::{PartitionedKvStore, ReadResult, StoreConfig, StoreStats};
+pub use timestamp::Timestamp;

@@ -1,0 +1,564 @@
+//! The partitioned KV store: enclave-resident index, host-resident values.
+//!
+//! Placement (paper §A.3, Figure 2):
+//!
+//! * **Enclave region** — the skiplist index mapping each key to its metadata:
+//!   integrity hash of the value, Lamport timestamp, version, length and a pointer
+//!   (arena slot) into host memory.
+//! * **Host region** — an arena of value buffers. The host is untrusted: a Byzantine
+//!   OS/hypervisor may corrupt or delete these buffers at any time, which the store
+//!   detects on every read by re-hashing the value and comparing against the
+//!   enclave-held hash.
+//!
+//! In confidential mode the store encrypts values before placing them in the host
+//! arena and decrypts them (after integrity verification) on reads, so plaintext data
+//! never leaves the enclave region.
+
+use recipe_crypto::{hash_parts, Cipher, CipherKey, Ciphertext, Digest, Nonce};
+use serde::{Deserialize, Serialize};
+
+use crate::error::KvError;
+use crate::skiplist::SkipList;
+use crate::timestamp::Timestamp;
+
+/// Configuration for a [`PartitionedKvStore`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// When set, values are encrypted with this key before entering host memory
+    /// (confidential mode, Figure 5).
+    pub cipher_key: Option<CipherKey>,
+    /// Seed for the skiplist tower heights (reproducibility).
+    pub index_seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            cipher_key: None,
+            index_seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Enables confidential mode with the given value-encryption key.
+    pub fn with_cipher(mut self, key: CipherKey) -> Self {
+        self.cipher_key = Some(key);
+        self
+    }
+}
+
+/// Metadata held inside the enclave for every key.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct ValueMeta {
+    /// Hash of the plaintext value (integrity tag checked on every read).
+    value_hash: Digest,
+    /// Lamport timestamp of the latest write (ABD; other protocols use versions).
+    timestamp: Timestamp,
+    /// Monotonic per-key version, incremented on every write.
+    version: u64,
+    /// Plaintext length of the value.
+    value_len: usize,
+    /// Slot in the host arena holding the (possibly encrypted) value bytes.
+    host_slot: usize,
+}
+
+/// What the host arena holds for one key.
+#[derive(Clone, Debug)]
+enum HostValue {
+    Plain(Vec<u8>),
+    Encrypted(Ciphertext),
+}
+
+impl HostValue {
+    fn stored_len(&self) -> usize {
+        match self {
+            HostValue::Plain(bytes) => bytes.len(),
+            HostValue::Encrypted(ct) => ct.wire_len(),
+        }
+    }
+}
+
+/// The result of a successful read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadResult {
+    /// The (decrypted, verified) value.
+    pub value: Vec<u8>,
+    /// Timestamp of the write that produced it.
+    pub timestamp: Timestamp,
+    /// Version of the write that produced it.
+    pub version: u64,
+}
+
+/// Memory-accounting snapshot, consumed by the EPC model and the cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of live keys.
+    pub keys: usize,
+    /// Bytes resident in the enclave (index + metadata).
+    pub enclave_bytes: usize,
+    /// Bytes resident in untrusted host memory (values).
+    pub host_bytes: usize,
+    /// Total writes served.
+    pub writes: u64,
+    /// Total reads served.
+    pub reads: u64,
+    /// Reads that failed integrity verification.
+    pub integrity_failures: u64,
+}
+
+/// The partitioned key-value store.
+pub struct PartitionedKvStore {
+    index: SkipList<ValueMeta>,
+    host_arena: Vec<Option<HostValue>>,
+    free_slots: Vec<usize>,
+    cipher: Option<Cipher>,
+    nonce_counter: u64,
+    stats: StoreStats,
+}
+
+impl PartitionedKvStore {
+    /// Creates an empty store (`init_store()` in Table 3).
+    pub fn new(config: StoreConfig) -> Self {
+        PartitionedKvStore {
+            index: SkipList::with_seed(config.index_seed),
+            host_arena: Vec::new(),
+            free_slots: Vec::new(),
+            cipher: config.cipher_key.as_ref().map(Cipher::new),
+            nonce_counter: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// True if the store encrypts values before they reach host memory.
+    pub fn is_confidential(&self) -> bool {
+        self.cipher.is_some()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Writes `value` under `key` with write timestamp `timestamp`
+    /// (`write(key, value)` in Table 3).
+    ///
+    /// Returns the new version. The write always succeeds even if `timestamp` is
+    /// older than the stored one — ABD-style last-writer-wins filtering is the
+    /// protocol's job (see [`PartitionedKvStore::write_if_newer`]).
+    pub fn write(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        timestamp: Timestamp,
+    ) -> Result<u64, KvError> {
+        self.stats.writes += 1;
+        let value_hash = Self::hash_value(key, value);
+        let host_value = match &self.cipher {
+            None => HostValue::Plain(value.to_vec()),
+            Some(cipher) => {
+                self.nonce_counter += 1;
+                // Nonce domain 0xCAFE keeps KV-store nonces disjoint from the
+                // network layer's (view, counter)-derived nonces.
+                HostValue::Encrypted(
+                    cipher.seal(Nonce::from_view_counter(0xCAFE, self.nonce_counter), value),
+                )
+            }
+        };
+
+        let (version, host_slot) = match self.index.get(key) {
+            Some(existing) => {
+                let slot = existing.host_slot;
+                self.host_arena[slot] = Some(host_value);
+                (existing.version + 1, slot)
+            }
+            None => {
+                let slot = match self.free_slots.pop() {
+                    Some(slot) => {
+                        self.host_arena[slot] = Some(host_value);
+                        slot
+                    }
+                    None => {
+                        self.host_arena.push(Some(host_value));
+                        self.host_arena.len() - 1
+                    }
+                };
+                (1, slot)
+            }
+        };
+
+        self.index.insert(
+            key,
+            ValueMeta {
+                value_hash,
+                timestamp,
+                version,
+                value_len: value.len(),
+                host_slot,
+            },
+        );
+        Ok(version)
+    }
+
+    /// Writes only if `timestamp` is strictly newer than the stored timestamp
+    /// (the ABD write rule). Returns `Ok(true)` if the write was applied,
+    /// `Ok(false)` if it was skipped as stale.
+    pub fn write_if_newer(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        timestamp: Timestamp,
+    ) -> Result<bool, KvError> {
+        if let Some(meta) = self.index.get(key) {
+            if timestamp <= meta.timestamp {
+                return Ok(false);
+            }
+        }
+        self.write(key, value, timestamp)?;
+        Ok(true)
+    }
+
+    /// Reads the value for `key`, copying it into the enclave and verifying its
+    /// integrity against the enclave-held hash (`get(key, &v_TEE)` in Table 3).
+    pub fn get(&mut self, key: &[u8]) -> Result<ReadResult, KvError> {
+        self.stats.reads += 1;
+        let meta = self.index.get(key).ok_or(KvError::NotFound)?.clone();
+        let host_value =
+            self.host_arena
+                .get(meta.host_slot)
+                .and_then(|slot| slot.as_ref())
+                .ok_or_else(|| KvError::HostValueMissing { key: key.to_vec() })?;
+
+        let plaintext = match (host_value, &self.cipher) {
+            (HostValue::Plain(bytes), _) => bytes.clone(),
+            (HostValue::Encrypted(ct), Some(cipher)) => {
+                cipher.open(ct).map_err(|_| {
+                    self.stats.integrity_failures += 1;
+                    KvError::DecryptionFailed { key: key.to_vec() }
+                })?
+            }
+            (HostValue::Encrypted(_), None) => {
+                return Err(KvError::DecryptionFailed { key: key.to_vec() })
+            }
+        };
+
+        if Self::hash_value(key, &plaintext) != meta.value_hash {
+            self.stats.integrity_failures += 1;
+            return Err(KvError::IntegrityViolation { key: key.to_vec() });
+        }
+        Ok(ReadResult {
+            value: plaintext,
+            timestamp: meta.timestamp,
+            version: meta.version,
+        })
+    }
+
+    /// Returns only the timestamp stored for `key` (ABD's first round reads
+    /// timestamps without moving values).
+    pub fn timestamp_of(&self, key: &[u8]) -> Option<Timestamp> {
+        self.index.get(key).map(|meta| meta.timestamp)
+    }
+
+    /// Returns only the stored version for `key`.
+    pub fn version_of(&self, key: &[u8]) -> Option<u64> {
+        self.index.get(key).map(|meta| meta.version)
+    }
+
+    /// Deletes `key`. Returns `true` if it existed.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        match self.index.remove(key) {
+            Some(meta) => {
+                self.host_arena[meta.host_slot] = None;
+                self.free_slots.push(meta.host_slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All keys in order (used by state transfer during recovery).
+    pub fn keys(&self) -> Vec<Vec<u8>> {
+        self.index.iter().map(|(k, _)| k.to_vec()).collect()
+    }
+
+    /// Memory and operation statistics.
+    pub fn stats(&self) -> StoreStats {
+        let enclave_bytes = self.index.index_bytes()
+            + self.index.len() * std::mem::size_of::<ValueMeta>();
+        let host_bytes = self
+            .host_arena
+            .iter()
+            .flatten()
+            .map(HostValue::stored_len)
+            .sum();
+        StoreStats {
+            keys: self.index.len(),
+            enclave_bytes,
+            host_bytes,
+            ..self.stats
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Byzantine-host fault injection (used by tests and examples)
+    // ------------------------------------------------------------------
+
+    /// Simulates a Byzantine host flipping bits in the stored value for `key`.
+    /// Returns `true` if there was a value to corrupt.
+    pub fn corrupt_host_value(&mut self, key: &[u8]) -> bool {
+        let Some(meta) = self.index.get(key) else {
+            return false;
+        };
+        match self.host_arena.get_mut(meta.host_slot).and_then(|s| s.as_mut()) {
+            Some(HostValue::Plain(bytes)) => {
+                if bytes.is_empty() {
+                    bytes.push(0xFF);
+                } else {
+                    bytes[0] ^= 0xFF;
+                }
+                true
+            }
+            Some(HostValue::Encrypted(ct)) => {
+                if ct.bytes.is_empty() {
+                    ct.bytes.push(0xFF);
+                } else {
+                    ct.bytes[0] ^= 0xFF;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Simulates a Byzantine host deleting the stored value for `key` while leaving
+    /// the enclave metadata untouched.
+    pub fn drop_host_value(&mut self, key: &[u8]) -> bool {
+        let Some(meta) = self.index.get(key) else {
+            return false;
+        };
+        match self.host_arena.get_mut(meta.host_slot) {
+            Some(slot) if slot.is_some() => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns a snapshot of the raw bytes the untrusted host can observe for `key`.
+    /// Confidential stores expose only ciphertext here — the basis of the
+    /// "host learns nothing" tests.
+    pub fn host_visible_bytes(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let meta = self.index.get(key)?;
+        match self.host_arena.get(meta.host_slot)?.as_ref()? {
+            HostValue::Plain(bytes) => Some(bytes.clone()),
+            HostValue::Encrypted(ct) => Some(ct.bytes.clone()),
+        }
+    }
+
+    fn hash_value(key: &[u8], value: &[u8]) -> Digest {
+        hash_parts(&[b"recipe.kv.value", key, value])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn plain_store() -> PartitionedKvStore {
+        PartitionedKvStore::new(StoreConfig::default())
+    }
+
+    fn confidential_store() -> PartitionedKvStore {
+        PartitionedKvStore::new(StoreConfig::default().with_cipher(CipherKey::from_bytes([7u8; 32])))
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut store = plain_store();
+        let v1 = store.write(b"k", b"value-1", Timestamp::new(1, 0)).unwrap();
+        assert_eq!(v1, 1);
+        let read = store.get(b"k").unwrap();
+        assert_eq!(read.value, b"value-1");
+        assert_eq!(read.version, 1);
+        assert_eq!(read.timestamp, Timestamp::new(1, 0));
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn overwrites_bump_version() {
+        let mut store = plain_store();
+        store.write(b"k", b"v1", Timestamp::new(1, 0)).unwrap();
+        let v2 = store.write(b"k", b"v2", Timestamp::new(2, 0)).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(store.get(b"k").unwrap().value, b"v2");
+        assert_eq!(store.version_of(b"k"), Some(2));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_reports_not_found() {
+        let mut store = plain_store();
+        assert_eq!(store.get(b"nope"), Err(KvError::NotFound));
+        assert_eq!(store.timestamp_of(b"nope"), None);
+        assert!(!store.delete(b"nope"));
+    }
+
+    #[test]
+    fn write_if_newer_enforces_timestamp_order() {
+        let mut store = plain_store();
+        assert!(store.write_if_newer(b"k", b"v1", Timestamp::new(5, 1)).unwrap());
+        // Older timestamp: skipped.
+        assert!(!store.write_if_newer(b"k", b"old", Timestamp::new(4, 9)).unwrap());
+        assert_eq!(store.get(b"k").unwrap().value, b"v1");
+        // Equal timestamp: also skipped (not strictly newer).
+        assert!(!store.write_if_newer(b"k", b"same", Timestamp::new(5, 1)).unwrap());
+        // Newer: applied.
+        assert!(store.write_if_newer(b"k", b"v2", Timestamp::new(5, 2)).unwrap());
+        assert_eq!(store.get(b"k").unwrap().value, b"v2");
+    }
+
+    #[test]
+    fn host_corruption_is_detected_on_read() {
+        let mut store = plain_store();
+        store.write(b"k", b"legit value", Timestamp::new(1, 0)).unwrap();
+        assert!(store.corrupt_host_value(b"k"));
+        assert!(matches!(
+            store.get(b"k"),
+            Err(KvError::IntegrityViolation { .. })
+        ));
+        assert_eq!(store.stats().integrity_failures, 1);
+    }
+
+    #[test]
+    fn host_deletion_is_detected_on_read() {
+        let mut store = plain_store();
+        store.write(b"k", b"v", Timestamp::new(1, 0)).unwrap();
+        assert!(store.drop_host_value(b"k"));
+        assert!(matches!(store.get(b"k"), Err(KvError::HostValueMissing { .. })));
+    }
+
+    #[test]
+    fn confidential_store_roundtrips_and_hides_plaintext() {
+        let mut store = confidential_store();
+        assert!(store.is_confidential());
+        store
+            .write(b"patient:42", b"diagnosis: classified", Timestamp::new(1, 0))
+            .unwrap();
+        assert_eq!(store.get(b"patient:42").unwrap().value, b"diagnosis: classified");
+        // The untrusted host sees ciphertext only.
+        let visible = store.host_visible_bytes(b"patient:42").unwrap();
+        assert_ne!(visible, b"diagnosis: classified");
+    }
+
+    #[test]
+    fn confidential_store_detects_ciphertext_tampering() {
+        let mut store = confidential_store();
+        store.write(b"k", b"secret", Timestamp::new(1, 0)).unwrap();
+        assert!(store.corrupt_host_value(b"k"));
+        assert!(matches!(store.get(b"k"), Err(KvError::DecryptionFailed { .. })));
+        assert_eq!(store.stats().integrity_failures, 1);
+    }
+
+    #[test]
+    fn plain_store_exposes_plaintext_to_host() {
+        // Negative control for the confidentiality property.
+        let mut store = plain_store();
+        store.write(b"k", b"public value", Timestamp::new(1, 0)).unwrap();
+        assert_eq!(store.host_visible_bytes(b"k").unwrap(), b"public value");
+    }
+
+    #[test]
+    fn delete_frees_host_slots_for_reuse() {
+        let mut store = plain_store();
+        store.write(b"a", b"1", Timestamp::new(1, 0)).unwrap();
+        store.write(b"b", b"2", Timestamp::new(1, 0)).unwrap();
+        assert!(store.delete(b"a"));
+        let arena_len = store.host_arena.len();
+        store.write(b"c", b"3", Timestamp::new(1, 0)).unwrap();
+        assert_eq!(store.host_arena.len(), arena_len);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.keys(), vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn stats_partition_enclave_and_host_bytes() {
+        let mut store = plain_store();
+        store.write(b"key-one", &[0u8; 1000], Timestamp::new(1, 0)).unwrap();
+        store.write(b"key-two", &[0u8; 2000], Timestamp::new(1, 0)).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.keys, 2);
+        assert_eq!(stats.host_bytes, 3000);
+        // The enclave never holds the values — only keys and fixed-size metadata.
+        assert!(stats.enclave_bytes < 1000);
+        assert_eq!(stats.writes, 2);
+    }
+
+    #[test]
+    fn confidential_host_bytes_include_cipher_overhead() {
+        let mut store = confidential_store();
+        store.write(b"k", &[0u8; 1000], Timestamp::new(1, 0)).unwrap();
+        assert!(store.stats().host_bytes > 1000);
+    }
+
+    #[test]
+    fn empty_value_roundtrip() {
+        let mut store = plain_store();
+        store.write(b"k", b"", Timestamp::new(1, 0)).unwrap();
+        assert_eq!(store.get(b"k").unwrap().value, b"");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn store_matches_hashmap_model(ops in proptest::collection::vec(
+            (0u8..3, 0u8..20, proptest::collection::vec(any::<u8>(), 0..64)), 0..150)) {
+            // Model: last write wins by insertion order (we feed strictly increasing
+            // timestamps so write_if_newer always applies).
+            let mut store = plain_store();
+            let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+            let mut ts = 0u64;
+            for (op, key_id, value) in ops {
+                let key = vec![b'k', key_id];
+                match op {
+                    0 => {
+                        ts += 1;
+                        store.write(&key, &value, Timestamp::new(ts, 0)).unwrap();
+                        model.insert(key, value);
+                    }
+                    1 => {
+                        prop_assert_eq!(store.delete(&key), model.remove(&key).is_some());
+                    }
+                    _ => {
+                        match model.get(&key) {
+                            Some(expected) => {
+                                prop_assert_eq!(&store.get(&key).unwrap().value, expected);
+                            }
+                            None => prop_assert_eq!(store.get(&key), Err(KvError::NotFound)),
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+        }
+
+        #[test]
+        fn confidential_roundtrip_arbitrary_values(value in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut store = confidential_store();
+            store.write(b"k", &value, Timestamp::new(1, 0)).unwrap();
+            prop_assert_eq!(store.get(b"k").unwrap().value, value.clone());
+            if !value.is_empty() {
+                prop_assert_ne!(store.host_visible_bytes(b"k").unwrap(), value);
+            }
+        }
+    }
+}

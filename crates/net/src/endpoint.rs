@@ -1,0 +1,402 @@
+//! The RPC endpoint (`RPCobj`).
+//!
+//! Table 3's Network and Initialization APIs map onto this type:
+//!
+//! | paper API            | here                                          |
+//! |-----------------------|----------------------------------------------|
+//! | `create_rpc(app_ctx)` | [`RpcEndpoint::new`]                          |
+//! | `reg_hdlr(&func)`     | [`RpcEndpoint::reg_hdlr`]                     |
+//! | `send(&msg_buf)`      | [`RpcEndpoint::send`]                         |
+//! | `respond(&msg_buf)`   | [`RpcEndpoint::respond`]                      |
+//! | `poll()`              | [`RpcEndpoint::poll`]                         |
+//!
+//! An endpoint owns a private TX and RX ring (bounded queues, like eRPC's per-session
+//! rings). `send`/`respond` only enqueue; `poll` flushes the TX ring into the fabric
+//! and dispatches everything in the RX ring to the registered handlers. Handlers may
+//! return response buffers, which are sent within the same poll — that is how ACKs in
+//! Listing 1 (`conn.respond(shield_msg(ACK_repl))`) flow back to the coordinator.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::fabric::Fabric;
+use crate::types::{MsgBuf, NodeId, ReqType, WireMessage};
+
+/// A request handler: takes the received wire message, returns zero or more response
+/// buffers addressed back to the sender.
+pub type RequestHandler = Box<dyn FnMut(&WireMessage) -> Vec<MsgBuf> + Send>;
+
+/// Configuration for an RPC endpoint (the paper's "application context": NIC port,
+/// queue sizes, …).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RpcEndpointConfig {
+    /// The node this endpoint belongs to.
+    pub node: NodeId,
+    /// Capacity of the transmission ring.
+    pub tx_ring_capacity: usize,
+    /// Capacity of the reception ring.
+    pub rx_ring_capacity: usize,
+}
+
+impl RpcEndpointConfig {
+    /// A reasonable default configuration for `node` (256-entry rings, matching
+    /// eRPC's default session credits order of magnitude).
+    pub fn new(node: NodeId) -> Self {
+        RpcEndpointConfig {
+            node,
+            tx_ring_capacity: 256,
+            rx_ring_capacity: 256,
+        }
+    }
+}
+
+/// Statistics returned by one [`RpcEndpoint::poll`] call and accumulated over the
+/// endpoint's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollStats {
+    /// Messages flushed from the TX ring to the fabric.
+    pub sent: u64,
+    /// Messages taken from the RX ring and dispatched.
+    pub received: u64,
+    /// Responses produced by handlers during this poll.
+    pub responses_generated: u64,
+    /// Messages dropped because no handler was registered for their request type.
+    pub unhandled: u64,
+}
+
+impl PollStats {
+    fn absorb(&mut self, other: PollStats) {
+        self.sent += other.sent;
+        self.received += other.received;
+        self.responses_generated += other.responses_generated;
+        self.unhandled += other.unhandled;
+    }
+}
+
+/// A per-node RPC endpoint with private TX/RX rings and a handler registry.
+pub struct RpcEndpoint {
+    config: RpcEndpointConfig,
+    handlers: HashMap<ReqType, RequestHandler>,
+    tx_ring: VecDeque<WireMessage>,
+    rx_ring: VecDeque<WireMessage>,
+    connected: HashSet<NodeId>,
+    lifetime_stats: PollStats,
+}
+
+impl RpcEndpoint {
+    /// Creates an endpoint (the `create_rpc()` call).
+    pub fn new(config: RpcEndpointConfig) -> Self {
+        RpcEndpoint {
+            config,
+            handlers: HashMap::new(),
+            tx_ring: VecDeque::new(),
+            rx_ring: VecDeque::new(),
+            connected: HashSet::new(),
+            lifetime_stats: PollStats::default(),
+        }
+    }
+
+    /// The node that owns this endpoint.
+    pub fn node(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// Registers the handler for a request type (`reg_hdlr`). Replaces any previous
+    /// handler for the same type.
+    pub fn reg_hdlr(&mut self, req_type: ReqType, handler: RequestHandler) {
+        self.handlers.insert(req_type, handler);
+    }
+
+    /// Establishes a connection to `peer` (the `wait_until_connected` step of
+    /// Listing 1). On the simulated fabric connection establishment always succeeds
+    /// immediately; the call exists so the programming model matches the paper.
+    pub fn connect(&mut self, peer: NodeId) {
+        self.connected.insert(peer);
+    }
+
+    /// True if a connection to `peer` has been established.
+    pub fn is_connected(&self, peer: NodeId) -> bool {
+        self.connected.contains(&peer)
+    }
+
+    /// Peers this endpoint is connected to, in sorted order.
+    pub fn peers(&self) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self.connected.iter().copied().collect();
+        peers.sort();
+        peers
+    }
+
+    /// Enqueues a request to `dst` on the TX ring (`send`).
+    pub fn send(&mut self, dst: NodeId, buf: MsgBuf) -> Result<(), NetError> {
+        self.enqueue_tx(dst, buf, false)
+    }
+
+    /// Enqueues a response to `dst` on the TX ring (`respond`).
+    pub fn respond(&mut self, dst: NodeId, buf: MsgBuf) -> Result<(), NetError> {
+        self.enqueue_tx(dst, buf, true)
+    }
+
+    fn enqueue_tx(&mut self, dst: NodeId, buf: MsgBuf, is_response: bool) -> Result<(), NetError> {
+        if !self.connected.contains(&dst) {
+            return Err(NetError::NotConnected { peer: dst });
+        }
+        if self.tx_ring.len() >= self.config.tx_ring_capacity {
+            return Err(NetError::TxRingFull {
+                capacity: self.config.tx_ring_capacity,
+            });
+        }
+        self.tx_ring.push_back(WireMessage {
+            wire_id: 0, // assigned by the fabric
+            src: self.config.node,
+            dst,
+            is_response,
+            buf,
+        });
+        Ok(())
+    }
+
+    /// Places an incoming wire message on the RX ring. Called by whatever pumps the
+    /// fabric (tests, examples, or the simulator).
+    pub fn enqueue_incoming(&mut self, message: WireMessage) -> Result<(), NetError> {
+        if self.rx_ring.len() >= self.config.rx_ring_capacity {
+            return Err(NetError::RxRingFull {
+                capacity: self.config.rx_ring_capacity,
+            });
+        }
+        self.rx_ring.push_back(message);
+        Ok(())
+    }
+
+    /// Number of messages waiting in the TX ring.
+    pub fn tx_pending(&self) -> usize {
+        self.tx_ring.len()
+    }
+
+    /// Number of messages waiting in the RX ring.
+    pub fn rx_pending(&self) -> usize {
+        self.rx_ring.len()
+    }
+
+    /// Lifetime statistics across all polls.
+    pub fn stats(&self) -> PollStats {
+        self.lifetime_stats
+    }
+
+    /// Polls the endpoint: dispatches every message in the RX ring to its handler,
+    /// queues any responses the handlers produce, then flushes the entire TX ring to
+    /// `fabric`. Returns statistics for this poll.
+    pub fn poll<F: Fabric>(&mut self, fabric: &mut F) -> PollStats {
+        let mut stats = PollStats::default();
+
+        // Dispatch the RX ring. Responses produced by handlers go onto the TX ring so
+        // they are flushed in the same poll (mirrors eRPC's run_event_loop_once).
+        let incoming: Vec<WireMessage> = self.rx_ring.drain(..).collect();
+        for message in incoming {
+            stats.received += 1;
+            match self.handlers.get_mut(&message.buf.req_type) {
+                Some(handler) => {
+                    let responses = handler(&message);
+                    for response in responses {
+                        stats.responses_generated += 1;
+                        // Responses bypass the connection check: we can always answer
+                        // a peer we just heard from.
+                        self.connected.insert(message.src);
+                        let _ = self.respond(message.src, response);
+                    }
+                }
+                None => {
+                    stats.unhandled += 1;
+                }
+            }
+        }
+
+        // Flush TX.
+        for message in self.tx_ring.drain(..) {
+            stats.sent += 1;
+            fabric.submit(message);
+        }
+
+        self.lifetime_stats.absorb(stats);
+        stats
+    }
+}
+
+impl fmt::Debug for RpcEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RpcEndpoint")
+            .field("node", &self.config.node)
+            .field("handlers", &self.handlers.len())
+            .field("tx_pending", &self.tx_ring.len())
+            .field("rx_pending", &self.rx_ring.len())
+            .field("connected", &self.connected.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::LoopbackFabric;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn endpoint(node: u64) -> RpcEndpoint {
+        RpcEndpoint::new(RpcEndpointConfig::new(NodeId(node)))
+    }
+
+    #[test]
+    fn send_requires_connection() {
+        let mut ep = endpoint(1);
+        let err = ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![1]));
+        assert_eq!(err, Err(NetError::NotConnected { peer: NodeId(2) }));
+        ep.connect(NodeId(2));
+        assert!(ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![1])).is_ok());
+        assert_eq!(ep.tx_pending(), 1);
+        assert!(ep.is_connected(NodeId(2)));
+        assert_eq!(ep.peers(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn tx_ring_capacity_is_enforced() {
+        let mut ep = RpcEndpoint::new(RpcEndpointConfig {
+            node: NodeId(1),
+            tx_ring_capacity: 2,
+            rx_ring_capacity: 2,
+        });
+        ep.connect(NodeId(2));
+        ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![])).unwrap();
+        ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![])).unwrap();
+        assert_eq!(
+            ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![])),
+            Err(NetError::TxRingFull { capacity: 2 })
+        );
+    }
+
+    #[test]
+    fn rx_ring_capacity_is_enforced() {
+        let mut ep = RpcEndpoint::new(RpcEndpointConfig {
+            node: NodeId(1),
+            tx_ring_capacity: 2,
+            rx_ring_capacity: 1,
+        });
+        let msg = WireMessage {
+            wire_id: 0,
+            src: NodeId(2),
+            dst: NodeId(1),
+            is_response: false,
+            buf: MsgBuf::new(ReqType::CLIENT, vec![]),
+        };
+        ep.enqueue_incoming(msg.clone()).unwrap();
+        assert_eq!(
+            ep.enqueue_incoming(msg),
+            Err(NetError::RxRingFull { capacity: 1 })
+        );
+    }
+
+    #[test]
+    fn poll_flushes_tx_to_fabric() {
+        let mut ep = endpoint(1);
+        let mut fabric = LoopbackFabric::new();
+        ep.connect(NodeId(2));
+        ep.send(NodeId(2), MsgBuf::new(ReqType::REPLICATE, b"r1".to_vec())).unwrap();
+        ep.send(NodeId(2), MsgBuf::new(ReqType::REPLICATE, b"r2".to_vec())).unwrap();
+        let stats = ep.poll(&mut fabric);
+        assert_eq!(stats.sent, 2);
+        assert_eq!(ep.tx_pending(), 0);
+        assert_eq!(fabric.pending(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn poll_dispatches_rx_to_registered_handler() {
+        let mut ep = endpoint(2);
+        let mut fabric = LoopbackFabric::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits_clone = hits.clone();
+        ep.reg_hdlr(
+            ReqType::REPLICATE,
+            Box::new(move |msg| {
+                hits_clone.fetch_add(1, Ordering::SeqCst);
+                vec![MsgBuf::new(ReqType::ACK, msg.buf.payload.clone())]
+            }),
+        );
+        ep.enqueue_incoming(WireMessage {
+            wire_id: 7,
+            src: NodeId(1),
+            dst: NodeId(2),
+            is_response: false,
+            buf: MsgBuf::new(ReqType::REPLICATE, b"kv".to_vec()),
+        })
+        .unwrap();
+
+        let stats = ep.poll(&mut fabric);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(stats.received, 1);
+        assert_eq!(stats.responses_generated, 1);
+        // The ACK went out in the same poll, addressed back to the sender.
+        let delivered = fabric.drain(NodeId(1));
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].buf.req_type, ReqType::ACK);
+        assert!(delivered[0].is_response);
+        assert_eq!(delivered[0].buf.payload, b"kv");
+    }
+
+    #[test]
+    fn unhandled_request_types_are_counted_and_dropped() {
+        let mut ep = endpoint(2);
+        let mut fabric = LoopbackFabric::new();
+        ep.enqueue_incoming(WireMessage {
+            wire_id: 1,
+            src: NodeId(1),
+            dst: NodeId(2),
+            is_response: false,
+            buf: MsgBuf::new(ReqType::VIEW_CHANGE, vec![]),
+        })
+        .unwrap();
+        let stats = ep.poll(&mut fabric);
+        assert_eq!(stats.unhandled, 1);
+        assert_eq!(stats.responses_generated, 0);
+        assert_eq!(fabric.submitted(), 0);
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate() {
+        let mut ep = endpoint(1);
+        let mut fabric = LoopbackFabric::new();
+        ep.connect(NodeId(2));
+        for _ in 0..3 {
+            ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![])).unwrap();
+            ep.poll(&mut fabric);
+        }
+        assert_eq!(ep.stats().sent, 3);
+    }
+
+    #[test]
+    fn end_to_end_request_response_over_loopback() {
+        // Client endpoint 1 sends a request to server endpoint 2; the server's
+        // handler produces an ACK which flows back to 1.
+        let mut client = endpoint(1);
+        let mut server = endpoint(2);
+        let mut fabric = LoopbackFabric::new();
+        client.connect(NodeId(2));
+        server.reg_hdlr(
+            ReqType::CLIENT,
+            Box::new(|msg| vec![MsgBuf::new(ReqType::ACK, msg.buf.payload.clone())]),
+        );
+
+        client
+            .send(NodeId(2), MsgBuf::new(ReqType::CLIENT, b"put k v".to_vec()))
+            .unwrap();
+        client.poll(&mut fabric);
+        for msg in fabric.drain(NodeId(2)) {
+            server.enqueue_incoming(msg).unwrap();
+        }
+        server.poll(&mut fabric);
+        let responses = fabric.drain(NodeId(1));
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].buf.req_type, ReqType::ACK);
+        assert_eq!(responses[0].buf.payload, b"put k v");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the networking stack.
+
+use std::fmt;
+
+use crate::types::{NodeId, ReqType};
+
+/// Errors produced by the RPC endpoint and fabric layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The TX ring is full; the caller must `poll()` before enqueueing more.
+    TxRingFull {
+        /// Configured ring capacity.
+        capacity: usize,
+    },
+    /// The RX ring is full; incoming messages are being dropped (back-pressure).
+    RxRingFull {
+        /// Configured ring capacity.
+        capacity: usize,
+    },
+    /// No handler was registered for the request type.
+    NoHandler {
+        /// The unhandled request type.
+        req_type: ReqType,
+    },
+    /// The destination node is not connected to the fabric.
+    UnknownDestination {
+        /// The unreachable node.
+        node: NodeId,
+    },
+    /// A connection to the peer has not been established yet.
+    NotConnected {
+        /// The peer the caller attempted to reach.
+        peer: NodeId,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::TxRingFull { capacity } => {
+                write!(f, "TX ring full (capacity {capacity}); poll() to drain")
+            }
+            NetError::RxRingFull { capacity } => {
+                write!(f, "RX ring full (capacity {capacity}); receiver overloaded")
+            }
+            NetError::NoHandler { req_type } => {
+                write!(f, "no handler registered for request type {req_type:?}")
+            }
+            NetError::UnknownDestination { node } => {
+                write!(f, "destination {node} is not attached to the fabric")
+            }
+            NetError::NotConnected { peer } => {
+                write!(f, "no established connection to peer {peer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        assert!(NetError::TxRingFull { capacity: 8 }.to_string().contains('8'));
+        assert!(NetError::UnknownDestination { node: NodeId(3) }
+            .to_string()
+            .contains("n3"));
+        assert!(NetError::NoHandler {
+            req_type: ReqType::ACK
+        }
+        .to_string()
+        .contains("ACK"));
+    }
+}

@@ -1,0 +1,322 @@
+//! R-AllConcur: the Recipe transformation of AllConcur (leaderless, total order).
+//!
+//! AllConcur is a decentralized atomic-broadcast protocol: every node can propose
+//! writes, all nodes track the messages of a round, and everyone applies the round's
+//! writes in a predetermined order (by proposer id) without a leader. This
+//! reproduction keeps that structure in a simplified form suited to the
+//! discrete-event harness (paper §B.2, choice D):
+//!
+//! * the proposer broadcasts its write to all peers;
+//! * every peer acknowledges the proposal back to the proposer **and keeps the
+//!   proposal buffered**;
+//! * once the proposer has gathered acknowledgements from *all* peers (AllConcur
+//!   tracks all nodes of the digraph, not just a majority — which is exactly the
+//!   bottleneck the paper observes for R-AllConcur), it broadcasts a short deliver
+//!   message; every node then applies the write.
+//!
+//! Reads are served locally (sequential consistency), matching the paper's
+//! configuration for R-AllConcur.
+
+use std::collections::{HashMap, HashSet};
+
+use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
+use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
+use recipe_net::NodeId;
+use recipe_sim::{Ctx, Replica};
+use serde::{Deserialize, Serialize};
+
+use crate::shield::ProtocolShield;
+
+/// AllConcur protocol messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum AllConcurMsg {
+    /// A proposed write, broadcast by its coordinator.
+    Propose {
+        op: u64,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    /// Acknowledgement that the proposal was received and buffered.
+    Track { op: u64 },
+    /// The proposer observed acknowledgements from all peers: apply the write.
+    Deliver { op: u64 },
+}
+
+#[derive(Debug)]
+struct PendingProposal {
+    request: ClientRequest,
+    acks: HashSet<u64>,
+    delivered: bool,
+}
+
+/// An AllConcur replica (native or Recipe-transformed).
+pub struct AllConcurReplica {
+    id: NodeId,
+    membership: Membership,
+    shield: ProtocolShield,
+    kv: PartitionedKvStore,
+    next_op: u64,
+    /// Proposals this node coordinates.
+    own: HashMap<u64, PendingProposal>,
+    /// Proposals received from other coordinators, buffered until delivery.
+    buffered: HashMap<(u64, u64), (Vec<u8>, Vec<u8>)>,
+    applied_writes: u64,
+}
+
+impl AllConcurReplica {
+    /// Builds a Recipe-transformed replica (R-AllConcur).
+    pub fn recipe(id: u64, membership: Membership, confidential: bool) -> Self {
+        let shield = ProtocolShield::recipe(NodeId(id), &membership, confidential);
+        Self::with_shield(NodeId(id), membership, shield)
+    }
+
+    /// Builds a native replica.
+    pub fn native(id: u64, membership: Membership) -> Self {
+        Self::with_shield(NodeId(id), membership.clone(), ProtocolShield::native(NodeId(id)))
+    }
+
+    fn with_shield(id: NodeId, membership: Membership, shield: ProtocolShield) -> Self {
+        AllConcurReplica {
+            id,
+            membership,
+            shield,
+            kv: PartitionedKvStore::new(StoreConfig::default()),
+            next_op: 0,
+            own: HashMap::new(),
+            buffered: HashMap::new(),
+            applied_writes: 0,
+        }
+    }
+
+    /// Writes applied by this replica.
+    pub fn applied_writes(&self) -> u64 {
+        self.applied_writes
+    }
+
+    /// Reads a key from the local store (verification helper).
+    pub fn local_read(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.kv.get(key).ok().map(|r| r.value)
+    }
+
+    /// Messages rejected by the authentication layer.
+    pub fn rejected_messages(&self) -> u64 {
+        self.shield.rejected()
+    }
+
+    fn send(&mut self, ctx: &mut Ctx, dst: NodeId, msg: &AllConcurMsg) {
+        let payload = serde_json::to_vec(msg).expect("allconcur message serializes");
+        let wire = self.shield.wrap(dst, 1, &payload);
+        ctx.send(dst, wire);
+    }
+
+    fn broadcast(&mut self, ctx: &mut Ctx, msg: &AllConcurMsg) {
+        for peer in self.membership.peers_of(self.id) {
+            self.send(ctx, peer, msg);
+        }
+    }
+
+    fn apply(&mut self, key: &[u8], value: &[u8]) {
+        self.applied_writes += 1;
+        let ts = Timestamp::new(self.applied_writes, self.id.0);
+        let _ = self.kv.write(key, value, ts);
+    }
+
+    fn handle(&mut self, from: NodeId, msg: AllConcurMsg, ctx: &mut Ctx) {
+        match msg {
+            AllConcurMsg::Propose { op, key, value } => {
+                self.buffered.insert((from.0, op), (key, value));
+                let track = AllConcurMsg::Track { op };
+                self.send(ctx, from, &track);
+            }
+            AllConcurMsg::Track { op } => {
+                let all_peers = self.membership.n() - 1;
+                let Some(pending) = self.own.get_mut(&op) else {
+                    return;
+                };
+                pending.acks.insert(from.0);
+                if !pending.delivered && pending.acks.len() >= all_peers {
+                    pending.delivered = true;
+                    // Apply locally, tell everyone to deliver, answer the client.
+                    let (key, value, reply) = {
+                        let pending = &self.own[&op];
+                        let Operation::Put { key, value } = pending.request.operation.clone() else {
+                            return;
+                        };
+                        let reply = ClientReply {
+                            client_id: pending.request.client_id,
+                            request_id: pending.request.request_id,
+                            value: None,
+                            found: false,
+                            replier: self.id.0,
+                        };
+                        (key, value, reply)
+                    };
+                    self.apply(&key, &value);
+                    let deliver = AllConcurMsg::Deliver { op };
+                    self.broadcast(ctx, &deliver);
+                    ctx.reply(reply);
+                }
+            }
+            AllConcurMsg::Deliver { op } => {
+                if let Some((key, value)) = self.buffered.remove(&(from.0, op)) {
+                    self.apply(&key, &value);
+                }
+            }
+        }
+    }
+}
+
+impl Replica for AllConcurReplica {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_client_request(&mut self, request: ClientRequest, ctx: &mut Ctx) {
+        match request.operation.clone() {
+            Operation::Get { key } => {
+                // Consistent local reads (sequential consistency).
+                let read = self.kv.get(&key).ok();
+                ctx.reply(ClientReply {
+                    client_id: request.client_id,
+                    request_id: request.request_id,
+                    found: read.is_some(),
+                    value: Some(read.map(|r| r.value).unwrap_or_default()),
+                    replier: self.id.0,
+                });
+            }
+            Operation::Put { key, value } => {
+                self.next_op += 1;
+                let op = self.next_op;
+                self.own.insert(
+                    op,
+                    PendingProposal {
+                        request,
+                        acks: HashSet::new(),
+                        delivered: false,
+                    },
+                );
+                let propose = AllConcurMsg::Propose { op, key, value };
+                self.broadcast(ctx, &propose);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, bytes: &[u8], ctx: &mut Ctx) {
+        for (_kind, payload) in self.shield.unwrap(from, bytes) {
+            if let Ok(msg) = serde_json::from_slice::<AllConcurMsg>(&payload) {
+                self.handle(from, msg, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+
+    fn coordinates_writes(&self) -> bool {
+        true
+    }
+
+    fn coordinates_reads(&self) -> bool {
+        true
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        if self.shield.mode().is_recipe() {
+            "R-AllConcur"
+        } else {
+            "AllConcur"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_cluster;
+    use recipe_sim::{ClientModel, CostProfile, SimCluster, SimConfig};
+
+    fn cluster(ops: usize) -> SimCluster<AllConcurReplica> {
+        let replicas = build_cluster(3, 1, |id, m| AllConcurReplica::recipe(id, m, false));
+        let mut config = SimConfig::uniform(3, CostProfile::recipe());
+        config.clients = ClientModel {
+            clients: 16,
+            total_operations: ops,
+        };
+        SimCluster::new(replicas, config)
+    }
+
+    fn put_workload(client: u64, seq: u64) -> Operation {
+        Operation::Put {
+            key: format!("key-{}", (client + seq) % 20).into_bytes(),
+            value: vec![b'a'; 128],
+        }
+    }
+
+    #[test]
+    fn every_node_is_a_coordinator() {
+        let replicas = build_cluster(3, 1, |id, m| AllConcurReplica::recipe(id, m, false));
+        assert!(replicas.iter().all(|r| r.coordinates_writes()));
+        assert!(replicas.iter().all(|r| r.coordinates_reads()));
+        assert_eq!(replicas[0].protocol_name(), "R-AllConcur");
+        assert_eq!(
+            AllConcurReplica::native(0, Membership::of_size(3, 1)).protocol_name(),
+            "AllConcur"
+        );
+    }
+
+    #[test]
+    fn writes_are_delivered_to_all_nodes() {
+        let mut cluster = cluster(300);
+        let stats = cluster.run(put_workload);
+        assert_eq!(stats.committed, 300);
+        // Atomic broadcast: every node applies every delivered write.
+        for id in 0..3 {
+            assert!(
+                cluster.replica(NodeId(id)).applied_writes() >= 290,
+                "replica {id} applied {}",
+                cluster.replica(NodeId(id)).applied_writes()
+            );
+        }
+    }
+
+    #[test]
+    fn reads_are_local_and_cheap() {
+        let mut cluster = cluster(300);
+        let stats = cluster.run(|client, seq| {
+            if seq % 5 == 0 {
+                put_workload(client, seq)
+            } else {
+                Operation::Get {
+                    key: format!("key-{}", (client + seq) % 20).into_bytes(),
+                }
+            }
+        });
+        assert_eq!(stats.committed, 300);
+        assert!(stats.committed_reads > stats.committed_writes);
+        // Local reads generate no replica-to-replica traffic; only writes do
+        // (2 broadcasts + acks ≈ 3·(n−1) messages each).
+        assert!(stats.messages_delivered <= stats.committed_writes * 7 + 20);
+    }
+
+    #[test]
+    fn requires_all_acknowledgements_before_delivery() {
+        // With one node crashed, proposals can never gather acks from *all* peers,
+        // so no new writes commit (the availability cost of AllConcur's full-tracking
+        // design that the paper discusses).
+        let replicas = build_cluster(3, 1, |id, m| AllConcurReplica::recipe(id, m, false));
+        let mut config = SimConfig::uniform(3, CostProfile::recipe());
+        config.clients = ClientModel {
+            clients: 4,
+            total_operations: 1_000,
+        };
+        config.max_virtual_ns = 200_000_000; // 200 ms
+        config.retry_timeout_ns = 50_000_000;
+        let mut cluster = SimCluster::new(replicas, config);
+        cluster.crash_at(NodeId(2), 1_000_000);
+        let stats = cluster.run(put_workload);
+        assert!(
+            stats.committed < 1_000,
+            "writes should stall once a peer is down (committed {})",
+            stats.committed
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! The per-replica shielding helper shared by every transformed protocol.
+//!
+//! [`ProtocolShield`] is the thin layer a protocol calls instead of touching raw
+//! bytes (Listing 1's `shield_msg` / `verify_msg` calls). It has two modes:
+//!
+//! * [`ProtocolMode::Native`] — messages are passed through with a minimal framing
+//!   header, exactly like the unmodified CFT protocol would send them. Used as the
+//!   baseline in the Figure 6a overhead experiment.
+//! * [`ProtocolMode::Recipe`] — messages are shielded by an
+//!   [`recipe_core::AuthLayer`] backed by a per-replica enclave whose channel keys
+//!   were provisioned from the deployment's master secret (the CAS path is exercised
+//!   end-to-end in `recipe-core`/`recipe-attest`; here the provisioning result is
+//!   installed directly so protocol unit tests stay fast).
+
+use recipe_core::{AuthLayer, Membership, ShieldedMessage, VerifyOutcome};
+use recipe_crypto::{CipherKey, MacKey};
+use recipe_net::NodeId;
+use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
+use serde::{Deserialize, Serialize};
+
+/// Whether a replica runs the native CFT protocol or its Recipe transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolMode {
+    /// Unmodified CFT protocol (crash-only fault model).
+    Native,
+    /// Recipe-transformed protocol (Byzantine untrusted infrastructure).
+    Recipe {
+        /// Whether payloads are additionally encrypted.
+        confidential: bool,
+    },
+}
+
+impl ProtocolMode {
+    /// True for the Recipe modes.
+    pub fn is_recipe(&self) -> bool {
+        matches!(self, ProtocolMode::Recipe { .. })
+    }
+}
+
+/// Framing used by native (untransformed) protocols.
+#[derive(Serialize, Deserialize)]
+struct NativeFrame {
+    kind: u16,
+    payload: Vec<u8>,
+}
+
+/// The shielding layer of one replica.
+pub struct ProtocolShield {
+    node: NodeId,
+    mode: ProtocolMode,
+    auth: Option<AuthLayer>,
+    dropped: u64,
+}
+
+impl ProtocolShield {
+    /// Master secret all deployments in this reproduction derive their channel keys
+    /// from (what the protocol designer uploads to the CAS).
+    fn master_key() -> MacKey {
+        MacKey::from_bytes(*recipe_crypto::hash_parts(&[b"recipe.deployment.master"]).as_bytes())
+    }
+
+    /// Builds a Recipe-mode shield for `node` within `membership`.
+    pub fn recipe(node: NodeId, membership: &Membership, confidential: bool) -> Self {
+        let mut enclave = Enclave::launch(
+            EnclaveId(node.0),
+            EnclaveConfig::new("recipe-replica-v1", node.0),
+        );
+        let master = Self::master_key();
+        for peer in membership.members() {
+            for (a, b) in [(node, *peer), (*peer, node)] {
+                if a == b {
+                    continue;
+                }
+                let label = format!("cq:{}->{}", a.0, b.0);
+                enclave
+                    .provision_mac_key(label.clone(), master.derive(&label))
+                    .expect("fresh enclave accepts keys");
+            }
+        }
+        if confidential {
+            let key = CipherKey::from_bytes(
+                *recipe_crypto::hash_parts(&[b"recipe.deployment.cipher"]).as_bytes(),
+            );
+            enclave
+                .provision_cipher_key(recipe_core::auth::CIPHER_LABEL, key)
+                .expect("fresh enclave accepts keys");
+        }
+        ProtocolShield {
+            node,
+            mode: ProtocolMode::Recipe { confidential },
+            auth: Some(AuthLayer::new(node, enclave, confidential)),
+            dropped: 0,
+        }
+    }
+
+    /// Builds a native-mode shield (no authentication layer).
+    pub fn native(node: NodeId) -> Self {
+        ProtocolShield {
+            node,
+            mode: ProtocolMode::Native,
+            auth: None,
+            dropped: 0,
+        }
+    }
+
+    /// The mode of this shield.
+    pub fn mode(&self) -> ProtocolMode {
+        self.mode
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Messages rejected by the authentication / non-equivocation layer so far.
+    pub fn rejected(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves both sides to a new view (no-op in native mode).
+    pub fn set_view(&mut self, view: u64) {
+        if let Some(auth) = &mut self.auth {
+            auth.set_view(view);
+        }
+    }
+
+    /// Wraps a protocol message of type `kind` for `dst` into wire bytes.
+    pub fn wrap(&mut self, dst: NodeId, kind: u16, payload: &[u8]) -> Vec<u8> {
+        match &mut self.auth {
+            None => serde_json::to_vec(&NativeFrame {
+                kind,
+                payload: payload.to_vec(),
+            })
+            .expect("frame serializes"),
+            Some(auth) => auth
+                .shield(dst, kind, payload)
+                .expect("channel key provisioned for every peer")
+                .to_wire(),
+        }
+    }
+
+    /// Unwraps wire bytes received from `from`.
+    ///
+    /// Returns every message that became deliverable: the message itself if it was
+    /// in order, plus any previously buffered "future" messages that its arrival
+    /// released. Returns an empty vector if the message was rejected (tampered,
+    /// replayed, wrong view) — the protocol simply never sees it, which is the whole
+    /// point of the transformation.
+    pub fn unwrap(&mut self, from: NodeId, bytes: &[u8]) -> Vec<(u16, Vec<u8>)> {
+        match &mut self.auth {
+            None => match serde_json::from_slice::<NativeFrame>(bytes) {
+                Ok(frame) => vec![(frame.kind, frame.payload)],
+                Err(_) => {
+                    self.dropped += 1;
+                    Vec::new()
+                }
+            },
+            Some(auth) => {
+                let Some(msg) = ShieldedMessage::from_wire(bytes) else {
+                    self.dropped += 1;
+                    return Vec::new();
+                };
+                let mut out = Vec::new();
+                match auth.verify(&msg) {
+                    VerifyOutcome::Accept { kind, payload, .. } => out.push((kind, payload)),
+                    VerifyOutcome::Future { .. } => {}
+                    _ => {
+                        self.dropped += 1;
+                        return out;
+                    }
+                }
+                for (kind, payload, _) in auth.take_ready(from) {
+                    out.push((kind, payload));
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn membership() -> Membership {
+        Membership::of_size(3, 1)
+    }
+
+    #[test]
+    fn recipe_shields_roundtrip_between_replicas() {
+        let m = membership();
+        let mut sender = ProtocolShield::recipe(NodeId(0), &m, false);
+        let mut receiver = ProtocolShield::recipe(NodeId(1), &m, false);
+        assert!(sender.mode().is_recipe());
+
+        let wire = sender.wrap(NodeId(1), 7, b"append entry 5");
+        let out = receiver.unwrap(NodeId(0), &wire);
+        assert_eq!(out, vec![(7, b"append entry 5".to_vec())]);
+        assert_eq!(receiver.rejected(), 0);
+    }
+
+    #[test]
+    fn native_mode_round_trips_without_protection() {
+        let mut sender = ProtocolShield::native(NodeId(0));
+        let mut receiver = ProtocolShield::native(NodeId(1));
+        assert_eq!(sender.mode(), ProtocolMode::Native);
+        let wire = sender.wrap(NodeId(1), 3, b"plain");
+        assert_eq!(receiver.unwrap(NodeId(0), &wire), vec![(3, b"plain".to_vec())]);
+        // Garbage is dropped, not crashed on.
+        assert!(receiver.unwrap(NodeId(0), b"garbage").is_empty());
+        assert_eq!(receiver.rejected(), 1);
+    }
+
+    #[test]
+    fn recipe_mode_rejects_tampering_and_replays() {
+        let m = membership();
+        let mut sender = ProtocolShield::recipe(NodeId(0), &m, false);
+        let mut receiver = ProtocolShield::recipe(NodeId(1), &m, false);
+
+        let wire = sender.wrap(NodeId(1), 7, b"value=A");
+        // Tampered copy is rejected.
+        let mut tampered = wire.clone();
+        let idx = tampered.len() / 2;
+        tampered[idx] ^= 0x01;
+        assert!(receiver.unwrap(NodeId(0), &tampered).is_empty());
+        // The original is accepted once.
+        assert_eq!(receiver.unwrap(NodeId(0), &wire).len(), 1);
+        // Replaying it is rejected.
+        assert!(receiver.unwrap(NodeId(0), &wire).is_empty());
+        assert!(receiver.rejected() >= 2);
+    }
+
+    #[test]
+    fn out_of_order_messages_are_released_in_order() {
+        let m = membership();
+        let mut sender = ProtocolShield::recipe(NodeId(0), &m, false);
+        let mut receiver = ProtocolShield::recipe(NodeId(1), &m, false);
+        let w1 = sender.wrap(NodeId(1), 1, b"first");
+        let w2 = sender.wrap(NodeId(1), 1, b"second");
+        // w2 arrives first → buffered; nothing delivered yet.
+        assert!(receiver.unwrap(NodeId(0), &w2).is_empty());
+        // w1 arrives → both delivered, in order.
+        let out = receiver.unwrap(NodeId(0), &w1);
+        assert_eq!(
+            out,
+            vec![(1, b"first".to_vec()), (1, b"second".to_vec())]
+        );
+    }
+
+    #[test]
+    fn confidential_mode_encrypts_payloads() {
+        let m = membership();
+        let mut sender = ProtocolShield::recipe(NodeId(0), &m, true);
+        let mut receiver = ProtocolShield::recipe(NodeId(1), &m, true);
+        let wire = sender.wrap(NodeId(1), 2, b"secret-value-123");
+        assert!(!wire.windows(6).any(|w| w == b"secret"));
+        assert_eq!(
+            receiver.unwrap(NodeId(0), &wire),
+            vec![(2, b"secret-value-123".to_vec())]
+        );
+    }
+
+    #[test]
+    fn cross_protocol_messages_with_wrong_keys_are_rejected() {
+        // A shield for a different node id pair (no provisioned key for that
+        // channel on the receiver) cannot inject messages.
+        let m = membership();
+        let mut outsider = ProtocolShield::recipe(NodeId(2), &Membership::of_size(5, 2), false);
+        let mut receiver = ProtocolShield::recipe(NodeId(1), &m, false);
+        // Outsider derives its keys from the same master in this reproduction, so use
+        // a node id outside the receiver's membership to get a missing channel key.
+        let wire = outsider.wrap(NodeId(1), 7, b"inject");
+        // The receiver *does* hold cq:2->1 (node 2 is in its membership), so this is
+        // accepted — the meaningful rejection is for a node the membership does not
+        // contain at all:
+        let _ = receiver.unwrap(NodeId(2), &wire);
+        let mut stranger = ProtocolShield::recipe(NodeId(9), &Membership::new(
+            vec![NodeId(1), NodeId(9)], 0), false);
+        let wire = stranger.wrap(NodeId(1), 7, b"inject");
+        // Receiver has no key for cq:9->1 (9 is not in its membership) → rejected.
+        assert!(receiver.unwrap(NodeId(9), &wire).is_empty());
+    }
+}

@@ -1,0 +1,730 @@
+//! The discrete-event cluster: replicas, clients, the Byzantine network and the
+//! virtual clock.
+//!
+//! [`SimCluster::run`] drives a closed-loop client population against the replicas
+//! until the configured number of operations has committed (or the virtual-time /
+//! event budget is exhausted) and returns a [`RunStats`] with throughput and latency
+//! figures. All scheduling decisions are deterministic for a given seed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recipe_core::{ClientReply, ClientRequest, Operation};
+use recipe_net::{FaultDecision, FaultPlan, MsgBuf, NetworkFaultInjector, NodeId, ReqType, WireMessage};
+use recipe_tee::TrustedInstant;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{CostProfile, ProtocolCostModel};
+use crate::replica::{Ctx, Replica};
+
+/// Closed-loop client population configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientModel {
+    /// Number of concurrent closed-loop clients.
+    pub clients: usize,
+    /// Total operations to commit before the run ends.
+    pub total_operations: usize,
+}
+
+impl Default for ClientModel {
+    fn default() -> Self {
+        ClientModel {
+            clients: 32,
+            total_operations: 2_000,
+        }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed (fault injection, routing tie-breaks).
+    pub seed: u64,
+    /// The cost model shared by all nodes.
+    pub cost_model: ProtocolCostModel,
+    /// Per-node execution profiles, indexed by node id order of the replicas passed
+    /// to [`SimCluster::new`].
+    pub profiles: Vec<CostProfile>,
+    /// Network adversary plan.
+    pub fault_plan: FaultPlan,
+    /// Client population.
+    pub clients: ClientModel,
+    /// Hard cap on virtual time (nanoseconds) as a safety net.
+    pub max_virtual_ns: u64,
+    /// Client-side retransmission timeout (nanoseconds): an outstanding request is
+    /// re-sent (possibly to a different coordinator) after this long without a
+    /// reply, which is how clients survive coordinator crashes.
+    pub retry_timeout_ns: u64,
+}
+
+impl SimConfig {
+    /// A benign-network configuration where every node uses `profile`.
+    pub fn uniform(n: usize, profile: CostProfile) -> Self {
+        SimConfig {
+            seed: 42,
+            cost_model: ProtocolCostModel::default(),
+            profiles: vec![profile; n],
+            fault_plan: FaultPlan::benign(),
+            clients: ClientModel::default(),
+            max_virtual_ns: 120 * 1_000_000_000,
+            retry_timeout_ns: 100_000_000,
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunStats {
+    /// Operations whose replies reached clients.
+    pub committed: u64,
+    /// Committed reads.
+    pub committed_reads: u64,
+    /// Committed writes.
+    pub committed_writes: u64,
+    /// Virtual time elapsed, seconds.
+    pub elapsed_secs: f64,
+    /// Throughput in operations per (virtual) second.
+    pub throughput_ops: f64,
+    /// Mean request latency in microseconds.
+    pub mean_latency_us: f64,
+    /// 99th percentile request latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Messages delivered between replicas.
+    pub messages_delivered: u64,
+    /// Messages dropped / suppressed by the network adversary.
+    pub messages_dropped: u64,
+    /// Messages the adversary tampered with.
+    pub messages_tampered: u64,
+    /// Messages the adversary replayed or duplicated.
+    pub messages_replayed: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    ClientIssue { client_id: u64 },
+    ClientRetry { client_id: u64, request_id: u64 },
+    ClientDeliver { node: NodeId, request: ClientRequest },
+    Deliver { from: NodeId, to: NodeId, bytes: Vec<u8> },
+    Timer { node: NodeId, token: u64 },
+    Crash { node: NodeId },
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event cluster simulator.
+pub struct SimCluster<R: Replica> {
+    replicas: Vec<R>,
+    config: SimConfig,
+    injector: NetworkFaultInjector,
+    queue: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    now: u64,
+    busy_until: Vec<u64>,
+    crashed: HashSet<NodeId>,
+    /// Pending client bookkeeping: outstanding (request_id, issue time) per client.
+    issue_time: HashMap<u64, (u64, u64)>,
+    next_request_id: HashMap<u64, u64>,
+    latencies_ns: Vec<u64>,
+    stats: RunStats,
+    write_rr: usize,
+    read_rr: usize,
+    #[allow(dead_code)]
+    rng: StdRng,
+}
+
+impl<R: Replica> SimCluster<R> {
+    /// Creates a cluster over `replicas` (node ids must match their position-order
+    /// ids used in `config.profiles`).
+    pub fn new(replicas: Vec<R>, config: SimConfig) -> Self {
+        assert_eq!(
+            replicas.len(),
+            config.profiles.len(),
+            "one cost profile per replica"
+        );
+        let n = replicas.len();
+        let injector = NetworkFaultInjector::new(config.fault_plan, config.seed);
+        SimCluster {
+            replicas,
+            injector,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            busy_until: vec![0; n],
+            crashed: HashSet::new(),
+            issue_time: HashMap::new(),
+            next_request_id: HashMap::new(),
+            latencies_ns: Vec::new(),
+            stats: RunStats::default(),
+            write_rr: 0,
+            read_rr: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Schedules a crash of `node` at virtual time `at_ns`.
+    pub fn crash_at(&mut self, node: NodeId, at_ns: u64) {
+        self.push(at_ns, EventKind::Crash { node });
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now
+    }
+
+    /// Immutable access to a replica (for post-run assertions).
+    pub fn replica(&self, node: NodeId) -> &R {
+        &self.replicas[self.index_of(node)]
+    }
+
+    /// Mutable access to a replica (for test setup).
+    pub fn replica_mut(&mut self, node: NodeId) -> &mut R {
+        let idx = self.index_of(node);
+        &mut self.replicas[idx]
+    }
+
+    /// Nodes currently crashed.
+    pub fn crashed_nodes(&self) -> &HashSet<NodeId> {
+        &self.crashed
+    }
+
+    fn index_of(&self, node: NodeId) -> usize {
+        self.replicas
+            .iter()
+            .position(|r| r.id() == node)
+            .expect("node is part of the cluster")
+    }
+
+    fn push(&mut self, at: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Runs the simulation, generating operations with `workload(client_id, seq)`.
+    ///
+    /// The run ends when `clients.total_operations` operations have committed, the
+    /// event queue drains, or the virtual-time cap is hit.
+    pub fn run<W>(&mut self, mut workload: W) -> RunStats
+    where
+        W: FnMut(u64, u64) -> Operation,
+    {
+        // Kick protocols (they may want an initial timer, e.g. heartbeats).
+        for idx in 0..self.replicas.len() {
+            let node = self.replicas[idx].id();
+            self.push(0, EventKind::Timer { node, token: 0 });
+        }
+        // Start the closed-loop clients with a small deterministic stagger.
+        for client in 0..self.config.clients.clients as u64 {
+            self.push(client * 200, EventKind::ClientIssue { client_id: client });
+        }
+
+        let target = self.config.clients.total_operations as u64;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            if self.stats.committed >= target || event.at > self.config.max_virtual_ns {
+                break;
+            }
+            self.now = event.at;
+            match event.kind {
+                EventKind::Crash { node } => {
+                    self.crashed.insert(node);
+                }
+                EventKind::ClientIssue { client_id } => {
+                    let request_id = self.next_request_id.entry(client_id).or_insert(0);
+                    *request_id += 1;
+                    let rid = *request_id;
+                    let operation = workload(client_id, rid);
+                    let request = ClientRequest {
+                        client_id,
+                        request_id: rid,
+                        operation,
+                        signature: None,
+                    };
+                    let Some(target_node) = self.route(&request.operation) else {
+                        // No live coordinator (e.g. leader crashed and no view change
+                        // yet): retry later.
+                        self.push(
+                            self.now + 1_000_000,
+                            EventKind::ClientIssue { client_id },
+                        );
+                        continue;
+                    };
+                    self.issue_time.insert(client_id, (rid, self.now));
+                    let deliver_at = self.now + self.config.cost_model.link_latency_ns;
+                    self.push(
+                        self.now + self.config.retry_timeout_ns,
+                        EventKind::ClientRetry {
+                            client_id,
+                            request_id: rid,
+                        },
+                    );
+                    self.push(
+                        deliver_at,
+                        EventKind::ClientDeliver {
+                            node: target_node,
+                            request,
+                        },
+                    );
+                }
+                EventKind::ClientRetry { client_id, request_id } => {
+                    // Still outstanding? (No reply recorded and no newer request.)
+                    let outstanding = self.issue_time.contains_key(&client_id)
+                        && self.next_request_id.get(&client_id) == Some(&request_id);
+                    if !outstanding {
+                        continue;
+                    }
+                    let operation = workload(client_id, request_id);
+                    let request = ClientRequest {
+                        client_id,
+                        request_id,
+                        operation,
+                        signature: None,
+                    };
+                    if let Some(target_node) = self.route(&request.operation) {
+                        let deliver_at = self.now + self.config.cost_model.link_latency_ns;
+                        self.push(
+                            deliver_at,
+                            EventKind::ClientDeliver {
+                                node: target_node,
+                                request,
+                            },
+                        );
+                    }
+                    self.push(
+                        self.now + self.config.retry_timeout_ns,
+                        EventKind::ClientRetry {
+                            client_id,
+                            request_id,
+                        },
+                    );
+                }
+                EventKind::ClientDeliver { node, request } => {
+                    if self.crashed.contains(&node) {
+                        // Request lost; the client will time out and retry.
+                        let client_id = request.client_id;
+                        self.push(
+                            self.now + 5_000_000,
+                            EventKind::ClientIssue { client_id },
+                        );
+                        continue;
+                    }
+                    let idx = self.index_of(node);
+                    let cost = self.config.cost_model.recv_cost_ns(
+                        &self.config.profiles[idx],
+                        request.operation.value_len() + 64,
+                    );
+                    let finish = self.start_work(idx, cost);
+                    let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(finish));
+                    self.replicas[idx].on_client_request(request, &mut ctx);
+                    self.apply_effects(idx, ctx);
+                }
+                EventKind::Deliver { from, to, bytes } => {
+                    if self.crashed.contains(&to) {
+                        continue;
+                    }
+                    self.stats.messages_delivered += 1;
+                    let idx = self.index_of(to);
+                    let cost = self
+                        .config
+                        .cost_model
+                        .recv_cost_ns(&self.config.profiles[idx], bytes.len());
+                    let finish = self.start_work(idx, cost);
+                    let mut ctx = Ctx::new(to, TrustedInstant::from_nanos(finish));
+                    self.replicas[idx].on_message(from, &bytes, &mut ctx);
+                    self.apply_effects(idx, ctx);
+                }
+                EventKind::Timer { node, token } => {
+                    if self.crashed.contains(&node) {
+                        continue;
+                    }
+                    let idx = self.index_of(node);
+                    let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(self.now));
+                    self.replicas[idx].on_timer(token, &mut ctx);
+                    self.apply_effects(idx, ctx);
+                }
+            }
+        }
+
+        self.finalize_stats();
+        self.stats.clone()
+    }
+
+    /// Picks the coordinator for an operation among live replicas, round-robin.
+    fn route(&mut self, operation: &Operation) -> Option<NodeId> {
+        let is_write = operation.is_write();
+        let candidates: Vec<NodeId> = self
+            .replicas
+            .iter()
+            .filter(|r| !self.crashed.contains(&r.id()))
+            .filter(|r| {
+                if is_write {
+                    r.coordinates_writes()
+                } else {
+                    r.coordinates_reads()
+                }
+            })
+            .map(|r| r.id())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let rr = if is_write {
+            &mut self.write_rr
+        } else {
+            &mut self.read_rr
+        };
+        let choice = candidates[*rr % candidates.len()];
+        *rr += 1;
+        Some(choice)
+    }
+
+    /// Serializes work on a node: returns the finish time of a task of `cost_ns`.
+    fn start_work(&mut self, idx: usize, cost_ns: u64) -> u64 {
+        let start = self.now.max(self.busy_until[idx]);
+        let finish = start + cost_ns;
+        self.busy_until[idx] = finish;
+        finish
+    }
+
+    fn apply_effects(&mut self, src_idx: usize, ctx: Ctx) {
+        let src = self.replicas[src_idx].id();
+        let (outbox, replies, timers) = ctx.take_effects();
+        let mut send_finish = self.busy_until[src_idx];
+
+        for (dst, bytes) in outbox {
+            // Sending costs the sender time (serialized on the node).
+            let send_cost = self
+                .config
+                .cost_model
+                .send_cost_ns(&self.config.profiles[src_idx], bytes.len());
+            send_finish = send_finish.max(self.now) + send_cost;
+
+            // The Byzantine network decides the fate of the message.
+            let wire = WireMessage {
+                wire_id: self.next_seq,
+                src,
+                dst,
+                is_response: false,
+                buf: MsgBuf::new(ReqType::REPLICATE, bytes),
+            };
+            let decision = self.injector.decide(&wire);
+            let extra_delay = self.injector.sample_extra_delay_ns();
+            let deliver_at = send_finish + self.config.cost_model.link_latency_ns + extra_delay;
+            match decision {
+                FaultDecision::Deliver => self.push(
+                    deliver_at,
+                    EventKind::Deliver {
+                        from: src,
+                        to: dst,
+                        bytes: wire.buf.payload,
+                    },
+                ),
+                FaultDecision::Drop => {
+                    self.stats.messages_dropped += 1;
+                }
+                FaultDecision::Tamper(corrupted) => {
+                    self.stats.messages_tampered += 1;
+                    self.push(
+                        deliver_at,
+                        EventKind::Deliver {
+                            from: src,
+                            to: dst,
+                            bytes: corrupted.buf.payload,
+                        },
+                    );
+                }
+                FaultDecision::Duplicate => {
+                    self.stats.messages_replayed += 1;
+                    self.push(
+                        deliver_at,
+                        EventKind::Deliver {
+                            from: src,
+                            to: dst,
+                            bytes: wire.buf.payload.clone(),
+                        },
+                    );
+                    self.push(
+                        deliver_at + 1,
+                        EventKind::Deliver {
+                            from: src,
+                            to: dst,
+                            bytes: wire.buf.payload,
+                        },
+                    );
+                }
+                FaultDecision::Replay(older) => {
+                    self.stats.messages_replayed += 1;
+                    self.push(
+                        deliver_at,
+                        EventKind::Deliver {
+                            from: src,
+                            to: dst,
+                            bytes: wire.buf.payload,
+                        },
+                    );
+                    self.push(
+                        deliver_at + 1,
+                        EventKind::Deliver {
+                            from: older.src,
+                            to: older.dst,
+                            bytes: older.buf.payload,
+                        },
+                    );
+                }
+            }
+        }
+        self.busy_until[src_idx] = send_finish.max(self.busy_until[src_idx]);
+
+        for reply in replies {
+            self.record_reply(reply);
+        }
+        for (delay, token) in timers {
+            self.push(self.now + delay, EventKind::Timer { node: src, token });
+        }
+    }
+
+    fn record_reply(&mut self, reply: ClientReply) {
+        let client_id = reply.client_id;
+        // Only the first reply for the *currently outstanding* request counts;
+        // replicas in BFT protocols all reply, and late replies for older requests
+        // must not be double-counted.
+        let outstanding = matches!(self.issue_time.get(&client_id),
+            Some((rid, _)) if *rid == reply.request_id);
+        if !outstanding {
+            return;
+        }
+        if let Some((_, issued)) = self.issue_time.remove(&client_id) {
+            let latency = self.now.saturating_sub(issued);
+            self.latencies_ns.push(latency);
+            self.stats.committed += 1;
+            if reply.value.is_some() || reply.found {
+                self.stats.committed_reads += 1;
+            } else {
+                self.stats.committed_writes += 1;
+            }
+            // Closed loop: the client issues its next request after a think time.
+            let next = self.now
+                + self.config.cost_model.link_latency_ns
+                + self.config.cost_model.client_think_ns;
+            self.push(next, EventKind::ClientIssue { client_id });
+        }
+        // Replies for requests we are no longer waiting on (duplicates from multiple
+        // replicas) are ignored: the first reply wins.
+    }
+
+    fn finalize_stats(&mut self) {
+        let elapsed = self.now.max(1) as f64 / 1e9;
+        self.stats.elapsed_secs = elapsed;
+        self.stats.throughput_ops = self.stats.committed as f64 / elapsed;
+        if !self.latencies_ns.is_empty() {
+            let sum: u64 = self.latencies_ns.iter().sum();
+            self.stats.mean_latency_us =
+                sum as f64 / self.latencies_ns.len() as f64 / 1_000.0;
+            let mut sorted = self.latencies_ns.clone();
+            sorted.sort_unstable();
+            let idx = ((sorted.len() as f64) * 0.99) as usize;
+            self.stats.p99_latency_us =
+                sorted[idx.min(sorted.len() - 1)] as f64 / 1_000.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial single-round "echo" protocol used to exercise the simulator itself:
+    /// the coordinator broadcasts the write, followers ack, the coordinator replies
+    /// to the client after a majority of acks.
+    struct EchoReplica {
+        id: NodeId,
+        peers: Vec<NodeId>,
+        pending: HashMap<u64, (ClientRequest, usize)>,
+        next_op: u64,
+        is_leader: bool,
+    }
+
+    impl EchoReplica {
+        fn cluster(n: usize) -> Vec<EchoReplica> {
+            let all: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+            (0..n as u64)
+                .map(|id| EchoReplica {
+                    id: NodeId(id),
+                    peers: all.clone(),
+                    pending: HashMap::new(),
+                    next_op: 0,
+                    is_leader: id == 0,
+                })
+                .collect()
+        }
+    }
+
+    impl Replica for EchoReplica {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+
+        fn on_client_request(&mut self, request: ClientRequest, ctx: &mut Ctx) {
+            self.next_op += 1;
+            let op_id = self.next_op;
+            self.pending.insert(op_id, (request, 0));
+            let mut msg = vec![0u8];
+            msg.extend_from_slice(&op_id.to_le_bytes());
+            msg.extend_from_slice(&self.id.0.to_le_bytes());
+            ctx.broadcast(&self.peers, msg);
+        }
+
+        fn on_message(&mut self, from: NodeId, bytes: &[u8], ctx: &mut Ctx) {
+            match bytes[0] {
+                0 => {
+                    // Proposal: ack back to the coordinator.
+                    let mut ack = vec![1u8];
+                    ack.extend_from_slice(&bytes[1..9]);
+                    ctx.send(from, ack);
+                }
+                1 => {
+                    let op_id = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
+                    if let Some((request, acks)) = self.pending.get_mut(&op_id) {
+                        *acks += 1;
+                        if *acks == 2 {
+                            let reply = ClientReply {
+                                client_id: request.client_id,
+                                request_id: request.request_id,
+                                value: None,
+                                found: false,
+                                replier: self.id.0,
+                            };
+                            ctx.reply(reply);
+                        }
+                    }
+                }
+                _ => unreachable!("unknown echo message"),
+            }
+        }
+
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+
+        fn coordinates_writes(&self) -> bool {
+            self.is_leader
+        }
+
+        fn coordinates_reads(&self) -> bool {
+            self.is_leader
+        }
+
+        fn protocol_name(&self) -> &'static str {
+            "echo"
+        }
+    }
+
+    fn small_config(n: usize, ops: usize) -> SimConfig {
+        let mut config = SimConfig::uniform(n, CostProfile::recipe());
+        config.clients = ClientModel {
+            clients: 8,
+            total_operations: ops,
+        };
+        config
+    }
+
+    fn write_workload(client: u64, seq: u64) -> Operation {
+        Operation::Put {
+            key: format!("k{client}-{seq}").into_bytes(),
+            value: vec![0u8; 128],
+        }
+    }
+
+    #[test]
+    fn echo_protocol_commits_all_operations() {
+        let mut cluster = SimCluster::new(EchoReplica::cluster(3), small_config(3, 300));
+        let stats = cluster.run(write_workload);
+        assert_eq!(stats.committed, 300);
+        assert!(stats.throughput_ops > 0.0);
+        assert!(stats.mean_latency_us > 0.0);
+        assert!(stats.p99_latency_us >= stats.mean_latency_us);
+        assert!(stats.messages_delivered > 0);
+        assert_eq!(stats.messages_dropped, 0);
+        assert!(stats.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let a = SimCluster::new(EchoReplica::cluster(3), small_config(3, 200)).run(write_workload);
+        let b = SimCluster::new(EchoReplica::cluster(3), small_config(3, 200)).run(write_workload);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faster_profiles_yield_higher_throughput() {
+        let recipe = SimCluster::new(EchoReplica::cluster(3), small_config(3, 300)).run(write_workload);
+        let mut slow_config = small_config(3, 300);
+        slow_config.profiles = vec![CostProfile::pbft_baseline(); 3];
+        let pbft_profile = SimCluster::new(EchoReplica::cluster(3), slow_config).run(write_workload);
+        assert!(recipe.throughput_ops > pbft_profile.throughput_ops);
+    }
+
+    #[test]
+    fn lossy_network_still_makes_progress_but_drops_messages() {
+        let mut config = small_config(3, 100);
+        config.fault_plan = FaultPlan::lossy(0.05);
+        // With drops, some operations never gather 2 acks; the run ends at the
+        // virtual-time cap with fewer commits — but it must not livelock or panic.
+        config.max_virtual_ns = 2_000_000_000;
+        let mut cluster = SimCluster::new(EchoReplica::cluster(3), config);
+        let stats = cluster.run(write_workload);
+        assert!(stats.messages_dropped > 0);
+        assert!(stats.committed > 0);
+    }
+
+    #[test]
+    fn crashed_coordinator_halts_commits() {
+        let mut cluster = SimCluster::new(EchoReplica::cluster(3), {
+            let mut c = small_config(3, 10_000);
+            c.max_virtual_ns = 50_000_000; // 50 ms
+            c
+        });
+        cluster.crash_at(NodeId(0), 1_000_000); // crash the only coordinator at 1 ms
+        let stats = cluster.run(write_workload);
+        // Commits happen only in the first millisecond.
+        assert!(stats.committed < 10_000);
+        assert!(cluster.crashed_nodes().contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn route_skips_crashed_nodes() {
+        let mut cluster = SimCluster::new(EchoReplica::cluster(3), small_config(3, 10));
+        cluster.crashed.insert(NodeId(0));
+        assert_eq!(cluster.route(&write_workload(0, 1)), None); // only node 0 coordinates
+    }
+
+    #[test]
+    fn replica_accessors_work() {
+        let mut cluster = SimCluster::new(EchoReplica::cluster(3), small_config(3, 10));
+        assert_eq!(cluster.replica(NodeId(1)).id(), NodeId(1));
+        cluster.replica_mut(NodeId(2)).is_leader = true;
+        assert!(cluster.replica(NodeId(2)).coordinates_writes());
+        assert_eq!(cluster.now_ns(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! The calibrated cost model that drives the simulator's virtual clock.
+//!
+//! Every unit of work a replica performs is converted into virtual nanoseconds:
+//!
+//! * **network send/receive** — delegated to [`recipe_net::NetCostModel`], so the
+//!   protocol experiments and the Figure 6b network microbenchmark share one set of
+//!   transport parameters;
+//! * **authentication layer** — MAC computation/verification and counter handling
+//!   per shielded message;
+//! * **application processing** — request parsing, KV index work, queueing; scaled
+//!   by the TEE execution penalty and by EPC pressure when values are large
+//!   (Figure 3) — the [`recipe_tee::EpcModel`] supplies the pressure curve;
+//! * **confidentiality** — an extra encrypt/decrypt pass over the payload
+//!   (Figure 5);
+//! * **baseline handicaps** — the PBFT baseline (BFT-Smart) runs over kernel
+//!   sockets without direct I/O (paper Table 2) and carries a heavier per-message
+//!   software stack, expressed as its own [`CostProfile`].
+//!
+//! Calibration targets the *relative* numbers the paper reports; EXPERIMENTS.md
+//! records paper-vs-measured for every figure.
+
+use recipe_net::{ExecMode, NetCostModel, Transport};
+use recipe_tee::EpcModel;
+use serde::{Deserialize, Serialize};
+
+/// Per-node execution profile: where the node runs and which layers it pays for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Native or TEE execution.
+    pub exec: ExecMode,
+    /// Kernel sockets or direct I/O.
+    pub transport: Transport,
+    /// Whether the Recipe authentication/non-equivocation layer is active.
+    pub shielded: bool,
+    /// Whether payloads/values are encrypted (confidential mode).
+    pub confidential: bool,
+    /// Whether this node verifies/produces asymmetric signatures per message
+    /// (classical BFT baselines) instead of symmetric MACs.
+    pub uses_signatures: bool,
+    /// Fixed application-level processing cost per message, nanoseconds
+    /// (request parsing, queue handling, index update).
+    pub app_base_ns: f64,
+    /// Usable EPC bytes for this node's enclave (drives the value-size cliff).
+    pub epc_bytes: usize,
+    /// Approximate enclave-resident working set in bytes *excluding* per-message
+    /// payload buffers (index, metadata, protocol queues).
+    pub resident_bytes: usize,
+    /// Number of message payloads resident in enclave buffers at a time
+    /// (batching factor; larger batches stress the EPC, §B.3).
+    pub inflight_messages: usize,
+}
+
+impl CostProfile {
+    /// A Recipe-transformed replica: TEE + direct I/O + authentication layer.
+    pub fn recipe() -> Self {
+        CostProfile {
+            exec: ExecMode::Tee,
+            transport: Transport::DirectIo,
+            shielded: true,
+            confidential: false,
+            uses_signatures: false,
+            app_base_ns: 550.0,
+            epc_bytes: recipe_tee::epc::DEFAULT_EPC_BYTES,
+            resident_bytes: 2 * 1024 * 1024,
+            inflight_messages: 2_048,
+        }
+    }
+
+    /// The same stack without the authentication layer and outside a TEE — the
+    /// "native" baseline of Figure 6a.
+    pub fn native_cft() -> Self {
+        CostProfile {
+            exec: ExecMode::Native,
+            transport: Transport::DirectIo,
+            shielded: false,
+            confidential: false,
+            uses_signatures: false,
+            app_base_ns: 550.0,
+            epc_bytes: usize::MAX / 2,
+            resident_bytes: 0,
+            inflight_messages: 0,
+        }
+    }
+
+    /// The PBFT baseline (BFT-Smart): no TEE, kernel sockets, signature-based
+    /// authentication, heavier per-message software stack (managed runtime,
+    /// request batching pipeline).
+    pub fn pbft_baseline() -> Self {
+        CostProfile {
+            exec: ExecMode::Native,
+            transport: Transport::KernelSockets,
+            shielded: false,
+            confidential: false,
+            uses_signatures: true,
+            app_base_ns: 2_400.0,
+            epc_bytes: usize::MAX / 2,
+            resident_bytes: 0,
+            inflight_messages: 0,
+        }
+    }
+
+    /// The Damysus baseline: TEE-assisted streamlined HotStuff, kernel sockets
+    /// (paper Table 2 marks hybrid BFT protocols as not using direct I/O).
+    pub fn damysus_baseline() -> Self {
+        CostProfile {
+            exec: ExecMode::Tee,
+            transport: Transport::KernelSockets,
+            shielded: true,
+            confidential: false,
+            uses_signatures: false,
+            app_base_ns: 1_100.0,
+            epc_bytes: recipe_tee::epc::DEFAULT_EPC_BYTES,
+            resident_bytes: 2 * 1024 * 1024,
+            inflight_messages: 256,
+        }
+    }
+
+    /// Enables confidential mode on this profile.
+    pub fn confidential(mut self) -> Self {
+        self.confidential = true;
+        self
+    }
+
+    /// Sets the batching factor (in-flight payload buffers inside the enclave).
+    pub fn with_inflight(mut self, messages: usize) -> Self {
+        self.inflight_messages = messages;
+        self
+    }
+}
+
+/// The full protocol cost model: network parameters plus crypto/app constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolCostModel {
+    /// Shared network cost parameters (also used by the Figure 6b bench).
+    pub net: NetCostModel,
+    /// Cost of a MAC computation or verification, nanoseconds (fixed part).
+    pub mac_ns: f64,
+    /// Per-byte cost of MAC/hash computation, nanoseconds.
+    pub mac_per_byte_ns: f64,
+    /// Cost of an asymmetric signature generation/verification, nanoseconds.
+    pub signature_ns: f64,
+    /// Per-byte cost of symmetric encryption (confidential mode), nanoseconds.
+    pub encrypt_per_byte_ns: f64,
+    /// Multiplier on application processing when executed inside a TEE
+    /// (enclave transitions, shielded memory accesses).
+    pub tee_app_penalty: f64,
+    /// One-way network propagation delay between any two nodes, nanoseconds
+    /// (same-rack datacenter fabric).
+    pub link_latency_ns: u64,
+    /// Time a client waits between receiving a reply and issuing its next request.
+    pub client_think_ns: u64,
+}
+
+impl Default for ProtocolCostModel {
+    fn default() -> Self {
+        ProtocolCostModel {
+            net: NetCostModel::default(),
+            mac_ns: 380.0,
+            mac_per_byte_ns: 0.45,
+            signature_ns: 14_000.0,
+            encrypt_per_byte_ns: 1.1,
+            tee_app_penalty: 2.6,
+            link_latency_ns: 5_000,
+            client_think_ns: 1_000,
+        }
+    }
+}
+
+impl ProtocolCostModel {
+    /// Cost for a node with `profile` to send one message of `payload_bytes`.
+    pub fn send_cost_ns(&self, profile: &CostProfile, payload_bytes: usize) -> u64 {
+        self.message_cost_ns(profile, payload_bytes)
+    }
+
+    /// Cost for a node with `profile` to receive and fully process one message of
+    /// `payload_bytes` (transport + authentication + application work).
+    pub fn recv_cost_ns(&self, profile: &CostProfile, payload_bytes: usize) -> u64 {
+        self.message_cost_ns(profile, payload_bytes) + self.app_cost_ns(profile, payload_bytes)
+    }
+
+    /// Application-only processing cost (no transport), e.g. applying a committed
+    /// write to the local KV store.
+    pub fn app_cost_ns(&self, profile: &CostProfile, payload_bytes: usize) -> u64 {
+        let tee_mult = match profile.exec {
+            ExecMode::Native => 1.0,
+            ExecMode::Tee => self.tee_app_penalty,
+        };
+        let pressure = self.epc_pressure(profile, payload_bytes);
+        (profile.app_base_ns * tee_mult * pressure) as u64
+    }
+
+    /// EPC paging pressure factor for this node, given the payload size of the
+    /// messages it is currently handling.
+    pub fn epc_pressure(&self, profile: &CostProfile, payload_bytes: usize) -> f64 {
+        if profile.exec == ExecMode::Native {
+            return 1.0;
+        }
+        let mut epc = EpcModel::new(profile.epc_bytes);
+        let resident =
+            profile.resident_bytes + profile.inflight_messages * payload_bytes;
+        let _ = epc.allocate(resident);
+        epc.pressure_factor()
+    }
+
+    fn message_cost_ns(&self, profile: &CostProfile, payload_bytes: usize) -> u64 {
+        let mut cost = self
+            .net
+            .message_cost_ns(profile.transport, profile.exec, payload_bytes);
+        if profile.shielded {
+            cost += self.mac_ns + payload_bytes as f64 * self.mac_per_byte_ns;
+        }
+        if profile.uses_signatures {
+            cost += self.signature_ns;
+        }
+        if profile.confidential {
+            cost += payload_bytes as f64 * self.encrypt_per_byte_ns;
+        }
+        cost as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipe_profile_is_cheaper_per_message_than_pbft() {
+        let m = ProtocolCostModel::default();
+        let recipe = m.recv_cost_ns(&CostProfile::recipe(), 256);
+        let pbft = m.recv_cost_ns(&CostProfile::pbft_baseline(), 256);
+        assert!(
+            pbft > recipe,
+            "PBFT per-message cost ({pbft}) should exceed Recipe's ({recipe})"
+        );
+    }
+
+    #[test]
+    fn native_cft_is_cheaper_than_recipe() {
+        // Figure 6a: the transformation + TEE costs something (2x-15x end to end).
+        let m = ProtocolCostModel::default();
+        let native = m.recv_cost_ns(&CostProfile::native_cft(), 256);
+        let recipe = m.recv_cost_ns(&CostProfile::recipe(), 256);
+        let ratio = recipe as f64 / native as f64;
+        assert!(ratio > 1.5, "ratio was {ratio:.2}");
+        assert!(ratio < 20.0, "ratio was {ratio:.2}");
+    }
+
+    #[test]
+    fn confidentiality_adds_cost_proportional_to_payload() {
+        let m = ProtocolCostModel::default();
+        let plain = m.recv_cost_ns(&CostProfile::recipe(), 1024);
+        let conf = m.recv_cost_ns(&CostProfile::recipe().confidential(), 1024);
+        assert!(conf > plain);
+        let plain_small = m.recv_cost_ns(&CostProfile::recipe(), 64);
+        let conf_small = m.recv_cost_ns(&CostProfile::recipe().confidential(), 64);
+        assert!(conf - plain > conf_small - plain_small);
+    }
+
+    #[test]
+    fn epc_pressure_kicks_in_for_large_values() {
+        let m = ProtocolCostModel::default();
+        let profile = CostProfile::recipe();
+        let small = m.epc_pressure(&profile, 256);
+        let large = m.epc_pressure(&profile, 4096);
+        assert_eq!(small, 1.0);
+        assert!(large > 1.0, "4 KiB payloads with batching should exceed the EPC");
+        // Reducing the batching factor relieves the pressure (the paper's mitigation
+        // for 4 KiB values, §B.3).
+        let little_batching = m.epc_pressure(&profile.clone().with_inflight(4), 4096);
+        assert!(little_batching < large);
+        // Native execution never pays EPC pressure.
+        assert_eq!(m.epc_pressure(&CostProfile::native_cft(), 1 << 20), 1.0);
+    }
+
+    #[test]
+    fn signature_baselines_pay_per_message() {
+        let m = ProtocolCostModel::default();
+        let mut signing = CostProfile::native_cft();
+        signing.uses_signatures = true;
+        assert!(
+            m.recv_cost_ns(&signing, 64) as f64
+                >= m.recv_cost_ns(&CostProfile::native_cft(), 64) as f64 + m.signature_ns * 0.9
+        );
+    }
+
+    #[test]
+    fn costs_scale_with_payload_size() {
+        let m = ProtocolCostModel::default();
+        let p = CostProfile::recipe();
+        assert!(m.recv_cost_ns(&p, 4096) > m.recv_cost_ns(&p, 256));
+        assert!(m.send_cost_ns(&p, 4096) > m.send_cost_ns(&p, 256));
+    }
+
+    #[test]
+    fn damysus_sits_between_recipe_and_pbft() {
+        let m = ProtocolCostModel::default();
+        let recipe = m.recv_cost_ns(&CostProfile::recipe(), 256);
+        let damysus = m.recv_cost_ns(&CostProfile::damysus_baseline(), 256);
+        let pbft = m.recv_cost_ns(&CostProfile::pbft_baseline(), 256);
+        assert!(recipe < damysus, "recipe={recipe} damysus={damysus}");
+        assert!(damysus < pbft, "damysus={damysus} pbft={pbft}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic discrete-event cluster simulator.
+//!
+//! The paper evaluates Recipe on a three-machine SGX cluster with a 40 GbE fabric;
+//! this crate replaces that testbed (DESIGN.md, hardware substitutions) with a
+//! simulator that:
+//!
+//! * executes the *real* protocol logic and *real* cryptography of every replica
+//!   (replicas are [`replica::Replica`] state machines — the same code the examples
+//!   and integration tests run);
+//! * moves messages through a Byzantine network model
+//!   ([`recipe_net::NetworkFaultInjector`]) with configurable delays, drops,
+//!   duplication, tampering and replays;
+//! * accounts the work each node performs through a calibrated cost model
+//!   ([`cost::CostProfile`]) driving a virtual clock, so throughput and latency
+//!   reported by [`cluster::RunStats`] reflect the *relative* behaviour of the
+//!   protocols rather than the wall-clock speed of this machine;
+//! * is fully deterministic for a given seed — every experiment in the benchmark
+//!   harness is reproducible bit-for-bit.
+//!
+//! The main entry point is [`cluster::SimCluster`], which owns the replicas, the
+//! clock, the network and a set of closed-loop clients.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod cost;
+pub mod replica;
+
+pub use cluster::{ClientModel, RunStats, SimCluster, SimConfig};
+pub use cost::{CostProfile, ProtocolCostModel};
+pub use replica::{Ctx, Replica};
+
+pub use recipe_tee::TrustedInstant as SimTime;

@@ -1,0 +1,139 @@
+//! The replica interface the simulator drives.
+//!
+//! A protocol implementation (R-Raft, R-CR, R-ABD, R-AllConcur, PBFT, Damysus, …) is
+//! a deterministic state machine implementing [`Replica`]. The simulator calls into
+//! it for client requests, peer messages and timers; the replica communicates back
+//! through the [`Ctx`] it is handed — queuing outbound messages, client replies and
+//! timer requests that the simulator then schedules with the appropriate virtual-time
+//! costs.
+
+use recipe_core::{ClientReply, ClientRequest};
+use recipe_net::NodeId;
+use recipe_tee::TrustedInstant;
+
+/// The per-invocation context a replica uses to interact with the world.
+#[derive(Debug)]
+pub struct Ctx {
+    now: TrustedInstant,
+    node: NodeId,
+    outbox: Vec<(NodeId, Vec<u8>)>,
+    replies: Vec<ClientReply>,
+    timers: Vec<(u64, u64)>,
+}
+
+impl Ctx {
+    /// Creates a context for a handler invocation at virtual time `now`.
+    pub(crate) fn new(node: NodeId, now: TrustedInstant) -> Self {
+        Ctx {
+            now,
+            node,
+            outbox: Vec::new(),
+            replies: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> TrustedInstant {
+        self.now
+    }
+
+    /// The node this context belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Queues `bytes` for delivery to `dst`.
+    pub fn send(&mut self, dst: NodeId, bytes: Vec<u8>) {
+        self.outbox.push((dst, bytes));
+    }
+
+    /// Queues `bytes` for delivery to every node in `peers`.
+    pub fn broadcast(&mut self, peers: &[NodeId], bytes: Vec<u8>) {
+        for &peer in peers {
+            if peer != self.node {
+                self.outbox.push((peer, bytes.clone()));
+            }
+        }
+    }
+
+    /// Queues a reply to a client.
+    pub fn reply(&mut self, reply: ClientReply) {
+        self.replies.push(reply);
+    }
+
+    /// Requests a timer callback `delay_ns` from now, tagged with `token`.
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        self.timers.push((delay_ns, token));
+    }
+
+    /// Drains the queued effects (used by the simulator).
+    pub(crate) fn take_effects(
+        self,
+    ) -> (Vec<(NodeId, Vec<u8>)>, Vec<ClientReply>, Vec<(u64, u64)>) {
+        (self.outbox, self.replies, self.timers)
+    }
+
+    /// Number of messages queued so far (useful in tests).
+    pub fn queued_messages(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+/// A deterministic protocol replica.
+pub trait Replica {
+    /// This replica's node id.
+    fn id(&self) -> NodeId;
+
+    /// Handles a client request routed to this replica (it was selected as the
+    /// operation's coordinator).
+    fn on_client_request(&mut self, request: ClientRequest, ctx: &mut Ctx);
+
+    /// Handles a message from peer `from`. `bytes` is whatever a peer passed to
+    /// [`Ctx::send`] — for Recipe-transformed protocols, a serialized
+    /// [`recipe_core::ShieldedMessage`].
+    fn on_message(&mut self, from: NodeId, bytes: &[u8], ctx: &mut Ctx);
+
+    /// Handles a timer previously requested through [`Ctx::set_timer`].
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx);
+
+    /// True if this replica can act as the coordinator for write operations.
+    fn coordinates_writes(&self) -> bool;
+
+    /// True if this replica can act as the coordinator for read operations.
+    fn coordinates_reads(&self) -> bool;
+
+    /// Protocol name, used in experiment output.
+    fn protocol_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_queues_effects() {
+        let mut ctx = Ctx::new(NodeId(1), TrustedInstant::from_millis(5));
+        assert_eq!(ctx.node(), NodeId(1));
+        assert_eq!(ctx.now(), TrustedInstant::from_millis(5));
+
+        ctx.send(NodeId(2), vec![1, 2]);
+        ctx.broadcast(&[NodeId(0), NodeId(1), NodeId(2)], vec![9]);
+        ctx.reply(ClientReply {
+            client_id: 4,
+            request_id: 1,
+            value: None,
+            found: false,
+            replier: 1,
+        });
+        ctx.set_timer(1_000, 7);
+        assert_eq!(ctx.queued_messages(), 3); // broadcast skips self
+
+        let (outbox, replies, timers) = ctx.take_effects();
+        assert_eq!(outbox.len(), 3);
+        assert_eq!(outbox[0], (NodeId(2), vec![1, 2]));
+        assert!(outbox.iter().all(|(dst, _)| *dst != NodeId(1)));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(timers, vec![(1_000, 7)]);
+    }
+}

@@ -1,0 +1,512 @@
+//! The simulated enclave.
+//!
+//! An [`Enclave`] is the per-node trusted computing base: it owns every secret a
+//! Recipe replica uses (channel MAC keys, signing keys, cipher keys), its trusted
+//! monotonic counters and leases, and the EPC accounting. Code "inside" the enclave
+//! is simply code that holds the `Enclave` handle; the untrusted host side of a node
+//! never receives one, mirroring the SGX isolation boundary in the type system
+//! rather than in hardware.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use recipe_crypto::{
+    hash_parts, Cipher, CipherKey, Digest, EphemeralSecret, KxPublic, MacKey, Nonce, SharedSecret,
+    SigningKeyPair,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::counter::TrustedCounter;
+use crate::epc::EpcModel;
+use crate::error::TeeError;
+use crate::quote::{HardwareKey, Quote, Report};
+use crate::sealed::SealedBlob;
+
+/// Identifier of an enclave instance (unique per node in a deployment).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EnclaveId(pub u64);
+
+/// Measurement of the code and initial data loaded into an enclave (SGX `MRENCLAVE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Measurement(Digest);
+
+impl Measurement {
+    /// Measures a code identity string (stand-in for hashing the enclave binary).
+    pub fn of_code(code_identity: &str) -> Self {
+        Measurement(hash_parts(&[b"recipe.tee.measurement", code_identity.as_bytes()]))
+    }
+
+    /// The underlying digest.
+    pub fn digest(&self) -> &Digest {
+        &self.0
+    }
+}
+
+/// Static configuration for creating an enclave.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnclaveConfig {
+    /// Identity of the code to load (the protocol binary); determines the
+    /// measurement and therefore what the CAS will accept.
+    pub code_identity: String,
+    /// Platform (machine) on which the enclave runs; determines the hardware key.
+    pub platform_id: u64,
+    /// Usable EPC bytes; `None` selects [`crate::epc::DEFAULT_EPC_BYTES`].
+    pub epc_bytes: Option<usize>,
+}
+
+impl EnclaveConfig {
+    /// Creates a config with the default EPC size.
+    pub fn new(code_identity: impl Into<String>, platform_id: u64) -> Self {
+        EnclaveConfig {
+            code_identity: code_identity.into(),
+            platform_id,
+            epc_bytes: None,
+        }
+    }
+
+    /// Overrides the EPC size.
+    pub fn with_epc_bytes(mut self, bytes: usize) -> Self {
+        self.epc_bytes = Some(bytes);
+        self
+    }
+
+    /// Measurement this configuration will produce.
+    pub fn measurement(&self) -> Measurement {
+        Measurement::of_code(&self.code_identity)
+    }
+}
+
+/// A per-node simulated enclave.
+pub struct Enclave {
+    id: EnclaveId,
+    config: EnclaveConfig,
+    measurement: Measurement,
+    hardware_key: HardwareKey,
+    platform_secret: MacKey,
+    epc: EpcModel,
+    crashed: bool,
+
+    // Secrets provisioned after attestation. Reachable only through this handle.
+    mac_keys: HashMap<String, MacKey>,
+    cipher_keys: HashMap<String, CipherKey>,
+    signing_key: Option<SigningKeyPair>,
+
+    // Ephemeral key-exchange secret generated during attestation.
+    kx_secret: Option<EphemeralSecret>,
+
+    // Trusted monotonic counters, keyed by channel label.
+    counters: HashMap<String, TrustedCounter>,
+}
+
+impl Enclave {
+    /// Launches an enclave: measures the code identity and derives platform keys.
+    pub fn launch(id: EnclaveId, config: EnclaveConfig) -> Self {
+        let measurement = config.measurement();
+        let hardware_key = HardwareKey::for_platform(config.platform_id);
+        // The platform sealing secret is derived from the platform id; like the
+        // hardware key it stands in for a fused secret.
+        let platform_secret =
+            MacKey::from_bytes(*hash_parts(&[b"recipe.tee.platform", &config.platform_id.to_le_bytes()]).as_bytes());
+        let epc = match config.epc_bytes {
+            Some(bytes) => EpcModel::new(bytes),
+            None => EpcModel::default(),
+        };
+        Enclave {
+            id,
+            measurement,
+            hardware_key,
+            platform_secret,
+            epc,
+            crashed: false,
+            mac_keys: HashMap::new(),
+            cipher_keys: HashMap::new(),
+            signing_key: None,
+            kx_secret: None,
+            counters: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The enclave's id.
+    pub fn id(&self) -> EnclaveId {
+        self.id
+    }
+
+    /// The enclave's measurement.
+    pub fn measurement(&self) -> &Measurement {
+        &self.measurement
+    }
+
+    /// The configuration the enclave was launched with.
+    pub fn config(&self) -> &EnclaveConfig {
+        &self.config
+    }
+
+    /// Public half of this platform's hardware attestation key (what the vendor
+    /// would publish for verifiers).
+    pub fn platform_vendor_key(&self) -> recipe_crypto::PublicKey {
+        self.hardware_key.public()
+    }
+
+    /// Crash-fails the enclave. Every subsequent operation returns
+    /// [`TeeError::EnclaveCrashed`]; this is the only failure mode the TCB has.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+    }
+
+    /// True if the enclave has crash-failed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn ensure_alive(&self) -> Result<(), TeeError> {
+        if self.crashed {
+            Err(TeeError::EnclaveCrashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Attestation (Algorithm 2: attest / generate_quote)
+    // ------------------------------------------------------------------
+
+    /// `attest()`: produces a report binding the challenger's nonce and a fresh
+    /// ephemeral key-exchange public value to this enclave's measurement.
+    pub fn attest<R: rand::RngCore>(
+        &mut self,
+        nonce: Nonce,
+        rng: &mut R,
+    ) -> Result<Report, TeeError> {
+        self.ensure_alive()?;
+        let kx = EphemeralSecret::generate(rng);
+        let kx_public = *kx.public().as_bytes();
+        self.kx_secret = Some(kx);
+        Ok(Report {
+            enclave_id: self.id,
+            measurement: self.measurement,
+            nonce,
+            kx_public,
+        })
+    }
+
+    /// `generate_quote()`: signs a report with the platform hardware key.
+    pub fn generate_quote(&self, report: Report) -> Result<Quote, TeeError> {
+        self.ensure_alive()?;
+        let signature = self.hardware_key.sign_report(&report);
+        Ok(Quote {
+            report,
+            signature,
+            platform_id: self.config.platform_id,
+        })
+    }
+
+    /// Completes the attestation key exchange with the challenger's public value,
+    /// returning the shared secret under which provisioned secrets are protected.
+    pub fn complete_key_exchange(&self, challenger: &KxPublic) -> Result<SharedSecret, TeeError> {
+        self.ensure_alive()?;
+        let kx = self
+            .kx_secret
+            .as_ref()
+            .ok_or(TeeError::MissingSecret {
+                label: "attestation ephemeral key".to_owned(),
+            })?;
+        Ok(kx.derive_shared(challenger))
+    }
+
+    // ------------------------------------------------------------------
+    // Secret provisioning and access
+    // ------------------------------------------------------------------
+
+    /// Installs a channel MAC key under `label`.
+    pub fn provision_mac_key(&mut self, label: impl Into<String>, key: MacKey) -> Result<(), TeeError> {
+        self.ensure_alive()?;
+        self.mac_keys.insert(label.into(), key);
+        Ok(())
+    }
+
+    /// Returns the MAC key provisioned under `label`.
+    pub fn mac_key(&self, label: &str) -> Result<&MacKey, TeeError> {
+        self.ensure_alive()?;
+        self.mac_keys.get(label).ok_or_else(|| TeeError::MissingSecret {
+            label: label.to_owned(),
+        })
+    }
+
+    /// Installs a cipher key under `label` (confidentiality mode).
+    pub fn provision_cipher_key(
+        &mut self,
+        label: impl Into<String>,
+        key: CipherKey,
+    ) -> Result<(), TeeError> {
+        self.ensure_alive()?;
+        self.cipher_keys.insert(label.into(), key);
+        Ok(())
+    }
+
+    /// Builds a cipher from the key provisioned under `label`.
+    pub fn cipher(&self, label: &str) -> Result<Cipher, TeeError> {
+        self.ensure_alive()?;
+        self.cipher_keys
+            .get(label)
+            .map(Cipher::new)
+            .ok_or_else(|| TeeError::MissingSecret {
+                label: label.to_owned(),
+            })
+    }
+
+    /// Installs the node's signing key pair.
+    pub fn install_signing_key(&mut self, keys: SigningKeyPair) -> Result<(), TeeError> {
+        self.ensure_alive()?;
+        self.signing_key = Some(keys);
+        Ok(())
+    }
+
+    /// Returns the node's signing key pair.
+    pub fn signing_key(&self) -> Result<&SigningKeyPair, TeeError> {
+        self.ensure_alive()?;
+        self.signing_key.as_ref().ok_or(TeeError::MissingSecret {
+            label: "signing key".to_owned(),
+        })
+    }
+
+    /// Lists the labels of all provisioned MAC keys (for diagnostics and tests).
+    pub fn provisioned_channels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self.mac_keys.keys().cloned().collect();
+        labels.sort();
+        labels
+    }
+
+    // ------------------------------------------------------------------
+    // Trusted counters
+    // ------------------------------------------------------------------
+
+    /// Returns a mutable reference to the trusted counter for `channel`, creating it
+    /// at zero on first use.
+    pub fn counter_mut(&mut self, channel: &str) -> Result<&mut TrustedCounter, TeeError> {
+        self.ensure_alive()?;
+        Ok(self
+            .counters
+            .entry(channel.to_owned())
+            .or_insert_with(TrustedCounter::new))
+    }
+
+    /// Returns the current value of the trusted counter for `channel` (zero if the
+    /// counter has never been used).
+    pub fn counter_value(&self, channel: &str) -> u64 {
+        self.counters
+            .get(channel)
+            .map(TrustedCounter::current)
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // EPC accounting
+    // ------------------------------------------------------------------
+
+    /// Immutable access to the EPC model.
+    pub fn epc(&self) -> &EpcModel {
+        &self.epc
+    }
+
+    /// Mutable access to the EPC model.
+    pub fn epc_mut(&mut self) -> &mut EpcModel {
+        &mut self.epc
+    }
+
+    // ------------------------------------------------------------------
+    // Sealing
+    // ------------------------------------------------------------------
+
+    /// Seals `plaintext` so only an enclave with the same measurement on the same
+    /// platform can recover it.
+    pub fn seal(&self, label: &str, nonce: Nonce, plaintext: &[u8]) -> Result<SealedBlob, TeeError> {
+        self.ensure_alive()?;
+        Ok(SealedBlob::seal(
+            &self.platform_secret,
+            &self.measurement,
+            label,
+            nonce,
+            plaintext,
+        ))
+    }
+
+    /// Unseals a blob previously produced by [`Enclave::seal`] on this platform with
+    /// this measurement.
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, TeeError> {
+        self.ensure_alive()?;
+        blob.unseal(&self.platform_secret, &self.measurement)
+    }
+}
+
+impl fmt::Debug for Enclave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Enclave")
+            .field("id", &self.id)
+            .field("measurement", &self.measurement.digest().short_hex())
+            .field("crashed", &self.crashed)
+            .field("channels", &self.mac_keys.len())
+            .field("counters", &self.counters.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    fn enclave() -> Enclave {
+        Enclave::launch(EnclaveId(1), EnclaveConfig::new("raft-replica-v1", 10))
+    }
+
+    #[test]
+    fn launch_measures_code_identity() {
+        let e = enclave();
+        assert_eq!(e.measurement(), &Measurement::of_code("raft-replica-v1"));
+        assert_eq!(e.id(), EnclaveId(1));
+        assert!(!e.is_crashed());
+    }
+
+    #[test]
+    fn attestation_quote_verifies_against_vendor_key() {
+        let mut e = enclave();
+        let nonce = Nonce::from_u128(77);
+        let report = e.attest(nonce, &mut rng()).unwrap();
+        let quote = e.generate_quote(report).unwrap();
+        let expected = Measurement::of_code("raft-replica-v1");
+        assert!(quote
+            .verify(&e.platform_vendor_key(), &expected, &nonce)
+            .is_ok());
+    }
+
+    #[test]
+    fn key_exchange_agrees_with_challenger() {
+        let mut e = enclave();
+        let mut r = rng();
+        let report = e.attest(Nonce::from_u128(1), &mut r).unwrap();
+        let challenger = EphemeralSecret::generate(&mut r);
+        let enclave_side = e
+            .complete_key_exchange(&challenger.public())
+            .unwrap()
+            .derive_mac_key("provisioning");
+        let challenger_side = challenger
+            .derive_shared(&KxPublic::try_from_slice(&report.kx_public).unwrap())
+            .derive_mac_key("provisioning");
+        assert_eq!(enclave_side, challenger_side);
+    }
+
+    #[test]
+    fn key_exchange_requires_prior_attest() {
+        let e = enclave();
+        let mut r = rng();
+        let challenger = EphemeralSecret::generate(&mut r);
+        assert!(matches!(
+            e.complete_key_exchange(&challenger.public()),
+            Err(TeeError::MissingSecret { .. })
+        ));
+    }
+
+    #[test]
+    fn secrets_are_label_scoped() {
+        let mut e = enclave();
+        let key = MacKey::from_bytes([1u8; 32]);
+        e.provision_mac_key("cq:0->1", key.clone()).unwrap();
+        assert_eq!(e.mac_key("cq:0->1").unwrap(), &key);
+        assert!(matches!(
+            e.mac_key("cq:0->2"),
+            Err(TeeError::MissingSecret { .. })
+        ));
+        assert_eq!(e.provisioned_channels(), vec!["cq:0->1".to_owned()]);
+    }
+
+    #[test]
+    fn signing_key_installation() {
+        let mut e = enclave();
+        assert!(e.signing_key().is_err());
+        e.install_signing_key(SigningKeyPair::generate_from_seed(5))
+            .unwrap();
+        assert!(e.signing_key().is_ok());
+    }
+
+    #[test]
+    fn cipher_provisioning() {
+        let mut e = enclave();
+        assert!(e.cipher("values").is_err());
+        e.provision_cipher_key("values", CipherKey::from_bytes([2u8; 32]))
+            .unwrap();
+        let cipher = e.cipher("values").unwrap();
+        let ct = cipher.seal(Nonce::from_u128(1), b"v");
+        assert_eq!(cipher.open(&ct).unwrap(), b"v");
+    }
+
+    #[test]
+    fn counters_are_per_channel_and_persistent() {
+        let mut e = enclave();
+        assert_eq!(e.counter_value("cq:0->1"), 0);
+        assert_eq!(e.counter_mut("cq:0->1").unwrap().increment(), 1);
+        assert_eq!(e.counter_mut("cq:0->1").unwrap().increment(), 2);
+        assert_eq!(e.counter_mut("cq:0->2").unwrap().increment(), 1);
+        assert_eq!(e.counter_value("cq:0->1"), 2);
+        assert_eq!(e.counter_value("cq:0->2"), 1);
+    }
+
+    #[test]
+    fn sealing_roundtrip_and_cross_enclave_rejection() {
+        let e = enclave();
+        let blob = e.seal("state", Nonce::from_u128(9), b"log tail").unwrap();
+        assert_eq!(e.unseal(&blob).unwrap(), b"log tail");
+
+        // Same platform, different code → different measurement → unseal fails.
+        let other = Enclave::launch(EnclaveId(2), EnclaveConfig::new("different-code", 10));
+        assert_eq!(other.unseal(&blob), Err(TeeError::UnsealFailed));
+    }
+
+    #[test]
+    fn crashed_enclave_refuses_everything() {
+        let mut e = enclave();
+        e.provision_mac_key("cq", MacKey::from_bytes([1u8; 32]))
+            .unwrap();
+        e.crash();
+        assert!(e.is_crashed());
+        assert_eq!(e.mac_key("cq").unwrap_err(), TeeError::EnclaveCrashed);
+        assert_eq!(
+            e.attest(Nonce::from_u128(1), &mut rng()).unwrap_err(),
+            TeeError::EnclaveCrashed
+        );
+        assert_eq!(
+            e.counter_mut("cq").unwrap_err(),
+            TeeError::EnclaveCrashed
+        );
+        assert_eq!(
+            e.seal("s", Nonce::from_u128(1), b"x").unwrap_err(),
+            TeeError::EnclaveCrashed
+        );
+    }
+
+    #[test]
+    fn epc_accounting_is_exposed() {
+        let mut e = Enclave::launch(
+            EnclaveId(3),
+            EnclaveConfig::new("code", 1).with_epc_bytes(1024),
+        );
+        e.epc_mut().allocate(2048).unwrap();
+        assert!(e.epc().pressure_factor() > 1.0);
+    }
+
+    #[test]
+    fn debug_output_omits_secrets() {
+        let mut e = enclave();
+        e.provision_mac_key("cq", MacKey::from_bytes([0xAB; 32]))
+            .unwrap();
+        let text = format!("{e:?}");
+        assert!(!text.contains("ab, ab"));
+        assert!(text.contains("Enclave"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Trusted leases (T-Lease).
+//!
+//! CFT protocols detect failures with timeouts, but SGX has no trusted timer; Recipe
+//! adopts the T-Lease design (paper §3.5 and [130]): a lease is granted to a holder
+//! for a bounded duration measured by a trusted time source, and actions that require
+//! the lease (serving local reads as a leader, suppressing elections) are only
+//! permitted while the lease provably has not expired.
+//!
+//! The lease also backs failure detection: followers grant the leader a lease and
+//! start suspecting it only after the lease has expired without renewal, which keeps
+//! the "leader is down" signal consistent across replicas even when the untrusted
+//! host delays message delivery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::TrustedInstant;
+use crate::error::TeeError;
+
+/// Observable state of a lease at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseState {
+    /// No lease has ever been granted.
+    Vacant,
+    /// A lease is currently held and valid.
+    Held {
+        /// Node currently holding the lease.
+        holder: u64,
+        /// Instant at which the lease expires.
+        expires_at: TrustedInstant,
+    },
+    /// The most recent lease has expired without renewal.
+    Expired {
+        /// The previous holder.
+        previous_holder: u64,
+        /// When it expired.
+        expired_at: TrustedInstant,
+    },
+}
+
+/// A trusted lease with a fixed duration, renewable by its holder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrustedLease {
+    duration_nanos: u64,
+    holder: Option<u64>,
+    granted_at: Option<TrustedInstant>,
+}
+
+impl TrustedLease {
+    /// Creates a vacant lease with the given duration.
+    pub fn new(duration_nanos: u64) -> Self {
+        TrustedLease {
+            duration_nanos,
+            holder: None,
+            granted_at: None,
+        }
+    }
+
+    /// Creates a vacant lease with a duration given in milliseconds.
+    pub fn with_duration_millis(millis: u64) -> Self {
+        TrustedLease::new(millis * 1_000_000)
+    }
+
+    /// The configured lease duration in nanoseconds.
+    pub fn duration_nanos(&self) -> u64 {
+        self.duration_nanos
+    }
+
+    /// Grants (or transfers) the lease to `holder` at time `now`.
+    ///
+    /// Granting while a different holder's lease is still valid is rejected: that is
+    /// precisely the split-brain the lease exists to rule out. Re-granting to the
+    /// same holder renews it.
+    pub fn grant(&mut self, holder: u64, now: TrustedInstant) -> Result<(), TeeError> {
+        match self.state(now) {
+            LeaseState::Held {
+                holder: current, ..
+            } if current != holder => Err(TeeError::NotLeaseHolder),
+            _ => {
+                self.holder = Some(holder);
+                self.granted_at = Some(now);
+                Ok(())
+            }
+        }
+    }
+
+    /// Renews the lease; only the current holder may renew.
+    pub fn renew(&mut self, holder: u64, now: TrustedInstant) -> Result<(), TeeError> {
+        match self.state(now) {
+            LeaseState::Held {
+                holder: current, ..
+            } if current == holder => {
+                self.granted_at = Some(now);
+                Ok(())
+            }
+            _ => Err(TeeError::NotLeaseHolder),
+        }
+    }
+
+    /// Voluntarily releases the lease (e.g. a leader stepping down cleanly).
+    pub fn release(&mut self, holder: u64, now: TrustedInstant) -> Result<(), TeeError> {
+        match self.state(now) {
+            LeaseState::Held {
+                holder: current, ..
+            } if current == holder => {
+                self.holder = None;
+                self.granted_at = None;
+                Ok(())
+            }
+            _ => Err(TeeError::NotLeaseHolder),
+        }
+    }
+
+    /// Returns the lease state as of `now`.
+    pub fn state(&self, now: TrustedInstant) -> LeaseState {
+        match (self.holder, self.granted_at) {
+            (Some(holder), Some(granted_at)) => {
+                let expires_at = granted_at.plus_nanos(self.duration_nanos);
+                if now < expires_at {
+                    LeaseState::Held { holder, expires_at }
+                } else {
+                    LeaseState::Expired {
+                        previous_holder: holder,
+                        expired_at: expires_at,
+                    }
+                }
+            }
+            _ => LeaseState::Vacant,
+        }
+    }
+
+    /// True if `holder` holds a valid lease at `now`.
+    pub fn is_held_by(&self, holder: u64, now: TrustedInstant) -> bool {
+        matches!(self.state(now), LeaseState::Held { holder: h, .. } if h == holder)
+    }
+
+    /// True if the lease has expired (failure suspected) at `now`.
+    pub fn is_expired(&self, now: TrustedInstant) -> bool {
+        matches!(self.state(now), LeaseState::Expired { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn t(ms: u64) -> TrustedInstant {
+        TrustedInstant::from_millis(ms)
+    }
+
+    #[test]
+    fn grant_hold_expire_cycle() {
+        let mut lease = TrustedLease::with_duration_millis(10);
+        assert_eq!(lease.state(t(0)), LeaseState::Vacant);
+
+        lease.grant(1, t(0)).unwrap();
+        assert!(lease.is_held_by(1, t(5)));
+        assert!(!lease.is_held_by(2, t(5)));
+        assert!(!lease.is_expired(t(5)));
+
+        assert!(lease.is_expired(t(10)));
+        assert_eq!(
+            lease.state(t(12)),
+            LeaseState::Expired {
+                previous_holder: 1,
+                expired_at: t(10)
+            }
+        );
+    }
+
+    #[test]
+    fn renewal_extends_the_lease() {
+        let mut lease = TrustedLease::with_duration_millis(10);
+        lease.grant(1, t(0)).unwrap();
+        lease.renew(1, t(8)).unwrap();
+        assert!(lease.is_held_by(1, t(15)));
+        assert!(lease.is_expired(t(18)));
+    }
+
+    #[test]
+    fn non_holder_cannot_renew_or_release() {
+        let mut lease = TrustedLease::with_duration_millis(10);
+        lease.grant(1, t(0)).unwrap();
+        assert_eq!(lease.renew(2, t(5)), Err(TeeError::NotLeaseHolder));
+        assert_eq!(lease.release(2, t(5)), Err(TeeError::NotLeaseHolder));
+        assert!(lease.is_held_by(1, t(5)));
+    }
+
+    #[test]
+    fn cannot_steal_a_valid_lease() {
+        let mut lease = TrustedLease::with_duration_millis(10);
+        lease.grant(1, t(0)).unwrap();
+        assert_eq!(lease.grant(2, t(5)), Err(TeeError::NotLeaseHolder));
+        // After expiry the lease can move to a new holder (new leader elected).
+        assert!(lease.grant(2, t(11)).is_ok());
+        assert!(lease.is_held_by(2, t(12)));
+    }
+
+    #[test]
+    fn release_makes_lease_vacant_immediately() {
+        let mut lease = TrustedLease::with_duration_millis(10);
+        lease.grant(1, t(0)).unwrap();
+        lease.release(1, t(3)).unwrap();
+        assert_eq!(lease.state(t(4)), LeaseState::Vacant);
+        assert!(lease.grant(2, t(4)).is_ok());
+    }
+
+    #[test]
+    fn regrant_to_same_holder_renews() {
+        let mut lease = TrustedLease::with_duration_millis(10);
+        lease.grant(1, t(0)).unwrap();
+        lease.grant(1, t(6)).unwrap();
+        assert!(lease.is_held_by(1, t(14)));
+    }
+
+    #[test]
+    fn expired_lease_cannot_be_renewed() {
+        let mut lease = TrustedLease::with_duration_millis(10);
+        lease.grant(1, t(0)).unwrap();
+        assert_eq!(lease.renew(1, t(20)), Err(TeeError::NotLeaseHolder));
+    }
+
+    proptest! {
+        #[test]
+        fn no_two_holders_at_the_same_instant(duration_ms in 1u64..100,
+                                              events in proptest::collection::vec(
+                                                  (0u64..5, 0u64..500), 1..40)) {
+            // Replay an arbitrary grant schedule with monotonically increasing time and
+            // check the core safety property: at any observation point, at most one node
+            // believes it holds the lease.
+            let mut lease = TrustedLease::new(duration_ms * MS);
+            let mut now = 0u64;
+            for (holder, delta) in events {
+                now += delta;
+                let _ = lease.grant(holder, t(now));
+                let holders: Vec<u64> = (0..5)
+                    .filter(|h| lease.is_held_by(*h, t(now)))
+                    .collect();
+                prop_assert!(holders.len() <= 1);
+            }
+        }
+
+        #[test]
+        fn lease_always_expires_without_renewal(duration_ms in 1u64..50, start in 0u64..100) {
+            let mut lease = TrustedLease::new(duration_ms * MS);
+            lease.grant(3, t(start)).unwrap();
+            prop_assert!(lease.is_expired(t(start + duration_ms)));
+            prop_assert!(lease.is_held_by(3, t(start + duration_ms - 1)));
+        }
+    }
+}

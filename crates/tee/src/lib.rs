@@ -1,0 +1,46 @@
+//! Simulated Trusted Execution Environment (TEE) substrate.
+//!
+//! The Recipe paper builds on Intel SGX (via the SCONE runtime). No SGX hardware is
+//! available to this reproduction, so this crate provides a **software enclave** that
+//! exposes the same *properties* Recipe relies on (see DESIGN.md, "Hardware
+//! substitutions"):
+//!
+//! * an **identity** — a measurement (hash) of the code loaded into the enclave,
+//!   signed by a hardware-rooted key to form an attestation *quote*
+//!   ([`enclave::Enclave`], [`quote::Quote`]);
+//! * **isolated secrets** — key material provisioned into the enclave is only
+//!   reachable through the enclave handle, never through the "host" side of a node
+//!   ([`enclave::Enclave::provision_mac_key`], [`sealed::SealedBlob`]);
+//! * **trusted monotonic counters** — the building block of the non-equivocation
+//!   layer ([`counter::TrustedCounter`]);
+//! * **trusted leases** — the T-Lease primitive Recipe uses for failure detection
+//!   and leader leases, because SGX has no trustworthy timer
+//!   ([`lease::TrustedLease`]);
+//! * an **EPC model** — SGX's Enclave Page Cache is small (~94 MiB usable); the
+//!   [`epc::EpcModel`] tracks enclave-resident bytes and reports a pressure factor
+//!   that the simulator's cost model turns into the slowdowns the paper measures for
+//!   large values (Figure 3) and for batching (Figure 6a).
+//!
+//! The threat model mirrors the paper's: everything *outside* the enclave (host
+//! memory, OS, network) may be Byzantine; the enclave itself can only crash.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod counter;
+pub mod enclave;
+pub mod epc;
+pub mod error;
+pub mod lease;
+pub mod quote;
+pub mod sealed;
+
+pub use clock::{ManualClock, TimeSource, TrustedInstant};
+pub use counter::TrustedCounter;
+pub use enclave::{Enclave, EnclaveConfig, EnclaveId, Measurement};
+pub use epc::EpcModel;
+pub use error::TeeError;
+pub use lease::{LeaseState, TrustedLease};
+pub use quote::{HardwareKey, Quote, Report};
+pub use sealed::SealedBlob;

@@ -1,0 +1,294 @@
+//! YCSB-style workload generation.
+//!
+//! The paper evaluates every protocol with the YCSB benchmark configured with
+//! roughly 10 K distinct keys under a Zipfian popularity distribution, varying the
+//! read/write ratio (50–99 % reads) and the value size (256 B–4 KiB). This crate
+//! reproduces that generator: deterministic, seedable, and independent of any other
+//! crate so the benchmark harness can drive any replica implementation with it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which operation a client should issue next.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadOp {
+    /// Read the given key.
+    Read {
+        /// Key to read.
+        key: Vec<u8>,
+    },
+    /// Write the given value under the given key.
+    Write {
+        /// Key to write.
+        key: Vec<u8>,
+        /// Value payload.
+        value: Vec<u8>,
+    },
+}
+
+impl WorkloadOp {
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, WorkloadOp::Write { .. })
+    }
+
+    /// The key the operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            WorkloadOp::Read { key } | WorkloadOp::Write { key, .. } => key,
+        }
+    }
+}
+
+/// How keys are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given skew parameter (YCSB default ≈ 0.99).
+    Zipfian {
+        /// Skew parameter θ; larger is more skewed.
+        theta: f64,
+    },
+}
+
+/// A YCSB-like workload specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys (paper: ~10 000).
+    pub key_space: usize,
+    /// Fraction of reads, 0.0–1.0 (e.g. 0.9 for "90% R").
+    pub read_ratio: f64,
+    /// Size of written values in bytes (paper: 256 B / 1024 B / 4096 B).
+    pub value_size: usize,
+    /// Key popularity distribution.
+    pub distribution: KeyDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            key_space: 10_000,
+            read_ratio: 0.5,
+            value_size: 256,
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            seed: 1,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The paper's standard YCSB configuration with the given read ratio and value
+    /// size.
+    pub fn ycsb(read_ratio: f64, value_size: usize) -> Self {
+        WorkloadSpec {
+            read_ratio,
+            value_size,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    /// Builds the generator.
+    pub fn generator(&self) -> WorkloadGenerator {
+        WorkloadGenerator::new(self.clone())
+    }
+}
+
+/// Zipfian sampler over `0..n` (the YCSB "ScrambledZipfian" shape without the
+/// scrambling — keys are already synthetic).
+#[derive(Debug, Clone)]
+struct Zipf {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Self {
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+}
+
+impl Distribution<usize> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        idx.min(self.n - 1)
+    }
+}
+
+/// A deterministic stream of YCSB-like operations.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    zipf: Option<Zipf>,
+    issued: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for `spec`.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        let zipf = match spec.distribution {
+            KeyDistribution::Zipfian { theta } => Some(Zipf::new(spec.key_space, theta)),
+            KeyDistribution::Uniform => None,
+        };
+        WorkloadGenerator {
+            rng: StdRng::seed_from_u64(spec.seed),
+            zipf,
+            spec,
+            issued: 0,
+        }
+    }
+
+    /// The specification this generator follows.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> WorkloadOp {
+        self.issued += 1;
+        let key_index = match &self.zipf {
+            Some(zipf) => zipf.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.spec.key_space),
+        };
+        let key = format!("user{key_index:08}").into_bytes();
+        if self.rng.gen_bool(self.spec.read_ratio) {
+            WorkloadOp::Read { key }
+        } else {
+            WorkloadOp::Write {
+                key,
+                value: vec![0xAB; self.spec.value_size],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn read_ratio_is_respected() {
+        for ratio in [0.5, 0.75, 0.9, 0.95, 0.99] {
+            let mut generator = WorkloadSpec::ycsb(ratio, 256).generator();
+            let n = 20_000;
+            let reads = (0..n).filter(|_| !generator.next_op().is_write()).count();
+            let measured = reads as f64 / n as f64;
+            assert!(
+                (measured - ratio).abs() < 0.02,
+                "ratio {ratio}: measured {measured}"
+            );
+            assert_eq!(generator.issued(), n as u64);
+        }
+    }
+
+    #[test]
+    fn value_size_is_respected() {
+        let mut generator = WorkloadSpec::ycsb(0.0, 4096).generator();
+        for _ in 0..100 {
+            match generator.next_op() {
+                WorkloadOp::Write { value, .. } => assert_eq!(value.len(), 4096),
+                WorkloadOp::Read { .. } => panic!("read_ratio is zero"),
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_towards_hot_keys() {
+        let mut generator = WorkloadSpec::default().generator();
+        let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
+        for _ in 0..30_000 {
+            *counts.entry(generator.next_op().key().to_vec()).or_default() += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let distinct = counts.len();
+        // The hottest key should be far hotter than average, and far fewer than
+        // key_space distinct keys should appear.
+        assert!(max > 30_000 / 100, "hottest key hit only {max} times");
+        assert!(distinct < 10_000, "saw {distinct} distinct keys");
+    }
+
+    #[test]
+    fn uniform_distribution_spreads_keys() {
+        let spec = WorkloadSpec {
+            distribution: KeyDistribution::Uniform,
+            key_space: 100,
+            ..WorkloadSpec::default()
+        };
+        let mut generator = spec.generator();
+        let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(generator.next_op().key().to_vec()).or_default() += 1;
+        }
+        assert!(counts.len() > 90);
+        let max = *counts.values().max().unwrap();
+        assert!(max < 300, "uniform keys should not be heavily skewed (max {max})");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = WorkloadSpec::default().generator();
+        let mut b = WorkloadSpec::default().generator();
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = WorkloadSpec {
+            seed: 2,
+            ..WorkloadSpec::default()
+        }
+        .generator();
+        let differs = (0..100).any(|_| a.next_op() != c.next_op());
+        assert!(differs);
+    }
+
+    proptest! {
+        #[test]
+        fn keys_are_always_in_range(seed in any::<u64>(), steps in 1usize..200) {
+            let spec = WorkloadSpec { seed, key_space: 50, ..WorkloadSpec::default() };
+            let mut generator = spec.generator();
+            for _ in 0..steps {
+                let op = generator.next_op();
+                let key = String::from_utf8(op.key().to_vec()).unwrap();
+                let index: usize = key.trim_start_matches("user").parse().unwrap();
+                prop_assert!(index < 50);
+            }
+        }
+    }
+}

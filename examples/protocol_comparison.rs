@@ -1,0 +1,103 @@
+//! Runs all four Recipe-transformed protocols plus the PBFT and Damysus baselines
+//! on the same YCSB-style workload and prints a small comparison table (a
+//! mini-version of Figure 4).
+//!
+//! ```bash
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use recipe_bench_free::run_all;
+
+// The bench crate is not a dependency of the umbrella crate (it is a harness), so
+// this example re-implements the comparison inline using the public APIs.
+mod recipe_bench_free {
+    use recipe::bft::{DamysusReplica, PbftReplica};
+    use recipe::core::{Membership, Operation};
+    use recipe::protocols::{AbdReplica, AllConcurReplica, ChainReplica, RaftReplica};
+    use recipe::sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
+    use recipe::workload::{WorkloadOp, WorkloadSpec};
+    use std::cell::RefCell;
+
+    fn run<R: Replica>(replicas: Vec<R>, profile: CostProfile, read_ratio: f64) -> RunStats {
+        let n = replicas.len();
+        let mut config = SimConfig::uniform(n, profile);
+        config.clients = ClientModel { clients: 16, total_operations: 800 };
+        let mut cluster = SimCluster::new(replicas, config);
+        let generator = RefCell::new(WorkloadSpec::ycsb(read_ratio, 256).generator());
+        cluster.run(move |_, _| match generator.borrow_mut().next_op() {
+            WorkloadOp::Read { key } => Operation::Get { key },
+            WorkloadOp::Write { key, value } => Operation::Put { key, value },
+        })
+    }
+
+    pub fn run_all(read_ratio: f64) {
+        let m3 = Membership::of_size(3, 1);
+        let m4 = Membership::of_size(4, 1);
+        let results: Vec<(&str, RunStats)> = vec![
+            (
+                "PBFT",
+                run(
+                    (0..4).map(|id| PbftReplica::new(id, m4.clone())).collect(),
+                    CostProfile::pbft_baseline(),
+                    read_ratio,
+                ),
+            ),
+            (
+                "Damysus",
+                run(
+                    (0..3).map(|id| DamysusReplica::new(id, m3.clone())).collect(),
+                    CostProfile::damysus_baseline(),
+                    read_ratio,
+                ),
+            ),
+            (
+                "R-Raft",
+                run(
+                    (0..3).map(|id| RaftReplica::recipe(id, m3.clone(), false)).collect(),
+                    CostProfile::recipe(),
+                    read_ratio,
+                ),
+            ),
+            (
+                "R-CR",
+                run(
+                    (0..3).map(|id| ChainReplica::recipe(id, m3.clone(), false)).collect(),
+                    CostProfile::recipe(),
+                    read_ratio,
+                ),
+            ),
+            (
+                "R-ABD",
+                run(
+                    (0..3).map(|id| AbdReplica::recipe(id, m3.clone(), false)).collect(),
+                    CostProfile::recipe(),
+                    read_ratio,
+                ),
+            ),
+            (
+                "R-AllConcur",
+                run(
+                    (0..3).map(|id| AllConcurReplica::recipe(id, m3.clone(), false)).collect(),
+                    CostProfile::recipe(),
+                    read_ratio,
+                ),
+            ),
+        ];
+        let baseline = results[0].1.throughput_ops;
+        println!("\nworkload: {:.0}% reads, 256 B values", read_ratio * 100.0);
+        println!("{:<12} {:>16} {:>12} {:>10}", "protocol", "throughput(op/s)", "latency(us)", "vs PBFT");
+        for (name, stats) in &results {
+            println!(
+                "{:<12} {:>16.0} {:>12.1} {:>9.1}x",
+                name, stats.throughput_ops, stats.mean_latency_us,
+                stats.throughput_ops / baseline
+            );
+        }
+    }
+}
+
+fn main() {
+    for ratio in [0.5, 0.9] {
+        run_all(ratio);
+    }
+}

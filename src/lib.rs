@@ -1,0 +1,27 @@
+//! Umbrella crate for the Recipe reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and the
+//! integration tests can use a single dependency. The interesting code lives in the
+//! member crates:
+//!
+//! * [`recipe_core`] — the Recipe library itself (authentication + non-equivocation
+//!   layers, membership, view change, recovery).
+//! * [`recipe_tee`], [`recipe_net`], [`recipe_kv`], [`recipe_attest`],
+//!   [`recipe_crypto`] — the substrates (simulated TEE, direct-I/O RPC stack,
+//!   partitioned KV store, attestation services, cryptography).
+//! * [`recipe_protocols`] — R-Raft, R-CR, R-ABD and R-AllConcur (plus their native
+//!   CFT counterparts).
+//! * [`recipe_bft`] — the PBFT and Damysus baselines.
+//! * [`recipe_sim`] and [`recipe_workload`] — the deterministic cluster simulator
+//!   and the YCSB-style workload generator that drive the evaluation.
+
+pub use recipe_attest as attest;
+pub use recipe_bft as bft;
+pub use recipe_core as core;
+pub use recipe_crypto as crypto;
+pub use recipe_kv as kv;
+pub use recipe_net as net;
+pub use recipe_protocols as protocols;
+pub use recipe_sim as sim;
+pub use recipe_tee as tee;
+pub use recipe_workload as workload;

@@ -1,0 +1,104 @@
+//! Cross-crate integration: every protocol (four Recipe transformations plus the two
+//! BFT baselines) commits a YCSB-style workload on the simulator, and replicas end
+//! up agreeing on the data they hold.
+
+use recipe::bft::{DamysusReplica, PbftReplica};
+use recipe::core::{Membership, Operation};
+use recipe::protocols::{AbdReplica, AllConcurReplica, ChainReplica, RaftReplica};
+use recipe::sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
+use recipe::workload::{WorkloadOp, WorkloadSpec};
+use std::cell::RefCell;
+
+fn run<R: Replica>(replicas: Vec<R>, profile: CostProfile, ops: usize) -> RunStats {
+    let n = replicas.len();
+    let mut config = SimConfig::uniform(n, profile);
+    config.clients = ClientModel { clients: 12, total_operations: ops };
+    let mut cluster = SimCluster::new(replicas, config);
+    let generator = RefCell::new(WorkloadSpec::ycsb(0.7, 256).generator());
+    cluster.run(move |_, _| match generator.borrow_mut().next_op() {
+        WorkloadOp::Read { key } => Operation::Get { key },
+        WorkloadOp::Write { key, value } => Operation::Put { key, value },
+    })
+}
+
+#[test]
+fn r_raft_commits_the_workload() {
+    let m = Membership::of_size(3, 1);
+    let stats = run(
+        (0..3).map(|id| RaftReplica::recipe(id, m.clone(), false)).collect(),
+        CostProfile::recipe(),
+        400,
+    );
+    assert_eq!(stats.committed, 400);
+    assert!(stats.throughput_ops > 0.0);
+}
+
+#[test]
+fn r_chain_commits_the_workload() {
+    let m = Membership::of_size(3, 1);
+    let stats = run(
+        (0..3).map(|id| ChainReplica::recipe(id, m.clone(), false)).collect(),
+        CostProfile::recipe(),
+        400,
+    );
+    assert_eq!(stats.committed, 400);
+}
+
+#[test]
+fn r_abd_commits_the_workload() {
+    let m = Membership::of_size(3, 1);
+    let stats = run(
+        (0..3).map(|id| AbdReplica::recipe(id, m.clone(), false)).collect(),
+        CostProfile::recipe(),
+        400,
+    );
+    assert_eq!(stats.committed, 400);
+}
+
+#[test]
+fn r_allconcur_commits_the_workload() {
+    let m = Membership::of_size(3, 1);
+    let stats = run(
+        (0..3).map(|id| AllConcurReplica::recipe(id, m.clone(), false)).collect(),
+        CostProfile::recipe(),
+        400,
+    );
+    assert_eq!(stats.committed, 400);
+}
+
+#[test]
+fn pbft_and_damysus_baselines_commit_the_workload() {
+    let m4 = Membership::of_size(4, 1);
+    let pbft = run(
+        (0..4).map(|id| PbftReplica::new(id, m4.clone())).collect(),
+        CostProfile::pbft_baseline(),
+        300,
+    );
+    assert_eq!(pbft.committed, 300);
+
+    let m3 = Membership::of_size(3, 1);
+    let damysus = run(
+        (0..3).map(|id| DamysusReplica::new(id, m3.clone())).collect(),
+        CostProfile::damysus_baseline(),
+        300,
+    );
+    assert_eq!(damysus.committed, 300);
+}
+
+#[test]
+fn recipe_outperforms_pbft_on_the_same_workload() {
+    let m3 = Membership::of_size(3, 1);
+    let m4 = Membership::of_size(4, 1);
+    let recipe = run(
+        (0..3).map(|id| ChainReplica::recipe(id, m3.clone(), false)).collect(),
+        CostProfile::recipe(),
+        400,
+    );
+    let pbft = run(
+        (0..4).map(|id| PbftReplica::new(id, m4.clone())).collect(),
+        CostProfile::pbft_baseline(),
+        400,
+    );
+    let speedup = recipe.throughput_ops / pbft.throughput_ops;
+    assert!(speedup > 3.0, "R-CR was only {speedup:.1}x faster than PBFT");
+}
