@@ -104,12 +104,12 @@ impl QuoteVerifier for ConfigAndAttestService {
         expected_measurement: &Measurement,
         nonce: &Nonce,
     ) -> Result<(), AttestError> {
-        let vendor_key = self
-            .vendor_keys
-            .get(&quote.platform_id)
-            .ok_or(AttestError::UnknownPlatform {
-                platform_id: quote.platform_id,
-            })?;
+        let vendor_key =
+            self.vendor_keys
+                .get(&quote.platform_id)
+                .ok_or(AttestError::UnknownPlatform {
+                    platform_id: quote.platform_id,
+                })?;
         quote
             .verify(vendor_key, expected_measurement, nonce)
             .map(|_| ())
@@ -132,8 +132,8 @@ impl QuoteVerifier for ConfigAndAttestService {
 mod tests {
     use super::*;
     use crate::secrets::ClusterConfig;
-    use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
     use rand::SeedableRng;
+    use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
     use std::collections::BTreeMap;
 
     fn attested_quote(code: &str, platform: u64) -> (Enclave, Quote, Nonce) {

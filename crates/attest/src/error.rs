@@ -32,7 +32,10 @@ impl fmt::Display for AttestError {
         match self {
             AttestError::QuoteRejected { reason } => write!(f, "quote rejected: {reason}"),
             AttestError::UnknownPlatform { platform_id } => {
-                write!(f, "platform {platform_id} is not registered with the verifier")
+                write!(
+                    f,
+                    "platform {platform_id} is not registered with the verifier"
+                )
             }
             AttestError::Tee(err) => write!(f, "TEE error during attestation: {err}"),
             AttestError::ProvisioningFailed => {

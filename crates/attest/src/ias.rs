@@ -59,12 +59,12 @@ impl QuoteVerifier for IntelAttestationService {
         expected_measurement: &Measurement,
         nonce: &Nonce,
     ) -> Result<(), AttestError> {
-        let vendor_key = self
-            .vendor_keys
-            .get(&quote.platform_id)
-            .ok_or(AttestError::UnknownPlatform {
-                platform_id: quote.platform_id,
-            })?;
+        let vendor_key =
+            self.vendor_keys
+                .get(&quote.platform_id)
+                .ok_or(AttestError::UnknownPlatform {
+                    platform_id: quote.platform_id,
+                })?;
         quote
             .verify(vendor_key, expected_measurement, nonce)
             .map(|_| ())
@@ -87,8 +87,8 @@ impl QuoteVerifier for IntelAttestationService {
 mod tests {
     use super::*;
     use crate::cas::{ConfigAndAttestService, CAS_MEAN_LATENCY_NS};
-    use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
     use rand::SeedableRng;
+    use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
 
     #[test]
     fn verification_logic_matches_cas_but_latency_is_much_higher() {
@@ -106,10 +106,14 @@ mod tests {
 
         // Table 4: the IAS path is roughly 18x slower than the CAS path.
         let mut cas = ConfigAndAttestService::new(vec![], 1);
-        let ias_mean: f64 =
-            (0..100).map(|_| ias.sample_latency_ns() as f64).sum::<f64>() / 100.0;
-        let cas_mean: f64 =
-            (0..100).map(|_| cas.sample_latency_ns() as f64).sum::<f64>() / 100.0;
+        let ias_mean: f64 = (0..100)
+            .map(|_| ias.sample_latency_ns() as f64)
+            .sum::<f64>()
+            / 100.0;
+        let cas_mean: f64 = (0..100)
+            .map(|_| cas.sample_latency_ns() as f64)
+            .sum::<f64>()
+            / 100.0;
         let speedup = ias_mean / cas_mean;
         assert!(
             (14.0..=23.0).contains(&speedup),

@@ -51,8 +51,8 @@ pub fn run_remote_attestation<V: QuoteVerifier, R: RngCore>(
 
     // --- Enclave: attest() + generate_quote(). ---
     let report = enclave.attest(nonce, rng)?;
-    let enclave_kx_public = KxPublic::try_from_slice(&report.kx_public)
-        .map_err(|_| AttestError::ProvisioningFailed)?;
+    let enclave_kx_public =
+        KxPublic::try_from_slice(&report.kx_public).map_err(|_| AttestError::ProvisioningFailed)?;
     let quote = enclave.generate_quote(report)?;
 
     // --- Challenger: verify the quote against the expected measurement. ---
@@ -125,15 +125,14 @@ mod tests {
     use crate::cas::ConfigAndAttestService;
     use crate::ias::IntelAttestationService;
     use crate::secrets::ClusterConfig;
-    use recipe_tee::{EnclaveConfig, EnclaveId, TeeError};
     use rand::SeedableRng;
+    use recipe_tee::{EnclaveConfig, EnclaveId, TeeError};
 
     fn bundle_for(node_id: u64, members: &[u64]) -> SecretBundle {
         let master = MacKey::from_bytes([0x11; 32]);
         SecretBundle {
             node_id,
-            signing_seed: SigningKeyPair::generate_from_seed(100 + node_id)
-                .expose_secret_vec(),
+            signing_seed: SigningKeyPair::generate_from_seed(100 + node_id).expose_secret_vec(),
             channel_keys: derive_channel_keys(&master, members, node_id),
             cipher_key: Some(vec![0x22; 32]),
             config: ClusterConfig::for_replicas(members.len(), 1, "replica-code"),
@@ -178,7 +177,7 @@ mod tests {
         // that is what the bundle's config says, but the quote carries the
         // measurement of what actually runs.
         let mut enclave = Enclave::launch(EnclaveId(1), EnclaveConfig::new("tampered-code", 3));
-        let mut cas = ConfigAndAttestService::new(vec![(3, enclave.platform_vendor_key())], 1);
+        let cas = ConfigAndAttestService::new(vec![(3, enclave.platform_vendor_key())], 1);
         let bundle = bundle_for(1, &[0, 1, 2]);
         // The verification in run_remote_attestation checks the enclave's own
         // expected measurement, so simulate the CAS-side policy check by verifying
@@ -222,12 +221,20 @@ mod tests {
         let mut cas = ConfigAndAttestService::new(vec![(3, vendor)], 1);
         let mut ias = IntelAttestationService::new(vec![(3, vendor)], 1);
 
-        let via_cas =
-            run_remote_attestation(&mut cas, &mut enclave_a, &bundle_for(1, &[0, 1, 2]), &mut rng)
-                .unwrap();
-        let via_ias =
-            run_remote_attestation(&mut ias, &mut enclave_b, &bundle_for(2, &[0, 1, 2]), &mut rng)
-                .unwrap();
+        let via_cas = run_remote_attestation(
+            &mut cas,
+            &mut enclave_a,
+            &bundle_for(1, &[0, 1, 2]),
+            &mut rng,
+        )
+        .unwrap();
+        let via_ias = run_remote_attestation(
+            &mut ias,
+            &mut enclave_b,
+            &bundle_for(2, &[0, 1, 2]),
+            &mut rng,
+        )
+        .unwrap();
         assert!(via_ias.latency_ns > 5 * via_cas.latency_ns);
     }
 

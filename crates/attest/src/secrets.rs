@@ -64,7 +64,7 @@ impl ClusterConfig {
 
     /// True if the membership satisfies N ≥ 2f + 1.
     pub fn is_well_formed(&self) -> bool {
-        self.members.len() >= 2 * self.fault_threshold + 1
+        self.members.len() > 2 * self.fault_threshold
     }
 }
 
@@ -96,7 +96,9 @@ impl SecretBundle {
     /// Decrypts and parses a bundle inside the attested enclave.
     pub fn open(shared: &SharedSecret, sealed: &Ciphertext) -> Result<SecretBundle, AttestError> {
         let cipher = Cipher::new(&shared.derive_cipher_key("recipe.attest.provisioning"));
-        let plaintext = cipher.open(sealed).map_err(|_| AttestError::ProvisioningFailed)?;
+        let plaintext = cipher
+            .open(sealed)
+            .map_err(|_| AttestError::ProvisioningFailed)?;
         serde_json::from_slice(&plaintext).map_err(|_| AttestError::ProvisioningFailed)
     }
 }
@@ -104,8 +106,8 @@ impl SecretBundle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use recipe_crypto::EphemeralSecret;
     use rand::SeedableRng;
+    use recipe_crypto::EphemeralSecret;
 
     fn bundle() -> SecretBundle {
         let mut channel_keys = BTreeMap::new();

@@ -35,8 +35,8 @@ mod tests {
     use super::*;
     use crate::cas::ConfigAndAttestService;
     use crate::ias::IntelAttestationService;
-    use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
     use rand::SeedableRng;
+    use recipe_tee::{Enclave, EnclaveConfig, EnclaveId};
 
     /// Both verifier implementations accept the same honest quote and reject the same
     /// forged one — the logic is shared, only latency differs.

@@ -7,21 +7,17 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for size in [256usize, 1024, 4096] {
         for kind in [ProtocolKind::RRaft, ProtocolKind::Pbft] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), size),
-                &size,
-                |b, &size| {
-                    b.iter(|| {
-                        run_protocol(&ExperimentConfig {
-                            protocol: kind,
-                            read_ratio: 0.9,
-                            value_size: size,
-                            operations: 300,
-                            ..ExperimentConfig::default()
-                        })
+            group.bench_with_input(BenchmarkId::new(kind.name(), size), &size, |b, &size| {
+                b.iter(|| {
+                    run_protocol(&ExperimentConfig {
+                        protocol: kind,
+                        read_ratio: 0.9,
+                        value_size: size,
+                        operations: 300,
+                        ..ExperimentConfig::default()
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

@@ -39,7 +39,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let key = format!("key-{}", i % 1000);
-            store.write(key.as_bytes(), &value, Timestamp::new(i, 0)).unwrap();
+            store
+                .write(key.as_bytes(), &value, Timestamp::new(i, 0))
+                .unwrap();
             store.get(key.as_bytes()).unwrap();
         })
     });

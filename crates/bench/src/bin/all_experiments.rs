@@ -10,6 +10,7 @@ fn main() {
         println!("{stack:<20} {size:>6} B {gbps:>10.2} Gb/s");
     }
     recipe_bench::print_rows("Damysus comparison", &recipe_bench::damysus_compare(ops));
+    recipe_bench::print_rows("Shard scaling", &recipe_bench::fig_shard_scaling(ops));
     println!("\n=== Table 4 ===");
     for (name, mean_s, speedup) in recipe_bench::table4_attestation(50) {
         println!("{name:<12} mean {mean_s:.3} s  ({speedup:.1}x)");

@@ -1,6 +1,9 @@
 //! Regenerates the §B.3 Recipe-vs-Damysus comparison.
 fn main() {
     let rows = recipe_bench::damysus_compare(1_500);
-    recipe_bench::print_rows("Recipe vs Damysus (speedup relative to Damysus @ 256 B)", &rows);
+    recipe_bench::print_rows(
+        "Recipe vs Damysus (speedup relative to Damysus @ 256 B)",
+        &rows,
+    );
     println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
 }

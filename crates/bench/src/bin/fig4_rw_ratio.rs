@@ -2,6 +2,9 @@
 //! protocols vs PBFT across read/write ratios.
 fn main() {
     let rows = recipe_bench::fig4_rw_ratio(1_500);
-    recipe_bench::print_rows("Figure 4: R-protocols vs PBFT across R/W ratios (256 B values)", &rows);
+    recipe_bench::print_rows(
+        "Figure 4: R-protocols vs PBFT across R/W ratios (256 B values)",
+        &rows,
+    );
     println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
 }

@@ -1,0 +1,11 @@
+//! Regenerates the shard-scaling experiment (beyond the paper): aggregate
+//! throughput of R-Raft and R-ABD across 1/2/4/8 consistent-hash shards under
+//! the default YCSB Zipfian workload.
+fn main() {
+    let rows = recipe_bench::fig_shard_scaling(1_200);
+    recipe_bench::print_rows(
+        "Shard scaling: R-Raft / R-ABD across 1-8 shards (YCSB Zipfian, 50% R)",
+        &rows,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
+}

@@ -3,7 +3,14 @@ fn main() {
     println!("=== Table 2: protocol properties ===");
     println!(
         "{:<20} {:>8} {:>8} {:>12} {:>20} {:>6} {:>6} {:>12}",
-        "protocol", "active", "total", "resilience", "msg complexity", "TEEs", "D-IO", "fault model"
+        "protocol",
+        "active",
+        "total",
+        "resilience",
+        "msg complexity",
+        "TEEs",
+        "D-IO",
+        "fault model"
     );
     for row in recipe_bft::table2_rows() {
         println!(

@@ -13,11 +13,12 @@ use std::cell::RefCell;
 
 use recipe_attest::{ConfigAndAttestService, IntelAttestationService, QuoteVerifier, SecretBundle};
 use recipe_bft::{DamysusReplica, PbftReplica};
-use recipe_core::{Membership, Operation};
+use recipe_core::Membership;
 use recipe_net::{ExecMode, NetCostModel, Transport};
 use recipe_protocols::{AbdReplica, AllConcurReplica, ChainReplica, RaftReplica};
+use recipe_shard::{ShardedCluster, ShardedConfig, ShardedRunStats};
 use recipe_sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
-use recipe_workload::{WorkloadOp, WorkloadSpec};
+use recipe_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 /// Which system a run exercises.
@@ -193,7 +194,9 @@ pub fn run_protocol(config: &ExperimentConfig) -> RunStats {
             config.seed,
         ),
         ProtocolKind::RAllConcur => run_cluster(
-            build(3, |id, m| AllConcurReplica::recipe(id, m, config.confidential)),
+            build(3, |id, m| {
+                AllConcurReplica::recipe(id, m, config.confidential)
+            }),
             recipe_profile(config),
             workload,
             operations,
@@ -212,7 +215,9 @@ pub fn run_protocol(config: &ExperimentConfig) -> RunStats {
             {
                 // PBFT needs 3f + 1 replicas for the same f = 1.
                 let membership = Membership::of_size(4, 1);
-                (0..4).map(|id| PbftReplica::new(id, membership.clone())).collect()
+                (0..4)
+                    .map(|id| PbftReplica::new(id, membership.clone()))
+                    .collect()
             },
             CostProfile::pbft_baseline(),
             workload,
@@ -223,7 +228,9 @@ pub fn run_protocol(config: &ExperimentConfig) -> RunStats {
         ProtocolKind::Damysus => run_cluster(
             {
                 let membership = Membership::of_size(3, 1);
-                (0..3).map(|id| DamysusReplica::new(id, membership.clone())).collect()
+                (0..3)
+                    .map(|id| DamysusReplica::new(id, membership.clone()))
+                    .collect()
             },
             CostProfile::damysus_baseline(),
             workload,
@@ -264,10 +271,8 @@ fn run_cluster<R: Replica>(
     };
     let mut cluster = SimCluster::new(replicas, sim_config);
     let generator = RefCell::new(workload.generator());
-    cluster.run(move |_client, _seq| match generator.borrow_mut().next_op() {
-        WorkloadOp::Read { key } => Operation::Get { key },
-        WorkloadOp::Write { key, value } => Operation::Put { key, value },
-    })
+    cluster
+        .run(move |_client, _seq| recipe_shard::op_from_workload(generator.borrow_mut().next_op()))
 }
 
 // ---------------------------------------------------------------------------
@@ -509,6 +514,124 @@ pub fn damysus_compare(operations: usize) -> Vec<ExperimentRow> {
     rows
 }
 
+/// Shard-scaling experiment (beyond the paper): aggregate throughput of
+/// R-Raft and R-ABD across 1/2/4/8 consistent-hash shards under the default
+/// YCSB Zipfian workload. Each shard is an independent 3-replica group; the
+/// single-shard rows are the baselines their speedups are measured against.
+pub fn fig_shard_scaling(operations: usize) -> Vec<ExperimentRow> {
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    for kind in [ProtocolKind::RRaft, ProtocolKind::RAbd] {
+        let mut baseline = None;
+        for &shards in &shard_counts {
+            let stats = run_sharded(kind, shards, operations);
+            let base = *baseline.get_or_insert(stats.total.throughput_ops);
+            rows.push(ExperimentRow {
+                protocol: kind.name().into(),
+                config: format!("{shards} shard{}", if shards == 1 { "" } else { "s" }),
+                throughput_ops: stats.total.throughput_ops,
+                mean_latency_us: stats.total.mean_latency_us,
+                speedup_vs_baseline: stats.total.throughput_ops / base,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs one sharded configuration: `shards` groups of 3 replicas, a global
+/// closed-loop client population and the default YCSB Zipfian workload.
+pub fn run_sharded(kind: ProtocolKind, shards: usize, operations: usize) -> ShardedRunStats {
+    let mut config = ShardedConfig::uniform(shards, 3, CostProfile::recipe());
+    config.base.seed = 7;
+    config.base.clients = ClientModel {
+        // Enough concurrency that a single leader saturates; fixed across
+        // shard counts so the sweep measures service capacity, not load.
+        clients: 64,
+        total_operations: operations,
+    };
+    let workload = WorkloadSpec {
+        seed: 7,
+        ..WorkloadSpec::default()
+    };
+    let groups = match kind {
+        ProtocolKind::RRaft => recipe_protocols::build_sharded_cluster(shards, 3, 1, |_, id, m| {
+            ShardReplica::Raft(RaftReplica::recipe(id, m, false))
+        }),
+        ProtocolKind::RAbd => recipe_protocols::build_sharded_cluster(shards, 3, 1, |_, id, m| {
+            ShardReplica::Abd(AbdReplica::recipe(id, m, false))
+        }),
+        other => panic!("shard scaling is defined for R-Raft and R-ABD, not {other:?}"),
+    };
+    let mut cluster = ShardedCluster::new(groups, config);
+    let generator = RefCell::new(workload.generator());
+    cluster
+        .run(move |_client, _seq| recipe_shard::op_from_workload(generator.borrow_mut().next_op()))
+}
+
+/// A replica that is either R-Raft or R-ABD, so one sharded driver type can
+/// host both sweep protocols.
+pub enum ShardReplica {
+    /// Recipe-transformed Raft.
+    Raft(RaftReplica),
+    /// Recipe-transformed ABD.
+    Abd(AbdReplica),
+}
+
+impl Replica for ShardReplica {
+    fn id(&self) -> recipe_net::NodeId {
+        match self {
+            ShardReplica::Raft(r) => r.id(),
+            ShardReplica::Abd(r) => r.id(),
+        }
+    }
+
+    fn on_client_request(
+        &mut self,
+        request: recipe_core::ClientRequest,
+        ctx: &mut recipe_sim::Ctx,
+    ) {
+        match self {
+            ShardReplica::Raft(r) => r.on_client_request(request, ctx),
+            ShardReplica::Abd(r) => r.on_client_request(request, ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: recipe_net::NodeId, bytes: &[u8], ctx: &mut recipe_sim::Ctx) {
+        match self {
+            ShardReplica::Raft(r) => r.on_message(from, bytes, ctx),
+            ShardReplica::Abd(r) => r.on_message(from, bytes, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut recipe_sim::Ctx) {
+        match self {
+            ShardReplica::Raft(r) => r.on_timer(token, ctx),
+            ShardReplica::Abd(r) => r.on_timer(token, ctx),
+        }
+    }
+
+    fn coordinates_writes(&self) -> bool {
+        match self {
+            ShardReplica::Raft(r) => r.coordinates_writes(),
+            ShardReplica::Abd(r) => r.coordinates_writes(),
+        }
+    }
+
+    fn coordinates_reads(&self) -> bool {
+        match self {
+            ShardReplica::Raft(r) => r.coordinates_reads(),
+            ShardReplica::Abd(r) => r.coordinates_reads(),
+        }
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        match self {
+            ShardReplica::Raft(r) => r.protocol_name(),
+            ShardReplica::Abd(r) => r.protocol_name(),
+        }
+    }
+}
+
 /// Table 4: end-to-end attestation latency through the Recipe CAS vs through the
 /// vendor IAS, averaged over `rounds` attestations each.
 pub fn table4_attestation(rounds: usize) -> Vec<(String, f64, f64)> {
@@ -540,11 +663,9 @@ pub fn table4_attestation(rounds: usize) -> Vec<(String, f64, f64)> {
     }
 
     // Both services must trust platform 1's vendor key.
-    let vendor = recipe_tee::Enclave::launch(
-        EnclaveId(1000),
-        EnclaveConfig::new("recipe-replica-v1", 1),
-    )
-    .platform_vendor_key();
+    let vendor =
+        recipe_tee::Enclave::launch(EnclaveId(1000), EnclaveConfig::new("recipe-replica-v1", 1))
+            .platform_vendor_key();
     let mut cas = ConfigAndAttestService::new(vec![(1, vendor)], 5);
     let mut ias = IntelAttestationService::new(vec![(1, vendor)], 5);
     let cas_mean = run_path(&mut cas, rounds);
@@ -565,7 +686,11 @@ pub fn print_rows(title: &str, rows: &[ExperimentRow]) {
     for row in rows {
         println!(
             "{:<22} {:>12} {:>16.0} {:>14.1} {:>9.2}x",
-            row.protocol, row.config, row.throughput_ops, row.mean_latency_us, row.speedup_vs_baseline
+            row.protocol,
+            row.config,
+            row.throughput_ops,
+            row.mean_latency_us,
+            row.speedup_vs_baseline
         );
     }
 }
@@ -669,6 +794,32 @@ mod tests {
             "CAS speedup was {:.1}x",
             cas.2
         );
+    }
+
+    #[test]
+    fn shard_scaling_doubles_r_raft_throughput_at_four_shards() {
+        let rows = fig_shard_scaling(600);
+        let speedup_of = |protocol: &str, config: &str| {
+            rows.iter()
+                .find(|r| r.protocol == protocol && r.config == config)
+                .map(|r| r.speedup_vs_baseline)
+                .unwrap()
+        };
+        assert_eq!(speedup_of("R-Raft", "1 shard"), 1.0);
+        assert!(
+            speedup_of("R-Raft", "4 shards") >= 2.0,
+            "R-Raft 4-shard speedup {:.2}",
+            speedup_of("R-Raft", "4 shards")
+        );
+        assert!(
+            speedup_of("R-ABD", "4 shards") >= 2.0,
+            "R-ABD 4-shard speedup {:.2}",
+            speedup_of("R-ABD", "4 shards")
+        );
+        // More shards never hurt aggregate throughput in this sweep.
+        for protocol in ["R-Raft", "R-ABD"] {
+            assert!(speedup_of(protocol, "8 shards") > speedup_of(protocol, "4 shards"));
+        }
     }
 
     #[test]

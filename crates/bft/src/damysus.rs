@@ -87,7 +87,10 @@ impl DamysusReplica {
     }
 
     fn send(&self, ctx: &mut Ctx, dst: NodeId, msg: &DamysusMsg) {
-        ctx.send(dst, serde_json::to_vec(msg).expect("damysus message serializes"));
+        ctx.send(
+            dst,
+            serde_json::to_vec(msg).expect("damysus message serializes"),
+        );
     }
 
     fn broadcast(&self, ctx: &mut Ctx, msg: &DamysusMsg) {
@@ -259,7 +262,7 @@ mod tests {
 
     fn workload(client: u64, seq: u64) -> Operation {
         let key = format!("key-{}", (client + seq) % 20).into_bytes();
-        if seq % 3 == 0 {
+        if seq.is_multiple_of(3) {
             Operation::Get { key }
         } else {
             Operation::Put {
@@ -283,7 +286,9 @@ mod tests {
         assert_eq!(stats.committed, 200);
         // A quorum of replicas executed (nearly) all committed operations; the
         // leader is the bottleneck and may stop with a backlog.
-        let executed: Vec<u64> = (0..3).map(|id| cluster.replica(NodeId(id)).executed_ops()).collect();
+        let executed: Vec<u64> = (0..3)
+            .map(|id| cluster.replica(NodeId(id)).executed_ops())
+            .collect();
         let near_complete = executed.iter().filter(|&&e| e >= 180).count();
         assert!(near_complete >= 2, "executed per replica: {executed:?}");
     }

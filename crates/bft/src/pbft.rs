@@ -116,7 +116,10 @@ impl PbftReplica {
     }
 
     fn send(&self, ctx: &mut Ctx, dst: NodeId, msg: &PbftMsg) {
-        ctx.send(dst, serde_json::to_vec(msg).expect("pbft message serializes"));
+        ctx.send(
+            dst,
+            serde_json::to_vec(msg).expect("pbft message serializes"),
+        );
     }
 
     fn broadcast(&self, ctx: &mut Ctx, msg: &PbftMsg) {
@@ -228,9 +231,7 @@ impl PbftReplica {
         let needed = self.quorum_2f();
         let (ready, digest) = match self.slots.get_mut(&seq) {
             Some(slot)
-                if !slot.prepared
-                    && slot.request.is_some()
-                    && slot.prepares.len() >= needed =>
+                if !slot.prepared && slot.request.is_some() && slot.prepares.len() >= needed =>
             {
                 slot.prepared = true;
                 slot.commits.insert(self.id.0);
@@ -317,7 +318,7 @@ mod tests {
 
     fn mixed(client: u64, seq: u64) -> Operation {
         let key = format!("key-{}", (client + seq) % 30).into_bytes();
-        if seq % 2 == 0 {
+        if seq.is_multiple_of(2) {
             Operation::Get { key }
         } else {
             Operation::Put {
@@ -344,10 +345,15 @@ mod tests {
         // A quorum of replicas executed (nearly) all committed operations; the
         // primary is the bottleneck and may still have a backlog of commit messages
         // queued when the run stops.
-        let executed: Vec<u64> = (0..4).map(|id| cluster.replica(NodeId(id)).executed_ops()).collect();
+        let executed: Vec<u64> = (0..4)
+            .map(|id| cluster.replica(NodeId(id)).executed_ops())
+            .collect();
         let near_complete = executed.iter().filter(|&&e| e >= 190).count();
         assert!(near_complete >= 3, "executed per replica: {executed:?}");
-        assert!(executed.iter().all(|&e| e >= 50), "executed per replica: {executed:?}");
+        assert!(
+            executed.iter().all(|&e| e >= 50),
+            "executed per replica: {executed:?}"
+        );
     }
 
     #[test]
@@ -363,7 +369,10 @@ mod tests {
             .map(|id| PbftReplica::new(id, membership.clone()))
             .collect();
         let mut config = SimConfig::uniform(4, CostProfile::pbft_baseline());
-        config.clients = ClientModel { clients: 1, total_operations: 50 };
+        config.clients = ClientModel {
+            clients: 1,
+            total_operations: 50,
+        };
         let mut cluster = SimCluster::new(replicas, config);
         let stats = cluster.run(|client, seq| Operation::Put {
             key: format!("key-{}", (client + seq) % 10).into_bytes(),

@@ -141,7 +141,11 @@ impl AuthLayer {
 
     /// Counts of rejected messages `(replays, bad_auth, wrong_view)`.
     pub fn rejection_counts(&self) -> (u64, u64, u64) {
-        (self.rejected_replays, self.rejected_auth, self.rejected_view)
+        (
+            self.rejected_replays,
+            self.rejected_auth,
+            self.rejected_view,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -175,7 +179,10 @@ impl AuthLayer {
             let cipher = self.enclave.cipher(CIPHER_LABEL)?;
             let nonce = Self::payload_nonce(&channel, counter);
             let ct = cipher.seal(nonce, payload);
-            (serde_json::to_vec(&ct).expect("ciphertext serializes"), true)
+            (
+                serde_json::to_vec(&ct).expect("ciphertext serializes"),
+                true,
+            )
         } else {
             (payload.to_vec(), false)
         };
@@ -315,9 +322,8 @@ impl AuthLayer {
     }
 
     fn payload_nonce(channel: &ChannelId, counter: u64) -> Nonce {
-        let value = ((channel.src.0 as u128) << 96)
-            | ((channel.dst.0 as u128) << 64)
-            | counter as u128;
+        let value =
+            ((channel.src.0 as u128) << 96) | ((channel.dst.0 as u128) << 64) | counter as u128;
         Nonce::from_u128(value)
     }
 }
@@ -335,12 +341,18 @@ mod tests {
         let mut enclave_1 = Enclave::launch(EnclaveId(1), EnclaveConfig::new("code", 1));
         let mut enclave_2 = Enclave::launch(EnclaveId(2), EnclaveConfig::new("code", 2));
         for label in ["cq:1->2", "cq:2->1"] {
-            enclave_1.provision_mac_key(label, master.derive(label)).unwrap();
-            enclave_2.provision_mac_key(label, master.derive(label)).unwrap();
+            enclave_1
+                .provision_mac_key(label, master.derive(label))
+                .unwrap();
+            enclave_2
+                .provision_mac_key(label, master.derive(label))
+                .unwrap();
         }
         if confidential {
             let key = CipherKey::from_bytes([3u8; 32]);
-            enclave_1.provision_cipher_key(CIPHER_LABEL, key.clone()).unwrap();
+            enclave_1
+                .provision_cipher_key(CIPHER_LABEL, key.clone())
+                .unwrap();
             enclave_2.provision_cipher_key(CIPHER_LABEL, key).unwrap();
         }
         (
@@ -353,10 +365,16 @@ mod tests {
     fn shield_then_verify_accepts_in_order_messages() {
         let (mut sender, mut receiver) = layer_pair(false);
         for i in 1..=5u64 {
-            let msg = sender.shield(NodeId(2), 7, format!("op{i}").as_bytes()).unwrap();
+            let msg = sender
+                .shield(NodeId(2), 7, format!("op{i}").as_bytes())
+                .unwrap();
             assert_eq!(msg.tuple.counter, i);
             match receiver.verify(&msg) {
-                VerifyOutcome::Accept { kind, payload, counter } => {
+                VerifyOutcome::Accept {
+                    kind,
+                    payload,
+                    counter,
+                } => {
                     assert_eq!(kind, 7);
                     assert_eq!(payload, format!("op{i}").into_bytes());
                     assert_eq!(counter, i);
@@ -374,7 +392,10 @@ mod tests {
         assert!(receiver.verify(&msg).is_accept());
         // The adversary replays the (authentic, previously accepted) message.
         match receiver.verify(&msg) {
-            VerifyOutcome::Replay { counter, last_accepted } => {
+            VerifyOutcome::Replay {
+                counter,
+                last_accepted,
+            } => {
                 assert_eq!(counter, 1);
                 assert_eq!(last_accepted, 1);
             }
@@ -443,11 +464,17 @@ mod tests {
         // Deliver out of order: 3, 2, then 1.
         assert_eq!(
             receiver.verify(&m3),
-            VerifyOutcome::Future { counter: 3, expected: 1 }
+            VerifyOutcome::Future {
+                counter: 3,
+                expected: 1
+            }
         );
         assert_eq!(
             receiver.verify(&m2),
-            VerifyOutcome::Future { counter: 2, expected: 1 }
+            VerifyOutcome::Future {
+                counter: 2,
+                expected: 1
+            }
         );
         assert_eq!(receiver.pending_from(NodeId(1)), 2);
         assert!(receiver.take_ready(NodeId(1)).is_empty());
@@ -471,7 +498,9 @@ mod tests {
         let master = MacKey::from_bytes([9u8; 32]);
         let mut enclave = Enclave::launch(EnclaveId(1), EnclaveConfig::new("code", 1));
         for label in ["cq:1->2", "cq:1->3"] {
-            enclave.provision_mac_key(label, master.derive(label)).unwrap();
+            enclave
+                .provision_mac_key(label, master.derive(label))
+                .unwrap();
         }
         let mut sender = AuthLayer::new(NodeId(1), enclave, false);
         let to_2 = sender.shield(NodeId(2), 1, b"a").unwrap();
@@ -507,7 +536,9 @@ mod tests {
         let master = MacKey::from_bytes([9u8; 32]);
         let mut enclave = Enclave::launch(EnclaveId(2), EnclaveConfig::new("code", 2));
         for label in ["cq:1->2", "cq:2->1"] {
-            enclave.provision_mac_key(label, master.derive(label)).unwrap();
+            enclave
+                .provision_mac_key(label, master.derive(label))
+                .unwrap();
         }
         enclave
             .provision_cipher_key(CIPHER_LABEL, CipherKey::from_bytes([99u8; 32]))
@@ -530,6 +561,9 @@ mod tests {
         let mut conflicting = honest.clone();
         conflicting.payload = b"value=B".to_vec();
         assert!(receiver.verify(&honest).is_accept());
-        assert_eq!(receiver.verify(&conflicting), VerifyOutcome::BadAuthenticator);
+        assert_eq!(
+            receiver.verify(&conflicting),
+            VerifyOutcome::BadAuthenticator
+        );
     }
 }

@@ -63,7 +63,10 @@ impl fmt::Display for RecipeError {
                 None => write!(f, "not the leader"),
             },
             RecipeError::NotAttested => {
-                write!(f, "node has not completed the transferable authentication phase")
+                write!(
+                    f,
+                    "node has not completed the transferable authentication phase"
+                )
             }
             RecipeError::Tee(err) => write!(f, "TEE error: {err}"),
             RecipeError::Kv(err) => write!(f, "KV error: {err}"),
@@ -114,8 +117,10 @@ mod tests {
             last_accepted: 9,
         };
         assert!(err.to_string().contains("cq:1->2"));
-        assert!(RecipeError::NotLeader { leader_hint: Some(2) }
-            .to_string()
-            .contains('2'));
+        assert!(RecipeError::NotLeader {
+            leader_hint: Some(2)
+        }
+        .to_string()
+        .contains('2'));
     }
 }

@@ -38,7 +38,7 @@ pub use auth::{AuthLayer, VerifyOutcome};
 pub use client_table::ClientTable;
 pub use error::RecipeError;
 pub use membership::Membership;
-pub use message::{ClientRequest, ClientReply, Operation, SequenceTuple, ShieldedMessage};
+pub use message::{ClientReply, ClientRequest, Operation, SequenceTuple, ShieldedMessage};
 pub use node::{NodeRole, RecipeConfig, RecipeNode};
 pub use recovery::{JoinCoordinator, JoinRequest, StateSnapshot};
 pub use view::ViewTracker;

@@ -57,7 +57,7 @@ impl Membership {
 
     /// True if the deployment satisfies `N ≥ 2f + 1`.
     pub fn is_well_formed(&self) -> bool {
-        self.members.len() >= 2 * self.fault_threshold + 1
+        self.members.len() > 2 * self.fault_threshold
     }
 
     /// True if `node` is a member.
@@ -67,7 +67,11 @@ impl Membership {
 
     /// Peers of `node` (everyone but itself).
     pub fn peers_of(&self, node: NodeId) -> Vec<NodeId> {
-        self.members.iter().copied().filter(|&m| m != node).collect()
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| m != node)
+            .collect()
     }
 
     /// Deterministic leader for a view: round-robin over the sorted membership.

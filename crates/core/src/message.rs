@@ -160,7 +160,8 @@ impl ClientRequest {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&self.client_id.to_le_bytes());
         bytes.extend_from_slice(&self.request_id.to_le_bytes());
-        bytes.extend_from_slice(&serde_json::to_vec(&self.operation).expect("operation serializes"));
+        bytes
+            .extend_from_slice(&serde_json::to_vec(&self.operation).expect("operation serializes"));
         bytes
     }
 

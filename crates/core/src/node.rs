@@ -98,7 +98,8 @@ impl RecipeNode {
     /// protocol traffic until [`RecipeNode::attest`] and [`RecipeNode::init_store`]
     /// have run.
     pub fn launch(config: RecipeConfig) -> Self {
-        let mut enclave_config = EnclaveConfig::new(config.code_identity.clone(), config.platform_id);
+        let mut enclave_config =
+            EnclaveConfig::new(config.code_identity.clone(), config.platform_id);
         if let Some(bytes) = config.epc_bytes {
             enclave_config = enclave_config.with_epc_bytes(bytes);
         }
@@ -298,7 +299,9 @@ impl RecipeNode {
 
     /// Writes a key-value pair to the local store (`write`).
     pub fn write(&mut self, key: &[u8], value: &[u8], ts: Timestamp) -> Result<u64, RecipeError> {
-        self.store_mut()?.write(key, value, ts).map_err(RecipeError::from)
+        self.store_mut()?
+            .write(key, value, ts)
+            .map_err(RecipeError::from)
     }
 
     /// Reads (and integrity-verifies) the value for `key` (`get`).
@@ -308,7 +311,9 @@ impl RecipeNode {
 
     /// Direct access to the KV store for protocols that need timestamps/versions.
     pub fn store_mut(&mut self) -> Result<&mut PartitionedKvStore, RecipeError> {
-        self.store.as_mut().ok_or(RecipeError::Malformed("store not initialized"))
+        self.store
+            .as_mut()
+            .ok_or(RecipeError::Malformed("store not initialized"))
     }
 
     // ------------------------------------------------------------------
@@ -347,10 +352,10 @@ impl std::fmt::Debug for RecipeNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use recipe_attest::{derive_channel_keys, ClusterConfig, ConfigAndAttestService};
     use recipe_crypto::{KeyMaterial, MacKey, SigningKeyPair};
     use recipe_net::LoopbackFabric;
-    use rand::SeedableRng;
 
     /// Builds a fully attested 3-node cluster plus the CAS used to attest it.
     fn attested_cluster(confidential: bool) -> Vec<RecipeNode> {
@@ -365,7 +370,10 @@ mod tests {
             }
             let mut node = RecipeNode::launch(config);
             let mut cas = ConfigAndAttestService::new(
-                vec![(node.auth().enclave().config().platform_id, node.auth().enclave().platform_vendor_key())],
+                vec![(
+                    node.auth().enclave().config().platform_id,
+                    node.auth().enclave().platform_vendor_key(),
+                )],
                 id,
             );
             let bundle = SecretBundle {
@@ -441,7 +449,9 @@ mod tests {
             other => panic!("expected Accept, got {other:?}"),
         }
         // Confidential KV store hides values from the host too.
-        nodes[0].write(b"k", b"secret-value", Timestamp::new(1, 0)).unwrap();
+        nodes[0]
+            .write(b"k", b"secret-value", Timestamp::new(1, 0))
+            .unwrap();
         assert_eq!(nodes[0].get(b"k").unwrap().value, b"secret-value");
     }
 
@@ -460,12 +470,18 @@ mod tests {
         let mut nodes = attested_cluster(false);
         let now = TrustedInstant::from_millis(0);
         nodes[1].leader_heartbeat(NodeId(0), now);
-        assert_eq!(nodes[1].check_view(TrustedInstant::from_millis(10)), ViewAction::KeepFollowing);
+        assert_eq!(
+            nodes[1].check_view(TrustedInstant::from_millis(10)),
+            ViewAction::KeepFollowing
+        );
 
         // Leader 0 goes silent; after the lease expires node 1 starts a view change.
         let later = TrustedInstant::from_millis(200);
         match nodes[1].check_view(later) {
-            ViewAction::StartViewChange { new_view, new_leader } => {
+            ViewAction::StartViewChange {
+                new_view,
+                new_leader,
+            } => {
                 assert_eq!(new_view, 1);
                 assert_eq!(new_leader, NodeId(1));
             }
@@ -479,7 +495,9 @@ mod tests {
         assert_eq!(nodes[1].auth().view(), 1);
         // Messages shielded in the old view are rejected after the change.
         // (shield in new view works fine)
-        let msg = nodes[1].shield_msg(NodeId(2), 1, b"post-view-change").unwrap();
+        let msg = nodes[1]
+            .shield_msg(NodeId(2), 1, b"post-view-change")
+            .unwrap();
         assert!(nodes[2].verify_msg(&msg).is_accept());
     }
 

@@ -171,7 +171,9 @@ mod tests {
         let mut target = PartitionedKvStore::new(StoreConfig::default());
         // The shadow replica already received a newer write while the snapshot was in
         // flight.
-        target.write(b"k", b"newer", Timestamp::new(100, 1)).unwrap();
+        target
+            .write(b"k", b"newer", Timestamp::new(100, 1))
+            .unwrap();
         snapshot.apply(&mut target);
         assert_eq!(target.get(b"k").unwrap().value, b"newer");
     }

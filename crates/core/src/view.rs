@@ -154,7 +154,10 @@ mod tests {
         let mut v = tracker();
         v.record_leader_heartbeat(NodeId(0), t(0));
         match v.check(t(20)) {
-            ViewAction::StartViewChange { new_view, new_leader } => {
+            ViewAction::StartViewChange {
+                new_view,
+                new_leader,
+            } => {
                 assert_eq!(new_view, 1);
                 assert_eq!(new_leader, NodeId(1));
             }

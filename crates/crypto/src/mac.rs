@@ -70,7 +70,8 @@ impl MacKey {
     pub fn verify(&self, message: &[u8], tag: &MacTag) -> Result<(), CryptoError> {
         let mut mac = HmacSha256::new_from_slice(&self.0).expect("HMAC accepts any key length");
         mac.update(message);
-        mac.verify_slice(&tag.0).map_err(|_| CryptoError::MacMismatch)
+        mac.verify_slice(&tag.0)
+            .map_err(|_| CryptoError::MacMismatch)
     }
 
     /// Verifies a tag computed with [`MacKey::tag_parts`].
@@ -80,7 +81,8 @@ impl MacKey {
             mac.update(&(part.len() as u64).to_le_bytes());
             mac.update(part);
         }
-        mac.verify_slice(&tag.0).map_err(|_| CryptoError::MacMismatch)
+        mac.verify_slice(&tag.0)
+            .map_err(|_| CryptoError::MacMismatch)
     }
 }
 
@@ -163,7 +165,10 @@ mod tests {
     fn verify_rejects_wrong_key() {
         let tag = key().tag(b"payload");
         let other = MacKey::from_bytes([9u8; 32]);
-        assert_eq!(other.verify(b"payload", &tag), Err(CryptoError::MacMismatch));
+        assert_eq!(
+            other.verify(b"payload", &tag),
+            Err(CryptoError::MacMismatch)
+        );
     }
 
     #[test]

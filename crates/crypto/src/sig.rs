@@ -135,8 +135,8 @@ impl fmt::Debug for PublicKey {
 }
 
 /// A detached Ed25519 signature.
-#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Signature(#[serde(with = "serde_sig")] [u8; SIGNATURE_LEN]);
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature([u8; SIGNATURE_LEN]);
 
 impl Signature {
     /// Wraps raw signature bytes.
@@ -171,21 +171,20 @@ impl fmt::Debug for Signature {
     }
 }
 
-mod serde_sig {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(sig: &[u8; 64], s: S) -> Result<S::Ok, S::Error> {
-        sig.as_slice().serialize(s)
+// The 64-byte signature array is serialized by hand as a plain byte sequence
+// (the vendored serde stand-in has no `with = "module"` support, and arrays
+// this long would otherwise need a const-generic detour).
+impl Serialize for Signature {
+    fn to_value(&self) -> serde::Value {
+        self.0.as_slice().to_value()
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 64], D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        if v.len() != 64 {
-            return Err(serde::de::Error::custom("signature must be 64 bytes"));
-        }
-        let mut out = [0u8; 64];
-        out.copy_from_slice(&v);
-        Ok(out)
+impl Deserialize for Signature {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let bytes = Vec::<u8>::from_value(v)?;
+        Signature::try_from_slice(&bytes)
+            .map_err(|_| serde::Error::custom("signature must be 64 bytes"))
     }
 }
 

@@ -35,10 +35,18 @@ impl fmt::Display for KvError {
         match self {
             KvError::NotFound => write!(f, "key not found"),
             KvError::IntegrityViolation { key } => {
-                write!(f, "integrity violation for key {:?}", String::from_utf8_lossy(key))
+                write!(
+                    f,
+                    "integrity violation for key {:?}",
+                    String::from_utf8_lossy(key)
+                )
             }
             KvError::DecryptionFailed { key } => {
-                write!(f, "decryption failed for key {:?}", String::from_utf8_lossy(key))
+                write!(
+                    f,
+                    "decryption failed for key {:?}",
+                    String::from_utf8_lossy(key)
+                )
             }
             KvError::StaleTimestamp => write!(f, "write carried a stale timestamp"),
             KvError::HostValueMissing { key } => write!(

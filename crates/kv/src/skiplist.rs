@@ -175,10 +175,10 @@ impl<V> SkipList<V> {
             }
         };
 
-        for lvl in 0..height {
-            let next = self.next_of(preds[lvl], lvl);
+        for (lvl, &pred) in preds.iter().enumerate().take(height) {
+            let next = self.next_of(pred, lvl);
             self.node_mut(idx).forward[lvl] = next;
-            match preds[lvl] {
+            match pred {
                 None => self.head[lvl] = Some(idx),
                 Some(pred_idx) => self.node_mut(pred_idx).forward[lvl] = Some(idx),
             }
@@ -195,12 +195,12 @@ impl<V> SkipList<V> {
             return None;
         }
         let height = self.node(target).forward.len();
-        for lvl in 0..height {
+        for (lvl, &pred) in preds.iter().enumerate().take(height) {
             // Unlink only where the predecessor actually points at the target.
-            let pred_next = self.next_of(preds[lvl], lvl);
+            let pred_next = self.next_of(pred, lvl);
             if pred_next == Some(target) {
                 let successor = self.node(target).forward[lvl];
-                match preds[lvl] {
+                match pred {
                     None => self.head[lvl] = successor,
                     Some(pred_idx) => self.node_mut(pred_idx).forward[lvl] = successor,
                 }

@@ -228,20 +228,18 @@ impl PartitionedKvStore {
     pub fn get(&mut self, key: &[u8]) -> Result<ReadResult, KvError> {
         self.stats.reads += 1;
         let meta = self.index.get(key).ok_or(KvError::NotFound)?.clone();
-        let host_value =
-            self.host_arena
-                .get(meta.host_slot)
-                .and_then(|slot| slot.as_ref())
-                .ok_or_else(|| KvError::HostValueMissing { key: key.to_vec() })?;
+        let host_value = self
+            .host_arena
+            .get(meta.host_slot)
+            .and_then(|slot| slot.as_ref())
+            .ok_or_else(|| KvError::HostValueMissing { key: key.to_vec() })?;
 
         let plaintext = match (host_value, &self.cipher) {
             (HostValue::Plain(bytes), _) => bytes.clone(),
-            (HostValue::Encrypted(ct), Some(cipher)) => {
-                cipher.open(ct).map_err(|_| {
-                    self.stats.integrity_failures += 1;
-                    KvError::DecryptionFailed { key: key.to_vec() }
-                })?
-            }
+            (HostValue::Encrypted(ct), Some(cipher)) => cipher.open(ct).map_err(|_| {
+                self.stats.integrity_failures += 1;
+                KvError::DecryptionFailed { key: key.to_vec() }
+            })?,
             (HostValue::Encrypted(_), None) => {
                 return Err(KvError::DecryptionFailed { key: key.to_vec() })
             }
@@ -288,8 +286,8 @@ impl PartitionedKvStore {
 
     /// Memory and operation statistics.
     pub fn stats(&self) -> StoreStats {
-        let enclave_bytes = self.index.index_bytes()
-            + self.index.len() * std::mem::size_of::<ValueMeta>();
+        let enclave_bytes =
+            self.index.index_bytes() + self.index.len() * std::mem::size_of::<ValueMeta>();
         let host_bytes = self
             .host_arena
             .iter()
@@ -314,7 +312,11 @@ impl PartitionedKvStore {
         let Some(meta) = self.index.get(key) else {
             return false;
         };
-        match self.host_arena.get_mut(meta.host_slot).and_then(|s| s.as_mut()) {
+        match self
+            .host_arena
+            .get_mut(meta.host_slot)
+            .and_then(|s| s.as_mut())
+        {
             Some(HostValue::Plain(bytes)) => {
                 if bytes.is_empty() {
                     bytes.push(0xFF);
@@ -377,7 +379,9 @@ mod tests {
     }
 
     fn confidential_store() -> PartitionedKvStore {
-        PartitionedKvStore::new(StoreConfig::default().with_cipher(CipherKey::from_bytes([7u8; 32])))
+        PartitionedKvStore::new(
+            StoreConfig::default().with_cipher(CipherKey::from_bytes([7u8; 32])),
+        )
     }
 
     #[test]
@@ -415,21 +419,31 @@ mod tests {
     #[test]
     fn write_if_newer_enforces_timestamp_order() {
         let mut store = plain_store();
-        assert!(store.write_if_newer(b"k", b"v1", Timestamp::new(5, 1)).unwrap());
+        assert!(store
+            .write_if_newer(b"k", b"v1", Timestamp::new(5, 1))
+            .unwrap());
         // Older timestamp: skipped.
-        assert!(!store.write_if_newer(b"k", b"old", Timestamp::new(4, 9)).unwrap());
+        assert!(!store
+            .write_if_newer(b"k", b"old", Timestamp::new(4, 9))
+            .unwrap());
         assert_eq!(store.get(b"k").unwrap().value, b"v1");
         // Equal timestamp: also skipped (not strictly newer).
-        assert!(!store.write_if_newer(b"k", b"same", Timestamp::new(5, 1)).unwrap());
+        assert!(!store
+            .write_if_newer(b"k", b"same", Timestamp::new(5, 1))
+            .unwrap());
         // Newer: applied.
-        assert!(store.write_if_newer(b"k", b"v2", Timestamp::new(5, 2)).unwrap());
+        assert!(store
+            .write_if_newer(b"k", b"v2", Timestamp::new(5, 2))
+            .unwrap());
         assert_eq!(store.get(b"k").unwrap().value, b"v2");
     }
 
     #[test]
     fn host_corruption_is_detected_on_read() {
         let mut store = plain_store();
-        store.write(b"k", b"legit value", Timestamp::new(1, 0)).unwrap();
+        store
+            .write(b"k", b"legit value", Timestamp::new(1, 0))
+            .unwrap();
         assert!(store.corrupt_host_value(b"k"));
         assert!(matches!(
             store.get(b"k"),
@@ -443,7 +457,10 @@ mod tests {
         let mut store = plain_store();
         store.write(b"k", b"v", Timestamp::new(1, 0)).unwrap();
         assert!(store.drop_host_value(b"k"));
-        assert!(matches!(store.get(b"k"), Err(KvError::HostValueMissing { .. })));
+        assert!(matches!(
+            store.get(b"k"),
+            Err(KvError::HostValueMissing { .. })
+        ));
     }
 
     #[test]
@@ -451,9 +468,16 @@ mod tests {
         let mut store = confidential_store();
         assert!(store.is_confidential());
         store
-            .write(b"patient:42", b"diagnosis: classified", Timestamp::new(1, 0))
+            .write(
+                b"patient:42",
+                b"diagnosis: classified",
+                Timestamp::new(1, 0),
+            )
             .unwrap();
-        assert_eq!(store.get(b"patient:42").unwrap().value, b"diagnosis: classified");
+        assert_eq!(
+            store.get(b"patient:42").unwrap().value,
+            b"diagnosis: classified"
+        );
         // The untrusted host sees ciphertext only.
         let visible = store.host_visible_bytes(b"patient:42").unwrap();
         assert_ne!(visible, b"diagnosis: classified");
@@ -464,7 +488,10 @@ mod tests {
         let mut store = confidential_store();
         store.write(b"k", b"secret", Timestamp::new(1, 0)).unwrap();
         assert!(store.corrupt_host_value(b"k"));
-        assert!(matches!(store.get(b"k"), Err(KvError::DecryptionFailed { .. })));
+        assert!(matches!(
+            store.get(b"k"),
+            Err(KvError::DecryptionFailed { .. })
+        ));
         assert_eq!(store.stats().integrity_failures, 1);
     }
 
@@ -472,7 +499,9 @@ mod tests {
     fn plain_store_exposes_plaintext_to_host() {
         // Negative control for the confidentiality property.
         let mut store = plain_store();
-        store.write(b"k", b"public value", Timestamp::new(1, 0)).unwrap();
+        store
+            .write(b"k", b"public value", Timestamp::new(1, 0))
+            .unwrap();
         assert_eq!(store.host_visible_bytes(b"k").unwrap(), b"public value");
     }
 
@@ -492,8 +521,12 @@ mod tests {
     #[test]
     fn stats_partition_enclave_and_host_bytes() {
         let mut store = plain_store();
-        store.write(b"key-one", &[0u8; 1000], Timestamp::new(1, 0)).unwrap();
-        store.write(b"key-two", &[0u8; 2000], Timestamp::new(1, 0)).unwrap();
+        store
+            .write(b"key-one", &[0u8; 1000], Timestamp::new(1, 0))
+            .unwrap();
+        store
+            .write(b"key-two", &[0u8; 2000], Timestamp::new(1, 0))
+            .unwrap();
         let stats = store.stats();
         assert_eq!(stats.keys, 2);
         assert_eq!(stats.host_bytes, 3000);
@@ -505,7 +538,9 @@ mod tests {
     #[test]
     fn confidential_host_bytes_include_cipher_overhead() {
         let mut store = confidential_store();
-        store.write(b"k", &[0u8; 1000], Timestamp::new(1, 0)).unwrap();
+        store
+            .write(b"k", &[0u8; 1000], Timestamp::new(1, 0))
+            .unwrap();
         assert!(store.stats().host_bytes > 1000);
     }
 

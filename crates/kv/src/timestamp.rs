@@ -20,7 +20,10 @@ pub struct Timestamp {
 
 impl Timestamp {
     /// The zero timestamp (smaller than every real write).
-    pub const ZERO: Timestamp = Timestamp { logical: 0, node: 0 };
+    pub const ZERO: Timestamp = Timestamp {
+        logical: 0,
+        node: 0,
+    };
 
     /// Creates a timestamp.
     pub const fn new(logical: u64, node: u64) -> Self {

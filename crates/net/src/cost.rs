@@ -121,7 +121,10 @@ impl NetCostModel {
         mode: ExecMode,
         payload_bytes: usize,
     ) -> f64 {
-        Self::gbps(payload_bytes, self.message_cost_ns(transport, mode, payload_bytes))
+        Self::gbps(
+            payload_bytes,
+            self.message_cost_ns(transport, mode, payload_bytes),
+        )
     }
 
     /// Goodput in Gbit/s of the Recipe-lib network stack.
@@ -216,7 +219,10 @@ mod tests {
     fn zero_payload_has_finite_positive_cost() {
         let m = NetCostModel::default();
         assert!(m.message_cost_ns(Transport::DirectIo, ExecMode::Native, 0) > 0.0);
-        assert_eq!(m.throughput_gbps(Transport::DirectIo, ExecMode::Native, 0), 0.0);
+        assert_eq!(
+            m.throughput_gbps(Transport::DirectIo, ExecMode::Native, 0),
+            0.0
+        );
     }
 
     proptest! {

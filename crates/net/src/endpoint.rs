@@ -253,7 +253,9 @@ mod tests {
         let err = ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![1]));
         assert_eq!(err, Err(NetError::NotConnected { peer: NodeId(2) }));
         ep.connect(NodeId(2));
-        assert!(ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![1])).is_ok());
+        assert!(ep
+            .send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![1]))
+            .is_ok());
         assert_eq!(ep.tx_pending(), 1);
         assert!(ep.is_connected(NodeId(2)));
         assert_eq!(ep.peers(), vec![NodeId(2)]);
@@ -267,8 +269,10 @@ mod tests {
             rx_ring_capacity: 2,
         });
         ep.connect(NodeId(2));
-        ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![])).unwrap();
-        ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![])).unwrap();
+        ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![]))
+            .unwrap();
+        ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![]))
+            .unwrap();
         assert_eq!(
             ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![])),
             Err(NetError::TxRingFull { capacity: 2 })
@@ -301,8 +305,10 @@ mod tests {
         let mut ep = endpoint(1);
         let mut fabric = LoopbackFabric::new();
         ep.connect(NodeId(2));
-        ep.send(NodeId(2), MsgBuf::new(ReqType::REPLICATE, b"r1".to_vec())).unwrap();
-        ep.send(NodeId(2), MsgBuf::new(ReqType::REPLICATE, b"r2".to_vec())).unwrap();
+        ep.send(NodeId(2), MsgBuf::new(ReqType::REPLICATE, b"r1".to_vec()))
+            .unwrap();
+        ep.send(NodeId(2), MsgBuf::new(ReqType::REPLICATE, b"r2".to_vec()))
+            .unwrap();
         let stats = ep.poll(&mut fabric);
         assert_eq!(stats.sent, 2);
         assert_eq!(ep.tx_pending(), 0);
@@ -367,7 +373,8 @@ mod tests {
         let mut fabric = LoopbackFabric::new();
         ep.connect(NodeId(2));
         for _ in 0..3 {
-            ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![])).unwrap();
+            ep.send(NodeId(2), MsgBuf::new(ReqType::CLIENT, vec![]))
+                .unwrap();
             ep.poll(&mut fabric);
         }
         assert_eq!(ep.stats().sent, 3);

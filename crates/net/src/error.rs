@@ -64,7 +64,9 @@ mod tests {
 
     #[test]
     fn display_contains_context() {
-        assert!(NetError::TxRingFull { capacity: 8 }.to_string().contains('8'));
+        assert!(NetError::TxRingFull { capacity: 8 }
+            .to_string()
+            .contains('8'));
         assert!(NetError::UnknownDestination { node: NodeId(3) }
             .to_string()
             .contains("n3"));

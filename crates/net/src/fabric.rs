@@ -90,7 +90,10 @@ impl LoopbackFabric {
     }
 
     fn deliver(&mut self, message: WireMessage) {
-        self.inboxes.entry(message.dst).or_default().push_back(message);
+        self.inboxes
+            .entry(message.dst)
+            .or_default()
+            .push_back(message);
     }
 }
 

@@ -185,7 +185,9 @@ impl NetworkFaultInjector {
         let candidates: Vec<&WireMessage> = self
             .captured
             .iter()
-            .filter(|m| m.src == current.src && m.dst == current.dst && m.wire_id != current.wire_id)
+            .filter(|m| {
+                m.src == current.src && m.dst == current.dst && m.wire_id != current.wire_id
+            })
             .collect();
         if candidates.is_empty() {
             return None;

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node (replica or client) in the deployment.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct NodeId(pub u64);
 
 impl NodeId {
@@ -150,7 +148,12 @@ impl MsgBuf {
 
 impl fmt::Debug for MsgBuf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MsgBuf({:?}, {} bytes)", self.req_type, self.payload.len())
+        write!(
+            f,
+            "MsgBuf({:?}, {} bytes)",
+            self.req_type,
+            self.payload.len()
+        )
     }
 }
 

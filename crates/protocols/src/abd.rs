@@ -60,7 +60,11 @@ enum OpState {
         replies: usize,
     },
     /// Write (or read write-back), phase 2: collecting acknowledgements.
-    WriteCommit { request: ClientRequest, acks: usize, is_read_back: Option<Vec<u8>> },
+    WriteCommit {
+        request: ClientRequest,
+        acks: usize,
+        is_read_back: Option<Vec<u8>>,
+    },
     /// Read, phase 1: collecting values.
     ReadQuery {
         request: ClientRequest,
@@ -92,7 +96,11 @@ impl AbdReplica {
 
     /// Builds a native replica.
     pub fn native(id: u64, membership: Membership) -> Self {
-        Self::with_shield(NodeId(id), membership.clone(), ProtocolShield::native(NodeId(id)))
+        Self::with_shield(
+            NodeId(id),
+            membership.clone(),
+            ProtocolShield::native(NodeId(id)),
+        )
     }
 
     fn with_shield(id: NodeId, membership: Membership, shield: ProtocolShield) -> Self {
@@ -138,7 +146,13 @@ impl AbdReplica {
         }
     }
 
-    fn reply_to(&self, ctx: &mut Ctx, request: &ClientRequest, value: Option<Vec<u8>>, found: bool) {
+    fn reply_to(
+        &self,
+        ctx: &mut Ctx,
+        request: &ClientRequest,
+        value: Option<Vec<u8>>,
+        found: bool,
+    ) {
         ctx.reply(ClientReply {
             client_id: request.client_id,
             request_id: request.request_id,
@@ -177,12 +191,15 @@ impl AbdReplica {
                     else {
                         return;
                     };
-                    let new_ts = highest.max(
-                        self.kv.timestamp_of(&key).unwrap_or(Timestamp::ZERO),
-                    )
-                    .next_for(self.id.0);
+                    let new_ts = highest
+                        .max(self.kv.timestamp_of(&key).unwrap_or(Timestamp::ZERO))
+                        .next_for(self.id.0);
                     // Apply locally and broadcast round 2.
-                    if self.kv.write_if_newer(&key, &value, new_ts).unwrap_or(false) {
+                    if self
+                        .kv
+                        .write_if_newer(&key, &value, new_ts)
+                        .unwrap_or(false)
+                    {
                         self.applied_writes += 1;
                     }
                     self.inflight.insert(
@@ -402,7 +419,7 @@ mod tests {
 
     fn mixed(client: u64, seq: u64) -> Operation {
         let key = format!("key-{}", (client * 3 + seq) % 30).into_bytes();
-        if (client + seq) % 2 == 0 {
+        if (client + seq).is_multiple_of(2) {
             Operation::Put {
                 key,
                 value: format!("value-{client}-{seq}").into_bytes(),
@@ -420,7 +437,10 @@ mod tests {
             assert!(replica.coordinates_reads());
         }
         assert_eq!(replicas[0].protocol_name(), "R-ABD");
-        assert_eq!(AbdReplica::native(0, Membership::of_size(3, 1)).protocol_name(), "ABD");
+        assert_eq!(
+            AbdReplica::native(0, Membership::of_size(3, 1)).protocol_name(),
+            "ABD"
+        );
     }
 
     #[test]
@@ -442,7 +462,11 @@ mod tests {
             }
             // At least a majority of replicas hold each written key.
             if !present.is_empty() {
-                assert!(present.len() >= 2, "key {i} present on {} replicas", present.len());
+                assert!(
+                    present.len() >= 2,
+                    "key {i} present on {} replicas",
+                    present.len()
+                );
             }
         }
     }
@@ -499,7 +523,10 @@ mod tests {
         // (exercised in `writes_are_visible_to_subsequent_reads`) converges values.
         for id in 0..3 {
             assert!(
-                cluster.replica_mut(NodeId(id)).local_read(b"contended").is_some(),
+                cluster
+                    .replica_mut(NodeId(id))
+                    .local_read(b"contended")
+                    .is_some(),
                 "replica {id} never received any write for the contended key"
             );
         }

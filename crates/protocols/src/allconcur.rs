@@ -72,7 +72,11 @@ impl AllConcurReplica {
 
     /// Builds a native replica.
     pub fn native(id: u64, membership: Membership) -> Self {
-        Self::with_shield(NodeId(id), membership.clone(), ProtocolShield::native(NodeId(id)))
+        Self::with_shield(
+            NodeId(id),
+            membership.clone(),
+            ProtocolShield::native(NodeId(id)),
+        )
     }
 
     fn with_shield(id: NodeId, membership: Membership, shield: ProtocolShield) -> Self {
@@ -139,7 +143,8 @@ impl AllConcurReplica {
                     // Apply locally, tell everyone to deliver, answer the client.
                     let (key, value, reply) = {
                         let pending = &self.own[&op];
-                        let Operation::Put { key, value } = pending.request.operation.clone() else {
+                        let Operation::Put { key, value } = pending.request.operation.clone()
+                        else {
                             return;
                         };
                         let reply = ClientReply {

@@ -48,7 +48,11 @@ impl ChainReplica {
 
     /// Builds a native replica.
     pub fn native(id: u64, membership: Membership) -> Self {
-        Self::with_shield(NodeId(id), membership.clone(), ProtocolShield::native(NodeId(id)))
+        Self::with_shield(
+            NodeId(id),
+            membership.clone(),
+            ProtocolShield::native(NodeId(id)),
+        )
     }
 
     fn with_shield(id: NodeId, membership: Membership, shield: ProtocolShield) -> Self {
@@ -220,7 +224,7 @@ mod tests {
     }
 
     fn read_heavy(client: u64, seq: u64) -> Operation {
-        if seq % 10 == 0 {
+        if seq.is_multiple_of(10) {
             put_workload(client, seq)
         } else {
             Operation::Get {
@@ -240,7 +244,10 @@ mod tests {
         assert!(!replicas[0].coordinates_reads());
         assert!(replicas[2].coordinates_reads());
         assert_eq!(replicas[0].protocol_name(), "R-CR");
-        assert_eq!(ChainReplica::native(0, Membership::of_size(3, 1)).protocol_name(), "CR");
+        assert_eq!(
+            ChainReplica::native(0, Membership::of_size(3, 1)).protocol_name(),
+            "CR"
+        );
     }
 
     #[test]

@@ -44,7 +44,32 @@ use recipe_core::Membership;
 /// benchmark harness and the examples.
 pub fn build_cluster<R>(n: usize, f: usize, make: impl Fn(u64, Membership) -> R) -> Vec<R> {
     let membership = Membership::of_size(n, f);
-    (0..n as u64).map(|id| make(id, membership.clone())).collect()
+    (0..n as u64)
+        .map(|id| make(id, membership.clone()))
+        .collect()
+}
+
+/// Builds `shards` independent replica groups of one protocol, for
+/// `recipe_shard::ShardedCluster`.
+///
+/// `make` receives `(shard, node_id, membership)` and returns the replica.
+/// Node ids are local to each group (every group numbers its replicas
+/// `0..n`), mirroring how each group runs its own attestation domain and
+/// membership.
+pub fn build_sharded_cluster<R>(
+    shards: usize,
+    n: usize,
+    f: usize,
+    make: impl Fn(usize, u64, Membership) -> R,
+) -> Vec<Vec<R>> {
+    (0..shards)
+        .map(|shard| {
+            let membership = Membership::of_size(n, f);
+            (0..n as u64)
+                .map(|id| make(shard, id, membership.clone()))
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]

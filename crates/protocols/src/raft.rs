@@ -262,7 +262,10 @@ impl RaftReplica {
                 self.view_votes.entry(new_view).or_default().insert(from.0);
                 // Vote ourselves (once per view) and echo the vote to everyone.
                 if self.voted.insert(new_view) {
-                    self.view_votes.entry(new_view).or_default().insert(self.id.0);
+                    self.view_votes
+                        .entry(new_view)
+                        .or_default()
+                        .insert(self.id.0);
                     let vote = RaftMsg::ViewChange { new_view };
                     self.broadcast(ctx, &vote);
                 }
@@ -359,12 +362,10 @@ impl Replica for RaftReplica {
                 }
                 ctx.set_timer(ELECTION_TIMEOUT_NS, TOKEN_FAILURE_DETECTOR);
             }
-            TOKEN_HEARTBEAT => {
-                if self.is_leader() {
-                    let beat = RaftMsg::Heartbeat { view: self.view };
-                    self.broadcast(ctx, &beat);
-                    ctx.set_timer(HEARTBEAT_PERIOD_NS, TOKEN_HEARTBEAT);
-                }
+            TOKEN_HEARTBEAT if self.is_leader() => {
+                let beat = RaftMsg::Heartbeat { view: self.view };
+                self.broadcast(ctx, &beat);
+                ctx.set_timer(HEARTBEAT_PERIOD_NS, TOKEN_HEARTBEAT);
             }
             TOKEN_FAILURE_DETECTOR => {
                 if !self.is_leader() {
@@ -372,7 +373,10 @@ impl Replica for RaftReplica {
                     if elapsed > ELECTION_TIMEOUT_NS {
                         let new_view = self.view + 1;
                         if self.voted.insert(new_view) {
-                            self.view_votes.entry(new_view).or_default().insert(self.id.0);
+                            self.view_votes
+                                .entry(new_view)
+                                .or_default()
+                                .insert(self.id.0);
                             let vote = RaftMsg::ViewChange { new_view };
                             self.broadcast(ctx, &vote);
                         }
@@ -425,7 +429,7 @@ mod tests {
     }
 
     fn mixed_workload(client: u64, seq: u64) -> Operation {
-        if (client + seq) % 2 == 0 {
+        if (client + seq).is_multiple_of(2) {
             put_workload(client, seq)
         } else {
             Operation::Get {
@@ -490,12 +494,12 @@ mod tests {
         cluster.crash_at(NodeId(0), 2_000_000); // crash the initial leader at 2 ms
         let stats = cluster.run(put_workload);
         // A new leader took over and kept committing.
-        let new_view = cluster.replica(NodeId(1)).view().max(cluster.replica(NodeId(2)).view());
+        let new_view = cluster
+            .replica(NodeId(1))
+            .view()
+            .max(cluster.replica(NodeId(2)).view());
         assert!(new_view >= 1, "view change never happened");
-        assert_eq!(
-            cluster.replica(NodeId(new_view as u64 % 3)).is_leader(),
-            true
-        );
+        assert!(cluster.replica(NodeId(new_view % 3)).is_leader());
         assert!(stats.committed >= 200, "committed {}", stats.committed);
     }
 
@@ -552,6 +556,9 @@ mod tests {
         let rejected: u64 = (0..3)
             .map(|id| cluster.replica(NodeId(id)).rejected_messages())
             .sum();
-        assert!(rejected > 0, "the shield should have rejected adversarial traffic");
+        assert!(
+            rejected > 0,
+            "the shield should have rejected adversarial traffic"
+        );
     }
 }

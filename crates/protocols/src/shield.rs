@@ -206,7 +206,10 @@ mod tests {
         let mut receiver = ProtocolShield::native(NodeId(1));
         assert_eq!(sender.mode(), ProtocolMode::Native);
         let wire = sender.wrap(NodeId(1), 3, b"plain");
-        assert_eq!(receiver.unwrap(NodeId(0), &wire), vec![(3, b"plain".to_vec())]);
+        assert_eq!(
+            receiver.unwrap(NodeId(0), &wire),
+            vec![(3, b"plain".to_vec())]
+        );
         // Garbage is dropped, not crashed on.
         assert!(receiver.unwrap(NodeId(0), b"garbage").is_empty());
         assert_eq!(receiver.rejected(), 1);
@@ -242,10 +245,7 @@ mod tests {
         assert!(receiver.unwrap(NodeId(0), &w2).is_empty());
         // w1 arrives → both delivered, in order.
         let out = receiver.unwrap(NodeId(0), &w1);
-        assert_eq!(
-            out,
-            vec![(1, b"first".to_vec()), (1, b"second".to_vec())]
-        );
+        assert_eq!(out, vec![(1, b"first".to_vec()), (1, b"second".to_vec())]);
     }
 
     #[test]
@@ -275,8 +275,11 @@ mod tests {
         // accepted — the meaningful rejection is for a node the membership does not
         // contain at all:
         let _ = receiver.unwrap(NodeId(2), &wire);
-        let mut stranger = ProtocolShield::recipe(NodeId(9), &Membership::new(
-            vec![NodeId(1), NodeId(9)], 0), false);
+        let mut stranger = ProtocolShield::recipe(
+            NodeId(9),
+            &Membership::new(vec![NodeId(1), NodeId(9)], 0),
+            false,
+        );
         let wire = stranger.wrap(NodeId(1), 7, b"inject");
         // Receiver has no key for cq:9->1 (9 is not in its membership) → rejected.
         assert!(receiver.unwrap(NodeId(9), &wire).is_empty());

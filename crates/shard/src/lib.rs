@@ -1,0 +1,47 @@
+//! Sharded keyspace subsystem: a consistent-hash router over many independent
+//! replica groups.
+//!
+//! The paper evaluates one Recipe-transformed replica group at a time; a
+//! production middleware partitions the keyspace across many such groups so
+//! aggregate throughput is not capped by a single leader. This crate provides
+//! that scale-out layer for the deterministic simulator:
+//!
+//! * [`ShardRouter`] — consistent-hash placement of keys onto shards
+//!   (virtual nodes, configurable shard count, deterministic and stable under
+//!   shard-count growth);
+//! * [`ShardedCluster`] — owns N replica groups (each its own protocol
+//!   instance, fault plan and cost profiles), routes every operation by key,
+//!   interleaves the per-shard event loops on one virtual clock and drives a
+//!   single global closed-loop client population over all groups;
+//! * [`ShardedRunStats`] — total and per-shard throughput, latency
+//!   percentiles over all completions, message counters and a load-imbalance
+//!   factor.
+//!
+//! Shards are fully independent replica groups: confidentiality, fault
+//! tolerance and agreement are per-group properties, unchanged by sharding.
+//! Cross-shard transactions and live rebalancing are ROADMAP items that build
+//! on the placement primitives here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod sharded;
+
+pub use router::ShardRouter;
+pub use sharded::{ShardedCluster, ShardedConfig, ShardedRunStats};
+
+/// Converts a generated workload operation into the protocol-level operation.
+///
+/// Lives here (not in `recipe_workload`, which stays dependency-free, nor in
+/// `recipe_core`, which knows nothing of workloads) because this crate is the
+/// layer that already bridges the two; the orphan rule rules out a `From`
+/// impl anywhere else.
+pub fn op_from_workload(op: recipe_workload::WorkloadOp) -> recipe_core::Operation {
+    match op {
+        recipe_workload::WorkloadOp::Read { key } => recipe_core::Operation::Get { key },
+        recipe_workload::WorkloadOp::Write { key, value } => {
+            recipe_core::Operation::Put { key, value }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Consistent-hash placement of keys onto shards.
+//!
+//! The router owns a ring of virtual nodes: every shard contributes
+//! `vnodes_per_shard` points, placed by hashing `(shard, replica_index)`
+//! labels with the same [`recipe_workload::stable_key_hash`] the workload
+//! layer exposes. A key belongs to the shard owning the first ring point at or
+//! after the key's hash (wrapping). Placement is therefore:
+//!
+//! * **deterministic** — no per-process hasher seeds anywhere, so every
+//!   component (driver, tests, future rebalancers) agrees on ownership;
+//! * **balanced** — with enough virtual nodes the arc lengths even out
+//!   (the crate tests bound the imbalance over a Zipfian key set);
+//! * **stable under growth** — adding a shard moves only the keys that land on
+//!   the new shard's arcs, which is what makes rebalancing incremental
+//!   (a follow-on ROADMAP item).
+
+use recipe_workload::stable_key_hash;
+
+/// Routes keys to shards via a consistent-hash ring with virtual nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    /// Ring points sorted by hash: `(point, shard)`.
+    ring: Vec<(u64, usize)>,
+    shards: usize,
+    vnodes_per_shard: usize,
+}
+
+impl ShardRouter {
+    /// Default virtual nodes per shard: enough that the busiest shard's share
+    /// of a uniform hash space stays within ~5% of fair (measured over the
+    /// 10k-key YCSB universe at 8 shards; see the sharding integration tests).
+    pub const DEFAULT_VNODES: usize = 256;
+
+    /// Builds a ring for `shards` shards with `vnodes_per_shard` points each.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(shards: usize, vnodes_per_shard: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(vnodes_per_shard > 0, "at least one virtual node per shard");
+        let mut ring = Vec::with_capacity(shards * vnodes_per_shard);
+        for shard in 0..shards {
+            for vnode in 0..vnodes_per_shard {
+                let label = format!("shard:{shard}:vnode:{vnode}");
+                ring.push((stable_key_hash(label.as_bytes()), shard));
+            }
+        }
+        ring.sort_unstable();
+        // Collisions between 64-bit points are astronomically unlikely but must
+        // not make placement ambiguous: keep the lowest shard id for a point.
+        ring.dedup_by_key(|(point, _)| *point);
+        ShardRouter {
+            ring,
+            shards,
+            vnodes_per_shard,
+        }
+    }
+
+    /// Builds a ring with the default virtual-node count.
+    pub fn with_default_vnodes(shards: usize) -> Self {
+        Self::new(shards, Self::DEFAULT_VNODES)
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Virtual nodes contributed by each shard.
+    pub fn vnodes_per_shard(&self) -> usize {
+        self.vnodes_per_shard
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_for_key(&self, key: &[u8]) -> usize {
+        self.shard_for_point(stable_key_hash(key))
+    }
+
+    /// The shard owning an already-hashed routing point (see
+    /// [`recipe_workload::WorkloadOp::routing_hash`]).
+    pub fn shard_for_point(&self, point: u64) -> usize {
+        // First ring point at or after `point`, wrapping to the start.
+        let idx = self.ring.partition_point(|&(p, _)| p < point);
+        let (_, shard) = self.ring[idx % self.ring.len()];
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let router = ShardRouter::new(1, 8);
+        for i in 0..100 {
+            assert_eq!(router.shard_for_key(format!("k{i}").as_bytes()), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_across_instances() {
+        let a = ShardRouter::new(8, 64);
+        let b = ShardRouter::new(8, 64);
+        assert_eq!(a, b);
+        for i in 0..1000 {
+            let key = format!("user{i:08}");
+            assert_eq!(
+                a.shard_for_key(key.as_bytes()),
+                b.shard_for_key(key.as_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_some_keys() {
+        let router = ShardRouter::with_default_vnodes(8);
+        let mut seen = vec![false; 8];
+        for i in 0..10_000 {
+            seen[router.shard_for_key(format!("user{i:08}").as_bytes())] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "unused shard: {seen:?}");
+    }
+
+    #[test]
+    fn growing_the_ring_only_moves_keys_to_the_new_shard() {
+        let before = ShardRouter::with_default_vnodes(4);
+        let after = ShardRouter::with_default_vnodes(5);
+        let mut moved_elsewhere = 0usize;
+        for i in 0..10_000 {
+            let key = format!("user{i:08}");
+            let old = before.shard_for_key(key.as_bytes());
+            let new = after.shard_for_key(key.as_bytes());
+            if old != new && new != 4 {
+                moved_elsewhere += 1;
+            }
+        }
+        assert_eq!(
+            moved_elsewhere, 0,
+            "consistent hashing must not shuffle keys between surviving shards"
+        );
+    }
+}

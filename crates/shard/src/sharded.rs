@@ -1,0 +1,380 @@
+//! The multi-group simulation driver.
+//!
+//! [`ShardedCluster`] owns N independent replica groups — each a full
+//! [`SimCluster`] with its own protocol instances, fault plan and cost
+//! profiles — and drives one global closed-loop client population over all of
+//! them on a single interleaved virtual clock:
+//!
+//! * the driver always advances whichever event (its own client issues or any
+//!   shard's next internal event) is earliest in virtual time, so per-shard
+//!   clocks never run ahead of the global frontier;
+//! * every operation is routed by key through the [`ShardRouter`], so a
+//!   client's consecutive operations hop between shards exactly as they would
+//!   across a partitioned production deployment;
+//! * the member clusters run in external-client mode
+//!   ([`SimCluster::set_external_clients`]): completions flow back to the
+//!   driver, which owns latency accounting and schedules each client's next
+//!   issue — possibly on a different shard.
+//!
+//! Shards exchange no messages (cross-shard transactions are a ROADMAP item),
+//! so interleaving order between shards cannot change any shard's behaviour —
+//! but the single clock is what makes the aggregate wall-clock figures in
+//! [`ShardedRunStats`] meaningful.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use recipe_core::Operation;
+use recipe_net::{FaultPlan, NodeId};
+use recipe_sim::{CostProfile, Replica, RunStats, SimCluster, SimConfig, StepOutcome};
+use recipe_workload::stable_key_hash;
+
+use crate::router::ShardRouter;
+
+/// Configuration of a sharded deployment.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of independent replica groups.
+    pub shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes_per_shard: usize,
+    /// Template configuration for every shard: cost model, per-replica
+    /// profiles, fault plan, the *global* client population, virtual-time cap
+    /// and retry timeout. Each shard derives its RNG seed from `base.seed` and
+    /// its shard index so fault streams are independent.
+    pub base: SimConfig,
+    /// Per-shard fault-plan overrides (e.g. a lossy network on one shard only).
+    pub fault_plans: Option<Vec<FaultPlan>>,
+    /// Per-shard cost-profile overrides (heterogeneous hardware per group).
+    pub profiles: Option<Vec<Vec<CostProfile>>>,
+}
+
+impl ShardedConfig {
+    /// A benign-network configuration: `shards` groups of `replicas_per_group`
+    /// nodes, each node using `profile`.
+    pub fn uniform(shards: usize, replicas_per_group: usize, profile: CostProfile) -> Self {
+        ShardedConfig {
+            shards,
+            vnodes_per_shard: ShardRouter::DEFAULT_VNODES,
+            base: SimConfig::uniform(replicas_per_group, profile),
+            fault_plans: None,
+            profiles: None,
+        }
+    }
+
+    /// The effective simulator configuration for shard `shard`.
+    fn config_for_shard(&self, shard: usize) -> SimConfig {
+        let mut config = self.base.clone();
+        // Distinct, deterministic fault/randomness stream per shard.
+        config.seed = self
+            .base
+            .seed
+            .wrapping_add(stable_key_hash(format!("shard-seed:{shard}").as_bytes()));
+        if let Some(plans) = &self.fault_plans {
+            config.fault_plan = plans[shard];
+        }
+        if let Some(profiles) = &self.profiles {
+            config.profiles = profiles[shard].clone();
+        }
+        config
+    }
+}
+
+/// Aggregated results of a sharded run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardedRunStats {
+    /// Aggregate figures on the global clock: total commits, total throughput,
+    /// latency percentiles over every completion, summed message counters.
+    pub total: RunStats,
+    /// Per-shard statistics (each on that shard's local activity window).
+    pub per_shard: Vec<RunStats>,
+    /// Load-imbalance factor: busiest shard's commits divided by the mean
+    /// commits per shard (1.0 = perfectly balanced; meaningful only when
+    /// something committed).
+    pub imbalance: f64,
+}
+
+/// One global client's issue event in the driver's queue.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct DriverEvent {
+    at: u64,
+    seq: u64,
+    client_id: u64,
+}
+
+/// N independent replica groups behind one consistent-hash router, driven on a
+/// single interleaved virtual clock.
+pub struct ShardedCluster<R: Replica> {
+    router: ShardRouter,
+    shards: Vec<SimCluster<R>>,
+    config: ShardedConfig,
+}
+
+impl<R: Replica> ShardedCluster<R> {
+    /// Creates a sharded cluster from one replica group per shard (see
+    /// `recipe_protocols::build_sharded_cluster` for the usual constructor).
+    ///
+    /// # Panics
+    /// Panics if `groups.len() != config.shards`, if any override vector has
+    /// the wrong length, or if a group is empty.
+    pub fn new(groups: Vec<Vec<R>>, config: ShardedConfig) -> Self {
+        assert_eq!(groups.len(), config.shards, "one replica group per shard");
+        if let Some(plans) = &config.fault_plans {
+            assert_eq!(plans.len(), config.shards, "one fault plan per shard");
+        }
+        if let Some(profiles) = &config.profiles {
+            assert_eq!(profiles.len(), config.shards, "one profile set per shard");
+            for (shard, (shard_profiles, group)) in profiles.iter().zip(&groups).enumerate() {
+                assert_eq!(
+                    shard_profiles.len(),
+                    group.len(),
+                    "shard {shard}: one cost profile per replica"
+                );
+            }
+        }
+        let router = ShardRouter::new(config.shards, config.vnodes_per_shard);
+        let shards = groups
+            .into_iter()
+            .enumerate()
+            .map(|(shard, replicas)| {
+                assert!(!replicas.is_empty(), "shard {shard} has no replicas");
+                let mut shard_config = config.config_for_shard(shard);
+                if config.profiles.is_none() && shard_config.profiles.len() != replicas.len() {
+                    // The *template* profile list was sized for a different
+                    // group; a uniform fill keeps `SimCluster::new`'s invariant.
+                    // (Explicit per-shard overrides were length-checked above.)
+                    shard_config.profiles = vec![shard_config.profiles[0].clone(); replicas.len()];
+                }
+                let mut cluster = SimCluster::new(replicas, shard_config);
+                cluster.set_external_clients(true);
+                cluster
+            })
+            .collect();
+        ShardedCluster {
+            router,
+            shards,
+            config,
+        }
+    }
+
+    /// The key router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Immutable access to one shard's cluster (post-run assertions).
+    pub fn shard(&self, shard: usize) -> &SimCluster<R> {
+        &self.shards[shard]
+    }
+
+    /// Mutable access to one shard's cluster (test setup).
+    pub fn shard_mut(&mut self, shard: usize) -> &mut SimCluster<R> {
+        &mut self.shards[shard]
+    }
+
+    /// Schedules a crash of `node` in `shard` at virtual time `at_ns`.
+    pub fn crash_at(&mut self, shard: usize, node: NodeId, at_ns: u64) {
+        self.shards[shard].crash_at(node, at_ns);
+    }
+
+    /// Settles in-flight work: processes remaining shard events for another
+    /// `extra_ns` of virtual time past the current frontier *without* issuing
+    /// new client operations, so followers catch up on replicated state
+    /// (heartbeats keep firing, outstanding requests may still complete).
+    /// Call after [`ShardedCluster::run`] and before inspecting replica state.
+    pub fn quiesce(&mut self, extra_ns: u64) {
+        let frontier = self
+            .shards
+            .iter()
+            .map(|shard| shard.now_ns())
+            .max()
+            .unwrap_or(0);
+        let deadline = frontier.saturating_add(extra_ns);
+        loop {
+            let next = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(shard, cluster)| cluster.peek_next_at().map(|at| (at, shard)))
+                .min();
+            let Some((at, shard)) = next else { break };
+            if at > deadline {
+                break;
+            }
+            match self.shards[shard].step() {
+                StepOutcome::Idle | StepOutcome::CapReached => break,
+                _ => {}
+            }
+            // Late completions no longer drive the closed loop.
+            self.shards[shard].drain_completions();
+        }
+    }
+
+    /// Runs the sharded simulation, generating operations with
+    /// `workload(client_id, seq)` and routing each by key.
+    ///
+    /// The run ends when the configured number of operations has committed
+    /// across all shards, every event queue drains, or the virtual-time cap is
+    /// hit.
+    pub fn run<W>(&mut self, mut workload: W) -> ShardedRunStats
+    where
+        W: FnMut(u64, u64) -> Operation,
+    {
+        for shard in &mut self.shards {
+            shard.seed_initial_events();
+        }
+
+        let mut queue: BinaryHeap<Reverse<DriverEvent>> = BinaryHeap::new();
+        let mut next_seq = 0u64;
+        for client_id in 0..self.config.base.clients.clients as u64 {
+            queue.push(Reverse(DriverEvent {
+                at: client_id * 200,
+                seq: next_seq,
+                client_id,
+            }));
+            next_seq += 1;
+        }
+
+        let target = self.config.base.clients.total_operations as u64;
+        let link_latency = self.config.base.cost_model.link_latency_ns;
+        let think = self.config.base.cost_model.client_think_ns;
+        let cap = self.config.base.max_virtual_ns;
+
+        let mut next_request_id: HashMap<u64, u64> = HashMap::new();
+        let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut committed = 0u64;
+        let mut committed_reads = 0u64;
+        let mut committed_writes = 0u64;
+        let mut global_now = 0u64;
+
+        loop {
+            if committed >= target {
+                break;
+            }
+            // The globally-earliest event wins; driver events go first on ties
+            // so a client issue at time T lands before shard work at T.
+            let driver_at = queue.peek().map(|Reverse(event)| event.at);
+            let shard_at = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(shard, cluster)| cluster.peek_next_at().map(|at| (at, shard)))
+                .min();
+            let take_driver = match (driver_at, shard_at) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(d), Some((s, _))) => d <= s,
+            };
+
+            if take_driver {
+                let Reverse(event) = queue.pop().expect("peeked driver event");
+                if event.at > cap {
+                    break;
+                }
+                global_now = global_now.max(event.at);
+                let client_id = event.client_id;
+                let request_id = next_request_id.entry(client_id).or_insert(0);
+                *request_id += 1;
+                let rid = *request_id;
+                let operation = workload(client_id, rid);
+                let shard = self.router.shard_for_key(operation.key());
+                if !self.shards[shard].submit_at(event.at, client_id, rid, operation) {
+                    // No live coordinator on that shard right now; try again
+                    // shortly (same backoff as the single-group loop).
+                    queue.push(Reverse(DriverEvent {
+                        at: event.at + 1_000_000,
+                        seq: next_seq,
+                        client_id,
+                    }));
+                    next_seq += 1;
+                }
+            } else {
+                let (at, shard) = shard_at.expect("selected shard event");
+                if at > cap {
+                    break;
+                }
+                global_now = global_now.max(at);
+                match self.shards[shard].step() {
+                    StepOutcome::Idle => continue,
+                    StepOutcome::CapReached => break,
+                    StepOutcome::NeedsIssue { .. } => {
+                        unreachable!("external-client shards never issue internally")
+                    }
+                    StepOutcome::Processed => {}
+                }
+                for completion in self.shards[shard].drain_completions() {
+                    committed += 1;
+                    if completion.was_write {
+                        committed_writes += 1;
+                    } else {
+                        committed_reads += 1;
+                    }
+                    latencies_ns.push(completion.latency_ns);
+                    // Closed loop: the client's next operation may route to a
+                    // different shard, so issuance returns to the driver.
+                    queue.push(Reverse(DriverEvent {
+                        at: completion.at_ns + link_latency + think,
+                        seq: next_seq,
+                        client_id: completion.client_id,
+                    }));
+                    next_seq += 1;
+                }
+            }
+        }
+
+        self.finalize(
+            global_now,
+            committed,
+            committed_reads,
+            committed_writes,
+            latencies_ns,
+        )
+    }
+
+    fn finalize(
+        &mut self,
+        global_now: u64,
+        committed: u64,
+        committed_reads: u64,
+        committed_writes: u64,
+        mut latencies_ns: Vec<u64>,
+    ) -> ShardedRunStats {
+        let per_shard: Vec<RunStats> = self.shards.iter_mut().map(|s| s.finish()).collect();
+        let elapsed_secs = global_now.max(1) as f64 / 1e9;
+        let mut total = RunStats {
+            committed,
+            committed_reads,
+            committed_writes,
+            elapsed_secs,
+            throughput_ops: committed as f64 / elapsed_secs,
+            ..RunStats::default()
+        };
+        for stats in &per_shard {
+            total.messages_delivered += stats.messages_delivered;
+            total.messages_dropped += stats.messages_dropped;
+            total.messages_tampered += stats.messages_tampered;
+            total.messages_replayed += stats.messages_replayed;
+        }
+        let (mean_us, p99_us) = recipe_sim::latency_summary(&mut latencies_ns);
+        total.mean_latency_us = mean_us;
+        total.p99_latency_us = p99_us;
+        let imbalance = if committed == 0 {
+            1.0
+        } else {
+            let busiest = per_shard.iter().map(|s| s.committed).max().unwrap_or(0);
+            let mean = committed as f64 / per_shard.len() as f64;
+            busiest as f64 / mean
+        };
+        ShardedRunStats {
+            total,
+            per_shard,
+            imbalance,
+        }
+    }
+}

@@ -12,7 +12,9 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recipe_core::{ClientReply, ClientRequest, Operation};
-use recipe_net::{FaultDecision, FaultPlan, MsgBuf, NetworkFaultInjector, NodeId, ReqType, WireMessage};
+use recipe_net::{
+    FaultDecision, FaultPlan, MsgBuf, NetworkFaultInjector, NodeId, ReqType, WireMessage,
+};
 use recipe_tee::TrustedInstant;
 use serde::{Deserialize, Serialize};
 
@@ -103,12 +105,76 @@ pub struct RunStats {
 
 #[derive(Debug)]
 enum EventKind {
-    ClientIssue { client_id: u64 },
-    ClientRetry { client_id: u64, request_id: u64 },
-    ClientDeliver { node: NodeId, request: ClientRequest },
-    Deliver { from: NodeId, to: NodeId, bytes: Vec<u8> },
-    Timer { node: NodeId, token: u64 },
-    Crash { node: NodeId },
+    ClientIssue {
+        client_id: u64,
+    },
+    ClientRetry {
+        client_id: u64,
+        request_id: u64,
+    },
+    ClientDeliver {
+        node: NodeId,
+        request: ClientRequest,
+    },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        bytes: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Crash {
+        node: NodeId,
+    },
+}
+
+/// What [`SimCluster::step`] did with the next event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The event queue is empty; nothing more will happen.
+    Idle,
+    /// The next event lies beyond the virtual-time cap and was discarded.
+    CapReached,
+    /// One event was processed.
+    Processed,
+    /// A closed-loop client is ready to issue its next operation. The caller
+    /// (the internal [`SimCluster::run`] loop, which owns the workload closure)
+    /// generates the operation and submits it. Never returned in external-client
+    /// mode — there the driver owns issuance entirely.
+    NeedsIssue {
+        /// The client that should issue next.
+        client_id: u64,
+    },
+}
+
+/// A request that completed, surfaced to an external client driver
+/// (see [`SimCluster::set_external_clients`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The issuing client.
+    pub client_id: u64,
+    /// The completed request.
+    pub request_id: u64,
+    /// Issue-to-reply latency in virtual nanoseconds.
+    pub latency_ns: u64,
+    /// Whether the completed operation was a write.
+    pub was_write: bool,
+    /// Virtual time at which the reply reached the client.
+    pub at_ns: u64,
+}
+
+/// Bookkeeping for a client's single outstanding request. Tracking the issued
+/// operation itself (rather than re-deriving it) lets retries resend the exact
+/// same operation and lets [`SimCluster::record_reply`] classify commits by the
+/// *request* type instead of guessing from reply fields.
+#[derive(Debug, Clone)]
+struct Outstanding {
+    request_id: u64,
+    issued_ns: u64,
+    operation: Operation,
+    is_write: bool,
 }
 
 struct Event {
@@ -144,13 +210,19 @@ pub struct SimCluster<R: Replica> {
     now: u64,
     busy_until: Vec<u64>,
     crashed: HashSet<NodeId>,
-    /// Pending client bookkeeping: outstanding (request_id, issue time) per client.
-    issue_time: HashMap<u64, (u64, u64)>,
+    /// Pending client bookkeeping: the outstanding request per client.
+    issue_time: HashMap<u64, Outstanding>,
     next_request_id: HashMap<u64, u64>,
     latencies_ns: Vec<u64>,
     stats: RunStats,
     write_rr: usize,
     read_rr: usize,
+    /// When true, the closed-loop client population lives *outside* this
+    /// cluster (e.g. in a `recipe_shard::ShardedCluster` routing one client
+    /// population over many groups): no `ClientIssue` events are scheduled and
+    /// completed requests are queued for [`SimCluster::drain_completions`].
+    external_clients: bool,
+    completions: Vec<Completion>,
     #[allow(dead_code)]
     rng: StdRng,
 }
@@ -180,9 +252,35 @@ impl<R: Replica> SimCluster<R> {
             stats: RunStats::default(),
             write_rr: 0,
             read_rr: 0,
+            external_clients: false,
+            completions: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
             config,
         }
+    }
+
+    /// Switches the cluster into external-client mode: the caller owns the
+    /// closed loop, issuing operations with [`SimCluster::submit_at`] and
+    /// collecting results with [`SimCluster::drain_completions`]. Must be set
+    /// before any event is processed.
+    pub fn set_external_clients(&mut self, external: bool) {
+        self.external_clients = external;
+    }
+
+    /// Virtual time of the next pending event, if any.
+    pub fn peek_next_at(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(event)| event.at)
+    }
+
+    /// Operations committed so far.
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    /// Takes the completions recorded since the last drain (external-client
+    /// mode only; empty otherwise).
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
     }
 
     /// Schedules a crash of `node` at virtual time `at_ns`.
@@ -232,55 +330,138 @@ impl<R: Replica> SimCluster<R> {
     where
         W: FnMut(u64, u64) -> Operation,
     {
-        // Kick protocols (they may want an initial timer, e.g. heartbeats).
-        for idx in 0..self.replicas.len() {
-            let node = self.replicas[idx].id();
-            self.push(0, EventKind::Timer { node, token: 0 });
-        }
+        self.seed_initial_events();
         // Start the closed-loop clients with a small deterministic stagger.
         for client in 0..self.config.clients.clients as u64 {
             self.push(client * 200, EventKind::ClientIssue { client_id: client });
         }
 
         let target = self.config.clients.total_operations as u64;
-        while let Some(Reverse(event)) = self.queue.pop() {
-            if self.stats.committed >= target || event.at > self.config.max_virtual_ns {
+        loop {
+            if self.stats.committed >= target {
                 break;
             }
-            self.now = event.at;
-            match event.kind {
-                EventKind::Crash { node } => {
-                    self.crashed.insert(node);
-                }
-                EventKind::ClientIssue { client_id } => {
+            match self.step() {
+                StepOutcome::Idle | StepOutcome::CapReached => break,
+                StepOutcome::Processed => {}
+                StepOutcome::NeedsIssue { client_id } => {
                     let request_id = self.next_request_id.entry(client_id).or_insert(0);
                     *request_id += 1;
                     let rid = *request_id;
                     let operation = workload(client_id, rid);
-                    let request = ClientRequest {
-                        client_id,
-                        request_id: rid,
-                        operation,
-                        signature: None,
-                    };
-                    let Some(target_node) = self.route(&request.operation) else {
-                        // No live coordinator (e.g. leader crashed and no view change
-                        // yet): retry later.
-                        self.push(
-                            self.now + 1_000_000,
-                            EventKind::ClientIssue { client_id },
-                        );
-                        continue;
-                    };
-                    self.issue_time.insert(client_id, (rid, self.now));
+                    if !self.submit_at(self.now, client_id, rid, operation) {
+                        // No live coordinator (e.g. leader crashed and no view
+                        // change yet): retry later.
+                        self.push(self.now + 1_000_000, EventKind::ClientIssue { client_id });
+                    }
+                }
+            }
+        }
+
+        self.finish()
+    }
+
+    /// Schedules the protocol kick-off timers (token 0 at time 0). Called once,
+    /// by [`SimCluster::run`] or by an external driver before stepping.
+    pub fn seed_initial_events(&mut self) {
+        for idx in 0..self.replicas.len() {
+            let node = self.replicas[idx].id();
+            self.push(0, EventKind::Timer { node, token: 0 });
+        }
+    }
+
+    /// Submits a client operation at virtual time `at_ns` (which must be ≥ every
+    /// already-processed event's time; external drivers guarantee this by always
+    /// advancing the globally-earliest cluster). Returns false when no live
+    /// coordinator exists for the operation — the caller decides when to retry.
+    pub fn submit_at(
+        &mut self,
+        at_ns: u64,
+        client_id: u64,
+        request_id: u64,
+        operation: Operation,
+    ) -> bool {
+        self.now = self.now.max(at_ns);
+        let Some(target_node) = self.route(&operation) else {
+            return false;
+        };
+        self.next_request_id.insert(client_id, request_id);
+        self.issue_time.insert(
+            client_id,
+            Outstanding {
+                request_id,
+                issued_ns: self.now,
+                is_write: operation.is_write(),
+                operation: operation.clone(),
+            },
+        );
+        let request = ClientRequest {
+            client_id,
+            request_id,
+            operation,
+            signature: None,
+        };
+        let deliver_at = self.now + self.config.cost_model.link_latency_ns;
+        self.push(
+            self.now + self.config.retry_timeout_ns,
+            EventKind::ClientRetry {
+                client_id,
+                request_id,
+            },
+        );
+        self.push(
+            deliver_at,
+            EventKind::ClientDeliver {
+                node: target_node,
+                request,
+            },
+        );
+        true
+    }
+
+    /// Processes the next event, advancing the virtual clock. Client issuance
+    /// is reported back to the caller (see [`StepOutcome::NeedsIssue`]) so that
+    /// the owner of the workload — the internal run loop or an external sharded
+    /// driver — stays in control of what gets issued where.
+    pub fn step(&mut self) -> StepOutcome {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return StepOutcome::Idle;
+        };
+        if event.at > self.config.max_virtual_ns {
+            return StepOutcome::CapReached;
+        }
+        self.now = event.at;
+        match event.kind {
+            EventKind::Crash { node } => {
+                self.crashed.insert(node);
+            }
+            EventKind::ClientIssue { client_id } => {
+                return StepOutcome::NeedsIssue { client_id };
+            }
+            EventKind::ClientRetry {
+                client_id,
+                request_id,
+            } => {
+                // Still outstanding? (No reply recorded and no newer request.)
+                let outstanding = matches!(
+                    self.issue_time.get(&client_id),
+                    Some(out) if out.request_id == request_id
+                ) && self.next_request_id.get(&client_id) == Some(&request_id);
+                if !outstanding {
+                    return StepOutcome::Processed;
+                }
+                // Resend the exact operation that was issued (the original code
+                // re-drew from the workload closure, silently mutating stateful
+                // generators on every retry).
+                let operation = self.issue_time[&client_id].operation.clone();
+                let request = ClientRequest {
+                    client_id,
+                    request_id,
+                    operation,
+                    signature: None,
+                };
+                if let Some(target_node) = self.route(&request.operation) {
                     let deliver_at = self.now + self.config.cost_model.link_latency_ns;
-                    self.push(
-                        self.now + self.config.retry_timeout_ns,
-                        EventKind::ClientRetry {
-                            client_id,
-                            request_id: rid,
-                        },
-                    );
                     self.push(
                         deliver_at,
                         EventKind::ClientDeliver {
@@ -289,85 +470,65 @@ impl<R: Replica> SimCluster<R> {
                         },
                     );
                 }
-                EventKind::ClientRetry { client_id, request_id } => {
-                    // Still outstanding? (No reply recorded and no newer request.)
-                    let outstanding = self.issue_time.contains_key(&client_id)
-                        && self.next_request_id.get(&client_id) == Some(&request_id);
-                    if !outstanding {
-                        continue;
-                    }
-                    let operation = workload(client_id, request_id);
-                    let request = ClientRequest {
+                self.push(
+                    self.now + self.config.retry_timeout_ns,
+                    EventKind::ClientRetry {
                         client_id,
                         request_id,
-                        operation,
-                        signature: None,
-                    };
-                    if let Some(target_node) = self.route(&request.operation) {
-                        let deliver_at = self.now + self.config.cost_model.link_latency_ns;
-                        self.push(
-                            deliver_at,
-                            EventKind::ClientDeliver {
-                                node: target_node,
-                                request,
-                            },
-                        );
-                    }
-                    self.push(
-                        self.now + self.config.retry_timeout_ns,
-                        EventKind::ClientRetry {
-                            client_id,
-                            request_id,
-                        },
-                    );
-                }
-                EventKind::ClientDeliver { node, request } => {
-                    if self.crashed.contains(&node) {
-                        // Request lost; the client will time out and retry.
+                    },
+                );
+            }
+            EventKind::ClientDeliver { node, request } => {
+                if self.crashed.contains(&node) {
+                    // Request lost. Internal clients give up on this request and
+                    // issue a fresh one shortly; external drivers rely on the
+                    // already-scheduled ClientRetry to resubmit it.
+                    if !self.external_clients {
                         let client_id = request.client_id;
-                        self.push(
-                            self.now + 5_000_000,
-                            EventKind::ClientIssue { client_id },
-                        );
-                        continue;
+                        self.push(self.now + 5_000_000, EventKind::ClientIssue { client_id });
                     }
-                    let idx = self.index_of(node);
-                    let cost = self.config.cost_model.recv_cost_ns(
-                        &self.config.profiles[idx],
-                        request.operation.value_len() + 64,
-                    );
-                    let finish = self.start_work(idx, cost);
-                    let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(finish));
-                    self.replicas[idx].on_client_request(request, &mut ctx);
-                    self.apply_effects(idx, ctx);
+                    return StepOutcome::Processed;
                 }
-                EventKind::Deliver { from, to, bytes } => {
-                    if self.crashed.contains(&to) {
-                        continue;
-                    }
-                    self.stats.messages_delivered += 1;
-                    let idx = self.index_of(to);
-                    let cost = self
-                        .config
-                        .cost_model
-                        .recv_cost_ns(&self.config.profiles[idx], bytes.len());
-                    let finish = self.start_work(idx, cost);
-                    let mut ctx = Ctx::new(to, TrustedInstant::from_nanos(finish));
-                    self.replicas[idx].on_message(from, &bytes, &mut ctx);
-                    self.apply_effects(idx, ctx);
+                let idx = self.index_of(node);
+                let cost = self.config.cost_model.recv_cost_ns(
+                    &self.config.profiles[idx],
+                    request.operation.value_len() + 64,
+                );
+                let finish = self.start_work(idx, cost);
+                let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(finish));
+                self.replicas[idx].on_client_request(request, &mut ctx);
+                self.apply_effects(idx, ctx);
+            }
+            EventKind::Deliver { from, to, bytes } => {
+                if self.crashed.contains(&to) {
+                    return StepOutcome::Processed;
                 }
-                EventKind::Timer { node, token } => {
-                    if self.crashed.contains(&node) {
-                        continue;
-                    }
-                    let idx = self.index_of(node);
-                    let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(self.now));
-                    self.replicas[idx].on_timer(token, &mut ctx);
-                    self.apply_effects(idx, ctx);
+                self.stats.messages_delivered += 1;
+                let idx = self.index_of(to);
+                let cost = self
+                    .config
+                    .cost_model
+                    .recv_cost_ns(&self.config.profiles[idx], bytes.len());
+                let finish = self.start_work(idx, cost);
+                let mut ctx = Ctx::new(to, TrustedInstant::from_nanos(finish));
+                self.replicas[idx].on_message(from, &bytes, &mut ctx);
+                self.apply_effects(idx, ctx);
+            }
+            EventKind::Timer { node, token } => {
+                if self.crashed.contains(&node) {
+                    return StepOutcome::Processed;
                 }
+                let idx = self.index_of(node);
+                let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(self.now));
+                self.replicas[idx].on_timer(token, &mut ctx);
+                self.apply_effects(idx, ctx);
             }
         }
+        StepOutcome::Processed
+    }
 
+    /// Finalizes and returns the statistics for everything processed so far.
+    pub fn finish(&mut self) -> RunStats {
         self.finalize_stats();
         self.stats.clone()
     }
@@ -512,24 +673,37 @@ impl<R: Replica> SimCluster<R> {
         // replicas in BFT protocols all reply, and late replies for older requests
         // must not be double-counted.
         let outstanding = matches!(self.issue_time.get(&client_id),
-            Some((rid, _)) if *rid == reply.request_id);
+            Some(out) if out.request_id == reply.request_id);
         if !outstanding {
             return;
         }
-        if let Some((_, issued)) = self.issue_time.remove(&client_id) {
-            let latency = self.now.saturating_sub(issued);
+        if let Some(out) = self.issue_time.remove(&client_id) {
+            let latency = self.now.saturating_sub(out.issued_ns);
             self.latencies_ns.push(latency);
             self.stats.committed += 1;
-            if reply.value.is_some() || reply.found {
-                self.stats.committed_reads += 1;
-            } else {
+            // Classify by the *issued operation*, not by reply fields: a read
+            // miss carries neither value nor found-flag, and write acks may set
+            // `found` — both used to be miscounted.
+            if out.is_write {
                 self.stats.committed_writes += 1;
+            } else {
+                self.stats.committed_reads += 1;
             }
-            // Closed loop: the client issues its next request after a think time.
-            let next = self.now
-                + self.config.cost_model.link_latency_ns
-                + self.config.cost_model.client_think_ns;
-            self.push(next, EventKind::ClientIssue { client_id });
+            if self.external_clients {
+                self.completions.push(Completion {
+                    client_id,
+                    request_id: reply.request_id,
+                    latency_ns: latency,
+                    was_write: out.is_write,
+                    at_ns: self.now,
+                });
+            } else {
+                // Closed loop: the client issues its next request after a think time.
+                let next = self.now
+                    + self.config.cost_model.link_latency_ns
+                    + self.config.cost_model.client_think_ns;
+                self.push(next, EventKind::ClientIssue { client_id });
+            }
         }
         // Replies for requests we are no longer waiting on (duplicates from multiple
         // replicas) are ignored: the first reply wins.
@@ -539,17 +713,26 @@ impl<R: Replica> SimCluster<R> {
         let elapsed = self.now.max(1) as f64 / 1e9;
         self.stats.elapsed_secs = elapsed;
         self.stats.throughput_ops = self.stats.committed as f64 / elapsed;
-        if !self.latencies_ns.is_empty() {
-            let sum: u64 = self.latencies_ns.iter().sum();
-            self.stats.mean_latency_us =
-                sum as f64 / self.latencies_ns.len() as f64 / 1_000.0;
-            let mut sorted = self.latencies_ns.clone();
-            sorted.sort_unstable();
-            let idx = ((sorted.len() as f64) * 0.99) as usize;
-            self.stats.p99_latency_us =
-                sorted[idx.min(sorted.len() - 1)] as f64 / 1_000.0;
-        }
+        let mut sorted = self.latencies_ns.clone();
+        let (mean_us, p99_us) = latency_summary(&mut sorted);
+        self.stats.mean_latency_us = mean_us;
+        self.stats.p99_latency_us = p99_us;
     }
+}
+
+/// Summarizes a latency sample as `(mean_us, p99_us)`, sorting the slice in
+/// place. `(0.0, 0.0)` for an empty sample. Shared by the single-group and
+/// sharded drivers so the percentile convention cannot drift between them.
+pub fn latency_summary(latencies_ns: &mut [u64]) -> (f64, f64) {
+    if latencies_ns.is_empty() {
+        return (0.0, 0.0);
+    }
+    let sum: u64 = latencies_ns.iter().sum();
+    let mean_us = sum as f64 / latencies_ns.len() as f64 / 1_000.0;
+    latencies_ns.sort_unstable();
+    let idx = ((latencies_ns.len() as f64) * 0.99) as usize;
+    let p99_us = latencies_ns[idx.min(latencies_ns.len() - 1)] as f64 / 1_000.0;
+    (mean_us, p99_us)
 }
 
 #[cfg(test)]
@@ -670,6 +853,40 @@ mod tests {
     }
 
     #[test]
+    fn commits_are_classified_by_issued_operation_type() {
+        // The echo protocol replies with `value: None, found: false` for every
+        // operation — replies carry no usable type information, exactly like a
+        // read miss. Classification must come from what was *issued*.
+        let reads = SimCluster::new(EchoReplica::cluster(3), small_config(3, 120)).run(|c, s| {
+            Operation::Get {
+                key: format!("k{c}-{s}").into_bytes(),
+            }
+        });
+        assert_eq!(reads.committed, 120);
+        assert_eq!(reads.committed_reads, 120);
+        assert_eq!(reads.committed_writes, 0);
+
+        let writes =
+            SimCluster::new(EchoReplica::cluster(3), small_config(3, 120)).run(write_workload);
+        assert_eq!(writes.committed_writes, 120);
+        assert_eq!(writes.committed_reads, 0);
+
+        let mixed = SimCluster::new(EchoReplica::cluster(3), small_config(3, 120)).run(|c, s| {
+            if s % 3 == 0 {
+                Operation::Get {
+                    key: format!("k{c}-{s}").into_bytes(),
+                }
+            } else {
+                write_workload(c, s)
+            }
+        });
+        assert_eq!(mixed.committed, 120);
+        assert_eq!(mixed.committed_reads + mixed.committed_writes, 120);
+        assert!(mixed.committed_reads > 0);
+        assert!(mixed.committed_writes > mixed.committed_reads);
+    }
+
+    #[test]
     fn runs_are_deterministic_for_a_seed() {
         let a = SimCluster::new(EchoReplica::cluster(3), small_config(3, 200)).run(write_workload);
         let b = SimCluster::new(EchoReplica::cluster(3), small_config(3, 200)).run(write_workload);
@@ -678,10 +895,12 @@ mod tests {
 
     #[test]
     fn faster_profiles_yield_higher_throughput() {
-        let recipe = SimCluster::new(EchoReplica::cluster(3), small_config(3, 300)).run(write_workload);
+        let recipe =
+            SimCluster::new(EchoReplica::cluster(3), small_config(3, 300)).run(write_workload);
         let mut slow_config = small_config(3, 300);
         slow_config.profiles = vec![CostProfile::pbft_baseline(); 3];
-        let pbft_profile = SimCluster::new(EchoReplica::cluster(3), slow_config).run(write_workload);
+        let pbft_profile =
+            SimCluster::new(EchoReplica::cluster(3), slow_config).run(write_workload);
         assert!(recipe.throughput_ops > pbft_profile.throughput_ops);
     }
 

@@ -196,8 +196,7 @@ impl ProtocolCostModel {
             return 1.0;
         }
         let mut epc = EpcModel::new(profile.epc_bytes);
-        let resident =
-            profile.resident_bytes + profile.inflight_messages * payload_bytes;
+        let resident = profile.resident_bytes + profile.inflight_messages * payload_bytes;
         let _ = epc.allocate(resident);
         epc.pressure_factor()
     }
@@ -263,7 +262,10 @@ mod tests {
         let small = m.epc_pressure(&profile, 256);
         let large = m.epc_pressure(&profile, 4096);
         assert_eq!(small, 1.0);
-        assert!(large > 1.0, "4 KiB payloads with batching should exceed the EPC");
+        assert!(
+            large > 1.0,
+            "4 KiB payloads with batching should exceed the EPC"
+        );
         // Reducing the batching factor relieves the pressure (the paper's mitigation
         // for 4 KiB values, §B.3).
         let little_batching = m.epc_pressure(&profile.clone().with_inflight(4), 4096);

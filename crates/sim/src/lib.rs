@@ -27,7 +27,9 @@ pub mod cluster;
 pub mod cost;
 pub mod replica;
 
-pub use cluster::{ClientModel, RunStats, SimCluster, SimConfig};
+pub use cluster::{
+    latency_summary, ClientModel, Completion, RunStats, SimCluster, SimConfig, StepOutcome,
+};
 pub use cost::{CostProfile, ProtocolCostModel};
 pub use replica::{Ctx, Replica};
 

@@ -11,6 +11,10 @@ use recipe_core::{ClientReply, ClientRequest};
 use recipe_net::NodeId;
 use recipe_tee::TrustedInstant;
 
+/// The effects a handler invocation queued: outbound `(dst, bytes)` messages,
+/// client replies, and `(delay_ns, token)` timer requests.
+pub(crate) type Effects = (Vec<(NodeId, Vec<u8>)>, Vec<ClientReply>, Vec<(u64, u64)>);
+
 /// The per-invocation context a replica uses to interact with the world.
 #[derive(Debug)]
 pub struct Ctx {
@@ -68,9 +72,7 @@ impl Ctx {
     }
 
     /// Drains the queued effects (used by the simulator).
-    pub(crate) fn take_effects(
-        self,
-    ) -> (Vec<(NodeId, Vec<u8>)>, Vec<ClientReply>, Vec<(u64, u64)>) {
+    pub(crate) fn take_effects(self) -> Effects {
         (self.outbox, self.replies, self.timers)
     }
 

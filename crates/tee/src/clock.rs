@@ -12,9 +12,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A point in (virtual) time, measured in nanoseconds from the start of the run.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct TrustedInstant {
     nanos: u64,
 }

@@ -35,7 +35,10 @@ pub struct Measurement(Digest);
 impl Measurement {
     /// Measures a code identity string (stand-in for hashing the enclave binary).
     pub fn of_code(code_identity: &str) -> Self {
-        Measurement(hash_parts(&[b"recipe.tee.measurement", code_identity.as_bytes()]))
+        Measurement(hash_parts(&[
+            b"recipe.tee.measurement",
+            code_identity.as_bytes(),
+        ]))
     }
 
     /// The underlying digest.
@@ -107,8 +110,9 @@ impl Enclave {
         let hardware_key = HardwareKey::for_platform(config.platform_id);
         // The platform sealing secret is derived from the platform id; like the
         // hardware key it stands in for a fused secret.
-        let platform_secret =
-            MacKey::from_bytes(*hash_parts(&[b"recipe.tee.platform", &config.platform_id.to_le_bytes()]).as_bytes());
+        let platform_secret = MacKey::from_bytes(
+            *hash_parts(&[b"recipe.tee.platform", &config.platform_id.to_le_bytes()]).as_bytes(),
+        );
         let epc = match config.epc_bytes {
             Some(bytes) => EpcModel::new(bytes),
             None => EpcModel::default(),
@@ -207,12 +211,9 @@ impl Enclave {
     /// returning the shared secret under which provisioned secrets are protected.
     pub fn complete_key_exchange(&self, challenger: &KxPublic) -> Result<SharedSecret, TeeError> {
         self.ensure_alive()?;
-        let kx = self
-            .kx_secret
-            .as_ref()
-            .ok_or(TeeError::MissingSecret {
-                label: "attestation ephemeral key".to_owned(),
-            })?;
+        let kx = self.kx_secret.as_ref().ok_or(TeeError::MissingSecret {
+            label: "attestation ephemeral key".to_owned(),
+        })?;
         Ok(kx.derive_shared(challenger))
     }
 
@@ -221,7 +222,11 @@ impl Enclave {
     // ------------------------------------------------------------------
 
     /// Installs a channel MAC key under `label`.
-    pub fn provision_mac_key(&mut self, label: impl Into<String>, key: MacKey) -> Result<(), TeeError> {
+    pub fn provision_mac_key(
+        &mut self,
+        label: impl Into<String>,
+        key: MacKey,
+    ) -> Result<(), TeeError> {
         self.ensure_alive()?;
         self.mac_keys.insert(label.into(), key);
         Ok(())
@@ -230,9 +235,11 @@ impl Enclave {
     /// Returns the MAC key provisioned under `label`.
     pub fn mac_key(&self, label: &str) -> Result<&MacKey, TeeError> {
         self.ensure_alive()?;
-        self.mac_keys.get(label).ok_or_else(|| TeeError::MissingSecret {
-            label: label.to_owned(),
-        })
+        self.mac_keys
+            .get(label)
+            .ok_or_else(|| TeeError::MissingSecret {
+                label: label.to_owned(),
+            })
     }
 
     /// Installs a cipher key under `label` (confidentiality mode).
@@ -287,10 +294,7 @@ impl Enclave {
     /// at zero on first use.
     pub fn counter_mut(&mut self, channel: &str) -> Result<&mut TrustedCounter, TeeError> {
         self.ensure_alive()?;
-        Ok(self
-            .counters
-            .entry(channel.to_owned())
-            .or_insert_with(TrustedCounter::new))
+        Ok(self.counters.entry(channel.to_owned()).or_default())
     }
 
     /// Returns the current value of the trusted counter for `channel` (zero if the
@@ -322,7 +326,12 @@ impl Enclave {
 
     /// Seals `plaintext` so only an enclave with the same measurement on the same
     /// platform can recover it.
-    pub fn seal(&self, label: &str, nonce: Nonce, plaintext: &[u8]) -> Result<SealedBlob, TeeError> {
+    pub fn seal(
+        &self,
+        label: &str,
+        nonce: Nonce,
+        plaintext: &[u8],
+    ) -> Result<SealedBlob, TeeError> {
         self.ensure_alive()?;
         Ok(SealedBlob::seal(
             &self.platform_secret,
@@ -480,10 +489,7 @@ mod tests {
             e.attest(Nonce::from_u128(1), &mut rng()).unwrap_err(),
             TeeError::EnclaveCrashed
         );
-        assert_eq!(
-            e.counter_mut("cq").unwrap_err(),
-            TeeError::EnclaveCrashed
-        );
+        assert_eq!(e.counter_mut("cq").unwrap_err(), TeeError::EnclaveCrashed);
         assert_eq!(
             e.seal("s", Nonce::from_u128(1), b"x").unwrap_err(),
             TeeError::EnclaveCrashed

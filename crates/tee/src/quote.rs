@@ -186,7 +186,9 @@ mod tests {
         let expected = Measurement::of_code("raft-replica-v1");
         assert!(matches!(
             quote.verify(&hw.public(), &expected, &Nonce::from_u128(56)),
-            Err(TeeError::QuoteRejected { reason: "stale nonce" })
+            Err(TeeError::QuoteRejected {
+                reason: "stale nonce"
+            })
         ));
     }
 

@@ -45,7 +45,11 @@ impl SealedBlob {
         platform_secret: &MacKey,
         measurement: &Measurement,
     ) -> Result<Vec<u8>, TeeError> {
-        let cipher = Cipher::new(&Self::sealing_key(platform_secret, measurement, &self.label));
+        let cipher = Cipher::new(&Self::sealing_key(
+            platform_secret,
+            measurement,
+            &self.label,
+        ));
         cipher
             .open(&self.ciphertext)
             .map_err(|_| TeeError::UnsealFailed)

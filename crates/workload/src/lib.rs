@@ -43,6 +43,33 @@ impl WorkloadOp {
             WorkloadOp::Read { key } | WorkloadOp::Write { key, .. } => key,
         }
     }
+
+    /// The stable 64-bit routing hash of this operation's key; a sharded
+    /// deployment places the operation on the shard owning this point of the
+    /// hash ring (see `recipe_shard::ShardRouter`).
+    pub fn routing_hash(&self) -> u64 {
+        stable_key_hash(self.key())
+    }
+}
+
+/// Hashes a key to a stable 64-bit routing point.
+///
+/// FNV-1a with a SplitMix64 finalizer: deterministic across runs, processes and
+/// platforms (unlike `std`'s seeded `RandomState`), with enough avalanche that
+/// sequential YCSB keys (`user0000001`, `user0000002`, …) spread uniformly.
+/// Every component that places keys — the consistent-hash router, rebalancers,
+/// future cross-shard transactions — must use this one function so they agree
+/// on placement.
+pub fn stable_key_hash(key: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in key {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // SplitMix64 finalizer: FNV alone avalanches poorly in the high bits.
+    hash = (hash ^ (hash >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash = (hash ^ (hash >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
 }
 
 /// How keys are selected.
@@ -235,7 +262,9 @@ mod tests {
         let mut generator = WorkloadSpec::default().generator();
         let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
         for _ in 0..30_000 {
-            *counts.entry(generator.next_op().key().to_vec()).or_default() += 1;
+            *counts
+                .entry(generator.next_op().key().to_vec())
+                .or_default() += 1;
         }
         let max = *counts.values().max().unwrap();
         let distinct = counts.len();
@@ -255,11 +284,16 @@ mod tests {
         let mut generator = spec.generator();
         let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
         for _ in 0..10_000 {
-            *counts.entry(generator.next_op().key().to_vec()).or_default() += 1;
+            *counts
+                .entry(generator.next_op().key().to_vec())
+                .or_default() += 1;
         }
         assert!(counts.len() > 90);
         let max = *counts.values().max().unwrap();
-        assert!(max < 300, "uniform keys should not be heavily skewed (max {max})");
+        assert!(
+            max < 300,
+            "uniform keys should not be heavily skewed (max {max})"
+        );
     }
 
     #[test]

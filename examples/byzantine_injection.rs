@@ -20,7 +20,10 @@ fn main() {
         .map(|id| RaftReplica::recipe(id, membership.clone(), false))
         .collect();
     let mut config = SimConfig::uniform(3, CostProfile::recipe());
-    config.clients = ClientModel { clients: 8, total_operations: 300 };
+    config.clients = ClientModel {
+        clients: 8,
+        total_operations: 300,
+    };
     config.fault_plan = FaultPlan {
         replay_probability: 0.08,
         duplicate_probability: 0.08,
@@ -31,7 +34,9 @@ fn main() {
         key: format!("acct{:03}", (client + seq) % 50).into_bytes(),
         value: format!("v{seq}").into_bytes(),
     });
-    let rejected: u64 = (0..3).map(|id| cluster.replica(NodeId(id)).rejected_messages()).sum();
+    let rejected: u64 = (0..3)
+        .map(|id| cluster.replica(NodeId(id)).rejected_messages())
+        .sum();
     println!(
         "network adversary: {} ops committed, {} messages replayed/duplicated by the \
          adversary, {} rejected by the non-equivocation layer",
@@ -40,7 +45,9 @@ fn main() {
 
     // --- Byzantine host: corrupt the value bytes behind the enclave's back. ---
     let mut store = PartitionedKvStore::new(StoreConfig::default());
-    store.write(b"balance", b"1000", Timestamp::new(1, 0)).unwrap();
+    store
+        .write(b"balance", b"1000", Timestamp::new(1, 0))
+        .unwrap();
     store.corrupt_host_value(b"balance");
     match store.get(b"balance") {
         Err(KvError::IntegrityViolation { .. }) => {

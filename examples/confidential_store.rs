@@ -18,12 +18,22 @@ fn main() {
         StoreConfig::default().with_cipher(CipherKey::from_bytes([0x42; 32])),
     );
     store
-        .write(b"patient:17", b"diagnosis: hypertension", Timestamp::new(1, 0))
+        .write(
+            b"patient:17",
+            b"diagnosis: hypertension",
+            Timestamp::new(1, 0),
+        )
         .unwrap();
     let host_view = store.host_visible_bytes(b"patient:17").unwrap();
     let enclave_view = store.get(b"patient:17").unwrap().value;
-    println!("host-visible bytes   : {:02x?}...", &host_view[..16.min(host_view.len())]);
-    println!("enclave (decrypted)  : {}", String::from_utf8_lossy(&enclave_view));
+    println!(
+        "host-visible bytes   : {:02x?}...",
+        &host_view[..16.min(host_view.len())]
+    );
+    println!(
+        "enclave (decrypted)  : {}",
+        String::from_utf8_lossy(&enclave_view)
+    );
 
     // --- Confidential messaging between two attested replicas. ---
     let membership = Membership::of_size(3, 1);
@@ -32,7 +42,8 @@ fn main() {
     let wire = sender.wrap(NodeId(1), 1, b"replicate patient:17 -> hypertension");
     println!(
         "wire bytes contain plaintext? {}",
-        wire.windows(b"hypertension".len()).any(|w| w == b"hypertension")
+        wire.windows(b"hypertension".len())
+            .any(|w| w == b"hypertension")
     );
     let delivered = receiver.unwrap(NodeId(0), &wire);
     println!(

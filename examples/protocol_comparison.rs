@@ -21,7 +21,10 @@ mod recipe_bench_free {
     fn run<R: Replica>(replicas: Vec<R>, profile: CostProfile, read_ratio: f64) -> RunStats {
         let n = replicas.len();
         let mut config = SimConfig::uniform(n, profile);
-        config.clients = ClientModel { clients: 16, total_operations: 800 };
+        config.clients = ClientModel {
+            clients: 16,
+            total_operations: 800,
+        };
         let mut cluster = SimCluster::new(replicas, config);
         let generator = RefCell::new(WorkloadSpec::ycsb(read_ratio, 256).generator());
         cluster.run(move |_, _| match generator.borrow_mut().next_op() {
@@ -45,7 +48,9 @@ mod recipe_bench_free {
             (
                 "Damysus",
                 run(
-                    (0..3).map(|id| DamysusReplica::new(id, m3.clone())).collect(),
+                    (0..3)
+                        .map(|id| DamysusReplica::new(id, m3.clone()))
+                        .collect(),
                     CostProfile::damysus_baseline(),
                     read_ratio,
                 ),
@@ -53,7 +58,9 @@ mod recipe_bench_free {
             (
                 "R-Raft",
                 run(
-                    (0..3).map(|id| RaftReplica::recipe(id, m3.clone(), false)).collect(),
+                    (0..3)
+                        .map(|id| RaftReplica::recipe(id, m3.clone(), false))
+                        .collect(),
                     CostProfile::recipe(),
                     read_ratio,
                 ),
@@ -61,7 +68,9 @@ mod recipe_bench_free {
             (
                 "R-CR",
                 run(
-                    (0..3).map(|id| ChainReplica::recipe(id, m3.clone(), false)).collect(),
+                    (0..3)
+                        .map(|id| ChainReplica::recipe(id, m3.clone(), false))
+                        .collect(),
                     CostProfile::recipe(),
                     read_ratio,
                 ),
@@ -69,7 +78,9 @@ mod recipe_bench_free {
             (
                 "R-ABD",
                 run(
-                    (0..3).map(|id| AbdReplica::recipe(id, m3.clone(), false)).collect(),
+                    (0..3)
+                        .map(|id| AbdReplica::recipe(id, m3.clone(), false))
+                        .collect(),
                     CostProfile::recipe(),
                     read_ratio,
                 ),
@@ -77,7 +88,9 @@ mod recipe_bench_free {
             (
                 "R-AllConcur",
                 run(
-                    (0..3).map(|id| AllConcurReplica::recipe(id, m3.clone(), false)).collect(),
+                    (0..3)
+                        .map(|id| AllConcurReplica::recipe(id, m3.clone(), false))
+                        .collect(),
                     CostProfile::recipe(),
                     read_ratio,
                 ),
@@ -85,11 +98,16 @@ mod recipe_bench_free {
         ];
         let baseline = results[0].1.throughput_ops;
         println!("\nworkload: {:.0}% reads, 256 B values", read_ratio * 100.0);
-        println!("{:<12} {:>16} {:>12} {:>10}", "protocol", "throughput(op/s)", "latency(us)", "vs PBFT");
+        println!(
+            "{:<12} {:>16} {:>12} {:>10}",
+            "protocol", "throughput(op/s)", "latency(us)", "vs PBFT"
+        );
         for (name, stats) in &results {
             println!(
                 "{:<12} {:>16.0} {:>12.1} {:>9.1}x",
-                name, stats.throughput_ops, stats.mean_latency_us,
+                name,
+                stats.throughput_ops,
+                stats.mean_latency_us,
                 stats.throughput_ops / baseline
             );
         }

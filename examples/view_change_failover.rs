@@ -16,7 +16,10 @@ fn main() {
         .map(|id| RaftReplica::recipe(id, membership.clone(), false))
         .collect();
     let mut config = SimConfig::uniform(3, CostProfile::recipe());
-    config.clients = ClientModel { clients: 8, total_operations: 600 };
+    config.clients = ClientModel {
+        clients: 8,
+        total_operations: 600,
+    };
     config.max_virtual_ns = 3_000_000_000;
     let mut cluster = SimCluster::new(replicas, config);
 

@@ -14,6 +14,8 @@
 //! * [`recipe_bft`] — the PBFT and Damysus baselines.
 //! * [`recipe_sim`] and [`recipe_workload`] — the deterministic cluster simulator
 //!   and the YCSB-style workload generator that drive the evaluation.
+//! * [`recipe_shard`] — the sharded keyspace subsystem: a consistent-hash router
+//!   over many independent replica groups, driven on one virtual clock.
 
 pub use recipe_attest as attest;
 pub use recipe_bft as bft;
@@ -22,6 +24,7 @@ pub use recipe_crypto as crypto;
 pub use recipe_kv as kv;
 pub use recipe_net as net;
 pub use recipe_protocols as protocols;
+pub use recipe_shard as shard;
 pub use recipe_sim as sim;
 pub use recipe_tee as tee;
 pub use recipe_workload as workload;

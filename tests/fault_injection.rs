@@ -21,15 +21,25 @@ fn raft_leader_crash_failover_preserves_progress() {
         .map(|id| RaftReplica::recipe(id, membership.clone(), false))
         .collect();
     let mut config = SimConfig::uniform(3, CostProfile::recipe());
-    config.clients = ClientModel { clients: 8, total_operations: 500 };
+    config.clients = ClientModel {
+        clients: 8,
+        total_operations: 500,
+    };
     config.max_virtual_ns = 3_000_000_000;
     let mut cluster = SimCluster::new(replicas, config);
     cluster.crash_at(NodeId(0), 2_000_000);
     let stats = cluster.run(put);
 
-    let surviving_view = cluster.replica(NodeId(1)).view().max(cluster.replica(NodeId(2)).view());
+    let surviving_view = cluster
+        .replica(NodeId(1))
+        .view()
+        .max(cluster.replica(NodeId(2)).view());
     assert!(surviving_view >= 1, "no view change after leader crash");
-    assert!(stats.committed >= 250, "progress stalled: {}", stats.committed);
+    assert!(
+        stats.committed >= 250,
+        "progress stalled: {}",
+        stats.committed
+    );
 }
 
 #[test]
@@ -39,7 +49,10 @@ fn byzantine_replays_and_duplicates_are_neutralized() {
         .map(|id| RaftReplica::recipe(id, membership.clone(), false))
         .collect();
     let mut config = SimConfig::uniform(3, CostProfile::recipe());
-    config.clients = ClientModel { clients: 8, total_operations: 250 };
+    config.clients = ClientModel {
+        clients: 8,
+        total_operations: 250,
+    };
     config.fault_plan = FaultPlan {
         replay_probability: 0.1,
         duplicate_probability: 0.1,
@@ -49,8 +62,13 @@ fn byzantine_replays_and_duplicates_are_neutralized() {
     let stats = cluster.run(put);
     assert_eq!(stats.committed, 250);
     assert!(stats.messages_replayed > 0);
-    let rejected: u64 = (0..3).map(|id| cluster.replica(NodeId(id)).rejected_messages()).sum();
-    assert!(rejected > 0, "the authentication layer saw no adversarial traffic");
+    let rejected: u64 = (0..3)
+        .map(|id| cluster.replica(NodeId(id)).rejected_messages())
+        .sum();
+    assert!(
+        rejected > 0,
+        "the authentication layer saw no adversarial traffic"
+    );
     // Agreement: replicas never hold conflicting values for a key.
     for i in 0..32 {
         let key = format!("key-{i}").into_bytes();
@@ -72,7 +90,10 @@ fn allconcur_blocks_when_a_peer_is_down() {
         .map(|id| AllConcurReplica::recipe(id, membership.clone(), false))
         .collect();
     let mut config = SimConfig::uniform(3, CostProfile::recipe());
-    config.clients = ClientModel { clients: 4, total_operations: 5_000 };
+    config.clients = ClientModel {
+        clients: 4,
+        total_operations: 5_000,
+    };
     config.max_virtual_ns = 150_000_000;
     config.retry_timeout_ns = 40_000_000;
     let mut cluster = SimCluster::new(replicas, config);

@@ -27,12 +27,15 @@ fn attested_cluster(n: usize, confidential: bool) -> Vec<RecipeNode> {
         );
         let bundle = SecretBundle {
             node_id: id,
-            signing_seed: SigningKeyPair::generate_from_seed(900 + id).expose_secret().to_vec(),
+            signing_seed: SigningKeyPair::generate_from_seed(900 + id)
+                .expose_secret()
+                .to_vec(),
             channel_keys: derive_channel_keys(&master, &members, id),
             cipher_key: Some(vec![0x11; 32]),
             config: ClusterConfig::for_replicas(n, (n - 1) / 2, "recipe-replica-v1"),
         };
-        node.attest(&mut cas, &bundle, &mut rng).expect("attestation succeeds");
+        node.attest(&mut cas, &bundle, &mut rng)
+            .expect("attestation succeeds");
         node.init_store().expect("store initializes");
         node.connect_to_peers();
         nodes.push(node);
@@ -68,7 +71,9 @@ fn five_replica_cluster_attests_and_replicates() {
     assert_eq!(nodes[0].membership().quorum(), 3);
     // Fan a message out from the coordinator to every follower.
     for dst in 1..5u64 {
-        let msg = nodes[0].shield_msg(NodeId(dst), 1, format!("entry for {dst}").as_bytes()).unwrap();
+        let msg = nodes[0]
+            .shield_msg(NodeId(dst), 1, format!("entry for {dst}").as_bytes())
+            .unwrap();
         assert!(nodes[dst as usize].verify_msg(&msg).is_accept());
     }
 }
@@ -76,7 +81,9 @@ fn five_replica_cluster_attests_and_replicates() {
 #[test]
 fn confidential_cluster_hides_payloads_end_to_end() {
     let mut nodes = attested_cluster(3, true);
-    let msg = nodes[0].shield_msg(NodeId(1), 1, b"ssn=123-45-6789").unwrap();
+    let msg = nodes[0]
+        .shield_msg(NodeId(1), 1, b"ssn=123-45-6789")
+        .unwrap();
     assert!(msg.confidential);
     assert!(!msg.payload.windows(3).any(|w| w == b"ssn"));
     assert!(nodes[1].verify_msg(&msg).is_accept());
@@ -87,5 +94,8 @@ fn replay_across_nodes_is_rejected_once_accepted() {
     let mut nodes = attested_cluster(3, false);
     let msg = nodes[0].shield_msg(NodeId(1), 1, b"only once").unwrap();
     assert!(nodes[1].verify_msg(&msg).is_accept());
-    assert!(matches!(nodes[1].verify_msg(&msg), VerifyOutcome::Replay { .. }));
+    assert!(matches!(
+        nodes[1].verify_msg(&msg),
+        VerifyOutcome::Replay { .. }
+    ));
 }

@@ -12,7 +12,10 @@ use std::cell::RefCell;
 fn run<R: Replica>(replicas: Vec<R>, profile: CostProfile, ops: usize) -> RunStats {
     let n = replicas.len();
     let mut config = SimConfig::uniform(n, profile);
-    config.clients = ClientModel { clients: 12, total_operations: ops };
+    config.clients = ClientModel {
+        clients: 12,
+        total_operations: ops,
+    };
     let mut cluster = SimCluster::new(replicas, config);
     let generator = RefCell::new(WorkloadSpec::ycsb(0.7, 256).generator());
     cluster.run(move |_, _| match generator.borrow_mut().next_op() {
@@ -25,7 +28,9 @@ fn run<R: Replica>(replicas: Vec<R>, profile: CostProfile, ops: usize) -> RunSta
 fn r_raft_commits_the_workload() {
     let m = Membership::of_size(3, 1);
     let stats = run(
-        (0..3).map(|id| RaftReplica::recipe(id, m.clone(), false)).collect(),
+        (0..3)
+            .map(|id| RaftReplica::recipe(id, m.clone(), false))
+            .collect(),
         CostProfile::recipe(),
         400,
     );
@@ -37,7 +42,9 @@ fn r_raft_commits_the_workload() {
 fn r_chain_commits_the_workload() {
     let m = Membership::of_size(3, 1);
     let stats = run(
-        (0..3).map(|id| ChainReplica::recipe(id, m.clone(), false)).collect(),
+        (0..3)
+            .map(|id| ChainReplica::recipe(id, m.clone(), false))
+            .collect(),
         CostProfile::recipe(),
         400,
     );
@@ -48,7 +55,9 @@ fn r_chain_commits_the_workload() {
 fn r_abd_commits_the_workload() {
     let m = Membership::of_size(3, 1);
     let stats = run(
-        (0..3).map(|id| AbdReplica::recipe(id, m.clone(), false)).collect(),
+        (0..3)
+            .map(|id| AbdReplica::recipe(id, m.clone(), false))
+            .collect(),
         CostProfile::recipe(),
         400,
     );
@@ -59,7 +68,9 @@ fn r_abd_commits_the_workload() {
 fn r_allconcur_commits_the_workload() {
     let m = Membership::of_size(3, 1);
     let stats = run(
-        (0..3).map(|id| AllConcurReplica::recipe(id, m.clone(), false)).collect(),
+        (0..3)
+            .map(|id| AllConcurReplica::recipe(id, m.clone(), false))
+            .collect(),
         CostProfile::recipe(),
         400,
     );
@@ -78,7 +89,9 @@ fn pbft_and_damysus_baselines_commit_the_workload() {
 
     let m3 = Membership::of_size(3, 1);
     let damysus = run(
-        (0..3).map(|id| DamysusReplica::new(id, m3.clone())).collect(),
+        (0..3)
+            .map(|id| DamysusReplica::new(id, m3.clone()))
+            .collect(),
         CostProfile::damysus_baseline(),
         300,
     );
@@ -90,7 +103,9 @@ fn recipe_outperforms_pbft_on_the_same_workload() {
     let m3 = Membership::of_size(3, 1);
     let m4 = Membership::of_size(4, 1);
     let recipe = run(
-        (0..3).map(|id| ChainReplica::recipe(id, m3.clone(), false)).collect(),
+        (0..3)
+            .map(|id| ChainReplica::recipe(id, m3.clone(), false))
+            .collect(),
         CostProfile::recipe(),
         400,
     );
@@ -100,5 +115,8 @@ fn recipe_outperforms_pbft_on_the_same_workload() {
         400,
     );
     let speedup = recipe.throughput_ops / pbft.throughput_ops;
-    assert!(speedup > 3.0, "R-CR was only {speedup:.1}x faster than PBFT");
+    assert!(
+        speedup > 3.0,
+        "R-CR was only {speedup:.1}x faster than PBFT"
+    );
 }

@@ -1,0 +1,205 @@
+//! Offline stand-in for `ed25519-dalek`.
+//!
+//! The build environment cannot download the real curve implementation, so
+//! this crate keeps the *API shape* (`SigningKey`, `VerifyingKey`,
+//! `Signature`, `Signer`, `Verifier`) over a deterministic hash-based scheme:
+//!
+//! * the verifying key is `SHA-256("recipe-ed25519-stub-pk" || seed)`;
+//! * a signature is `SHA-256(pk || len(msg) || msg || 0) || SHA-256(pk || len(msg) || msg || 1)`.
+//!
+//! Signatures are 64 bytes, deterministic, *transferable* (verification needs
+//! only the public key) and any bit flip in the message or signature is
+//! detected — which is everything the deterministic simulator exercises.
+//!
+//! **This scheme is NOT cryptographically unforgeable**: anyone holding the
+//! public key can recompute a "signature". The workspace's Byzantine network
+//! adversary operates on wire bytes only and never forges with key material,
+//! so the simulation's threat model is preserved. If this reproduction ever
+//! talks to a real network, swap this crate for the real `ed25519-dalek` —
+//! every call site compiles unchanged.
+
+#![forbid(unsafe_code)]
+
+use sha2::{Digest, Sha256};
+
+/// Length of a public key.
+pub const PUBLIC_KEY_LENGTH: usize = 32;
+/// Length of a secret seed.
+pub const SECRET_KEY_LENGTH: usize = 32;
+/// Length of a signature.
+pub const SIGNATURE_LENGTH: usize = 64;
+
+/// Error type for malformed keys/signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl std::fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "signature verification failed")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// Types that can sign messages.
+pub trait Signer<S> {
+    /// Signs a message.
+    fn sign(&self, message: &[u8]) -> S;
+}
+
+/// Types that can verify signatures.
+pub trait Verifier<S> {
+    /// Verifies a signature over a message.
+    fn verify(&self, message: &[u8], signature: &S) -> Result<(), SignatureError>;
+}
+
+fn derive_public(seed: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    Digest::update(&mut h, b"recipe-ed25519-stub-pk");
+    Digest::update(&mut h, seed);
+    h.finalize().into()
+}
+
+fn signature_bytes(public: &[u8; 32], message: &[u8]) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    for (i, half) in out.chunks_exact_mut(32).enumerate() {
+        let mut h = Sha256::new();
+        Digest::update(&mut h, b"recipe-ed25519-stub-sig");
+        Digest::update(&mut h, public);
+        Digest::update(&mut h, (message.len() as u64).to_le_bytes());
+        Digest::update(&mut h, message);
+        Digest::update(&mut h, [i as u8]);
+        let half_bytes: [u8; 32] = h.finalize().into();
+        half.copy_from_slice(&half_bytes);
+    }
+    out
+}
+
+/// A signing key (secret seed + cached public key).
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    public: [u8; 32],
+}
+
+impl SigningKey {
+    /// Builds a signing key from a 32-byte seed.
+    pub fn from_bytes(seed: &[u8; 32]) -> Self {
+        SigningKey {
+            seed: *seed,
+            public: derive_public(seed),
+        }
+    }
+
+    /// The secret seed bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// The corresponding verifying key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey {
+            public: self.public,
+        }
+    }
+}
+
+impl Signer<Signature> for SigningKey {
+    fn sign(&self, message: &[u8]) -> Signature {
+        Signature {
+            bytes: signature_bytes(&self.public, message),
+        }
+    }
+}
+
+/// A public verification key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyingKey {
+    public: [u8; 32],
+}
+
+impl VerifyingKey {
+    /// Parses a verifying key from raw bytes (any 32 bytes are accepted).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, SignatureError> {
+        Ok(VerifyingKey { public: *bytes })
+    }
+
+    /// The raw key bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.public
+    }
+
+    /// The raw key bytes, borrowed.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.public
+    }
+}
+
+impl Verifier<Signature> for VerifyingKey {
+    fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        let expected = signature_bytes(&self.public, message);
+        // Constant-time-ish comparison, same spirit as the real crate.
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(signature.bytes.iter()) {
+            diff |= a ^ b;
+        }
+        if diff == 0 {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+/// A detached signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    bytes: [u8; 64],
+}
+
+impl Signature {
+    /// Wraps raw signature bytes.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        Signature { bytes: *bytes }
+    }
+
+    /// The raw signature bytes.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip_and_tamper_detection() {
+        let key = SigningKey::from_bytes(&[7u8; 32]);
+        let sig = key.sign(b"message");
+        assert!(key.verifying_key().verify(b"message", &sig).is_ok());
+        assert!(key.verifying_key().verify(b"messagE", &sig).is_err());
+
+        let mut bad = sig.to_bytes();
+        bad[63] ^= 0x80;
+        let bad = Signature::from_bytes(&bad);
+        assert!(key.verifying_key().verify(b"message", &bad).is_err());
+    }
+
+    #[test]
+    fn different_seeds_give_different_keys() {
+        let a = SigningKey::from_bytes(&[1u8; 32]);
+        let b = SigningKey::from_bytes(&[2u8; 32]);
+        assert_ne!(a.verifying_key(), b.verifying_key());
+        let sig = a.sign(b"x");
+        assert!(b.verifying_key().verify(b"x", &sig).is_err());
+    }
+
+    #[test]
+    fn verification_is_transferable() {
+        let key = SigningKey::from_bytes(&[9u8; 32]);
+        let sig = key.sign(b"payload");
+        let forwarded = VerifyingKey::from_bytes(&key.verifying_key().to_bytes()).unwrap();
+        assert!(forwarded.verify(b"payload", &sig).is_ok());
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `hmac` crate.
+//!
+//! Implements RFC 2104 HMAC over the vendored SHA-256, exposing the `Mac`
+//! trait subset this workspace uses (`new_from_slice`, `update`,
+//! `finalize().into_bytes()`, `verify_slice`). Like the vendored `sha2`, this
+//! is the real algorithm, not a behavioural stub.
+
+#![forbid(unsafe_code)]
+
+use sha2::{Digest, Output32, Sha256};
+use std::marker::PhantomData;
+
+/// Error returned when a key slice has an unusable length (never happens for
+/// HMAC, which accepts any key length — present for API parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLength;
+
+/// Error returned when tag verification fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacError;
+
+impl std::fmt::Display for MacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MAC verification failed")
+    }
+}
+
+impl std::error::Error for MacError {}
+
+/// Finalized MAC output wrapper (`CtOutput` in the real crate).
+#[derive(Clone, Copy)]
+pub struct CtOutput {
+    bytes: Output32,
+}
+
+impl CtOutput {
+    /// Extracts the tag bytes.
+    pub fn into_bytes(self) -> Output32 {
+        self.bytes
+    }
+}
+
+/// Message authentication code trait (subset of `digest::Mac`).
+pub trait Mac: Sized {
+    /// Builds a MAC instance from a key of any length.
+    fn new_from_slice(key: &[u8]) -> Result<Self, InvalidLength>;
+
+    /// Feeds message bytes.
+    fn update(&mut self, data: &[u8]);
+
+    /// Produces the tag.
+    fn finalize(self) -> CtOutput;
+
+    /// Verifies the tag in constant time.
+    fn verify_slice(self, tag: &[u8]) -> Result<(), MacError> {
+        let computed = self.finalize().into_bytes();
+        let computed = computed.as_ref();
+        if computed.len() != tag.len() {
+            return Err(MacError);
+        }
+        // Constant-time comparison: fold differences without short-circuiting.
+        let mut diff = 0u8;
+        for (a, b) in computed.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff == 0 {
+            Ok(())
+        } else {
+            Err(MacError)
+        }
+    }
+}
+
+/// HMAC keyed hash. Only `Hmac<Sha256>` is instantiable in this stand-in.
+pub struct Hmac<D> {
+    inner: Sha256,
+    outer: Sha256,
+    _digest: PhantomData<D>,
+}
+
+impl Clone for Hmac<Sha256> {
+    fn clone(&self) -> Self {
+        Hmac {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+            _digest: PhantomData,
+        }
+    }
+}
+
+const BLOCK_LEN: usize = 64;
+
+impl Mac for Hmac<Sha256> {
+    fn new_from_slice(key: &[u8]) -> Result<Self, InvalidLength> {
+        let mut padded = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let mut h = Sha256::new();
+            Digest::update(&mut h, key);
+            let digest: [u8; 32] = h.finalize().into();
+            padded[..32].copy_from_slice(&digest);
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+        let mut inner = Sha256::new();
+        let mut outer = Sha256::new();
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = padded[i] ^ 0x36;
+            opad[i] = padded[i] ^ 0x5c;
+        }
+        Digest::update(&mut inner, ipad);
+        Digest::update(&mut outer, opad);
+        Ok(Hmac {
+            inner,
+            outer,
+            _digest: PhantomData,
+        })
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        Digest::update(&mut self.inner, data);
+    }
+
+    fn finalize(self) -> CtOutput {
+        let inner_digest: [u8; 32] = self.inner.finalize().into();
+        let mut outer = self.outer;
+        Digest::update(&mut outer, inner_digest);
+        CtOutput {
+            bytes: outer.finalize(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        // Key = 0x0b * 20, Data = "Hi There".
+        let mut mac = Hmac::<Sha256>::new_from_slice(&[0x0b; 20]).unwrap();
+        mac.update(b"Hi There");
+        assert_eq!(
+            hex(mac.finalize().into_bytes().as_ref()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        // Key = "Jefe", Data = "what do ya want for nothing?".
+        let mut mac = Hmac::<Sha256>::new_from_slice(b"Jefe").unwrap();
+        mac.update(b"what do ya want for nothing?");
+        assert_eq!(
+            hex(mac.finalize().into_bytes().as_ref()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_keys_are_hashed_down() {
+        let mut mac = Hmac::<Sha256>::new_from_slice(&[0xAA; 131]).unwrap();
+        mac.update(b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(mac.finalize().into_bytes().as_ref()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_slice_accepts_and_rejects() {
+        let mut mac = Hmac::<Sha256>::new_from_slice(b"key").unwrap();
+        mac.update(b"msg");
+        let tag: [u8; 32] = mac.clone().finalize().into_bytes().into();
+        assert!(mac.clone().verify_slice(&tag).is_ok());
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(mac.verify_slice(&bad).is_err());
+    }
+}

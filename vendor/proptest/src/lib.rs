@@ -1,0 +1,386 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic random-input testing with the subset of proptest's surface
+//! this workspace uses:
+//!
+//! * `proptest! { #[test] fn name(arg in strategy, ...) { body } }`
+//! * strategies: integer ranges (`0u8..8`, `1usize..=9`), `any::<T>()`,
+//!   `proptest::collection::vec(strategy, size_range)`, and tuples of
+//!   strategies;
+//! * assertions: `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   `prop_assume!`.
+//!
+//! Unlike real proptest there is **no shrinking** and no persistence — each
+//! property runs a fixed number of deterministic cases (default 48, override
+//! with the `PROPTEST_CASES` environment variable). Failures report the case
+//! number, which is enough to reproduce (the sequence is seeded per-property
+//! from a fixed constant).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// How a strategy draws values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Number of cases each property runs (reads `PROPTEST_CASES`, default 48).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Full-domain strategy for a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Builds the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Types with a full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                // Mix edge cases in explicitly: real proptest biases towards
+                // boundaries, and several workspace properties rely on hitting
+                // small values.
+                match rng.gen_range(0u32..8) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.gen::<$t>(),
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections and tuples
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Builds a vector strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy {
+            element,
+            min: size.min,
+            max: size.max,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.min >= self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..=self.max)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Inclusive length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end.saturating_sub(1),
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Builds a config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Defines deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            @internal ($config);
+            $($(#[$meta])* fn $name($($arg in $strategy),+) $body)+
+        }
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            @internal ($crate::ProptestConfig::with_cases($crate::cases()));
+            $($(#[$meta])* fn $name($($arg in $strategy),+) $body)+
+        }
+    };
+    (@internal ($config:expr);
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                // Seed folds in the property name so sibling properties see
+                // different sequences, deterministically.
+                let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for __b in stringify!($name).bytes() {
+                    __seed = __seed.wrapping_mul(0x0100_0000_01b3).wrapping_add(__b as u64);
+                }
+                let mut __rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                let __cases = ($config).cases;
+                for __case in 0..__cases {
+                    $(let $arg = ($strategy).sample(&mut __rng);)+
+                    let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(__message) = __result {
+                        panic!("property {} failed on case {}/{}: {}",
+                               stringify!($name), __case + 1, __cases, __message);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property, failing the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(x in 3u64..10, v in collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(v.len() < 16);
+        }
+
+        #[test]
+        fn assume_skips(a in any::<u8>(), b in any::<u8>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn tuples_sample(pair in (0u8..4, collection::vec(any::<u8>(), 1..3))) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!pair.1.is_empty());
+        }
+    }
+}

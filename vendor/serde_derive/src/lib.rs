@@ -1,0 +1,474 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the miniature `serde` stand-in's `Serialize` / `Deserialize` traits
+//! (value-tree data model) for structs and enums. Implemented directly over
+//! `proc_macro::TokenStream` — no `syn`/`quote`, because the build environment
+//! cannot download crates.
+//!
+//! Supported shapes (everything this workspace uses):
+//! * unit / tuple / named-field structs, with or without type generics;
+//! * enums with unit, tuple and named-field variants (externally tagged,
+//!   like real serde: `"Variant"` or `{"Variant": …}`).
+//!
+//! `#[serde(...)]` attributes are accepted but ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or of one enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Def {
+    name: String,
+    /// Type-parameter names (lifetimes and const params are not supported —
+    /// nothing in the workspace derives serde traits on such types).
+    generics: Vec<String>,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_def(input: TokenStream) -> Def {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility until `struct` / `enum`.
+    let mut is_enum = false;
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    break;
+                }
+                if s == "enum" {
+                    is_enum = true;
+                    break;
+                }
+                // `pub`, `pub(crate)` etc: a paren group may follow.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    }
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    // Generics.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            it.next();
+            let mut depth = 1usize;
+            let mut at_param_start = true;
+            while depth > 0 {
+                match it.next().expect("unclosed generics") {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 1 => at_param_start = true,
+                        '\'' => {
+                            // Lifetime: skip its ident, stay at param start only
+                            // until the name is consumed below.
+                            it.next();
+                            at_param_start = false;
+                        }
+                        ':' => at_param_start = false,
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                        let s = id.to_string();
+                        if s == "const" {
+                            // const param: next ident is the name; record nothing
+                            // (const params need no trait bounds) but keep the name
+                            // for the impl header.
+                            panic!("const generics are not supported by the serde stand-in derive");
+                        }
+                        generics.push(s);
+                        at_param_start = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let body = if is_enum {
+        let group = next_brace_group(&mut it);
+        Body::Enum(parse_variants(group.stream()))
+    } else {
+        // Struct: named `{...}`, tuple `(...)` then `;`, or unit `;`.
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("unexpected struct body: {other:?}"),
+        }
+    };
+    Def {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn next_brace_group(it: &mut impl Iterator<Item = TokenTree>) -> proc_macro::Group {
+    for tt in it {
+        if let TokenTree::Group(g) = tt {
+            if g.delimiter() == Delimiter::Brace {
+                return g;
+            }
+        }
+    }
+    panic!("expected brace group");
+}
+
+/// Parses `name: Type, ...` field lists; angle-bracket depth is tracked so
+/// commas inside `Vec<...>` etc. do not split fields.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        }
+        // Expect `:` then skip the type until a top-level comma.
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut any = false;
+    let mut angle = 0i32;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                '#' => {}
+                _ => any = true,
+            },
+            _ => any = true,
+        }
+    }
+    if !any {
+        0
+    } else {
+        // A trailing comma would overcount by one only if nothing followed it;
+        // treat "tokens ending in a top-level comma" as already counted.
+        count + 1
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                it.next();
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                it.next();
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as strings, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn impl_header(def: &Def, trait_name: &str) -> String {
+    if def.generics.is_empty() {
+        format!("impl ::serde::{t} for {n}", t = trait_name, n = def.name)
+    } else {
+        let bounded: Vec<String> = def
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{bounds}> ::serde::{t} for {n}<{params}>",
+            bounds = bounded.join(", "),
+            t = trait_name,
+            n = def.name,
+            params = def.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(def: &Def) -> String {
+    let body = match &def.body {
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = Vec::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{n}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),",
+                        n = def.name,
+                        v = vname
+                    ),
+                    Fields::Tuple(count) => {
+                        let binds: Vec<String> = (0..*count).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{n}::{v}({binds}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Array(vec![{items}]))]),",
+                            n = def.name,
+                            v = vname,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{n}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(vec![{items}]))]),",
+                            n = def.name,
+                            v = vname,
+                            binds = fields.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(def, "Serialize"),
+        body = body
+    )
+}
+
+fn gen_deserialize(def: &Def) -> String {
+    let body = match &def.body {
+        Body::Struct(Fields::Unit) => format!(
+            "match __v {{ ::serde::Value::Null => Ok({n}), _ => Err(::serde::Error::custom(\"expected null for unit struct {n}\")) }}",
+            n = def.name
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?; \
+                 if __items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}\")); }} \
+                 Ok({name}({items})) }}",
+                name = def.name,
+                n = n,
+                items = items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\").ok_or_else(|| ::serde::Error::custom(\"missing field {f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?; \
+                 Ok({name} {{ {items} }}) }}",
+                name = def.name,
+                items = items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "\"{v}\" => return Ok({n}::{v}),",
+                        n = def.name,
+                        v = vname
+                    )),
+                    Fields::Tuple(count) => {
+                        let items: Vec<String> = (0..*count)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{v}\" => {{ let __items = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?; \
+                             if __items.len() != {count} {{ return Err(::serde::Error::custom(\"wrong arity for {v}\")); }} \
+                             return Ok({n}::{v}({items})); }}",
+                            n = def.name,
+                            v = vname,
+                            count = count,
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(__fm, \"{f}\").ok_or_else(|| ::serde::Error::custom(\"missing field {f}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{v}\" => {{ let __fm = __inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map payload\"))?; \
+                             return Ok({n}::{v} {{ {items} }}); }}",
+                            n = def.name,
+                            v = vname,
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{{ if let Some(__s) = __v.as_str() {{ match __s {{ {units} _ => return Err(::serde::Error::custom(\"unknown variant\")) }} }} \
+                 if let Some(__entries) = __v.as_map() {{ if __entries.len() == 1 {{ let (__tag, __inner) = &__entries[0]; match __tag.as_str() {{ {tagged} _ => return Err(::serde::Error::custom(\"unknown variant\")) }} }} }} \
+                 Err(::serde::Error::custom(\"bad enum encoding for {name}\")) }}",
+                units = unit_arms.join(" "),
+                tagged = tagged_arms.join(" "),
+                name = def.name
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        header = impl_header(def, "Deserialize"),
+        body = body
+    )
+}

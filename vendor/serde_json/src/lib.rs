@@ -1,0 +1,448 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the miniature serde stand-in's [`serde::Value`] trees to real JSON
+//! text (compact and pretty) and parses JSON text back. Integers round-trip
+//! exactly through `i128`; floats use Rust's shortest round-trip formatting.
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid utf-8"))?;
+    from_str(text)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_value_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let text = f.to_string();
+        out.push_str(&text);
+        // Guarantee a float shape so it round-trips as Float (serde_json prints
+        // `1.0` for 1.0 as well).
+        if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // Like serde_json: non-finite floats render as null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        if self.depth > MAX_DEPTH {
+            return Err(Error::custom("JSON nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::custom("unexpected character in JSON")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error::custom("invalid JSON keyword"))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return Err(Error::custom("expected ',' or ']' in array")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Array(items))
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(Error::custom("expected ',' or '}' in object")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Map(entries))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let code = self.parse_hex4()?;
+                        // Surrogate pairs.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(Error::custom("lone high surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(Error::custom("bad low surrogate"));
+                            }
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(code)
+                        };
+                        out.push(c.ok_or_else(|| Error::custom("bad unicode escape"))?);
+                    }
+                    _ => return Err(Error::custom("bad escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(Error::custom("control char in string")),
+                Some(b) => {
+                    // Re-decode UTF-8: walk back and take the full char.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    if end > self.bytes.len() {
+                        return Err(Error::custom("truncated utf-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::custom("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+                None => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::custom("bad hex digit"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom("bad float literal"))
+        } else {
+            match text.parse::<i128>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Overflow: fall back to float semantics.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| Error::custom("bad integer literal")),
+            }
+        }
+    }
+}
+
+fn utf8_width(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_containers() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        let back: Vec<u64> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+
+        let s = String::from("he\"llo\nworld");
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+
+        let pair: (u64, String) = (9, "x".into());
+        let back: (u64, String) = from_str(&to_string(&pair).unwrap()).unwrap();
+        assert_eq!(back, pair);
+    }
+
+    #[test]
+    fn large_u64_roundtrips_exactly() {
+        let v: u64 = u64::MAX - 3;
+        let back: u64 = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_keep_float_shape() {
+        let f: f64 = 2.0;
+        assert_eq!(to_string(&f).unwrap(), "2.0");
+        let back: f64 = from_str("2.0").unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let none: Option<u32> = None;
+        assert_eq!(to_string(&none).unwrap(), "null");
+        let some: Option<u32> = from_str("17").unwrap();
+        assert_eq!(some, Some(17));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("[1,").is_err());
+        assert!(from_str::<u64>("nul").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}

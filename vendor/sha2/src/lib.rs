@@ -1,0 +1,270 @@
+//! Offline stand-in for the `sha2` crate.
+//!
+//! A from-scratch implementation of SHA-256 (FIPS 180-4) exposing the subset
+//! of the `digest` API surface this workspace uses: `Sha256::new`, `update`,
+//! `finalize` (whose output converts into `[u8; 32]`). Unlike most of the
+//! vendored stand-ins this one is the *real algorithm* — the workspace's known
+//! answer tests check SHA-256 test vectors.
+
+#![forbid(unsafe_code)]
+
+/// Round constants: fractional parts of the cube roots of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash values: fractional parts of the square roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// The hashing trait surface (`digest::Digest` subset).
+pub trait Digest: Default {
+    /// Output array type.
+    type Output;
+
+    /// Creates a fresh hasher.
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds data into the hasher.
+    fn update(&mut self, data: impl AsRef<[u8]>);
+
+    /// Consumes the hasher, producing the digest.
+    fn finalize(self) -> Self::Output;
+
+    /// One-shot convenience.
+    fn digest(data: impl AsRef<[u8]>) -> Self::Output {
+        let mut hasher = Self::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+}
+
+/// A 32-byte digest output that converts into `[u8; 32]` and derefs to a slice
+/// (mirroring `GenericArray` at the call sites this workspace has).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Output32(pub [u8; 32]);
+
+impl From<Output32> for [u8; 32] {
+    fn from(o: Output32) -> Self {
+        o.0
+    }
+}
+
+impl AsRef<[u8]> for Output32 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Output32 {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Incremental SHA-256.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher (inherent, so call sites need not import the trait).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn compress(state: &mut [u32; 8], block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+        for i in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
+    }
+
+    fn update_bytes(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                Self::compress(&mut self.state, &block);
+                self.buffered = 0;
+            }
+            if data.is_empty() {
+                // Nothing left beyond the (possibly still partial) buffer; the
+                // remainder handling below must not clobber it.
+                return;
+            }
+        }
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            Self::compress(&mut self.state, block);
+        }
+        let rem = blocks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
+    }
+
+    fn finalize_bytes(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update_padding(0x80);
+        while self.buffered != 56 {
+            self.update_padding(0);
+        }
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&bit_len.to_be_bytes());
+        for b in len_bytes {
+            self.update_padding(b);
+        }
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn update_padding(&mut self, byte: u8) {
+        self.buffer[self.buffered] = byte;
+        self.buffered += 1;
+        if self.buffered == 64 {
+            let block = self.buffer;
+            Self::compress(&mut self.state, &block);
+            self.buffered = 0;
+        }
+    }
+}
+
+impl Digest for Sha256 {
+    type Output = Output32;
+
+    fn update(&mut self, data: impl AsRef<[u8]>) {
+        self.update_bytes(data.as_ref());
+    }
+
+    fn finalize(self) -> Output32 {
+        Output32(self.finalize_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        let mut h = Sha256::new();
+        h.update(b"abc");
+        assert_eq!(
+            hex(&<[u8; 32]>::from(h.finalize())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+
+        let empty = Sha256::new();
+        assert_eq!(
+            hex(&<[u8; 32]>::from(empty.finalize())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+
+        let mut two_block = Sha256::new();
+        two_block.update(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(
+            hex(&<[u8; 32]>::from(two_block.finalize())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut a = Sha256::new();
+        a.update(b"hello ");
+        a.update(b"world");
+        let mut b = Sha256::new();
+        b.update(b"hello world");
+        assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn long_input_crosses_blocks() {
+        let data = vec![0xA5u8; 1000];
+        let mut whole = Sha256::new();
+        whole.update(&data);
+        let mut parts = Sha256::new();
+        for chunk in data.chunks(37) {
+            parts.update(chunk);
+        }
+        assert_eq!(whole.finalize(), parts.finalize());
+    }
+}
