@@ -1,0 +1,17 @@
+//! Regenerates the leader-batching experiment: per-leader committed-ops/sec of
+//! native Raft and confidential R-Raft across batch sizes 1/4/16/64.
+//!
+//! An optional first argument overrides the committed-operation count per run
+//! (default 1200; CI passes a small value as a smoke test).
+fn main() {
+    let operations = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(1_200);
+    let rows = recipe_bench::fig_batching(operations);
+    recipe_bench::print_rows(
+        "Leader batching: Raft (native) / R-Raft (confidential), batch sizes 1-64 (write-only, 64 B)",
+        &rows,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
+}

@@ -22,7 +22,7 @@ use recipe_net::{ChannelId, NodeId};
 use recipe_tee::Enclave;
 
 use crate::error::RecipeError;
-use crate::message::{SequenceTuple, ShieldedMessage};
+use crate::message::{BatchFrame, BatchOp, SequenceTuple, ShieldedMessage};
 
 /// Label under which the cluster-wide value/message cipher key is provisioned.
 pub const CIPHER_LABEL: &str = "recipe.values";
@@ -77,14 +77,126 @@ impl VerifyOutcome {
     }
 }
 
+/// Result of verifying an incoming batch frame. Mirrors [`VerifyOutcome`], with
+/// the whole frame accepted or rejected as a unit — a single MAC covers every
+/// op, so partial acceptance is impossible by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchVerifyOutcome {
+    /// The frame is authentic, fresh and in order; every op should be processed.
+    Accept {
+        /// The ops the frame carried, decrypted, in sender order.
+        ops: Vec<BatchOp>,
+        /// The counter the frame carried.
+        counter: u64,
+    },
+    /// Authentic but ahead of its predecessors; buffered until the gap fills.
+    Future {
+        /// The counter the frame carried.
+        counter: u64,
+        /// The next counter the receiver is waiting for.
+        expected: u64,
+    },
+    /// The frame is a replay (stale counter) and must be dropped.
+    Replay {
+        /// The counter the frame carried.
+        counter: u64,
+        /// Last counter already accepted on the channel.
+        last_accepted: u64,
+    },
+    /// The MAC did not verify — drop.
+    BadAuthenticator,
+    /// The frame was addressed to a different node — drop.
+    Misaddressed,
+    /// The view in the frame does not match the current view — drop.
+    WrongView {
+        /// View carried by the frame.
+        got: u64,
+        /// The receiver's current view.
+        current: u64,
+    },
+    /// Confidential body failed to decrypt, or the body does not decode into
+    /// the authenticated number of ops.
+    DecryptionFailed,
+}
+
+impl BatchVerifyOutcome {
+    /// True if the frame's ops should be processed by the protocol right now.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, BatchVerifyOutcome::Accept { .. })
+    }
+}
+
+/// An out-of-order arrival held in the protected area: a single shielded
+/// message or a whole batch frame. Both consume one counter slot, so one
+/// ordered buffer serves both.
+enum PendingFrame {
+    Single(ShieldedMessage),
+    Batch(BatchFrame),
+}
+
+/// Decision of the shared `verify_request` core ([`AuthLayer::admit`]) for one
+/// incoming frame, before any payload is opened or buffered.
+enum Admission {
+    /// Drop the frame; the reason maps onto the caller's outcome type.
+    Reject(Rejection),
+    /// Authentic but ahead of its predecessors: buffer it under `counter`.
+    Buffer { counter: u64, expected: u64 },
+    /// Authentic, fresh and in order (the receive counter is already advanced).
+    Deliver { counter: u64 },
+}
+
+/// Rejection reasons shared by single-message and batch verification.
+enum Rejection {
+    Misaddressed,
+    BadAuthenticator,
+    WrongView { got: u64, current: u64 },
+    Replay { counter: u64, last_accepted: u64 },
+}
+
+impl From<Rejection> for VerifyOutcome {
+    fn from(rejection: Rejection) -> Self {
+        match rejection {
+            Rejection::Misaddressed => VerifyOutcome::Misaddressed,
+            Rejection::BadAuthenticator => VerifyOutcome::BadAuthenticator,
+            Rejection::WrongView { got, current } => VerifyOutcome::WrongView { got, current },
+            Rejection::Replay {
+                counter,
+                last_accepted,
+            } => VerifyOutcome::Replay {
+                counter,
+                last_accepted,
+            },
+        }
+    }
+}
+
+impl From<Rejection> for BatchVerifyOutcome {
+    fn from(rejection: Rejection) -> Self {
+        match rejection {
+            Rejection::Misaddressed => BatchVerifyOutcome::Misaddressed,
+            Rejection::BadAuthenticator => BatchVerifyOutcome::BadAuthenticator,
+            Rejection::WrongView { got, current } => BatchVerifyOutcome::WrongView { got, current },
+            Rejection::Replay {
+                counter,
+                last_accepted,
+            } => BatchVerifyOutcome::Replay {
+                counter,
+                last_accepted,
+            },
+        }
+    }
+}
+
 /// The authentication + non-equivocation layer of one node.
 pub struct AuthLayer {
     node: NodeId,
     view: u64,
     enclave: Enclave,
     confidential: bool,
-    /// Out-of-order messages buffered per source node, keyed by counter.
-    pending: HashMap<NodeId, BTreeMap<u64, ShieldedMessage>>,
+    /// Out-of-order frames buffered per source node, keyed by counter.
+    pending: HashMap<NodeId, BTreeMap<u64, PendingFrame>>,
+    /// Reusable MAC-input buffer (one allocation across shield/verify calls).
+    scratch: Vec<u8>,
     /// Statistics: how many messages were rejected, by reason.
     rejected_replays: u64,
     rejected_auth: u64,
@@ -101,6 +213,7 @@ impl AuthLayer {
             enclave,
             confidential,
             pending: HashMap::new(),
+            scratch: Vec::new(),
             rejected_replays: 0,
             rejected_auth: 0,
             rejected_view: 0,
@@ -188,13 +301,15 @@ impl AuthLayer {
         };
 
         let mac_key = self.enclave.mac_key(&label)?;
-        let parts = ShieldedMessage::authenticated_parts(
+        self.scratch.clear();
+        ShieldedMessage::write_authenticated_parts(
+            &mut self.scratch,
             &wire_payload,
             kind,
             confidential,
             &tuple.to_bytes(),
         );
-        let mac = mac_key.tag(&parts[0]);
+        let mac = mac_key.tag(&self.scratch);
 
         Ok(ShieldedMessage {
             tuple,
@@ -206,81 +321,242 @@ impl AuthLayer {
     }
 
     // ------------------------------------------------------------------
+    // shield_batch
+    // ------------------------------------------------------------------
+
+    /// Shields a whole batch of protocol messages for `dst` under **one**
+    /// counter slot, one MAC and (in confidential mode) one AEAD pass — the
+    /// amortized fast path of the leader-side batching pipeline.
+    pub fn shield_batch(
+        &mut self,
+        dst: NodeId,
+        ops: &[BatchOp],
+    ) -> Result<BatchFrame, RecipeError> {
+        if ops.is_empty() {
+            return Err(RecipeError::Malformed("empty batch"));
+        }
+        let channel = ChannelId::new(self.node, dst);
+        let label = channel.label();
+
+        // One `cnt_cq ← cnt_cq + 1` for the whole frame.
+        let counter = self
+            .enclave
+            .counter_mut(&format!("send:{label}"))?
+            .increment();
+        let tuple = SequenceTuple {
+            view: self.view,
+            channel,
+            counter,
+        };
+
+        let body = BatchFrame::encode_ops(ops);
+        let (body, sealed) = if self.confidential {
+            let cipher = self.enclave.cipher(CIPHER_LABEL)?;
+            let nonce = Self::payload_nonce(&channel, counter);
+            (Vec::new(), Some(cipher.seal(nonce, &body)))
+        } else {
+            (body, None)
+        };
+
+        let count = ops.len() as u32;
+        let mac_key = self.enclave.mac_key(&label)?;
+        self.scratch.clear();
+        BatchFrame::write_authenticated_parts(
+            &mut self.scratch,
+            &body,
+            sealed.as_ref(),
+            count,
+            &tuple.to_bytes(),
+        );
+        let mac = mac_key.tag(&self.scratch);
+
+        Ok(BatchFrame {
+            tuple,
+            count,
+            body,
+            sealed,
+            mac,
+        })
+    }
+
+    // ------------------------------------------------------------------
     // verify_request
     // ------------------------------------------------------------------
 
     /// Verifies an incoming shielded message (Algorithm 1, `verify_request`).
+    ///
+    /// Borrowing variant: rejected messages are dropped without cloning; the
+    /// message is cloned only when it is actually buffered as a future arrival
+    /// (the accepted payload is copied out as before). Callers that own the
+    /// message should prefer [`AuthLayer::verify_owned`], which never clones.
     pub fn verify(&mut self, msg: &ShieldedMessage) -> VerifyOutcome {
-        let channel = msg.tuple.channel;
+        match self.admit(&msg.tuple, &msg.mac, |buf| {
+            ShieldedMessage::write_authenticated_parts(
+                buf,
+                &msg.payload,
+                msg.kind,
+                msg.confidential,
+                &msg.tuple.to_bytes(),
+            )
+        }) {
+            Admission::Reject(rejection) => rejection.into(),
+            Admission::Buffer { counter, expected } => {
+                self.pending
+                    .entry(msg.tuple.channel.src)
+                    .or_default()
+                    .insert(counter, PendingFrame::Single(msg.clone()));
+                VerifyOutcome::Future { counter, expected }
+            }
+            Admission::Deliver { counter } => match self.open_payload(msg) {
+                Ok(payload) => VerifyOutcome::Accept {
+                    kind: msg.kind,
+                    payload,
+                    counter,
+                },
+                Err(_) => {
+                    self.rejected_auth += 1;
+                    VerifyOutcome::DecryptionFailed
+                }
+            },
+        }
+    }
+
+    /// Verifies an incoming shielded message, taking ownership so the payload
+    /// moves (rather than clones) into the protected buffer or the
+    /// [`VerifyOutcome::Accept`] result.
+    pub fn verify_owned(&mut self, msg: ShieldedMessage) -> VerifyOutcome {
+        match self.admit(&msg.tuple, &msg.mac, |buf| {
+            ShieldedMessage::write_authenticated_parts(
+                buf,
+                &msg.payload,
+                msg.kind,
+                msg.confidential,
+                &msg.tuple.to_bytes(),
+            )
+        }) {
+            Admission::Reject(rejection) => rejection.into(),
+            Admission::Buffer { counter, expected } => {
+                self.pending
+                    .entry(msg.tuple.channel.src)
+                    .or_default()
+                    .insert(counter, PendingFrame::Single(msg));
+                VerifyOutcome::Future { counter, expected }
+            }
+            Admission::Deliver { counter } => {
+                let kind = msg.kind;
+                match self.open_payload_owned(msg) {
+                    Ok(payload) => VerifyOutcome::Accept {
+                        kind,
+                        payload,
+                        counter,
+                    },
+                    Err(_) => {
+                        self.rejected_auth += 1;
+                        VerifyOutcome::DecryptionFailed
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verifies an incoming batch frame (`verify_request` over an amortized
+    /// frame): one MAC check, one counter check and one AEAD pass admit or
+    /// reject all `count` ops as a unit.
+    pub fn verify_batch(&mut self, frame: BatchFrame) -> BatchVerifyOutcome {
+        match self.admit(&frame.tuple, &frame.mac, |buf| {
+            BatchFrame::write_authenticated_parts(
+                buf,
+                &frame.body,
+                frame.sealed.as_ref(),
+                frame.count,
+                &frame.tuple.to_bytes(),
+            )
+        }) {
+            Admission::Reject(rejection) => rejection.into(),
+            Admission::Buffer { counter, expected } => {
+                self.pending
+                    .entry(frame.tuple.channel.src)
+                    .or_default()
+                    .insert(counter, PendingFrame::Batch(frame));
+                BatchVerifyOutcome::Future { counter, expected }
+            }
+            Admission::Deliver { counter } => match self.open_batch_owned(frame) {
+                Ok(ops) => BatchVerifyOutcome::Accept { ops, counter },
+                Err(_) => {
+                    self.rejected_auth += 1;
+                    BatchVerifyOutcome::DecryptionFailed
+                }
+            },
+        }
+    }
+
+    /// The shared `verify_request` core for single messages and batch frames:
+    /// addressing, MAC (input written into the scratch buffer by
+    /// `write_parts`), view and freshness checks, in that order. Advances the
+    /// trusted receive counter on in-order delivery and records rejection
+    /// statistics; buffering and payload opening stay with the callers, which
+    /// know the frame type.
+    fn admit(
+        &mut self,
+        tuple: &SequenceTuple,
+        mac: &recipe_crypto::MacTag,
+        write_parts: impl FnOnce(&mut Vec<u8>),
+    ) -> Admission {
+        let channel = tuple.channel;
         if channel.dst != self.node {
             self.rejected_auth += 1;
-            return VerifyOutcome::Misaddressed;
+            return Admission::Reject(Rejection::Misaddressed);
         }
         let label = channel.label();
         let Ok(mac_key) = self.enclave.mac_key(&label) else {
             self.rejected_auth += 1;
-            return VerifyOutcome::BadAuthenticator;
+            return Admission::Reject(Rejection::BadAuthenticator);
         };
-        let parts = ShieldedMessage::authenticated_parts(
-            &msg.payload,
-            msg.kind,
-            msg.confidential,
-            &msg.tuple.to_bytes(),
-        );
-        if mac_key.verify(&parts[0], &msg.mac).is_err() {
+        self.scratch.clear();
+        write_parts(&mut self.scratch);
+        if mac_key.verify(&self.scratch, mac).is_err() {
             self.rejected_auth += 1;
-            return VerifyOutcome::BadAuthenticator;
+            return Admission::Reject(Rejection::BadAuthenticator);
         }
-        if msg.tuple.view != self.view {
+        if tuple.view != self.view {
             self.rejected_view += 1;
-            return VerifyOutcome::WrongView {
-                got: msg.tuple.view,
+            return Admission::Reject(Rejection::WrongView {
+                got: tuple.view,
                 current: self.view,
-            };
+            });
         }
 
         // Freshness: compare against the receive counter for this channel.
         let recv_label = format!("recv:{label}");
         let last_accepted = self.enclave.counter_value(&recv_label);
-        let counter = msg.tuple.counter;
+        let counter = tuple.counter;
         if counter <= last_accepted {
             self.rejected_replays += 1;
-            return VerifyOutcome::Replay {
+            return Admission::Reject(Rejection::Replay {
                 counter,
                 last_accepted,
-            };
+            });
         }
         if counter > last_accepted + 1 {
-            // Future message: keep it in the protected area until the gap fills.
-            self.pending
-                .entry(channel.src)
-                .or_default()
-                .insert(counter, msg.clone());
-            return VerifyOutcome::Future {
+            // Future frame: the caller keeps it in the protected area until the
+            // gap fills.
+            return Admission::Buffer {
                 counter,
                 expected: last_accepted + 1,
             };
         }
 
-        // In-order message: bump the trusted receive counter and release the payload.
+        // In-order frame: bump the trusted receive counter.
         if let Ok(recv_counter) = self.enclave.counter_mut(&recv_label) {
             let _ = recv_counter.advance_to(counter);
         }
-        match self.open_payload(msg) {
-            Ok(payload) => VerifyOutcome::Accept {
-                kind: msg.kind,
-                payload,
-                counter,
-            },
-            Err(_) => {
-                self.rejected_auth += 1;
-                VerifyOutcome::DecryptionFailed
-            }
-        }
+        Admission::Deliver { counter }
     }
 
-    /// Releases buffered "future" messages from `src` that have become deliverable
+    /// Releases buffered "future" frames from `src` that have become deliverable
     /// (their counters are now consecutive with the receive counter), in order.
+    /// Batch frames are flattened into their ops, each tagged with the frame's
+    /// counter.
     pub fn take_ready(&mut self, src: NodeId) -> Vec<(u16, Vec<u8>, u64)> {
         let channel = ChannelId::new(src, self.node);
         let recv_label = format!("recv:{}", channel.label());
@@ -290,34 +566,77 @@ impl AuthLayer {
             let Some(buffer) = self.pending.get_mut(&src) else {
                 break;
             };
-            let Some(msg) = buffer.remove(&next) else {
+            let Some(frame) = buffer.remove(&next) else {
                 break;
             };
             if let Ok(counter) = self.enclave.counter_mut(&recv_label) {
                 let _ = counter.advance_to(next);
             }
-            match self.open_payload(&msg) {
-                Ok(payload) => ready.push((msg.kind, payload, next)),
-                Err(_) => self.rejected_auth += 1,
+            match frame {
+                PendingFrame::Single(msg) => {
+                    let kind = msg.kind;
+                    match self.open_payload_owned(msg) {
+                        Ok(payload) => ready.push((kind, payload, next)),
+                        Err(_) => self.rejected_auth += 1,
+                    }
+                }
+                PendingFrame::Batch(batch) => match self.open_batch_owned(batch) {
+                    Ok(ops) => {
+                        ready.extend(ops.into_iter().map(|op| (op.kind, op.payload, next)));
+                    }
+                    Err(_) => self.rejected_auth += 1,
+                },
             }
         }
         ready
     }
 
-    /// Number of messages currently buffered as "future" arrivals from `src`.
+    /// Number of frames currently buffered as "future" arrivals from `src`.
     pub fn pending_from(&self, src: NodeId) -> usize {
         self.pending.get(&src).map(BTreeMap::len).unwrap_or(0)
     }
 
+    /// Opens a borrowed message payload (clones it when no decryption is
+    /// needed — the caller keeps the message).
     fn open_payload(&self, msg: &ShieldedMessage) -> Result<Vec<u8>, RecipeError> {
         if !msg.confidential {
             return Ok(msg.payload.clone());
         }
+        self.decrypt(&msg.payload)
+    }
+
+    /// Opens a message payload, moving it out when no decryption is needed.
+    fn open_payload_owned(&self, msg: ShieldedMessage) -> Result<Vec<u8>, RecipeError> {
+        if !msg.confidential {
+            return Ok(msg.payload);
+        }
+        self.decrypt(&msg.payload)
+    }
+
+    /// Opens a batch body (one AEAD pass) and decodes its ops, enforcing the
+    /// authenticated op count.
+    fn open_batch_owned(&self, frame: BatchFrame) -> Result<Vec<BatchOp>, RecipeError> {
+        let body = match &frame.sealed {
+            Some(ct) => self.open_ciphertext(ct)?,
+            None => frame.body,
+        };
+        let ops = BatchFrame::decode_ops(&body).ok_or(RecipeError::Malformed("batch body"))?;
+        if ops.len() != frame.count as usize {
+            return Err(RecipeError::Malformed("batch count"));
+        }
+        Ok(ops)
+    }
+
+    fn decrypt(&self, body: &[u8]) -> Result<Vec<u8>, RecipeError> {
+        let ct: recipe_crypto::Ciphertext =
+            serde_json::from_slice(body).map_err(|_| RecipeError::Malformed("ciphertext"))?;
+        self.open_ciphertext(&ct)
+    }
+
+    fn open_ciphertext(&self, ct: &recipe_crypto::Ciphertext) -> Result<Vec<u8>, RecipeError> {
         let cipher = self.enclave.cipher(CIPHER_LABEL)?;
-        let ct: recipe_crypto::Ciphertext = serde_json::from_slice(&msg.payload)
-            .map_err(|_| RecipeError::Malformed("ciphertext"))?;
         cipher
-            .open(&ct)
+            .open(ct)
             .map_err(|_| RecipeError::AuthenticationFailed)
     }
 
@@ -545,6 +864,132 @@ mod tests {
             .unwrap();
         let mut receiver = AuthLayer::new(NodeId(2), enclave, true);
         assert_eq!(receiver.verify(&msg), VerifyOutcome::DecryptionFailed);
+    }
+
+    fn ops(n: usize) -> Vec<BatchOp> {
+        (0..n)
+            .map(|i| BatchOp::new(7, format!("op{i}").into_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn batch_roundtrips_under_one_counter_slot() {
+        let (mut sender, mut receiver) = layer_pair(false);
+        let frame = sender.shield_batch(NodeId(2), &ops(4)).unwrap();
+        assert_eq!(frame.tuple.counter, 1);
+        assert_eq!(frame.count, 4);
+        match receiver.verify_batch(frame) {
+            BatchVerifyOutcome::Accept { ops: got, counter } => {
+                assert_eq!(got, ops(4));
+                assert_eq!(counter, 1);
+            }
+            other => panic!("expected Accept, got {other:?}"),
+        }
+        // The batch consumed exactly one counter slot: the next single message
+        // on the channel gets counter 2 and is accepted in order.
+        let msg = sender.shield(NodeId(2), 1, b"after").unwrap();
+        assert_eq!(msg.tuple.counter, 2);
+        assert!(receiver.verify(&msg).is_accept());
+        assert!(sender.shield_batch(NodeId(2), &[]).is_err());
+    }
+
+    #[test]
+    fn confidential_batches_encrypt_once_and_roundtrip() {
+        let (mut sender, mut receiver) = layer_pair(true);
+        let batch = vec![
+            BatchOp::new(1, b"secret balance=100".to_vec()),
+            BatchOp::new(2, b"secret balance=200".to_vec()),
+        ];
+        let frame = sender.shield_batch(NodeId(2), &batch).unwrap();
+        assert!(frame.is_confidential());
+        assert!(frame.body.is_empty());
+        let sealed = frame.sealed.clone().unwrap();
+        assert!(!sealed
+            .bytes
+            .windows(b"balance".len())
+            .any(|w| w == b"balance"));
+        match receiver.verify_batch(frame) {
+            BatchVerifyOutcome::Accept { ops: got, .. } => assert_eq!(got, batch),
+            other => panic!("expected Accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_or_replayed_batches_are_rejected_as_a_unit() {
+        let (mut sender, mut receiver) = layer_pair(false);
+        let frame = sender.shield_batch(NodeId(2), &ops(3)).unwrap();
+
+        // Host tries to truncate the frame to drop an op: count is authenticated.
+        let mut truncated = frame.clone();
+        truncated.count = 2;
+        assert_eq!(
+            receiver.verify_batch(truncated),
+            BatchVerifyOutcome::BadAuthenticator
+        );
+        // Tampering with the body is equally fatal.
+        let mut tampered = frame.clone();
+        tampered.body[3] ^= 0xFF;
+        assert_eq!(
+            receiver.verify_batch(tampered),
+            BatchVerifyOutcome::BadAuthenticator
+        );
+        // The original is accepted once; replaying it rejects every op at once.
+        assert!(receiver.verify_batch(frame.clone()).is_accept());
+        assert_eq!(
+            receiver.verify_batch(frame),
+            BatchVerifyOutcome::Replay {
+                counter: 1,
+                last_accepted: 1
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_order_batches_buffer_and_release_interleaved_with_singles() {
+        let (mut sender, mut receiver) = layer_pair(false);
+        let single = sender.shield(NodeId(2), 5, b"first").unwrap(); // counter 1
+        let batch = sender.shield_batch(NodeId(2), &ops(2)).unwrap(); // counter 2
+        let tail = sender.shield(NodeId(2), 5, b"last").unwrap(); // counter 3
+
+        // The batch and the tail arrive before the first single: both buffer.
+        assert_eq!(
+            receiver.verify_batch(batch),
+            BatchVerifyOutcome::Future {
+                counter: 2,
+                expected: 1
+            }
+        );
+        assert!(matches!(
+            receiver.verify(&tail),
+            VerifyOutcome::Future { counter: 3, .. }
+        ));
+        assert_eq!(receiver.pending_from(NodeId(1)), 2);
+
+        // The gap fills: the batch flattens into its ops, in counter order.
+        assert!(receiver.verify(&single).is_accept());
+        let ready = receiver.take_ready(NodeId(1));
+        let expected: Vec<(u16, Vec<u8>, u64)> = vec![
+            (7, b"op0".to_vec(), 2),
+            (7, b"op1".to_vec(), 2),
+            (5, b"last".to_vec(), 3),
+        ];
+        assert_eq!(ready, expected);
+        assert_eq!(receiver.pending_from(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn batch_for_wrong_recipient_or_view_is_rejected() {
+        let (mut sender, mut receiver) = layer_pair(false);
+        let frame = sender.shield_batch(NodeId(2), &ops(2)).unwrap();
+        assert_eq!(
+            sender.verify_batch(frame.clone()),
+            BatchVerifyOutcome::Misaddressed
+        );
+        receiver.set_view(4);
+        assert_eq!(
+            receiver.verify_batch(frame),
+            BatchVerifyOutcome::WrongView { got: 0, current: 4 }
+        );
     }
 
     #[test]

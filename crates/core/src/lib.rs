@@ -34,11 +34,13 @@ pub mod node;
 pub mod recovery;
 pub mod view;
 
-pub use auth::{AuthLayer, VerifyOutcome};
+pub use auth::{AuthLayer, BatchVerifyOutcome, VerifyOutcome};
 pub use client_table::ClientTable;
 pub use error::RecipeError;
 pub use membership::Membership;
-pub use message::{ClientReply, ClientRequest, Operation, SequenceTuple, ShieldedMessage};
+pub use message::{
+    BatchFrame, BatchOp, ClientReply, ClientRequest, Operation, SequenceTuple, ShieldedMessage,
+};
 pub use node::{NodeRole, RecipeConfig, RecipeNode};
 pub use recovery::{JoinCoordinator, JoinRequest, StateSnapshot};
 pub use view::ViewTracker;

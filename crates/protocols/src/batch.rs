@@ -1,0 +1,260 @@
+//! Leader-side request batching: accumulate outgoing protocol messages per
+//! destination and drain them through one amortized [`BatchFrame`] per flush.
+//!
+//! The shard-scaling sweep of `recipe_shard` made per-leader throughput the
+//! bottleneck: every op paid a full `shield_msg`/`verify_msg` round (counter,
+//! MAC/AEAD, framing) per replica message — exactly the fixed per-message
+//! overhead Figure 6a measures. A [`Batcher`] amortizes those fixed costs by
+//! coalescing messages for the same destination into one
+//! [`recipe_core::BatchFrame`], flushed by whichever of three triggers fires
+//! first:
+//!
+//! * **ops budget** — a destination accumulated [`BatchConfig::max_ops`]
+//!   messages;
+//! * **byte budget** — a destination accumulated [`BatchConfig::max_bytes`]
+//!   of payload;
+//! * **time budget** — [`BatchConfig::max_delay_ns`] elapsed since the batcher
+//!   went non-empty (the replica arms one flush timer and drains everything
+//!   when it fires, so a lone trailing op is never stranded).
+//!
+//! The batcher holds *plaintext* payloads; shielding happens at flush time, so
+//! frames always carry the sender's current view and a fresh counter. Multiple
+//! un-acked frames may be in flight per destination (pipelining) — ordering is
+//! preserved by the per-channel trusted counters, and a dropped frame loses
+//! (and therefore retries) its ops as one unit.
+//!
+//! [`BatchFrame`]: recipe_core::BatchFrame
+
+use std::collections::BTreeMap;
+
+use recipe_core::BatchOp;
+use recipe_net::NodeId;
+use recipe_sim::Ctx;
+
+/// Flush triggers for a [`Batcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush a destination once it holds this many ops (`1` disables batching:
+    /// every message is sent immediately as a single shielded message).
+    pub max_ops: usize,
+    /// Flush a destination once it holds this many payload bytes.
+    pub max_bytes: usize,
+    /// Flush everything this long (virtual ns) after the batcher goes
+    /// non-empty, so low load never strands a partial batch.
+    pub max_delay_ns: u64,
+}
+
+impl BatchConfig {
+    /// No batching: the seed's one-message-per-op behaviour, bit for bit.
+    pub fn unbatched() -> Self {
+        BatchConfig {
+            max_ops: 1,
+            max_bytes: usize::MAX,
+            max_delay_ns: 0,
+        }
+    }
+
+    /// Batches up to `ops` messages per destination with the default byte and
+    /// time budgets (64 KiB, 100 µs).
+    pub fn of_ops(ops: usize) -> Self {
+        BatchConfig {
+            max_ops: ops.max(1),
+            max_bytes: 64 * 1024,
+            max_delay_ns: 100_000,
+        }
+    }
+
+    /// True when this configuration actually batches (`max_ops > 1`).
+    pub fn is_batching(&self) -> bool {
+        self.max_ops > 1
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::unbatched()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    ops: Vec<BatchOp>,
+    bytes: usize,
+}
+
+/// Per-destination accumulation of outgoing protocol messages.
+///
+/// Deterministic by construction: destinations drain in `NodeId` order
+/// (BTreeMap), ops within a destination drain in enqueue order.
+#[derive(Debug)]
+pub struct Batcher {
+    config: BatchConfig,
+    queues: BTreeMap<NodeId, Queue>,
+    timer_armed: bool,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given flush triggers.
+    pub fn new(config: BatchConfig) -> Self {
+        Batcher {
+            config,
+            queues: BTreeMap::new(),
+            timer_armed: false,
+        }
+    }
+
+    /// The flush triggers.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// True when batching is enabled (`max_ops > 1`).
+    pub fn is_batching(&self) -> bool {
+        self.config.is_batching()
+    }
+
+    /// Enqueues one message for `dst`. Returns `true` when the destination hit
+    /// its ops or byte budget and should be flushed now.
+    pub fn push(&mut self, dst: NodeId, kind: u16, payload: Vec<u8>) -> bool {
+        let queue = self.queues.entry(dst).or_default();
+        queue.bytes += payload.len();
+        queue.ops.push(BatchOp::new(kind, payload));
+        queue.ops.len() >= self.config.max_ops || queue.bytes >= self.config.max_bytes
+    }
+
+    /// Takes everything queued for `dst` (empty if nothing is pending).
+    pub fn take(&mut self, dst: NodeId) -> Vec<BatchOp> {
+        match self.queues.remove(&dst) {
+            Some(queue) => queue.ops,
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains every destination, in `NodeId` order.
+    pub fn drain_all(&mut self) -> Vec<(NodeId, Vec<BatchOp>)> {
+        std::mem::take(&mut self.queues)
+            .into_iter()
+            .map(|(dst, queue)| (dst, queue.ops))
+            .collect()
+    }
+
+    /// Total ops pending across all destinations.
+    pub fn pending_ops(&self) -> usize {
+        self.queues.values().map(|q| q.ops.len()).sum()
+    }
+
+    /// Marks the flush timer as armed. Returns `true` when the caller should
+    /// actually schedule it (it was not armed yet) — replicas call this after a
+    /// push that did not trigger an immediate flush.
+    pub fn arm_timer(&mut self) -> bool {
+        !std::mem::replace(&mut self.timer_armed, true)
+    }
+
+    /// Marks the flush timer as fired; the next push may arm a new one.
+    pub fn timer_fired(&mut self) {
+        self.timer_armed = false;
+    }
+
+    /// The batching-path enqueue shared by every protocol: pushes one message,
+    /// emits the flushed destination through `emit` when the ops or byte
+    /// budget fires, and arms the shared flush timer (`token`, firing after
+    /// [`BatchConfig::max_delay_ns`]) when none is armed yet. Callers keep the
+    /// unbatched fast path (`!is_batching()`) to themselves — a single message
+    /// has a different wire format than a batch of one.
+    pub fn enqueue(
+        &mut self,
+        ctx: &mut Ctx,
+        token: u64,
+        dst: NodeId,
+        kind: u16,
+        payload: Vec<u8>,
+        emit: impl FnOnce(&mut Ctx, NodeId, Vec<BatchOp>),
+    ) {
+        if self.push(dst, kind, payload) {
+            let ops = self.take(dst);
+            if !ops.is_empty() {
+                emit(ctx, dst, ops);
+            }
+        } else if self.arm_timer() {
+            ctx.set_timer(self.config.max_delay_ns, token);
+        }
+    }
+
+    /// The time-budget flush shared by every protocol: marks the timer fired
+    /// and drains every destination through `emit`, in `NodeId` order.
+    pub fn flush_timer(
+        &mut self,
+        ctx: &mut Ctx,
+        mut emit: impl FnMut(&mut Ctx, NodeId, Vec<BatchOp>),
+    ) {
+        self.timer_fired();
+        for (dst, ops) in self.drain_all() {
+            emit(ctx, dst, ops);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbatched_config_flushes_on_every_push() {
+        let mut batcher = Batcher::new(BatchConfig::unbatched());
+        assert!(!batcher.is_batching());
+        assert!(batcher.push(NodeId(1), 1, vec![0u8; 8]));
+        assert_eq!(batcher.take(NodeId(1)).len(), 1);
+        assert_eq!(batcher.pending_ops(), 0);
+    }
+
+    #[test]
+    fn ops_budget_triggers_per_destination() {
+        let mut batcher = Batcher::new(BatchConfig::of_ops(3));
+        assert!(batcher.is_batching());
+        assert!(!batcher.push(NodeId(1), 1, vec![1]));
+        assert!(!batcher.push(NodeId(2), 1, vec![2]));
+        assert!(!batcher.push(NodeId(1), 1, vec![3]));
+        // Third op for node 1 hits the budget; node 2 is unaffected.
+        assert!(batcher.push(NodeId(1), 1, vec![4]));
+        let ops = batcher.take(NodeId(1));
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].payload, vec![1]);
+        assert_eq!(ops[2].payload, vec![4]);
+        assert_eq!(batcher.pending_ops(), 1);
+    }
+
+    #[test]
+    fn byte_budget_triggers_flush() {
+        let mut batcher = Batcher::new(BatchConfig {
+            max_ops: 1000,
+            max_bytes: 100,
+            max_delay_ns: 1_000,
+        });
+        assert!(!batcher.push(NodeId(1), 1, vec![0u8; 60]));
+        assert!(batcher.push(NodeId(1), 1, vec![0u8; 60]));
+    }
+
+    #[test]
+    fn drain_all_is_ordered_and_exhaustive() {
+        let mut batcher = Batcher::new(BatchConfig::of_ops(64));
+        batcher.push(NodeId(5), 1, vec![5]);
+        batcher.push(NodeId(2), 1, vec![2]);
+        batcher.push(NodeId(5), 2, vec![55]);
+        let drained = batcher.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, NodeId(2));
+        assert_eq!(drained[1].0, NodeId(5));
+        assert_eq!(drained[1].1.len(), 2);
+        assert_eq!(batcher.pending_ops(), 0);
+        assert!(batcher.drain_all().is_empty());
+    }
+
+    #[test]
+    fn timer_arms_once_until_fired() {
+        let mut batcher = Batcher::new(BatchConfig::of_ops(16));
+        assert!(batcher.arm_timer());
+        assert!(!batcher.arm_timer());
+        batcher.timer_fired();
+        assert!(batcher.arm_timer());
+    }
+}

@@ -26,15 +26,17 @@
 
 pub mod abd;
 pub mod allconcur;
+pub mod batch;
 pub mod chain;
 pub mod raft;
 pub mod shield;
 
 pub use abd::AbdReplica;
 pub use allconcur::AllConcurReplica;
+pub use batch::{BatchConfig, Batcher};
 pub use chain::ChainReplica;
 pub use raft::RaftReplica;
-pub use shield::{ProtocolMode, ProtocolShield};
+pub use shield::{Frames, FramesIter, ProtocolMode, ProtocolShield};
 
 use recipe_core::Membership;
 

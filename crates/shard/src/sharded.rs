@@ -62,6 +62,24 @@ impl ShardedConfig {
         }
     }
 
+    /// Sets the leader-side batching factor on every cost profile (template and
+    /// per-shard overrides alike), so the batch knob flows to all shards in one
+    /// call. The caller builds the replicas with the matching
+    /// `recipe_protocols::BatchConfig` (see `recipe-bench`'s batching sweep).
+    pub fn with_batch_ops(mut self, ops: usize) -> Self {
+        for profile in &mut self.base.profiles {
+            profile.batch_ops = ops.max(1);
+        }
+        if let Some(profiles) = &mut self.profiles {
+            for shard in profiles {
+                for profile in shard {
+                    profile.batch_ops = ops.max(1);
+                }
+            }
+        }
+        self
+    }
+
     /// The effective simulator configuration for shard `shard`.
     fn config_for_shard(&self, shard: usize) -> SimConfig {
         let mut config = self.base.clone();
@@ -360,6 +378,7 @@ impl<R: Replica> ShardedCluster<R> {
             total.messages_dropped += stats.messages_dropped;
             total.messages_tampered += stats.messages_tampered;
             total.messages_replayed += stats.messages_replayed;
+            total.ops_delivered += stats.ops_delivered;
         }
         let (mean_us, p99_us) = recipe_sim::latency_summary(&mut latencies_ns);
         total.mean_latency_us = mean_us;

@@ -101,6 +101,9 @@ pub struct RunStats {
     pub messages_tampered: u64,
     /// Messages the adversary replayed or duplicated.
     pub messages_replayed: u64,
+    /// Total protocol ops carried by delivered frames (equals
+    /// `messages_delivered` without batching; larger when leaders batch).
+    pub ops_delivered: u64,
 }
 
 #[derive(Debug)]
@@ -120,6 +123,8 @@ enum EventKind {
         from: NodeId,
         to: NodeId,
         bytes: Vec<u8>,
+        /// Number of protocol ops in the frame (1 for single messages).
+        ops: u32,
     },
     Timer {
         node: NodeId,
@@ -499,16 +504,23 @@ impl<R: Replica> SimCluster<R> {
                 self.replicas[idx].on_client_request(request, &mut ctx);
                 self.apply_effects(idx, ctx);
             }
-            EventKind::Deliver { from, to, bytes } => {
+            EventKind::Deliver {
+                from,
+                to,
+                bytes,
+                ops,
+            } => {
                 if self.crashed.contains(&to) {
                     return StepOutcome::Processed;
                 }
                 self.stats.messages_delivered += 1;
+                self.stats.ops_delivered += ops as u64;
                 let idx = self.index_of(to);
-                let cost = self
-                    .config
-                    .cost_model
-                    .recv_cost_ns(&self.config.profiles[idx], bytes.len());
+                let cost = self.config.cost_model.batch_recv_cost_ns(
+                    &self.config.profiles[idx],
+                    ops as usize,
+                    bytes.len(),
+                );
                 let finish = self.start_work(idx, cost);
                 let mut ctx = Ctx::new(to, TrustedInstant::from_nanos(finish));
                 self.replicas[idx].on_message(from, &bytes, &mut ctx);
@@ -575,12 +587,14 @@ impl<R: Replica> SimCluster<R> {
         let (outbox, replies, timers) = ctx.take_effects();
         let mut send_finish = self.busy_until[src_idx];
 
-        for (dst, bytes) in outbox {
-            // Sending costs the sender time (serialized on the node).
-            let send_cost = self
-                .config
-                .cost_model
-                .send_cost_ns(&self.config.profiles[src_idx], bytes.len());
+        for (dst, bytes, ops) in outbox {
+            // Sending costs the sender time (serialized on the node). Batch
+            // frames pay their fixed transport/auth overhead once per frame.
+            let send_cost = self.config.cost_model.batch_send_cost_ns(
+                &self.config.profiles[src_idx],
+                ops as usize,
+                bytes.len(),
+            );
             send_finish = send_finish.max(self.now) + send_cost;
 
             // The Byzantine network decides the fate of the message.
@@ -601,6 +615,7 @@ impl<R: Replica> SimCluster<R> {
                         from: src,
                         to: dst,
                         bytes: wire.buf.payload,
+                        ops,
                     },
                 ),
                 FaultDecision::Drop => {
@@ -614,6 +629,7 @@ impl<R: Replica> SimCluster<R> {
                             from: src,
                             to: dst,
                             bytes: corrupted.buf.payload,
+                            ops,
                         },
                     );
                 }
@@ -625,6 +641,7 @@ impl<R: Replica> SimCluster<R> {
                             from: src,
                             to: dst,
                             bytes: wire.buf.payload.clone(),
+                            ops,
                         },
                     );
                     self.push(
@@ -633,6 +650,7 @@ impl<R: Replica> SimCluster<R> {
                             from: src,
                             to: dst,
                             bytes: wire.buf.payload,
+                            ops,
                         },
                     );
                 }
@@ -644,14 +662,19 @@ impl<R: Replica> SimCluster<R> {
                             from: src,
                             to: dst,
                             bytes: wire.buf.payload,
+                            ops,
                         },
                     );
+                    // The op count of a historical frame is unknown to the
+                    // adversary's replay buffer; the shield rejects it anyway,
+                    // so it is charged as a single message.
                     self.push(
                         deliver_at + 1,
                         EventKind::Deliver {
                             from: older.src,
                             to: older.dst,
                             bytes: older.buf.payload,
+                            ops: 1,
                         },
                     );
                 }

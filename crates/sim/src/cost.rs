@@ -48,6 +48,13 @@ pub struct CostProfile {
     /// Number of message payloads resident in enclave buffers at a time
     /// (batching factor; larger batches stress the EPC, §B.3).
     pub inflight_messages: usize,
+    /// Leader-side batching factor: how many protocol ops ride in one wire
+    /// frame. `1` disables batching. The experiment harness derives the
+    /// replicas' `BatchConfig` from this field (see `recipe-bench`), keeping
+    /// replica batching and profile bookkeeping in sync; the cost accounting
+    /// itself charges by the actual op count carried on each frame
+    /// (`batch_send_cost_ns`/`batch_recv_cost_ns`).
+    pub batch_ops: usize,
 }
 
 impl CostProfile {
@@ -63,6 +70,7 @@ impl CostProfile {
             epc_bytes: recipe_tee::epc::DEFAULT_EPC_BYTES,
             resident_bytes: 2 * 1024 * 1024,
             inflight_messages: 2_048,
+            batch_ops: 1,
         }
     }
 
@@ -79,6 +87,7 @@ impl CostProfile {
             epc_bytes: usize::MAX / 2,
             resident_bytes: 0,
             inflight_messages: 0,
+            batch_ops: 1,
         }
     }
 
@@ -96,6 +105,7 @@ impl CostProfile {
             epc_bytes: usize::MAX / 2,
             resident_bytes: 0,
             inflight_messages: 0,
+            batch_ops: 1,
         }
     }
 
@@ -112,6 +122,7 @@ impl CostProfile {
             epc_bytes: recipe_tee::epc::DEFAULT_EPC_BYTES,
             resident_bytes: 2 * 1024 * 1024,
             inflight_messages: 256,
+            batch_ops: 1,
         }
     }
 
@@ -124,6 +135,12 @@ impl CostProfile {
     /// Sets the batching factor (in-flight payload buffers inside the enclave).
     pub fn with_inflight(mut self, messages: usize) -> Self {
         self.inflight_messages = messages;
+        self
+    }
+
+    /// Sets the leader-side batching factor (ops per wire frame).
+    pub fn with_batch_ops(mut self, ops: usize) -> Self {
+        self.batch_ops = ops.max(1);
         self
     }
 }
@@ -149,6 +166,10 @@ pub struct ProtocolCostModel {
     pub link_latency_ns: u64,
     /// Time a client waits between receiving a reply and issuing its next request.
     pub client_think_ns: u64,
+    /// Marginal cost per additional op inside a batch frame, nanoseconds
+    /// (sub-frame parsing/dispatch; the fixed transport + MAC/AEAD setup is
+    /// charged once per frame).
+    pub batch_op_overhead_ns: f64,
 }
 
 impl Default for ProtocolCostModel {
@@ -162,6 +183,7 @@ impl Default for ProtocolCostModel {
             tee_app_penalty: 2.6,
             link_latency_ns: 5_000,
             client_think_ns: 1_000,
+            batch_op_overhead_ns: 40.0,
         }
     }
 }
@@ -169,24 +191,69 @@ impl Default for ProtocolCostModel {
 impl ProtocolCostModel {
     /// Cost for a node with `profile` to send one message of `payload_bytes`.
     pub fn send_cost_ns(&self, profile: &CostProfile, payload_bytes: usize) -> u64 {
-        self.message_cost_ns(profile, payload_bytes)
+        self.message_cost_f64(profile, payload_bytes) as u64
+    }
+
+    /// Cost for a node with `profile` to send one **batch frame** carrying
+    /// `ops` protocol messages in `frame_bytes` total.
+    ///
+    /// This is where the batching pipeline's cost accounting lives: the fixed
+    /// per-message overheads — transport setup, MAC/AEAD fixed cost, signature —
+    /// are charged **once per frame**, not once per op; each op past the first
+    /// pays only the [`ProtocolCostModel::batch_op_overhead_ns`] marginal plus
+    /// its share of the per-byte work already captured by `frame_bytes`.
+    /// Degenerates to [`ProtocolCostModel::send_cost_ns`] at `ops == 1`.
+    pub fn batch_send_cost_ns(&self, profile: &CostProfile, ops: usize, frame_bytes: usize) -> u64 {
+        if ops <= 1 {
+            return self.send_cost_ns(profile, frame_bytes);
+        }
+        (self.message_cost_f64(profile, frame_bytes) + (ops - 1) as f64 * self.batch_op_overhead_ns)
+            as u64
     }
 
     /// Cost for a node with `profile` to receive and fully process one message of
     /// `payload_bytes` (transport + authentication + application work).
     pub fn recv_cost_ns(&self, profile: &CostProfile, payload_bytes: usize) -> u64 {
-        self.message_cost_ns(profile, payload_bytes) + self.app_cost_ns(profile, payload_bytes)
+        // Truncate the message and application terms separately, exactly as the
+        // seed did: a joint truncation can differ by 1 ns, which is enough to
+        // reorder events and break bit-for-bit parity of unbatched runs.
+        self.message_cost_f64(profile, payload_bytes) as u64
+            + self.app_cost_f64(profile, payload_bytes) as u64
+    }
+
+    /// Cost for a node with `profile` to receive and fully process one **batch
+    /// frame** of `ops` messages in `frame_bytes` total: the fixed transport +
+    /// authentication cost once per frame (single MAC check, single counter,
+    /// one AEAD pass), but the **application work is still charged per op** —
+    /// amortization must not hide real per-request processing. EPC pressure is
+    /// evaluated per frame via [`ProtocolCostModel::batch_epc_pressure`] (§B.3).
+    /// Degenerates to [`ProtocolCostModel::recv_cost_ns`] at `ops == 1`.
+    pub fn batch_recv_cost_ns(&self, profile: &CostProfile, ops: usize, frame_bytes: usize) -> u64 {
+        if ops <= 1 {
+            return self.recv_cost_ns(profile, frame_bytes);
+        }
+        let pressure = self.batch_epc_pressure(profile, ops, frame_bytes);
+        (self.message_cost_f64(profile, frame_bytes)
+            + (ops - 1) as f64 * self.batch_op_overhead_ns
+            + ops as f64 * self.app_cost_with_pressure(profile, pressure)) as u64
     }
 
     /// Application-only processing cost (no transport), e.g. applying a committed
     /// write to the local KV store.
     pub fn app_cost_ns(&self, profile: &CostProfile, payload_bytes: usize) -> u64 {
+        self.app_cost_f64(profile, payload_bytes) as u64
+    }
+
+    fn app_cost_f64(&self, profile: &CostProfile, payload_bytes: usize) -> f64 {
+        self.app_cost_with_pressure(profile, self.epc_pressure(profile, payload_bytes))
+    }
+
+    fn app_cost_with_pressure(&self, profile: &CostProfile, pressure: f64) -> f64 {
         let tee_mult = match profile.exec {
             ExecMode::Native => 1.0,
             ExecMode::Tee => self.tee_app_penalty,
         };
-        let pressure = self.epc_pressure(profile, payload_bytes);
-        (profile.app_base_ns * tee_mult * pressure) as u64
+        profile.app_base_ns * tee_mult * pressure
     }
 
     /// EPC paging pressure factor for this node, given the payload size of the
@@ -201,7 +268,25 @@ impl ProtocolCostModel {
         epc.pressure_factor()
     }
 
-    fn message_cost_ns(&self, profile: &CostProfile, payload_bytes: usize) -> u64 {
+    /// EPC paging pressure for a node handling **batch frames** of `ops` ops in
+    /// `frame_bytes` total. Batching repacks the same in-flight op payloads
+    /// into `inflight_messages / ops` frames — the resident population does not
+    /// multiply with the frame size, but each frame is enclave-resident as a
+    /// unit, so large frames of large values still cross the EPC cliff (§B.3).
+    /// Degenerates to [`ProtocolCostModel::epc_pressure`] at `ops == 1`.
+    pub fn batch_epc_pressure(&self, profile: &CostProfile, ops: usize, frame_bytes: usize) -> f64 {
+        if profile.exec == ExecMode::Native {
+            return 1.0;
+        }
+        let ops = ops.max(1);
+        let frames = (profile.inflight_messages / ops).max(1);
+        let mut epc = EpcModel::new(profile.epc_bytes);
+        let resident = profile.resident_bytes + frames * frame_bytes;
+        let _ = epc.allocate(resident);
+        epc.pressure_factor()
+    }
+
+    fn message_cost_f64(&self, profile: &CostProfile, payload_bytes: usize) -> f64 {
         let mut cost = self
             .net
             .message_cost_ns(profile.transport, profile.exec, payload_bytes);
@@ -214,7 +299,7 @@ impl ProtocolCostModel {
         if profile.confidential {
             cost += payload_bytes as f64 * self.encrypt_per_byte_ns;
         }
-        cost as u64
+        cost
     }
 }
 
@@ -291,6 +376,110 @@ mod tests {
         let p = CostProfile::recipe();
         assert!(m.recv_cost_ns(&p, 4096) > m.recv_cost_ns(&p, 256));
         assert!(m.send_cost_ns(&p, 4096) > m.send_cost_ns(&p, 256));
+    }
+
+    #[test]
+    fn batch_cost_degenerates_to_single_message_cost_at_one_op() {
+        let m = ProtocolCostModel::default();
+        for profile in [
+            CostProfile::recipe(),
+            CostProfile::recipe().confidential(),
+            CostProfile::native_cft(),
+            CostProfile::pbft_baseline(),
+        ] {
+            for bytes in [64usize, 256, 1024] {
+                assert_eq!(
+                    m.batch_send_cost_ns(&profile, 1, bytes),
+                    m.send_cost_ns(&profile, bytes)
+                );
+                assert_eq!(
+                    m.batch_recv_cost_ns(&profile, 1, bytes),
+                    m.recv_cost_ns(&profile, bytes)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_overhead_is_charged_once_per_frame_not_once_per_op() {
+        // The regression this pins: sending N ops as one frame must cost less
+        // than sending N single messages of the same total payload, and the
+        // saving must be at least the (N-1) repeated fixed MAC + transport
+        // setup costs the unbatched path pays.
+        let m = ProtocolCostModel::default();
+        let profile = CostProfile::recipe().confidential();
+        let per_op_bytes = 256usize;
+        for ops in [4usize, 16, 64] {
+            let frame_bytes = ops * per_op_bytes;
+            let batched = m.batch_send_cost_ns(&profile, ops, frame_bytes);
+            let unbatched = ops as u64 * m.send_cost_ns(&profile, per_op_bytes);
+            assert!(
+                batched < unbatched,
+                "{ops} ops: batched {batched} !< unbatched {unbatched}"
+            );
+            let fixed_saving = ((ops - 1) as f64 * (m.mac_ns + m.net.directio_per_msg_ns)) as u64;
+            assert!(
+                unbatched - batched >= fixed_saving,
+                "{ops} ops: saving {} < fixed saving {fixed_saving}",
+                unbatched - batched
+            );
+        }
+    }
+
+    #[test]
+    fn batch_recv_still_charges_application_work_per_op() {
+        // Amortization covers the shield, not the application: receiving a
+        // 16-op frame performs 16 ops' worth of app processing.
+        let m = ProtocolCostModel::default();
+        let profile = CostProfile::recipe();
+        let ops = 16usize;
+        let frame_bytes = ops * 256;
+        let batched = m.batch_recv_cost_ns(&profile, ops, frame_bytes);
+        let app_total = (ops as f64
+            * profile.app_base_ns
+            * m.tee_app_penalty
+            * m.batch_epc_pressure(&profile, ops, frame_bytes)) as u64;
+        assert!(
+            batched >= app_total,
+            "batched recv {batched} must include per-op app work {app_total}"
+        );
+        // And each extra op has a positive marginal cost (per-op dispatch).
+        assert!(
+            m.batch_send_cost_ns(&profile, ops + 1, frame_bytes)
+                > m.batch_send_cost_ns(&profile, ops, frame_bytes)
+        );
+    }
+
+    #[test]
+    fn epc_pressure_is_evaluated_per_frame() {
+        // A 64-op frame of 4 KiB values keeps 256 KiB enclave-resident per
+        // frame: the pressure term must see whole frames, so batch_recv grows
+        // past the EPC cliff for large values — the paper's §B.3 trade-off.
+        let m = ProtocolCostModel::default();
+        let profile = CostProfile::recipe();
+        let small_frame = m.batch_epc_pressure(&profile, 16, 16 * 64);
+        let big_frame = m.batch_epc_pressure(&profile, 64, 64 * 4096);
+        assert_eq!(small_frame, 1.0);
+        assert!(big_frame > 1.0);
+        // Degenerate case matches the single-message pressure model.
+        assert_eq!(
+            m.batch_epc_pressure(&profile, 1, 4096),
+            m.epc_pressure(&profile, 4096)
+        );
+        // Batching does not multiply the resident op population: a batched
+        // frame of N small ops pressures no more than N single messages.
+        assert!(
+            m.batch_epc_pressure(&profile, 16, 16 * 256) <= m.epc_pressure(&profile, 256) * 1.01
+        );
+    }
+
+    #[test]
+    fn batch_ops_knob_round_trips() {
+        let profile = CostProfile::recipe().with_batch_ops(16);
+        assert_eq!(profile.batch_ops, 16);
+        // Zero is clamped: "no batching" is 1 op per frame.
+        assert_eq!(CostProfile::recipe().with_batch_ops(0).batch_ops, 1);
+        assert_eq!(CostProfile::recipe().batch_ops, 1);
     }
 
     #[test]

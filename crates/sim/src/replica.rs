@@ -11,16 +11,22 @@ use recipe_core::{ClientReply, ClientRequest};
 use recipe_net::NodeId;
 use recipe_tee::TrustedInstant;
 
-/// The effects a handler invocation queued: outbound `(dst, bytes)` messages,
-/// client replies, and `(delay_ns, token)` timer requests.
-pub(crate) type Effects = (Vec<(NodeId, Vec<u8>)>, Vec<ClientReply>, Vec<(u64, u64)>);
+/// The effects a handler invocation queued: outbound `(dst, bytes, ops)`
+/// messages (`ops` > 1 for batch frames, so the cost model can charge fixed
+/// per-frame overhead once and per-op marginal work per op), client replies,
+/// and `(delay_ns, token)` timer requests.
+pub(crate) type Effects = (
+    Vec<(NodeId, Vec<u8>, u32)>,
+    Vec<ClientReply>,
+    Vec<(u64, u64)>,
+);
 
 /// The per-invocation context a replica uses to interact with the world.
 #[derive(Debug)]
 pub struct Ctx {
     now: TrustedInstant,
     node: NodeId,
-    outbox: Vec<(NodeId, Vec<u8>)>,
+    outbox: Vec<(NodeId, Vec<u8>, u32)>,
     replies: Vec<ClientReply>,
     timers: Vec<(u64, u64)>,
 }
@@ -49,14 +55,22 @@ impl Ctx {
 
     /// Queues `bytes` for delivery to `dst`.
     pub fn send(&mut self, dst: NodeId, bytes: Vec<u8>) {
-        self.outbox.push((dst, bytes));
+        self.outbox.push((dst, bytes, 1));
+    }
+
+    /// Queues a batch frame of `ops` protocol messages for delivery to `dst`.
+    /// The simulator charges the frame's fixed transport/auth cost once and the
+    /// per-op marginal cost `ops` times (see
+    /// `ProtocolCostModel::batch_send_cost_ns`).
+    pub fn send_batch(&mut self, dst: NodeId, bytes: Vec<u8>, ops: u32) {
+        self.outbox.push((dst, bytes, ops.max(1)));
     }
 
     /// Queues `bytes` for delivery to every node in `peers`.
     pub fn broadcast(&mut self, peers: &[NodeId], bytes: Vec<u8>) {
         for &peer in peers {
             if peer != self.node {
-                self.outbox.push((peer, bytes.clone()));
+                self.outbox.push((peer, bytes.clone(), 1));
             }
         }
     }
@@ -121,6 +135,7 @@ mod tests {
 
         ctx.send(NodeId(2), vec![1, 2]);
         ctx.broadcast(&[NodeId(0), NodeId(1), NodeId(2)], vec![9]);
+        ctx.send_batch(NodeId(0), vec![7], 16);
         ctx.reply(ClientReply {
             client_id: 4,
             request_id: 1,
@@ -129,12 +144,13 @@ mod tests {
             replier: 1,
         });
         ctx.set_timer(1_000, 7);
-        assert_eq!(ctx.queued_messages(), 3); // broadcast skips self
+        assert_eq!(ctx.queued_messages(), 4); // broadcast skips self
 
         let (outbox, replies, timers) = ctx.take_effects();
-        assert_eq!(outbox.len(), 3);
-        assert_eq!(outbox[0], (NodeId(2), vec![1, 2]));
-        assert!(outbox.iter().all(|(dst, _)| *dst != NodeId(1)));
+        assert_eq!(outbox.len(), 4);
+        assert_eq!(outbox[0], (NodeId(2), vec![1, 2], 1));
+        assert_eq!(outbox[3], (NodeId(0), vec![7], 16));
+        assert!(outbox.iter().all(|(dst, _, _)| *dst != NodeId(1)));
         assert_eq!(replies.len(), 1);
         assert_eq!(timers, vec![(1_000, 7)]);
     }

@@ -48,6 +48,6 @@ fn main() {
     let delivered = receiver.unwrap(NodeId(0), &wire);
     println!(
         "receiver decrypted   : {}",
-        String::from_utf8_lossy(&delivered[0].1)
+        String::from_utf8_lossy(&delivered.as_slice()[0].1)
     );
 }
