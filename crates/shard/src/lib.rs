@@ -28,7 +28,7 @@
 pub mod router;
 pub mod sharded;
 
-pub use router::ShardRouter;
+pub use router::{RangeMove, RouteDecision, RouterVersion, ShardRouter};
 pub use sharded::{ShardedCluster, ShardedConfig, ShardedRunStats};
 
 /// Converts a generated workload operation into the protocol-level operation.

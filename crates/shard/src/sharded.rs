@@ -29,7 +29,7 @@ use recipe_net::{FaultPlan, NodeId};
 use recipe_sim::{CostProfile, Replica, RunStats, SimCluster, SimConfig, StepOutcome};
 use recipe_workload::stable_key_hash;
 
-use crate::router::ShardRouter;
+use crate::router::{RouteDecision, RouterVersion, ShardRouter};
 
 /// Configuration of a sharded deployment.
 #[derive(Debug, Clone)]
@@ -81,7 +81,7 @@ impl ShardedConfig {
     }
 
     /// The effective simulator configuration for shard `shard`.
-    fn config_for_shard(&self, shard: usize) -> SimConfig {
+    pub(crate) fn config_for_shard(&self, shard: usize) -> SimConfig {
         let mut config = self.base.clone();
         // Distinct, deterministic fault/randomness stream per shard.
         config.seed = self
@@ -112,20 +112,42 @@ pub struct ShardedRunStats {
     pub imbalance: f64,
 }
 
-/// One global client's issue event in the driver's queue.
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct DriverEvent {
-    at: u64,
-    seq: u64,
-    client_id: u64,
+/// One global client's issue event in the driver's queue. `work` is `Some` for
+/// re-issues of an already-generated operation (a `WrongShard` redirect or a
+/// donor refusal during a migration drain): re-drawing from the workload
+/// closure would silently mutate stateful generators, the same bug class the
+/// single-group retry path fixed in PR 1.
+#[derive(Debug)]
+pub(crate) struct DriverEvent {
+    pub(crate) at: u64,
+    pub(crate) seq: u64,
+    pub(crate) client_id: u64,
+    pub(crate) work: Option<(u64, Operation)>,
+}
+
+impl PartialEq for DriverEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for DriverEvent {}
+impl PartialOrd for DriverEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DriverEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
 }
 
 /// N independent replica groups behind one consistent-hash router, driven on a
 /// single interleaved virtual clock.
 pub struct ShardedCluster<R: Replica> {
-    router: ShardRouter,
-    shards: Vec<SimCluster<R>>,
-    config: ShardedConfig,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<SimCluster<R>>,
+    pub(crate) config: ShardedConfig,
 }
 
 impl<R: Replica> ShardedCluster<R> {
@@ -178,6 +200,12 @@ impl<R: Replica> ShardedCluster<R> {
     /// The key router.
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// Mutable access to the router: pre-applying recorded moves before a run
+    /// (replay testing against a final placement) or test setup.
+    pub fn router_mut(&mut self) -> &mut ShardRouter {
+        &mut self.router
     }
 
     /// Number of shards.
@@ -254,6 +282,7 @@ impl<R: Replica> ShardedCluster<R> {
                 at: client_id * 200,
                 seq: next_seq,
                 client_id,
+                work: None,
             }));
             next_seq += 1;
         }
@@ -263,6 +292,11 @@ impl<R: Replica> ShardedCluster<R> {
         let think = self.config.base.cost_model.client_think_ns;
         let cap = self.config.base.max_virtual_ns;
 
+        // Every client caches the router epoch it last resolved against; a
+        // stale cache earns a WrongShard redirect instead of a mis-route.
+        // Without live migrations the epoch never moves and no redirect fires.
+        let mut client_versions: Vec<RouterVersion> =
+            vec![self.router.version(); self.config.base.clients.clients];
         let mut next_request_id: HashMap<u64, u64> = HashMap::new();
         let mut latencies_ns: Vec<u64> = Vec::new();
         let mut committed = 0u64;
@@ -297,18 +331,50 @@ impl<R: Replica> ShardedCluster<R> {
                 }
                 global_now = global_now.max(event.at);
                 let client_id = event.client_id;
-                let request_id = next_request_id.entry(client_id).or_insert(0);
-                *request_id += 1;
-                let rid = *request_id;
-                let operation = workload(client_id, rid);
-                let shard = self.router.shard_for_key(operation.key());
-                if !self.shards[shard].submit_at(event.at, client_id, rid, operation) {
+                let (rid, operation) = match event.work {
+                    Some(work) => work,
+                    None => {
+                        let request_id = next_request_id.entry(client_id).or_insert(0);
+                        *request_id += 1;
+                        (*request_id, workload(client_id, *request_id))
+                    }
+                };
+                let point = stable_key_hash(operation.key());
+                let shard = match self
+                    .router
+                    .route(point, client_versions[client_id as usize])
+                {
+                    RouteDecision::Owned { shard } => shard,
+                    RouteDecision::WrongShard { new_version, .. } => {
+                        // The stale placement refused the operation; the client
+                        // adopts the new epoch and retries after the redirect
+                        // round trip. Never resolves to the panic-on-stale
+                        // behaviour of computing placement once up front.
+                        client_versions[client_id as usize] = new_version;
+                        queue.push(Reverse(DriverEvent {
+                            at: event.at + 2 * link_latency,
+                            seq: next_seq,
+                            client_id,
+                            work: Some((rid, operation)),
+                        }));
+                        next_seq += 1;
+                        continue;
+                    }
+                };
+                if let Err(operation) =
+                    self.shards[shard].try_submit_at(event.at, client_id, rid, operation)
+                {
                     // No live coordinator on that shard right now; try again
-                    // shortly (same backoff as the single-group loop).
+                    // shortly (same backoff as the single-group loop) with the
+                    // *identical* payload — a fresh workload draw would
+                    // silently drop this operation and mutate stateful
+                    // generators, the same bug class the retry path fixed in
+                    // PR 1.
                     queue.push(Reverse(DriverEvent {
                         at: event.at + 1_000_000,
                         seq: next_seq,
                         client_id,
+                        work: Some((rid, operation)),
                     }));
                     next_seq += 1;
                 }
@@ -340,6 +406,7 @@ impl<R: Replica> ShardedCluster<R> {
                         at: completion.at_ns + link_latency + think,
                         seq: next_seq,
                         client_id: completion.client_id,
+                        work: None,
                     }));
                     next_seq += 1;
                 }
@@ -355,7 +422,7 @@ impl<R: Replica> ShardedCluster<R> {
         )
     }
 
-    fn finalize(
+    pub(crate) fn finalize(
         &mut self,
         global_now: u64,
         committed: u64,

@@ -314,6 +314,36 @@ impl<R: Replica> SimCluster<R> {
         &self.crashed
     }
 
+    /// The ids of all replicas, in construction order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.replicas.iter().map(|r| r.id()).collect()
+    }
+
+    /// The first live replica that coordinates writes, if any (construction
+    /// order — deterministic). External controllers (e.g. the shard-migration
+    /// driver) use this to find the group's leader for state export.
+    pub fn write_coordinator(&self) -> Option<NodeId> {
+        self.replicas
+            .iter()
+            .filter(|r| !self.crashed.contains(&r.id()))
+            .find(|r| r.coordinates_writes())
+            .map(|r| r.id())
+    }
+
+    /// Charges `cost_ns` of externally-imposed work to `node`, starting no
+    /// earlier than `at_ns`: the node's work queue is serialized, so the charge
+    /// delays every subsequent event the node processes. Returns the virtual
+    /// time at which the charged work finishes. This is how out-of-band work —
+    /// a migration snapshot export, a state-transfer import — competes for the
+    /// same compute the protocol runs on.
+    pub fn charge_work_at(&mut self, node: NodeId, at_ns: u64, cost_ns: u64) -> u64 {
+        let idx = self.index_of(node);
+        let start = at_ns.max(self.busy_until[idx]);
+        let finish = start + cost_ns;
+        self.busy_until[idx] = finish;
+        finish
+    }
+
     fn index_of(&self, node: NodeId) -> usize {
         self.replicas
             .iter()
@@ -386,9 +416,23 @@ impl<R: Replica> SimCluster<R> {
         request_id: u64,
         operation: Operation,
     ) -> bool {
+        self.try_submit_at(at_ns, client_id, request_id, operation)
+            .is_ok()
+    }
+
+    /// Like [`SimCluster::submit_at`], but hands the operation back on failure
+    /// so the caller can retry the *identical* payload later without cloning
+    /// every submission up front.
+    pub fn try_submit_at(
+        &mut self,
+        at_ns: u64,
+        client_id: u64,
+        request_id: u64,
+        operation: Operation,
+    ) -> Result<(), Operation> {
         self.now = self.now.max(at_ns);
         let Some(target_node) = self.route(&operation) else {
-            return false;
+            return Err(operation);
         };
         self.next_request_id.insert(client_id, request_id);
         self.issue_time.insert(
@@ -421,7 +465,7 @@ impl<R: Replica> SimCluster<R> {
                 request,
             },
         );
-        true
+        Ok(())
     }
 
     /// Processes the next event, advancing the virtual clock. Client issuance
