@@ -13,12 +13,12 @@ use std::cell::RefCell;
 
 use recipe_attest::{ConfigAndAttestService, IntelAttestationService, QuoteVerifier, SecretBundle};
 use recipe_bft::{DamysusReplica, PbftReplica};
-use recipe_core::Membership;
+use recipe_core::{Membership, Operation};
 use recipe_net::{ExecMode, NetCostModel, Transport};
 use recipe_protocols::{AbdReplica, AllConcurReplica, BatchConfig, ChainReplica, RaftReplica};
-use recipe_shard::{ShardedCluster, ShardedConfig, ShardedRunStats};
+use recipe_shard::{RebalanceConfig, ShardedCluster, ShardedConfig, ShardedRunStats};
 use recipe_sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
-use recipe_workload::WorkloadSpec;
+use recipe_workload::{stable_key_hash, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Which system a run exercises.
@@ -596,6 +596,164 @@ pub fn fig_shard_scaling(operations: usize) -> Vec<ExperimentRow> {
     rows
 }
 
+/// Keys of the YCSB universe owned by `shard`, at most `per_arc` keys from
+/// each of up to `max_arcs` distinct ring arcs — a hot range spread over
+/// enough arcs that the migration controller can split its load. Shared by
+/// the `fig_rebalance` experiment and the rebalancing integration tests so
+/// the scenario the tests validate is the scenario the figure measures.
+pub fn hot_range_on_shard(
+    router: &recipe_shard::ShardRouter,
+    shard: usize,
+    max_arcs: usize,
+    per_arc: usize,
+) -> Vec<Vec<u8>> {
+    let mut by_arc: std::collections::BTreeMap<usize, Vec<Vec<u8>>> = Default::default();
+    for i in 0..10_000 {
+        let key = format!("user{i:08}").into_bytes();
+        if router.shard_for_key(&key) == shard {
+            by_arc
+                .entry(router.arc_of_point(stable_key_hash(&key)))
+                .or_default()
+                .push(key);
+        }
+    }
+    by_arc
+        .into_values()
+        .take(max_arcs)
+        .flat_map(|keys| keys.into_iter().take(per_arc))
+        .collect()
+}
+
+/// Results of the online-rebalancing experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RebalanceReport {
+    /// Phase rows (pre-skew / during-skew / post-cutover aggregate
+    /// throughput; "speedup" is relative to the pre-skew level).
+    pub rows: Vec<ExperimentRow>,
+    /// The full driver statistics, including migration counters and the
+    /// throughput timeline.
+    pub stats: ShardedRunStats,
+    /// Mean aggregate throughput before the skew sets in, ops/s.
+    pub pre_skew_ops: f64,
+    /// Mean aggregate throughput while the skewed range saturates the donor
+    /// leader, ops/s.
+    pub during_skew_ops: f64,
+    /// Mean aggregate throughput after the migration cutover, ops/s.
+    pub post_cutover_ops: f64,
+}
+
+/// Online-rebalancing experiment (beyond the paper): two R-Raft shards under
+/// a write-only workload that starts balanced and then funnels everything
+/// into a hot key range owned entirely by shard 0. The migration controller
+/// snapshots the hot arcs, catches up, and cuts them over to shard 1; the
+/// throughput timeline shows the sag under skew and the recovery after the
+/// epoch bump — with zero lost or duplicated commits (the commit count checks
+/// are in this crate's tests and `tests/rebalancing.rs`).
+/// Runs `operations` committed operations exactly as asked — but phase means
+/// need enough timeline to average over, so runs much below the default 3200
+/// produce degenerate (possibly zero) phase figures rather than being
+/// silently resized.
+pub fn fig_rebalance(operations: usize) -> RebalanceReport {
+    // The balanced warm-up is the throughput yardstick the recovery is
+    // measured against.
+    let balanced_ops = (operations * 7) / 32;
+
+    let bucket_ns = 5_000_000u64;
+    let mut config = ShardedConfig::uniform(2, 3, CostProfile::recipe());
+    config.base.seed = 9;
+    config.base.clients = ClientModel {
+        clients: 64,
+        total_operations: operations,
+    };
+    config.rebalance = RebalanceConfig {
+        check_interval_ns: 10_000_000,
+        min_window_commits: 120,
+        imbalance_threshold: 1.4,
+        timeline_bucket_ns: bucket_ns,
+        ..RebalanceConfig::enabled()
+    };
+    let groups = recipe_protocols::build_sharded_cluster(2, 3, 1, |_, id, m| {
+        RaftReplica::recipe(id, m, false)
+    });
+    let mut cluster = ShardedCluster::new(groups, config);
+    let hot = hot_range_on_shard(cluster.router(), 0, 48, 2);
+
+    let issued = std::cell::Cell::new(0usize);
+    let stats = cluster.run_rebalancing(|client, seq| {
+        let n = issued.get();
+        issued.set(n + 1);
+        let key = if n < balanced_ops {
+            format!("user{:08}", (client * 131 + seq * 17) % 10_000).into_bytes()
+        } else {
+            hot[n % hot.len()].clone()
+        };
+        Some(Operation::Put {
+            key,
+            value: vec![0xAB; 64],
+        })
+    });
+
+    // Phase means off the timeline: pre-skew up to the bucket where the
+    // balanced commits ran out, during-skew until the cutover, post-cutover
+    // after it (excluding the cutover bucket and the trailing partial one).
+    let timeline = &stats.timeline;
+    let mut cumulative = 0u64;
+    let mut skew_bucket = timeline.len().saturating_sub(1);
+    for (i, bucket) in timeline.iter().enumerate() {
+        cumulative += bucket.committed;
+        if cumulative >= balanced_ops as u64 {
+            skew_bucket = i;
+            break;
+        }
+    }
+    let cutover_bucket = ((stats.migration.last_cutover_ns / bucket_ns) as usize)
+        .min(timeline.len().saturating_sub(1));
+    let mean_ops_per_sec = |from: usize, to: usize| -> f64 {
+        if timeline.is_empty() {
+            return 0.0;
+        }
+        let to = to.max(from + 1).min(timeline.len());
+        let from = from.min(to - 1);
+        let buckets = &timeline[from..to];
+        let total: u64 = buckets.iter().map(|b| b.committed).sum();
+        total as f64 / buckets.len() as f64 / (bucket_ns as f64 / 1e9)
+    };
+    let pre_skew_ops = mean_ops_per_sec(0, skew_bucket.max(1));
+    let during_skew_ops = mean_ops_per_sec(skew_bucket + 1, cutover_bucket);
+    let post_cutover_ops = mean_ops_per_sec(cutover_bucket + 1, timeline.len().saturating_sub(1));
+
+    let rows = vec![
+        ExperimentRow {
+            protocol: "R-Raft 2 shards".into(),
+            config: "pre-skew".into(),
+            throughput_ops: pre_skew_ops,
+            mean_latency_us: stats.total.mean_latency_us,
+            speedup_vs_baseline: 1.0,
+        },
+        ExperimentRow {
+            protocol: "R-Raft 2 shards".into(),
+            config: "during skew".into(),
+            throughput_ops: during_skew_ops,
+            mean_latency_us: stats.total.mean_latency_us,
+            speedup_vs_baseline: during_skew_ops / pre_skew_ops,
+        },
+        ExperimentRow {
+            protocol: "R-Raft 2 shards".into(),
+            config: "post-cutover".into(),
+            throughput_ops: post_cutover_ops,
+            mean_latency_us: stats.total.mean_latency_us,
+            speedup_vs_baseline: post_cutover_ops / pre_skew_ops,
+        },
+    ];
+    RebalanceReport {
+        rows,
+        stats,
+        pre_skew_ops,
+        during_skew_ops,
+        post_cutover_ops,
+    }
+}
+
 /// Runs one sharded configuration: `shards` groups of 3 replicas, a global
 /// closed-loop client population and the default YCSB Zipfian workload.
 pub fn run_sharded(kind: ProtocolKind, shards: usize, operations: usize) -> ShardedRunStats {
@@ -735,6 +893,159 @@ pub fn table4_attestation(rounds: usize) -> Vec<(String, f64, f64)> {
         ("Recipe CAS".to_string(), cas_mean, ias_mean / cas_mean),
         ("IAS".to_string(), ias_mean, 1.0),
     ]
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable summaries + CI perf-regression gate
+// ---------------------------------------------------------------------------
+
+/// One named figure of a benchmark summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchMetric {
+    /// Metric name; names ending in `_ops_per_sec` are gated (higher is
+    /// better) by [`perf_gate_compare`].
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Machine-readable summary one benchmark run emits as `BENCH_<name>.json`.
+/// The simulator is deterministic, so the checked-in baselines under
+/// `crates/bench/baselines/` reproduce bit-for-bit on any machine; the CI
+/// perf gate compares a fresh smoke run against them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSummary {
+    /// Benchmark name (e.g. `fig_batching`).
+    pub bench: String,
+    /// The summary figures.
+    pub metrics: Vec<BenchMetric>,
+}
+
+impl BenchSummary {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+}
+
+/// Lower-cases a protocol/config label into a metric-name slug
+/// (`"R-Raft (conf.)"` → `"r_raft_conf"`).
+pub fn metric_slug(label: &str) -> String {
+    let mut slug = String::new();
+    let mut last_sep = true;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+            last_sep = false;
+        } else if !last_sep {
+            slug.push('_');
+            last_sep = true;
+        }
+    }
+    slug.trim_end_matches('_').to_string()
+}
+
+/// The committed-ops/sec summary of a `fig_batching` run: one metric per
+/// (protocol, batch-size) row.
+pub fn batching_summary(rows: &[ExperimentRow]) -> BenchSummary {
+    BenchSummary {
+        bench: "fig_batching".into(),
+        metrics: rows
+            .iter()
+            .map(|row| BenchMetric {
+                name: format!(
+                    "{}_{}_ops_per_sec",
+                    metric_slug(&row.protocol),
+                    metric_slug(&row.config)
+                ),
+                value: row.throughput_ops,
+            })
+            .collect(),
+    }
+}
+
+/// The summary of a `fig_rebalance` run: phase throughputs, the recovery
+/// ratio and the migration counters that must stay non-degenerate.
+pub fn rebalance_summary(report: &RebalanceReport) -> BenchSummary {
+    BenchSummary {
+        bench: "fig_rebalance".into(),
+        metrics: vec![
+            BenchMetric {
+                name: "pre_skew_ops_per_sec".into(),
+                value: report.pre_skew_ops,
+            },
+            BenchMetric {
+                name: "during_skew_ops_per_sec".into(),
+                value: report.during_skew_ops,
+            },
+            BenchMetric {
+                name: "post_cutover_ops_per_sec".into(),
+                value: report.post_cutover_ops,
+            },
+            BenchMetric {
+                name: "recovery_ratio".into(),
+                // Guarded: a degenerate (tiny) run can have a zero pre-skew
+                // phase, and a non-finite value would serialize as JSON null.
+                value: if report.pre_skew_ops > 0.0 {
+                    report.post_cutover_ops / report.pre_skew_ops
+                } else {
+                    0.0
+                },
+            },
+            BenchMetric {
+                name: "migrations_completed".into(),
+                value: report.stats.migration.migrations_completed as f64,
+            },
+            BenchMetric {
+                name: "committed".into(),
+                value: report.stats.total.committed as f64,
+            },
+        ],
+    }
+}
+
+/// Writes a summary as pretty JSON to `path`.
+pub fn write_summary(path: &str, summary: &BenchSummary) -> std::io::Result<()> {
+    std::fs::write(path, serde_json::to_string_pretty(summary).unwrap())
+}
+
+/// Compares a fresh run against a checked-in baseline: every `*_ops_per_sec`
+/// metric of the baseline must be present and no more than `tolerance`
+/// (fraction) below the baseline value. Returns the violations,
+/// human-readable; empty means the gate passes. Improvements never fail.
+pub fn perf_gate_compare(
+    baseline: &BenchSummary,
+    current: &BenchSummary,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for metric in &baseline.metrics {
+        if !metric.name.ends_with("_ops_per_sec") {
+            continue;
+        }
+        match current.metric(&metric.name) {
+            None => violations.push(format!(
+                "{}: metric {} missing from the current run",
+                baseline.bench, metric.name
+            )),
+            Some(value) if value < metric.value * (1.0 - tolerance) => {
+                violations.push(format!(
+                    "{}: {} regressed {:.1}% ({:.0} -> {:.0} ops/s, tolerance {:.0}%)",
+                    baseline.bench,
+                    metric.name,
+                    (1.0 - value / metric.value) * 100.0,
+                    metric.value,
+                    value,
+                    tolerance * 100.0
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    violations
 }
 
 /// Pretty-prints experiment rows as an aligned text table.
@@ -903,6 +1214,89 @@ mod tests {
         let native_16 = speedup_of("Raft (native)", "batch=16");
         assert!(native_16 > 1.0, "native batch=16 speedup {native_16:.2}");
         assert!(native_16 < conf_16);
+    }
+
+    #[test]
+    fn rebalance_recovers_throughput_with_zero_lost_commits() {
+        // The default experiment size: small runs leave the post-cutover
+        // window too short to average over.
+        let operations = 3_200;
+        let report = fig_rebalance(operations);
+        // Zero lost / duplicated commits across the migration.
+        assert_eq!(report.stats.total.committed, operations as u64);
+        assert_eq!(
+            report
+                .stats
+                .per_shard
+                .iter()
+                .map(|s| s.committed)
+                .sum::<u64>(),
+            report.stats.total.committed
+        );
+        // The migration ran, moved sealed bytes, and redirected clients.
+        let m = &report.stats.migration;
+        assert!(m.migrations_completed >= 1, "{m:?}");
+        assert!(m.snapshot_bytes > 0 && m.redirects > 0, "{m:?}");
+        // The skew depressed aggregate throughput; the cutover recovered it
+        // to within 10% of the pre-skew level (the acceptance bar).
+        assert!(
+            report.during_skew_ops < 0.75 * report.pre_skew_ops,
+            "skew never bit: pre {:.0} during {:.0}",
+            report.pre_skew_ops,
+            report.during_skew_ops
+        );
+        assert!(
+            report.post_cutover_ops >= 0.9 * report.pre_skew_ops,
+            "no recovery: pre {:.0} post {:.0}",
+            report.pre_skew_ops,
+            report.post_cutover_ops
+        );
+    }
+
+    #[test]
+    fn bench_summaries_and_perf_gate_catch_regressions() {
+        let rows = vec![ExperimentRow {
+            protocol: "R-Raft (conf.)".into(),
+            config: "batch=16".into(),
+            throughput_ops: 1000.0,
+            mean_latency_us: 10.0,
+            speedup_vs_baseline: 2.0,
+        }];
+        let baseline = batching_summary(&rows);
+        assert_eq!(baseline.metrics[0].name, "r_raft_conf_batch_16_ops_per_sec");
+        // Identical run: gate passes.
+        assert!(perf_gate_compare(&baseline, &baseline, 0.15).is_empty());
+        // Small wobble within tolerance: passes. Improvement: passes.
+        let mut wobble = baseline.clone();
+        wobble.metrics[0].value = 900.0;
+        assert!(perf_gate_compare(&baseline, &wobble, 0.15).is_empty());
+        wobble.metrics[0].value = 2000.0;
+        assert!(perf_gate_compare(&baseline, &wobble, 0.15).is_empty());
+        // >15% regression: fails with a readable message.
+        let mut regressed = baseline.clone();
+        regressed.metrics[0].value = 800.0;
+        let violations = perf_gate_compare(&baseline, &regressed, 0.15);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("regressed 20.0%"), "{violations:?}");
+        // Missing metric: fails.
+        let empty = BenchSummary {
+            bench: "fig_batching".into(),
+            metrics: vec![],
+        };
+        assert_eq!(perf_gate_compare(&baseline, &empty, 0.15).len(), 1);
+        // Non-throughput metrics are informational, never gated.
+        let info = BenchSummary {
+            bench: "x".into(),
+            metrics: vec![BenchMetric {
+                name: "recovery_ratio".into(),
+                value: 1.0,
+            }],
+        };
+        assert!(perf_gate_compare(&info, &empty, 0.15).is_empty());
+        // Summaries survive a JSON round trip (what the gate bin does).
+        let json = serde_json::to_string_pretty(&baseline).unwrap();
+        let back: BenchSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, baseline);
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub mod timestamp;
 
 pub use error::KvError;
 pub use skiplist::SkipList;
-pub use store::{PartitionedKvStore, ReadResult, StoreConfig, StoreStats};
+pub use store::{ExportedEntry, PartitionedKvStore, ReadResult, StoreConfig, StoreStats};
 pub use timestamp::Timestamp;

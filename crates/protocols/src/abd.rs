@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, Replica};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica};
 use serde::{Deserialize, Serialize};
 
 use crate::shield::ProtocolShield;
@@ -401,6 +401,26 @@ impl Replica for AbdReplica {
     }
 }
 
+impl RangeStateTransfer for AbdReplica {
+    fn export_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> Result<Vec<RangeEntry>, String> {
+        crate::migration::kv_export_range(&mut self.kv, filter)
+    }
+
+    fn read_entry(&mut self, key: &[u8]) -> Result<Option<RangeEntry>, String> {
+        crate::migration::kv_read_entry(&mut self.kv, key)
+    }
+
+    fn import_range(&mut self, entries: &[RangeEntry]) {
+        // The carried Lamport timestamps are installed verbatim so the ABD
+        // write rule (strictly-newer wins) keeps holding across the move.
+        crate::migration::kv_import_range(&mut self.kv, entries);
+    }
+
+    fn evict_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> usize {
+        self.kv.remove_matching(filter)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,5 +550,49 @@ mod tests {
                 "replica {id} never received any write for the contended key"
             );
         }
+    }
+
+    #[test]
+    fn range_state_transfer_preserves_the_abd_write_rule() {
+        let m = Membership::of_size(3, 1);
+        let mut donor = AbdReplica::recipe(0, m.clone(), false);
+        donor
+            .kv
+            .write(b"moving", b"old", Timestamp::new(9, 2))
+            .unwrap();
+        donor
+            .kv
+            .write(b"staying", b"here", Timestamp::new(1, 0))
+            .unwrap();
+        let exported = donor
+            .export_range(&|key: &[u8]| key.starts_with(b"moving"))
+            .unwrap();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].ts_logical, 9);
+
+        let mut recipient = AbdReplica::recipe(0, m, false);
+        recipient.import_range(&exported);
+        assert_eq!(recipient.local_read(b"moving"), Some(b"old".to_vec()));
+        // The imported timestamp still governs the ABD strictly-newer rule.
+        assert!(!recipient
+            .kv
+            .write_if_newer(b"moving", b"stale", Timestamp::new(8, 9))
+            .unwrap());
+        assert!(recipient
+            .kv
+            .write_if_newer(b"moving", b"fresh", Timestamp::new(10, 0))
+            .unwrap());
+
+        assert_eq!(
+            donor.evict_range(&|key: &[u8]| key.starts_with(b"moving")),
+            1
+        );
+        assert_eq!(donor.local_read(b"moving"), None);
+        assert_eq!(donor.local_read(b"staying"), Some(b"here".to_vec()));
+
+        // A Byzantine host corrupting host-resident state surfaces as an
+        // export error, never as shipped state.
+        donor.kv.corrupt_host_value(b"staying");
+        assert!(donor.export_range(&|_: &[u8]| true).is_err());
     }
 }

@@ -28,6 +28,7 @@ pub mod abd;
 pub mod allconcur;
 pub mod batch;
 pub mod chain;
+pub mod migration;
 pub mod raft;
 pub mod shield;
 
@@ -35,6 +36,7 @@ pub use abd::AbdReplica;
 pub use allconcur::AllConcurReplica;
 pub use batch::{BatchConfig, Batcher};
 pub use chain::ChainReplica;
+pub use migration::{ChunkPhase, MigrationChannel, MigrationChunk};
 pub use raft::RaftReplica;
 pub use shield::{Frames, FramesIter, ProtocolMode, ProtocolShield};
 

@@ -1,0 +1,323 @@
+//! Shielded snapshot / catch-up transfer between shard leaders.
+//!
+//! An online shard migration moves a key range between two replica groups that
+//! share no protocol channels: the donor group's leader exports the range, the
+//! recipient group installs it. The state crosses **untrusted infrastructure**,
+//! so every chunk travels through the same [`crate::shield::ProtocolShield`]
+//! path protocol messages use — MAC under an attestation-provisioned channel
+//! key, trusted per-channel counter (a replayed or reordered snapshot chunk is
+//! rejected, not re-applied), and AEAD over the payload in confidential mode
+//! so key material and values are never exposed in transit.
+//!
+//! The wire unit is a [`MigrationChunk`]: a bounded batch of
+//! [`recipe_sim::RangeEntry`] records tagged with the migration id, the phase
+//! ([`ChunkPhase`]) and a per-migration sequence number. Chunks are bounded so
+//! staging them inside the enclave does not blow the EPC (the cost model
+//! charges `migration_epc_pressure` per chunk, mirroring §B.3's batch-size
+//! trade-off).
+
+use recipe_core::Membership;
+use recipe_net::NodeId;
+use recipe_sim::RangeEntry;
+use serde::{Deserialize, Serialize};
+
+use crate::shield::ProtocolShield;
+
+/// Message kind tag for migration chunks on the shield channel.
+const KIND_MIGRATION: u16 = 0x4D49; // "MI"
+
+/// Base of the node-id space used by migration endpoints, far above any
+/// replica id: each shard leader exposes one state-transfer endpoint, keyed
+/// per (shard pair, direction) like any other shielded channel.
+const ENDPOINT_BASE: u64 = 0xE000_0000;
+
+/// Which migration phase a chunk belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChunkPhase {
+    /// Sealed snapshot of the moving range at the cut point.
+    Snapshot,
+    /// Replay of writes committed on the donor after the snapshot cut.
+    CatchUp,
+    /// Final drained delta shipped at cutover (the last catch-up round).
+    Final,
+}
+
+/// One bounded batch of range records in flight between shard leaders.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationChunk {
+    /// Identifier of the migration this chunk belongs to.
+    pub migration_id: u64,
+    /// Phase the chunk was produced in.
+    pub phase: ChunkPhase,
+    /// Per-migration sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// The records, in application order.
+    pub entries: Vec<RangeEntry>,
+}
+
+impl MigrationChunk {
+    /// Total key+value payload bytes carried by this chunk.
+    pub fn payload_len(&self) -> usize {
+        self.entries.iter().map(RangeEntry::payload_len).sum()
+    }
+}
+
+/// Maps a store's verified range export into wire records — the shared body
+/// of every replica's `RangeStateTransfer::export_range`.
+pub fn kv_export_range(
+    kv: &mut recipe_kv::PartitionedKvStore,
+    filter: &dyn Fn(&[u8]) -> bool,
+) -> Result<Vec<RangeEntry>, String> {
+    Ok(kv
+        .export_matching(filter)
+        .map_err(|err| format!("range export failed verification: {err:?}"))?
+        .into_iter()
+        .map(|(key, value, ts)| RangeEntry {
+            key,
+            value,
+            ts_logical: ts.logical,
+            ts_node: ts.node,
+        })
+        .collect())
+}
+
+/// Reads one key through a store's verified path as a wire record — the
+/// shared body of every replica's `RangeStateTransfer::read_entry`.
+pub fn kv_read_entry(
+    kv: &mut recipe_kv::PartitionedKvStore,
+    key: &[u8],
+) -> Result<Option<RangeEntry>, String> {
+    match kv.get(key) {
+        Ok(read) => Ok(Some(RangeEntry {
+            key: key.to_vec(),
+            value: read.value,
+            ts_logical: read.timestamp.logical,
+            ts_node: read.timestamp.node,
+        })),
+        Err(recipe_kv::KvError::NotFound) => Ok(None),
+        Err(err) => Err(format!("verified read failed: {err:?}")),
+    }
+}
+
+/// Installs wire records into a store with their carried timestamps, in
+/// order — the shared body of every replica's `RangeStateTransfer::import_range`.
+pub fn kv_import_range(kv: &mut recipe_kv::PartitionedKvStore, entries: &[RangeEntry]) {
+    let _ = kv.import_entries(entries.iter().map(|entry| {
+        (
+            entry.key.clone(),
+            entry.value.clone(),
+            recipe_kv::Timestamp::new(entry.ts_logical, entry.ts_node),
+        )
+    }));
+}
+
+/// The node id of shard `shard`'s state-transfer endpoint **for one
+/// migration**: the migration id is folded into the endpoint id, so every
+/// migration derives fresh channel keys. Without this, a later migration
+/// between the same shard pair would reuse the same keys with a reset
+/// counter — and sealed frames recorded from an earlier migration would
+/// verify again.
+fn endpoint(shard: usize, migration_id: u64) -> NodeId {
+    NodeId(ENDPOINT_BASE + migration_id * 4_096 + shard as u64)
+}
+
+/// A one-directional shielded channel between a donor and a recipient shard
+/// leader, used for one migration. Owns both endpoint shields (the simulation
+/// drives both sides from the migration controller); the channel keys derive
+/// from the deployment master secret exactly like replica channels, and the
+/// per-channel counter is fresh per migration.
+pub struct MigrationChannel {
+    donor: usize,
+    recipient: usize,
+    migration_id: u64,
+    sender: ProtocolShield,
+    receiver: ProtocolShield,
+}
+
+impl MigrationChannel {
+    /// Opens the channel for migration `migration_id` from `donor` to
+    /// `recipient`. With `confidential`, chunk payloads are AEAD-encrypted in
+    /// transit. Channel keys are derived per migration (the migration id is
+    /// folded into the endpoint labels), so frames sealed for one migration
+    /// never verify on another.
+    ///
+    /// # Panics
+    /// Panics if donor and recipient are the same shard.
+    pub fn new(donor: usize, recipient: usize, migration_id: u64, confidential: bool) -> Self {
+        assert_ne!(donor, recipient, "a migration needs two distinct shards");
+        let membership = Membership::new(
+            vec![
+                endpoint(donor, migration_id),
+                endpoint(recipient, migration_id),
+            ],
+            0,
+        );
+        MigrationChannel {
+            donor,
+            recipient,
+            migration_id,
+            sender: ProtocolShield::recipe(
+                endpoint(donor, migration_id),
+                &membership,
+                confidential,
+            ),
+            receiver: ProtocolShield::recipe(
+                endpoint(recipient, migration_id),
+                &membership,
+                confidential,
+            ),
+        }
+    }
+
+    /// The donor shard.
+    pub fn donor(&self) -> usize {
+        self.donor
+    }
+
+    /// The recipient shard.
+    pub fn recipient(&self) -> usize {
+        self.recipient
+    }
+
+    /// Seals one chunk into wire bytes on the donor side.
+    ///
+    /// # Panics
+    /// Panics if the chunk belongs to a different migration than the channel.
+    pub fn seal(&mut self, chunk: &MigrationChunk) -> Vec<u8> {
+        assert_eq!(
+            chunk.migration_id, self.migration_id,
+            "chunk sealed on the wrong migration's channel"
+        );
+        let payload = serde_json::to_vec(chunk).expect("migration chunk serializes");
+        self.sender.wrap(
+            endpoint(self.recipient, self.migration_id),
+            KIND_MIGRATION,
+            &payload,
+        )
+    }
+
+    /// Verifies and opens wire bytes on the recipient side. Returns `None`
+    /// when the frame is rejected (tampered, replayed, out of order, or
+    /// carrying another migration's id) — the migration controller treats
+    /// that as a failed transfer, never as state.
+    pub fn open(&mut self, wire: &[u8]) -> Option<MigrationChunk> {
+        let frames = self
+            .receiver
+            .unwrap(endpoint(self.donor, self.migration_id), wire);
+        let (kind, payload) = frames.as_slice().first()?;
+        if *kind != KIND_MIGRATION {
+            return None;
+        }
+        let chunk: MigrationChunk = serde_json::from_slice(payload).ok()?;
+        (chunk.migration_id == self.migration_id).then_some(chunk)
+    }
+
+    /// Chunks rejected by the receiving shield so far.
+    pub fn rejected(&self) -> u64 {
+        self.receiver.rejected()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(n: usize) -> MigrationChunk {
+        MigrationChunk {
+            migration_id: 7,
+            phase: ChunkPhase::Snapshot,
+            seq: 0,
+            entries: (0..n)
+                .map(|i| RangeEntry {
+                    key: format!("user{i:08}").into_bytes(),
+                    value: format!("secret-value-{i}").into_bytes(),
+                    ts_logical: i as u64,
+                    ts_node: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn chunks_roundtrip_through_the_shield() {
+        let mut channel = MigrationChannel::new(0, 1, 7, false);
+        let original = chunk(16);
+        let wire = channel.seal(&original);
+        assert_eq!(channel.open(&wire), Some(original));
+        assert_eq!(channel.rejected(), 0);
+    }
+
+    #[test]
+    fn sequenced_chunks_arrive_in_order_and_replays_are_rejected() {
+        let mut channel = MigrationChannel::new(2, 0, 7, false);
+        let mut first = chunk(4);
+        let mut second = chunk(4);
+        first.seq = 0;
+        second.seq = 1;
+        second.phase = ChunkPhase::CatchUp;
+        let w1 = channel.seal(&first);
+        let w2 = channel.seal(&second);
+        assert_eq!(channel.open(&w1), Some(first));
+        assert_eq!(channel.open(&w2), Some(second));
+        // Replaying a chunk is rejected by the trusted counter: a Byzantine
+        // host cannot re-apply a snapshot.
+        assert_eq!(channel.open(&w1), None);
+        assert!(channel.rejected() >= 1);
+    }
+
+    #[test]
+    fn frames_from_an_earlier_migration_never_verify_on_a_later_one() {
+        // A Byzantine host records migration 7's sealed frames between the
+        // same shard pair, then tries to inject them into migration 8: the
+        // per-migration channel keys make every recorded frame fail
+        // verification, and a forged chunk body carrying the wrong migration
+        // id is rejected even on its own channel.
+        let mut first = MigrationChannel::new(0, 1, 7, false);
+        let recorded = first.seal(&chunk(4));
+        let mut second = MigrationChannel::new(0, 1, 8, false);
+        assert_eq!(second.open(&recorded), None);
+        assert!(second.rejected() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong migration")]
+    fn sealing_a_foreign_migrations_chunk_is_a_caller_bug() {
+        let mut channel = MigrationChannel::new(0, 1, 8, false);
+        let mut stale = chunk(1);
+        stale.migration_id = 9;
+        channel.seal(&stale);
+    }
+
+    #[test]
+    fn tampered_chunks_are_dropped_whole() {
+        let mut channel = MigrationChannel::new(0, 3, 7, false);
+        let mut wire = channel.seal(&chunk(8));
+        let idx = wire.len() / 2;
+        wire[idx] ^= 0x01;
+        assert_eq!(channel.open(&wire), None);
+        assert!(channel.rejected() >= 1);
+    }
+
+    #[test]
+    fn confidential_transfer_hides_keys_and_values_in_transit() {
+        let mut channel = MigrationChannel::new(1, 0, 7, true);
+        let original = chunk(8);
+        let wire = channel.seal(&original);
+        // Neither the keys nor the values of the moving range appear on the wire.
+        assert!(!wire.windows(4).any(|w| w == b"user"));
+        assert!(!wire.windows(6).any(|w| w == b"secret"));
+        assert_eq!(channel.open(&wire), Some(original));
+    }
+
+    #[test]
+    fn payload_len_counts_keys_and_values() {
+        let c = chunk(2);
+        assert_eq!(
+            c.payload_len(),
+            c.entries
+                .iter()
+                .map(|e| e.key.len() + e.value.len())
+                .sum::<usize>()
+        );
+    }
+}

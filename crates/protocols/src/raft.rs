@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, Replica};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{BatchConfig, Batcher};
@@ -442,6 +442,28 @@ impl Replica for RaftReplica {
         } else {
             "Raft"
         }
+    }
+}
+
+impl RangeStateTransfer for RaftReplica {
+    fn export_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> Result<Vec<RangeEntry>, String> {
+        crate::migration::kv_export_range(&mut self.kv, filter)
+    }
+
+    fn read_entry(&mut self, key: &[u8]) -> Result<Option<RangeEntry>, String> {
+        crate::migration::kv_read_entry(&mut self.kv, key)
+    }
+
+    fn import_range(&mut self, entries: &[RangeEntry]) {
+        // Imported state is installed below the protocol: the log position
+        // counter is untouched (these entries committed on the donor group),
+        // and later local writes overwrite unconditionally, so the carried
+        // timestamps are only provenance.
+        crate::migration::kv_import_range(&mut self.kv, entries);
+    }
+
+    fn evict_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> usize {
+        self.kv.remove_matching(filter)
     }
 }
 

@@ -25,11 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod migration;
 pub mod router;
 pub mod sharded;
 
+pub use migration::{MigrationStats, RebalanceConfig};
 pub use router::{RangeMove, RouteDecision, RouterVersion, ShardRouter};
-pub use sharded::{ShardedCluster, ShardedConfig, ShardedRunStats};
+pub use sharded::{ShardedCluster, ShardedConfig, ShardedRunStats, TimelineBucket};
 
 /// Converts a generated workload operation into the protocol-level operation.
 ///

@@ -1,0 +1,843 @@
+//! Online shard rebalancing: the migration controller and its driver loop.
+//!
+//! The sharded driver (PR 1) fixed placement at construction; this module adds
+//! the first **online reconfiguration** path: when the per-window commit load
+//! drifts past an imbalance threshold, the controller moves a key range — a
+//! set of consistent-hash ring arcs — from the overloaded *donor* group to the
+//! most underloaded *recipient* group **without downtime**, in three phases:
+//!
+//! 1. **Snapshot** — the donor leader exports the moving range through the
+//!    verified-read path of its partitioned store (cut point = export time),
+//!    seals it into bounded [`recipe_protocols::MigrationChunk`]s through the
+//!    shield layer (MAC + trusted counter, AEAD in confidential mode) and
+//!    ships them to the recipient group, which installs them on every replica.
+//!    The donor keeps serving the range throughout.
+//! 2. **Catch-up** — writes committed on the donor after the cut are logged
+//!    and replayed in commit order, round after round, until a round's delta
+//!    is small.
+//! 3. **Cutover** — the donor *refuses* new operations for the moving range
+//!    (clients back off and retry), in-flight operations drain, the final
+//!    delta ships, the donor evicts the range, and the router epoch bumps
+//!    atomically ([`crate::ShardRouter::rebalance`]). Clients still holding
+//!    the old epoch get a [`crate::RouteDecision::WrongShard`] redirect on
+//!    their next touch of the range and retry against the new placement — no
+//!    commit is ever lost or applied twice.
+//!
+//! Every phase charges virtual time through the cost model — snapshot
+//! export/import work, sealed-frame wire costs, and the EPC pressure of
+//! staging chunks inside the enclave (`migration_epc_pressure`) — so the
+//! throughput timeline shows the true cost of the transfer, not a free move.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use recipe_core::Operation;
+use recipe_protocols::{ChunkPhase, MigrationChannel, MigrationChunk};
+use recipe_sim::{RangeEntry, RangeStateTransfer, Replica};
+use recipe_workload::stable_key_hash;
+use serde::{Deserialize, Serialize};
+
+use crate::router::RouteDecision;
+use crate::sharded::{DriverEvent, ShardedCluster, ShardedRunStats, TimelineBucket};
+
+/// Knobs of the online-rebalancing controller.
+#[derive(Debug, Clone)]
+pub struct RebalanceConfig {
+    /// Master switch. `false` makes [`ShardedCluster::run_rebalancing`] behave
+    /// like a plain run (plus timeline collection).
+    pub enabled: bool,
+    /// How often the controller evaluates the load window, virtual ns.
+    pub check_interval_ns: u64,
+    /// Minimum commits in a window before imbalance is considered meaningful.
+    pub min_window_commits: u64,
+    /// Trigger threshold: busiest shard's window commits over the per-shard
+    /// mean.
+    pub imbalance_threshold: f64,
+    /// Upper bound on migrations per run (one is in flight at a time).
+    pub max_migrations: u64,
+    /// Seal transfer chunks with payload encryption (confidentiality of the
+    /// moving range in transit).
+    pub confidential_transfer: bool,
+    /// Records per sealed chunk — bounds the EPC staging footprint.
+    pub chunk_entries: usize,
+    /// A catch-up round at or below this many records triggers the drain.
+    pub drain_threshold_ops: usize,
+    /// Catch-up rounds before the controller forces the drain regardless.
+    pub max_catchup_rounds: u64,
+    /// Width of the throughput-timeline buckets, virtual ns (0 disables).
+    pub timeline_bucket_ns: u64,
+    /// Spacing of the initial client issue stagger, virtual ns (the plain
+    /// driver hard-codes 200; open-loop replay tests widen it).
+    pub issue_stagger_ns: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            enabled: false,
+            check_interval_ns: 20_000_000, // 20 ms
+            min_window_commits: 200,
+            imbalance_threshold: 1.5,
+            max_migrations: 4,
+            confidential_transfer: true,
+            chunk_entries: 128,
+            drain_threshold_ops: 8,
+            max_catchup_rounds: 8,
+            timeline_bucket_ns: 10_000_000, // 10 ms
+            issue_stagger_ns: 200,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// The default knobs with the controller switched on.
+    pub fn enabled() -> Self {
+        RebalanceConfig {
+            enabled: true,
+            ..RebalanceConfig::default()
+        }
+    }
+}
+
+/// Counters of the rebalancing machinery for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MigrationStats {
+    /// Migrations the controller started.
+    pub migrations_started: u64,
+    /// Migrations that reached cutover.
+    pub migrations_completed: u64,
+    /// Records shipped in snapshot chunks.
+    pub snapshot_entries: u64,
+    /// Sealed wire bytes of all snapshot chunks.
+    pub snapshot_bytes: u64,
+    /// Records shipped in catch-up (and final-delta) chunks.
+    pub catchup_entries: u64,
+    /// Sealed wire bytes of all catch-up chunks.
+    pub catchup_bytes: u64,
+    /// Catch-up rounds shipped (including the final delta).
+    pub catchup_rounds: u64,
+    /// `WrongShard` redirects served to stale clients.
+    pub redirects: u64,
+    /// Operations the donor refused during drains (client backed off).
+    pub refusals: u64,
+    /// Migration attempts aborted because the donor's store failed the
+    /// verified-read export (Byzantine host tampered with the range).
+    pub export_failures: u64,
+    /// Committed moving-range writes that could not be captured for catch-up
+    /// (donor leader gone or record unverifiable at capture time).
+    pub capture_misses: u64,
+    /// Virtual nanoseconds of export/seal/import work charged to replicas.
+    pub transfer_busy_ns: u64,
+    /// Virtual time of the last completed cutover.
+    pub last_cutover_ns: u64,
+    /// Router epoch at the end of the run.
+    pub router_version: u64,
+}
+
+/// One client operation in flight, as the driver submitted it.
+struct Issued {
+    shard: usize,
+    arc: usize,
+    request_id: u64,
+    key: Vec<u8>,
+    is_write: bool,
+}
+
+/// A migration in flight.
+struct ActiveMigration {
+    donor: usize,
+    recipient: usize,
+    /// Moving arcs in ascending order (the unit handed to the router at
+    /// cutover).
+    arcs: Vec<usize>,
+    arc_set: HashSet<usize>,
+    channel: MigrationChannel,
+    /// Writes committed on the donor inside the moving range since the last
+    /// shipped round, in commit order.
+    catchup: Vec<RangeEntry>,
+    next_chunk_seq: u64,
+    rounds: u64,
+    /// Committed moving-range writes this migration failed to capture; a
+    /// non-zero count forces a full verified re-export at cutover.
+    capture_misses: u64,
+    draining: bool,
+    /// When the in-flight transfer round lands on the recipient (`None` while
+    /// draining — progress is then driven by completions).
+    transfer_ready_at: Option<u64>,
+}
+
+/// Controller state local to one `run_rebalancing` invocation.
+struct ControllerState {
+    next_check_ns: u64,
+    window_shard: Vec<u64>,
+    window_arc: HashMap<usize, u64>,
+    active: Option<ActiveMigration>,
+    next_migration_id: u64,
+    stats: MigrationStats,
+}
+
+impl ControllerState {
+    fn new(shards: usize, first_check_ns: u64) -> Self {
+        ControllerState {
+            next_check_ns: first_check_ns,
+            window_shard: vec![0; shards],
+            window_arc: HashMap::new(),
+            active: None,
+            next_migration_id: 0,
+            stats: MigrationStats::default(),
+        }
+    }
+
+    fn clear_window(&mut self) {
+        self.window_shard.iter_mut().for_each(|c| *c = 0);
+        self.window_arc.clear();
+    }
+
+    /// The next virtual time the controller must act at, if any.
+    fn deadline(&self, enabled: bool, max_migrations: u64) -> Option<u64> {
+        match &self.active {
+            Some(active) => active.transfer_ready_at,
+            None if enabled && self.stats.migrations_started < max_migrations => {
+                Some(self.next_check_ns)
+            }
+            None => None,
+        }
+    }
+
+    /// True when the donor must refuse a fresh operation on `(shard, arc)`
+    /// (cutover drain in progress for that range).
+    fn refuses(&self, shard: usize, arc: usize) -> bool {
+        match &self.active {
+            Some(active) => {
+                active.draining && shard == active.donor && active.arc_set.contains(&arc)
+            }
+            None => false,
+        }
+    }
+}
+
+impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
+    /// Runs the sharded simulation with the online-rebalancing controller.
+    ///
+    /// Differences from [`ShardedCluster::run`]:
+    ///
+    /// * the workload closure returns `Option<Operation>` — `None` retires the
+    ///   client (open-loop replay schedules need a stop signal);
+    /// * when [`RebalanceConfig::enabled`] is set, the controller watches
+    ///   per-shard committed load and executes snapshot + catch-up migrations
+    ///   as described in the module docs;
+    /// * [`ShardedRunStats::migration`] and [`ShardedRunStats::timeline`] are
+    ///   populated.
+    ///
+    /// Commits are never lost or duplicated across a migration: the donor
+    /// serves the moving range until the drain, every post-cut committed write
+    /// replays in commit order, and each client holds at most one outstanding
+    /// request which completes on exactly one group.
+    pub fn run_rebalancing<W>(&mut self, mut workload: W) -> ShardedRunStats
+    where
+        W: FnMut(u64, u64) -> Option<Operation>,
+    {
+        for shard in &mut self.shards {
+            shard.seed_initial_events();
+        }
+
+        let rb = self.config.rebalance.clone();
+        let link_latency = self.config.base.cost_model.link_latency_ns;
+        let think = self.config.base.cost_model.client_think_ns;
+        let cap = self.config.base.max_virtual_ns;
+        let target = self.config.base.clients.total_operations as u64;
+        let clients = self.config.base.clients.clients;
+
+        let mut queue: BinaryHeap<Reverse<DriverEvent>> = BinaryHeap::new();
+        let mut next_seq = 0u64;
+        for client_id in 0..clients as u64 {
+            queue.push(Reverse(DriverEvent {
+                at: client_id * rb.issue_stagger_ns,
+                seq: next_seq,
+                client_id,
+                work: None,
+            }));
+            next_seq += 1;
+        }
+
+        let mut st = ControllerState::new(self.shards.len(), rb.check_interval_ns);
+        let mut client_versions = vec![self.router.version(); clients];
+        let mut outstanding: HashMap<u64, Issued> = HashMap::new();
+        let mut next_request_id: HashMap<u64, u64> = HashMap::new();
+        let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut timeline: Vec<u64> = Vec::new();
+        let mut committed = 0u64;
+        let mut committed_reads = 0u64;
+        let mut committed_writes = 0u64;
+        let mut global_now = 0u64;
+
+        loop {
+            if committed >= target {
+                break;
+            }
+            let driver_at = queue.peek().map(|Reverse(event)| event.at);
+            let ctrl_at = st
+                .deadline(rb.enabled, rb.max_migrations)
+                .filter(|&at| at <= cap);
+            let shard_at = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(shard, cluster)| cluster.peek_next_at().map(|at| (at, shard)))
+                .min();
+
+            // Priority on ties: client issues, then the controller, then shard
+            // work — all deterministic.
+            let driver_wins = match (driver_at, ctrl_at, shard_at) {
+                (None, None, None) => break,
+                (Some(d), c, s) => {
+                    d <= c.unwrap_or(u64::MAX) && d <= s.map(|(at, _)| at).unwrap_or(u64::MAX)
+                }
+                _ => false,
+            };
+            let ctrl_wins = !driver_wins
+                && match (ctrl_at, shard_at) {
+                    (Some(c), s) => c <= s.map(|(at, _)| at).unwrap_or(u64::MAX),
+                    (None, _) => false,
+                };
+
+            if driver_wins {
+                let Reverse(event) = queue.pop().expect("peeked driver event");
+                if event.at > cap {
+                    break;
+                }
+                global_now = global_now.max(event.at);
+                let client_id = event.client_id;
+                let (rid, operation) = match event.work {
+                    Some(work) => work,
+                    None => {
+                        let rid = next_request_id.get(&client_id).copied().unwrap_or(0) + 1;
+                        match workload(client_id, rid) {
+                            Some(op) => {
+                                next_request_id.insert(client_id, rid);
+                                (rid, op)
+                            }
+                            // The client retired; nothing more to issue.
+                            None => continue,
+                        }
+                    }
+                };
+                let point = stable_key_hash(operation.key());
+                let arc = self.router.arc_of_point(point);
+
+                let shard = match self
+                    .router
+                    .route(point, client_versions[client_id as usize])
+                {
+                    RouteDecision::Owned { shard } => shard,
+                    RouteDecision::WrongShard { new_version, .. } => {
+                        // Stale epoch: redirected after a round trip, retried
+                        // against the new placement.
+                        st.stats.redirects += 1;
+                        client_versions[client_id as usize] = new_version;
+                        queue.push(Reverse(DriverEvent {
+                            at: event.at + 2 * link_latency,
+                            seq: next_seq,
+                            client_id,
+                            work: Some((rid, operation)),
+                        }));
+                        next_seq += 1;
+                        continue;
+                    }
+                };
+                if st.refuses(shard, arc) {
+                    // Cutover drain: the donor refuses fresh operations on the
+                    // moving range; the client backs off and retries — after
+                    // the epoch bump its retry is redirected to the recipient.
+                    st.stats.refusals += 1;
+                    queue.push(Reverse(DriverEvent {
+                        at: event.at + 2 * link_latency + 50_000,
+                        seq: next_seq,
+                        client_id,
+                        work: Some((rid, operation)),
+                    }));
+                    next_seq += 1;
+                    continue;
+                }
+
+                let key = operation.key().to_vec();
+                let is_write = operation.is_write();
+                match self.shards[shard].try_submit_at(event.at, client_id, rid, operation) {
+                    Ok(()) => {
+                        outstanding.insert(
+                            client_id,
+                            Issued {
+                                shard,
+                                arc,
+                                request_id: rid,
+                                key,
+                                is_write,
+                            },
+                        );
+                    }
+                    Err(operation) => {
+                        // No live coordinator; retry the *identical* payload —
+                        // re-drawing would silently drop this operation.
+                        queue.push(Reverse(DriverEvent {
+                            at: event.at + 1_000_000,
+                            seq: next_seq,
+                            client_id,
+                            work: Some((rid, operation)),
+                        }));
+                        next_seq += 1;
+                    }
+                }
+            } else if ctrl_wins {
+                let now = ctrl_at.expect("controller deadline selected");
+                global_now = global_now.max(now);
+                self.controller_step(&mut st, &rb, now, &outstanding);
+            } else {
+                let (at, shard) = shard_at.expect("selected shard event");
+                if at > cap {
+                    break;
+                }
+                global_now = global_now.max(at);
+                match self.shards[shard].step() {
+                    recipe_sim::StepOutcome::Idle => continue,
+                    recipe_sim::StepOutcome::CapReached => break,
+                    recipe_sim::StepOutcome::NeedsIssue { .. } => {
+                        unreachable!("external-client shards never issue internally")
+                    }
+                    recipe_sim::StepOutcome::Processed => {}
+                }
+                for completion in self.shards[shard].drain_completions() {
+                    committed += 1;
+                    if completion.was_write {
+                        committed_writes += 1;
+                    } else {
+                        committed_reads += 1;
+                    }
+                    latencies_ns.push(completion.latency_ns);
+                    // Bucket width 0 disables the timeline.
+                    if let Some(bucket) = completion.at_ns.checked_div(rb.timeline_bucket_ns) {
+                        let bucket = bucket as usize;
+                        if timeline.len() <= bucket {
+                            timeline.resize(bucket + 1, 0);
+                        }
+                        timeline[bucket] += 1;
+                    }
+                    st.window_shard[shard] += 1;
+                    if let Some(issued) = outstanding.get(&completion.client_id) {
+                        if issued.request_id == completion.request_id {
+                            let issued = outstanding
+                                .remove(&completion.client_id)
+                                .expect("checked above");
+                            *st.window_arc.entry(issued.arc).or_default() += 1;
+                            // Catch-up capture: a write committed on the donor
+                            // inside the moving range replays on the recipient.
+                            // The record is re-read from the donor leader's
+                            // store so it carries the *real* committed value
+                            // and write timestamp — timestamp-ordered stores
+                            // (R-ABD) keep their strictly-newer write rule
+                            // across the move. Reading the latest state may
+                            // capture a newer write than this completion;
+                            // replay stays idempotent and converges on the
+                            // donor's final state either way.
+                            let capture = st.active.as_ref().is_some_and(|active| {
+                                issued.is_write
+                                    && issued.shard == active.donor
+                                    && active.arc_set.contains(&issued.arc)
+                            });
+                            if capture {
+                                let entry = self.shards[issued.shard].write_coordinator().and_then(
+                                    |leader| {
+                                        self.shards[issued.shard]
+                                            .replica_mut(leader)
+                                            .read_entry(&issued.key)
+                                            .ok()
+                                            .flatten()
+                                    },
+                                );
+                                let active = st.active.as_mut().expect("capture implies active");
+                                match entry {
+                                    Some(entry) => active.catchup.push(entry),
+                                    // Leader gone or record unverifiable: the
+                                    // write cannot be captured faithfully —
+                                    // the cutover falls back to a full
+                                    // verified re-export (or aborts).
+                                    None => {
+                                        active.capture_misses += 1;
+                                        st.stats.capture_misses += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    queue.push(Reverse(DriverEvent {
+                        at: completion.at_ns + link_latency + think,
+                        seq: next_seq,
+                        client_id: completion.client_id,
+                        work: None,
+                    }));
+                    next_seq += 1;
+                }
+                // A drain completes as soon as the last in-flight operation on
+                // the moving range finished.
+                if st.active.as_ref().is_some_and(|active| active.draining)
+                    && inflight_on_moving(&st, &outstanding) == 0
+                {
+                    self.finish_cutover(&mut st, &rb, global_now);
+                }
+            }
+        }
+
+        // Background range GC: clear moved-range remnants a straggling
+        // in-group commit may have resurrected on a donor after its eviction.
+        if st.stats.migrations_completed > 0 {
+            self.gc_moved_ranges();
+        }
+        let mut stats = self.finalize(
+            global_now,
+            committed,
+            committed_reads,
+            committed_writes,
+            latencies_ns,
+        );
+        st.stats.router_version = self.router.version().0;
+        stats.migration = st.stats;
+        stats.timeline = timeline
+            .iter()
+            .enumerate()
+            .map(|(i, &committed)| TimelineBucket {
+                end_ns: (i as u64 + 1) * rb.timeline_bucket_ns,
+                committed,
+            })
+            .collect();
+        stats
+    }
+
+    /// Drops every key a shard no longer owns at the current epoch from that
+    /// shard's replicas. The cutover already evicts the moved range, but a
+    /// straggling in-group commit (a follower applying a pre-cutover entry
+    /// after the eviction ran) can resurrect a moved key — this is the
+    /// idempotent background GC that clears such remnants; the driver runs it
+    /// once per finished run, and tests re-run it after quiescing.
+    pub fn gc_moved_ranges(&mut self) {
+        for shard in 0..self.shards.len() {
+            let foreign = {
+                let router = self.router.clone();
+                move |key: &[u8]| router.shard_for_key(key) != shard
+            };
+            for node in self.shards[shard].node_ids() {
+                self.shards[shard].replica_mut(node).evict_range(&foreign);
+            }
+        }
+    }
+
+    /// One controller action at virtual time `now`: either a periodic window
+    /// evaluation or the landing of an in-flight transfer round.
+    fn controller_step(
+        &mut self,
+        st: &mut ControllerState,
+        rb: &RebalanceConfig,
+        now: u64,
+        outstanding: &HashMap<u64, Issued>,
+    ) {
+        let Some(active) = &st.active else {
+            self.maybe_start_migration(st, rb, now);
+            st.next_check_ns = now + rb.check_interval_ns;
+            st.clear_window();
+            return;
+        };
+        debug_assert!(active.transfer_ready_at.is_some_and(|at| at <= now));
+        // The in-flight round landed. Ship the next catch-up round, or begin
+        // the drain when the delta is small (or rounds ran out).
+        if active.catchup.len() > rb.drain_threshold_ops && active.rounds < rb.max_catchup_rounds {
+            self.ship_round(st, rb, now, ChunkPhase::CatchUp);
+        } else {
+            let active = st.active.as_mut().expect("checked above");
+            active.draining = true;
+            active.transfer_ready_at = None;
+            if inflight_on_moving(st, outstanding) == 0 {
+                self.finish_cutover(st, rb, now);
+            }
+        }
+    }
+
+    /// Evaluates the load window and starts a migration when warranted.
+    fn maybe_start_migration(&mut self, st: &mut ControllerState, rb: &RebalanceConfig, now: u64) {
+        let total: u64 = st.window_shard.iter().sum();
+        if total < rb.min_window_commits {
+            return;
+        }
+        let shards = st.window_shard.len();
+        let mean = total as f64 / shards as f64;
+        let (donor, donor_commits) = st
+            .window_shard
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(shard, commits)| (commits, Reverse(shard)))
+            .expect("at least one shard");
+        if (donor_commits as f64) < rb.imbalance_threshold * mean {
+            return;
+        }
+        let (recipient, recipient_commits) = st
+            .window_shard
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(shard, commits)| (commits, shard))
+            .expect("at least one shard");
+        if donor == recipient {
+            return;
+        }
+
+        // Pick the donor's hottest arcs until roughly half the load gap moves,
+        // skipping any single arc so hot that moving it would just relocate
+        // the hotspot (an un-splittable single-key skew stays put).
+        let target = (donor_commits - recipient_commits) / 2;
+        let cap = (donor_commits + recipient_commits) * 3 / 5;
+        let mut donor_arcs: Vec<(u64, usize)> = st
+            .window_arc
+            .iter()
+            .filter(|&(&arc, _)| self.router.owner_of_arc(arc) == donor)
+            .map(|(&arc, &commits)| (commits, arc))
+            .collect();
+        donor_arcs.sort_by_key(|&(commits, arc)| (Reverse(commits), arc));
+        let mut moving = Vec::new();
+        let mut cum = 0u64;
+        for (commits, arc) in donor_arcs {
+            if cum >= target {
+                break;
+            }
+            if recipient_commits + cum + commits > cap {
+                continue;
+            }
+            moving.push(arc);
+            cum += commits;
+        }
+        if moving.is_empty() || cum == 0 {
+            return;
+        }
+        moving.sort_unstable();
+        self.begin_migration(st, rb, now, donor, recipient, moving);
+    }
+
+    /// Takes the snapshot cut and ships the sealed snapshot.
+    fn begin_migration(
+        &mut self,
+        st: &mut ControllerState,
+        rb: &RebalanceConfig,
+        now: u64,
+        donor: usize,
+        recipient: usize,
+        arcs: Vec<usize>,
+    ) {
+        let Some(leader) = self.shards[donor].write_coordinator() else {
+            return; // donor group has no live coordinator; try a later window
+        };
+        let filter = self.router.arc_membership_filter(&arcs);
+        let entries = match self.shards[donor].replica_mut(leader).export_range(&filter) {
+            Ok(entries) => entries,
+            Err(_) => {
+                // The donor leader's store failed verification for the range
+                // (Byzantine host tampered with host-resident state). Never
+                // ship unverified state: abort this attempt; the placement
+                // stays as it was and a later window may retry.
+                st.stats.export_failures += 1;
+                return;
+            }
+        };
+
+        st.next_migration_id += 1;
+        st.stats.migrations_started += 1;
+        let mut active = ActiveMigration {
+            donor,
+            recipient,
+            arc_set: arcs.iter().copied().collect(),
+            arcs,
+            channel: MigrationChannel::new(
+                donor,
+                recipient,
+                st.next_migration_id,
+                rb.confidential_transfer,
+            ),
+            catchup: Vec::new(),
+            next_chunk_seq: 0,
+            rounds: 0,
+            capture_misses: 0,
+            draining: false,
+            transfer_ready_at: None,
+        };
+        let ready_at = self.ship_entries(st, rb, &mut active, now, entries, ChunkPhase::Snapshot);
+        active.transfer_ready_at = Some(ready_at);
+        st.active = Some(active);
+    }
+
+    /// Ships the accumulated catch-up delta as one round.
+    fn ship_round(
+        &mut self,
+        st: &mut ControllerState,
+        rb: &RebalanceConfig,
+        now: u64,
+        phase: ChunkPhase,
+    ) {
+        let mut active = st.active.take().expect("a migration is active");
+        let entries = std::mem::take(&mut active.catchup);
+        active.rounds += 1;
+        let ready_at = self.ship_entries(st, rb, &mut active, now, entries, phase);
+        active.transfer_ready_at = Some(ready_at);
+        st.active = Some(active);
+    }
+
+    /// Seals `entries` into bounded chunks, charges export, wire and import
+    /// costs, installs the records on every recipient replica, and returns the
+    /// virtual time the transfer lands. An empty `entries` still returns `now`
+    /// (a zero-length round costs nothing).
+    fn ship_entries(
+        &mut self,
+        st: &mut ControllerState,
+        rb: &RebalanceConfig,
+        active: &mut ActiveMigration,
+        now: u64,
+        entries: Vec<RangeEntry>,
+        phase: ChunkPhase,
+    ) -> u64 {
+        let model = self.config.base.cost_model.clone();
+        let donor_config = self.config.config_for_shard(active.donor);
+        let recipient_config = self.config.config_for_shard(active.recipient);
+        let donor_nodes = self.shards[active.donor].node_ids();
+        let donor_leader = self.shards[active.donor]
+            .write_coordinator()
+            .unwrap_or(donor_nodes[0]);
+        // Charge the leader with *its own* profile (groups may run
+        // heterogeneous hardware per replica).
+        let leader_idx = donor_nodes
+            .iter()
+            .position(|&node| node == donor_leader)
+            .unwrap_or(0);
+        let donor_profile = donor_config
+            .profiles
+            .get(leader_idx)
+            .unwrap_or(&donor_config.profiles[0]);
+
+        let chunk_entries = rb.chunk_entries.max(1);
+        let mut donor_busy_from = now;
+        let mut ready_at = now;
+        let is_snapshot = matches!(phase, ChunkPhase::Snapshot);
+        for batch in entries.chunks(chunk_entries) {
+            let chunk = MigrationChunk {
+                migration_id: st.next_migration_id,
+                phase,
+                seq: active.next_chunk_seq,
+                entries: batch.to_vec(),
+            };
+            active.next_chunk_seq += 1;
+            let payload_bytes = chunk.payload_len();
+
+            // Donor side: verified export (or replay staging) + seal + send.
+            let export_cost =
+                model.snapshot_export_cost_ns(donor_profile, batch.len(), payload_bytes);
+            let wire = active.channel.seal(&chunk);
+            let send_cost = model.send_cost_ns(donor_profile, wire.len());
+            let sent_at = self.shards[active.donor].charge_work_at(
+                donor_leader,
+                donor_busy_from,
+                export_cost + send_cost,
+            );
+            donor_busy_from = sent_at;
+            st.stats.transfer_busy_ns += export_cost + send_cost;
+
+            // Wire + recipient side: verify the sealed frame, install on every
+            // replica of the group (each pays the import).
+            let arrival = sent_at + model.link_latency_ns;
+            let opened = active
+                .channel
+                .open(&wire)
+                .expect("benign-path transfer chunks verify");
+            for (idx, node) in self.shards[active.recipient].node_ids().iter().enumerate() {
+                let profile = recipient_config
+                    .profiles
+                    .get(idx)
+                    .unwrap_or(&recipient_config.profiles[0]);
+                let import_cost =
+                    model.snapshot_import_cost_ns(profile, opened.entries.len(), wire.len());
+                let done =
+                    self.shards[active.recipient].charge_work_at(*node, arrival, import_cost);
+                st.stats.transfer_busy_ns += import_cost;
+                ready_at = ready_at.max(done);
+                self.shards[active.recipient]
+                    .replica_mut(*node)
+                    .import_range(&opened.entries);
+            }
+
+            if is_snapshot {
+                st.stats.snapshot_entries += batch.len() as u64;
+                st.stats.snapshot_bytes += wire.len() as u64;
+            } else {
+                st.stats.catchup_entries += batch.len() as u64;
+                st.stats.catchup_bytes += wire.len() as u64;
+            }
+        }
+        if !is_snapshot {
+            st.stats.catchup_rounds += 1;
+        }
+        ready_at
+    }
+
+    /// The drain is empty: ship the final delta, evict the donor's copy, bump
+    /// the router epoch. From this instant the old placement earns redirects.
+    fn finish_cutover(&mut self, st: &mut ControllerState, rb: &RebalanceConfig, now: u64) {
+        let mut active = st.active.take().expect("a migration is draining");
+        let mut delta = std::mem::take(&mut active.catchup);
+        // Zero-loss guard: if any committed moving-range write could not be
+        // captured (leader handover, unverifiable record), the catch-up log is
+        // not trustworthy — re-export the whole range through the verified
+        // path instead. The drain guarantees nothing is in flight, so the
+        // re-export is the complete committed state. If even that fails, the
+        // migration aborts: no eviction, no epoch bump, the donor keeps
+        // serving (the recipient's partial copy of the unowned range is
+        // cleared by the end-of-run GC).
+        if active.capture_misses > 0 {
+            let filter = self.router.arc_membership_filter(&active.arcs);
+            let reexport = self.shards[active.donor]
+                .write_coordinator()
+                .ok_or_else(|| "no live donor coordinator".to_string())
+                .and_then(|leader| {
+                    self.shards[active.donor]
+                        .replica_mut(leader)
+                        .export_range(&filter)
+                });
+            match reexport {
+                Ok(entries) => delta = entries,
+                Err(_) => {
+                    st.stats.export_failures += 1;
+                    st.next_check_ns = now + rb.check_interval_ns;
+                    st.clear_window();
+                    return;
+                }
+            }
+        }
+        if !delta.is_empty() {
+            self.ship_entries(st, rb, &mut active, now, delta, ChunkPhase::Final);
+        }
+        let filter = self.router.arc_membership_filter(&active.arcs);
+        for node in self.shards[active.donor].node_ids() {
+            self.shards[active.donor]
+                .replica_mut(node)
+                .evict_range(&filter);
+        }
+        self.router.rebalance(&active.arcs, active.recipient);
+        st.stats.migrations_completed += 1;
+        st.stats.last_cutover_ns = now;
+        st.next_check_ns = now + rb.check_interval_ns;
+        st.clear_window();
+    }
+}
+
+/// Operations currently in flight on the moving range of the active migration.
+fn inflight_on_moving(st: &ControllerState, outstanding: &HashMap<u64, Issued>) -> usize {
+    match &st.active {
+        Some(active) => outstanding
+            .values()
+            .filter(|issued| issued.shard == active.donor && active.arc_set.contains(&issued.arc))
+            .count(),
+        None => 0,
+    }
+}

@@ -29,6 +29,7 @@ use recipe_net::{FaultPlan, NodeId};
 use recipe_sim::{CostProfile, Replica, RunStats, SimCluster, SimConfig, StepOutcome};
 use recipe_workload::stable_key_hash;
 
+use crate::migration::{MigrationStats, RebalanceConfig};
 use crate::router::{RouteDecision, RouterVersion, ShardRouter};
 
 /// Configuration of a sharded deployment.
@@ -47,6 +48,9 @@ pub struct ShardedConfig {
     pub fault_plans: Option<Vec<FaultPlan>>,
     /// Per-shard cost-profile overrides (heterogeneous hardware per group).
     pub profiles: Option<Vec<Vec<CostProfile>>>,
+    /// Online-rebalancing controller knobs (disabled by default; only
+    /// [`ShardedCluster::run_rebalancing`] consults them).
+    pub rebalance: RebalanceConfig,
 }
 
 impl ShardedConfig {
@@ -59,6 +63,7 @@ impl ShardedConfig {
             base: SimConfig::uniform(replicas_per_group, profile),
             fault_plans: None,
             profiles: None,
+            rebalance: RebalanceConfig::default(),
         }
     }
 
@@ -110,6 +115,23 @@ pub struct ShardedRunStats {
     /// commits per shard (1.0 = perfectly balanced; meaningful only when
     /// something committed).
     pub imbalance: f64,
+    /// Online-rebalancing counters (all zero unless the run used
+    /// [`ShardedCluster::run_rebalancing`] with migrations enabled).
+    pub migration: MigrationStats,
+    /// Commits bucketed by completion time (throughput timeline). Populated
+    /// only by [`ShardedCluster::run_rebalancing`] when
+    /// [`RebalanceConfig::timeline_bucket_ns`] is non-zero.
+    pub timeline: Vec<TimelineBucket>,
+}
+
+/// One bucket of the throughput timeline: commits whose replies landed in
+/// `(end_ns - bucket_width, end_ns]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TimelineBucket {
+    /// End of the bucket's virtual-time window, nanoseconds.
+    pub end_ns: u64,
+    /// Commits completed inside the window.
+    pub committed: u64,
 }
 
 /// One global client's issue event in the driver's queue. `work` is `Some` for
@@ -203,7 +225,9 @@ impl<R: Replica> ShardedCluster<R> {
     }
 
     /// Mutable access to the router: pre-applying recorded moves before a run
-    /// (replay testing against a final placement) or test setup.
+    /// (replay testing against a final placement) or test setup. Mid-run
+    /// mutation is the migration controller's job — see
+    /// [`ShardedCluster::run_rebalancing`].
     pub fn router_mut(&mut self) -> &mut ShardRouter {
         &mut self.router
     }
@@ -461,6 +485,8 @@ impl<R: Replica> ShardedCluster<R> {
             total,
             per_shard,
             imbalance,
+            migration: MigrationStats::default(),
+            timeline: Vec::new(),
         }
     }
 }

@@ -286,6 +286,54 @@ impl ProtocolCostModel {
         epc.pressure_factor()
     }
 
+    /// EPC paging pressure while a migration chunk of `staged_bytes` is staged
+    /// inside the enclave on top of the node's resident working set. Snapshot
+    /// export/import batches whole chunks through enclave memory, so large
+    /// chunks of large values cross the EPC cliff exactly like large batch
+    /// frames do (§B.3) — which is why the migration controller ships bounded
+    /// chunks instead of one monolithic snapshot.
+    pub fn migration_epc_pressure(&self, profile: &CostProfile, staged_bytes: usize) -> f64 {
+        if profile.exec == ExecMode::Native {
+            return 1.0;
+        }
+        let mut epc = EpcModel::new(profile.epc_bytes);
+        let _ = epc.allocate(profile.resident_bytes + staged_bytes);
+        epc.pressure_factor()
+    }
+
+    /// Cost for the donor leader to export one snapshot/catch-up chunk of
+    /// `entries` records totalling `payload_bytes`: per-entry index walk and
+    /// integrity re-hash (the partitioned store verifies every value it copies
+    /// out of host memory) plus the per-byte hash work, all under the EPC
+    /// pressure of staging the chunk. The shield/wire leg is charged
+    /// separately via [`ProtocolCostModel::send_cost_ns`] on the sealed frame.
+    pub fn snapshot_export_cost_ns(
+        &self,
+        profile: &CostProfile,
+        entries: usize,
+        payload_bytes: usize,
+    ) -> u64 {
+        let pressure = self.migration_epc_pressure(profile, payload_bytes);
+        (entries as f64 * self.app_cost_with_pressure(profile, pressure)
+            + payload_bytes as f64 * self.mac_per_byte_ns) as u64
+    }
+
+    /// Cost for a recipient replica to verify and apply one chunk of `entries`
+    /// records in a sealed frame of `frame_bytes`: the frame's transport +
+    /// authentication cost once (single MAC/AEAD pass over the chunk — the
+    /// same amortization the batch path gets), then per-entry store writes
+    /// under the staging EPC pressure.
+    pub fn snapshot_import_cost_ns(
+        &self,
+        profile: &CostProfile,
+        entries: usize,
+        frame_bytes: usize,
+    ) -> u64 {
+        let pressure = self.migration_epc_pressure(profile, frame_bytes);
+        (self.message_cost_f64(profile, frame_bytes)
+            + entries as f64 * self.app_cost_with_pressure(profile, pressure)) as u64
+    }
+
     fn message_cost_f64(&self, profile: &CostProfile, payload_bytes: usize) -> f64 {
         let mut cost = self
             .net
@@ -480,6 +528,37 @@ mod tests {
         // Zero is clamped: "no batching" is 1 op per frame.
         assert_eq!(CostProfile::recipe().with_batch_ops(0).batch_ops, 1);
         assert_eq!(CostProfile::recipe().batch_ops, 1);
+    }
+
+    #[test]
+    fn migration_costs_scale_with_chunk_size_and_pay_epc_pressure() {
+        let m = ProtocolCostModel::default();
+        let profile = CostProfile::recipe();
+        // More entries and more bytes cost more, on both legs.
+        assert!(
+            m.snapshot_export_cost_ns(&profile, 256, 256 * 256)
+                > m.snapshot_export_cost_ns(&profile, 64, 64 * 256)
+        );
+        assert!(
+            m.snapshot_import_cost_ns(&profile, 256, 256 * 300)
+                > m.snapshot_import_cost_ns(&profile, 64, 64 * 300)
+        );
+        // Import includes the frame's shield verification: costlier than the
+        // pure store work of exporting the same records.
+        assert!(
+            m.snapshot_import_cost_ns(&profile, 64, 64 * 300)
+                > m.snapshot_export_cost_ns(&profile, 64, 64 * 256) / 2
+        );
+        // A chunk small enough to fit the EPC stages at pressure 1.0; a
+        // monolithic multi-megabyte snapshot crosses the cliff — the reason
+        // the controller ships bounded chunks.
+        assert_eq!(m.migration_epc_pressure(&profile, 64 * 1024), 1.0);
+        assert!(m.migration_epc_pressure(&profile, 32 * 1024 * 1024) > 1.0);
+        // Native nodes never pay EPC pressure.
+        assert_eq!(
+            m.migration_epc_pressure(&CostProfile::native_cft(), 1 << 30),
+            1.0
+        );
     }
 
     #[test]

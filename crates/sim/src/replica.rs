@@ -10,6 +10,7 @@
 use recipe_core::{ClientReply, ClientRequest};
 use recipe_net::NodeId;
 use recipe_tee::TrustedInstant;
+use serde::{Deserialize, Serialize};
 
 /// The effects a handler invocation queued: outbound `(dst, bytes, ops)`
 /// messages (`ops` > 1 for batch frames, so the cost model can charge fixed
@@ -121,6 +122,62 @@ pub trait Replica {
 
     /// Protocol name, used in experiment output.
     fn protocol_name(&self) -> &'static str;
+}
+
+/// One exported key-value record of a state-transfer range: the unit shipped
+/// by snapshot and catch-up chunks during an online shard migration. The
+/// `(ts_logical, ts_node)` pair carries the store's write timestamp opaquely —
+/// the simulator never interprets it; importing replicas hand it back to their
+/// store so timestamp-ordered protocols (R-ABD) keep their write rule intact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeEntry {
+    /// The key.
+    pub key: Vec<u8>,
+    /// The (plaintext) value as committed on the exporting replica.
+    pub value: Vec<u8>,
+    /// Logical half of the write timestamp stored for the key.
+    pub ts_logical: u64,
+    /// Node half (tiebreaker) of the write timestamp stored for the key.
+    pub ts_node: u64,
+}
+
+impl RangeEntry {
+    /// Bytes this entry contributes to a transfer chunk (key + value payload).
+    pub fn payload_len(&self) -> usize {
+        self.key.len() + self.value.len()
+    }
+}
+
+/// Key-range state transfer: the replica-side hooks an online shard migration
+/// drives (see `recipe-shard`'s migration controller). A migration exports the
+/// moving range from the donor group's coordinator, ships it through the
+/// shield layer, imports it into every replica of the recipient group, and
+/// evicts it from the donor after cutover.
+///
+/// Implementations operate on the replica's local store only — no protocol
+/// messages, no counters. The controller owns ordering: imports are applied
+/// snapshot-first then catch-up in commit order, and the donor stops serving
+/// the range before eviction.
+pub trait RangeStateTransfer: Replica {
+    /// Exports every key the local store holds that satisfies `filter`, in
+    /// key order. Fails when a record does not pass the store's verified-read
+    /// path (a Byzantine host corrupted or dropped host-resident state) — the
+    /// caller must abort the transfer, never ship unverified state.
+    fn export_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> Result<Vec<RangeEntry>, String>;
+
+    /// Reads one key through the verified path, returning its current value
+    /// and **real stored write timestamp** (catch-up capture uses this so
+    /// timestamp-ordered stores keep their write rule across the move).
+    /// `Ok(None)` when the key is absent; `Err` when it fails verification.
+    fn read_entry(&mut self, key: &[u8]) -> Result<Option<RangeEntry>, String>;
+
+    /// Imports entries into the local store, in the order given (later entries
+    /// overwrite earlier ones for the same key).
+    fn import_range(&mut self, entries: &[RangeEntry]);
+
+    /// Removes every key satisfying `filter` from the local store, returning
+    /// how many were evicted.
+    fn evict_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> usize;
 }
 
 #[cfg(test)]

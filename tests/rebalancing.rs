@@ -1,0 +1,431 @@
+//! Cross-crate integration for online shard rebalancing: router-version
+//! safety (exactly one owner per key per epoch), end-to-end skewed-workload
+//! migration with zero lost/duplicated commits and throughput recovery, and
+//! replay equivalence — a recorded schedule with a mid-run migration commits
+//! the same final state as the same ops run against the final placement.
+
+use proptest::prelude::*;
+use recipe::core::Operation;
+use recipe::protocols::{build_sharded_cluster, RaftReplica};
+use recipe::shard::{
+    RebalanceConfig, RouteDecision, RouterVersion, ShardRouter, ShardedCluster, ShardedConfig,
+    ShardedRunStats,
+};
+use recipe::sim::{ClientModel, CostProfile};
+use recipe::workload::stable_key_hash;
+use recipe_net::NodeId;
+use std::cell::Cell;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Router-version safety
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any sequence of migrations, every key resolves to exactly one
+    /// in-range shard at every epoch, old epochs keep resolving their
+    /// placement unchanged, and redirects fire exactly for the keys whose
+    /// owner changed between the cached and the current epoch.
+    #[test]
+    fn every_key_has_exactly_one_owner_at_every_version(
+        shards in 2usize..6,
+        moves in proptest::collection::vec((any::<u64>(), 1usize..24, any::<u64>()), 1..8),
+    ) {
+        let mut router = ShardRouter::new(shards, 64);
+        let mut snapshots = vec![router.clone()];
+        for (donor_seed, arc_take, recipient_seed) in moves {
+            let donor = (donor_seed as usize) % shards;
+            let arcs: Vec<usize> = router
+                .arcs_of_shard(donor)
+                .into_iter()
+                .take(arc_take)
+                .collect();
+            if arcs.is_empty() {
+                continue; // donor drained empty by earlier moves
+            }
+            let mut recipient = (recipient_seed as usize) % shards;
+            if recipient == donor {
+                recipient = (recipient + 1) % shards;
+            }
+            router.rebalance(&arcs, recipient);
+            snapshots.push(router.clone());
+        }
+        prop_assert_eq!(router.version().0 as usize, snapshots.len() - 1);
+        for i in 0..400u64 {
+            let key = format!("user{i:08}");
+            let point = stable_key_hash(key.as_bytes());
+            for (epoch, snapshot) in snapshots.iter().enumerate() {
+                let owner = router.shard_for_point_at(point, RouterVersion(epoch as u64));
+                // Exactly one owner, in range, and identical to what the
+                // epoch's own snapshot resolved at its then-current state.
+                prop_assert!(owner < shards);
+                prop_assert_eq!(owner, snapshot.shard_for_point(point));
+                // The routing seam redirects iff ownership changed since.
+                match router.route(point, RouterVersion(epoch as u64)) {
+                    RouteDecision::Owned { shard } => {
+                        prop_assert_eq!(shard, owner);
+                        prop_assert_eq!(shard, router.shard_for_point(point));
+                    }
+                    RouteDecision::WrongShard { stale_shard, shard, new_version } => {
+                        prop_assert_eq!(stale_shard, owner);
+                        prop_assert_eq!(shard, router.shard_for_point(point));
+                        prop_assert!(shard != stale_shard);
+                        prop_assert_eq!(new_version, router.version());
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared setup
+// ---------------------------------------------------------------------------
+
+fn raft_groups(shards: usize) -> Vec<Vec<RaftReplica>> {
+    build_sharded_cluster(shards, 3, 1, |_, id, membership| {
+        RaftReplica::recipe(id, membership, false)
+    })
+}
+
+/// A hot range owned by shard 0, spanning enough ring arcs that the
+/// controller can split it — the same selection `fig_rebalance` measures.
+fn hot_range_on_shard0(router: &ShardRouter, max_arcs: usize, per_arc: usize) -> Vec<Vec<u8>> {
+    recipe_bench::hot_range_on_shard(router, 0, max_arcs, per_arc)
+}
+
+fn rebalance_knobs() -> RebalanceConfig {
+    RebalanceConfig {
+        check_interval_ns: 10_000_000, // 10 ms
+        min_window_commits: 120,
+        imbalance_threshold: 1.4,
+        timeline_bucket_ns: 5_000_000,
+        ..RebalanceConfig::enabled()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end skewed migration
+// ---------------------------------------------------------------------------
+
+struct SkewedRun {
+    stats: ShardedRunStats,
+    cluster: ShardedCluster<RaftReplica>,
+    hot: Vec<Vec<u8>>,
+}
+
+/// Runs 2 shards under a workload that starts balanced and then funnels every
+/// write into a hot range owned entirely by shard 0.
+fn skewed_run(operations: usize, balanced_ops: usize) -> SkewedRun {
+    let mut config = ShardedConfig::uniform(2, 3, CostProfile::recipe());
+    config.base.seed = 9;
+    config.base.clients = ClientModel {
+        clients: 64,
+        total_operations: operations,
+    };
+    config.rebalance = rebalance_knobs();
+    let mut cluster = ShardedCluster::new(raft_groups(2), config);
+    let hot = hot_range_on_shard0(cluster.router(), 48, 2);
+    assert!(hot.len() >= 48, "hot range too small: {}", hot.len());
+
+    let issued = Rc::new(Cell::new(0usize));
+    let hot_keys = hot.clone();
+    let stats = cluster.run_rebalancing(move |client, seq| {
+        let n = issued.get();
+        issued.set(n + 1);
+        let key = if n < balanced_ops {
+            format!("user{:08}", (client * 131 + seq * 17) % 10_000).into_bytes()
+        } else {
+            hot_keys[n % hot_keys.len()].clone()
+        };
+        Some(Operation::Put {
+            key,
+            value: format!("v{client}:{seq}").into_bytes(),
+        })
+    });
+    SkewedRun {
+        stats,
+        cluster,
+        hot,
+    }
+}
+
+#[test]
+fn skewed_workload_migrates_with_zero_lost_or_duplicated_commits() {
+    let operations = 2_400;
+    let mut run = skewed_run(operations, 700);
+    let stats = &run.stats;
+
+    // Zero lost, zero duplicated: every issued operation committed exactly
+    // once, and the per-shard commit counts add up exactly.
+    assert_eq!(stats.total.committed, operations as u64);
+    assert_eq!(
+        stats.per_shard.iter().map(|s| s.committed).sum::<u64>(),
+        stats.total.committed
+    );
+
+    // A migration ran to completion and actually moved bytes through the
+    // sealed snapshot + catch-up path.
+    let m = &stats.migration;
+    assert!(m.migrations_completed >= 1, "no migration completed: {m:?}");
+    assert!(m.snapshot_entries > 0 && m.snapshot_bytes > 0);
+    assert!(m.transfer_busy_ns > 0);
+    assert_eq!(m.router_version, run.cluster.router().version().0);
+    assert!(m.router_version >= 1);
+
+    // Clients drained onto the new placement through WrongShard redirects.
+    assert!(m.redirects > 0, "no client was redirected: {m:?}");
+
+    // The moved range now lives on the recipient (and only there), with
+    // agreement across the recipient's replicas.
+    run.cluster.quiesce(50_000_000);
+    run.cluster.gc_moved_ranges();
+    let moved: Vec<Vec<u8>> = run
+        .hot
+        .iter()
+        .filter(|key| run.cluster.router().shard_for_key(key) != 0)
+        .cloned()
+        .collect();
+    assert!(!moved.is_empty(), "no hot key changed owner");
+    let mut verified = 0;
+    for key in &moved {
+        let owner = run.cluster.router().shard_for_key(key);
+        let values: Vec<Vec<u8>> = (0..3)
+            .filter_map(|node| {
+                run.cluster
+                    .shard_mut(owner)
+                    .replica_mut(NodeId(node))
+                    .local_read(key)
+            })
+            .collect();
+        if let Some(first) = values.first() {
+            verified += 1;
+            assert!(
+                values.iter().all(|v| v == first),
+                "recipient replicas diverge on {}",
+                String::from_utf8_lossy(key)
+            );
+        }
+        // Donor-side copies are gone after cutover + GC.
+        for node in 0..3 {
+            assert!(
+                run.cluster
+                    .shard_mut(0)
+                    .replica_mut(NodeId(node))
+                    .local_read(key)
+                    .is_none(),
+                "moved key {} still on the donor",
+                String::from_utf8_lossy(key)
+            );
+        }
+    }
+    assert!(verified > 10, "too few moved keys materialized: {verified}");
+}
+
+#[test]
+fn throughput_recovers_after_cutover() {
+    let run = skewed_run(3_200, 700);
+    let stats = &run.stats;
+    let m = &stats.migration;
+    assert!(m.migrations_completed >= 1);
+    let bucket_ns = rebalance_knobs().timeline_bucket_ns;
+
+    // Locate the phases on the timeline: the skew starts once the first ~700
+    // (balanced) commits are through; the cutover time comes from the
+    // migration stats.
+    let timeline = &stats.timeline;
+    assert!(timeline.len() >= 4, "timeline too short: {timeline:?}");
+    let mut cumulative = 0u64;
+    let mut skew_bucket = timeline.len();
+    for (i, bucket) in timeline.iter().enumerate() {
+        cumulative += bucket.committed;
+        if cumulative >= 700 {
+            skew_bucket = i;
+            break;
+        }
+    }
+    let cutover_bucket = (m.last_cutover_ns / bucket_ns) as usize;
+    assert!(
+        cutover_bucket > skew_bucket,
+        "phases out of order: skew bucket {skew_bucket}, cutover bucket {cutover_bucket}"
+    );
+    let mean_ops = |range: std::ops::Range<usize>| -> f64 {
+        let buckets = &timeline[range];
+        assert!(!buckets.is_empty());
+        buckets.iter().map(|b| b.committed).sum::<u64>() as f64 / buckets.len() as f64
+    };
+    // Pre-skew level: the buckets up to the skew crossover (the balanced
+    // phase commits fast, so this may be a single bucket).
+    let pre = mean_ops(0..skew_bucket.max(1));
+    // During: between the crossover and the cutover the donor leader is the
+    // bottleneck and aggregate throughput sags.
+    let during =
+        mean_ops((skew_bucket + 1).min(cutover_bucket)..cutover_bucket.max(skew_bucket + 2));
+    // Post-cutover: skip the cutover bucket itself and the trailing partial
+    // bucket.
+    let post_start = (cutover_bucket + 1).min(timeline.len() - 1);
+    let post_end = (timeline.len() - 1).max(post_start + 1);
+    let post = mean_ops(post_start..post_end);
+    assert!(
+        during < 0.75 * pre,
+        "the skew never depressed throughput: pre {pre:.1} vs during {during:.1} commits/bucket"
+    );
+    assert!(
+        post >= 0.9 * pre,
+        "aggregate throughput did not recover: pre-skew {pre:.1} vs post-cutover {post:.1} commits/bucket"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Replay equivalence: mid-run migration vs static final placement
+// ---------------------------------------------------------------------------
+
+/// The recorded schedule: every client issues exactly one operation (wide
+/// stagger makes later issues land after the cutover). Ops 0..N write unique
+/// keys; every 97th op rewrites one hot moving-range key, spaced far enough
+/// apart that the per-key commit order is its issue order in both runs.
+fn schedule_op(i: u64, hot: &[Vec<u8>]) -> Operation {
+    if i.is_multiple_of(97) {
+        Operation::Put {
+            key: hot[0].clone(),
+            value: format!("hot-{i}").into_bytes(),
+        }
+    } else {
+        Operation::Put {
+            key: format!("sched-{i:06}").into_bytes(),
+            value: format!("val-{i}").into_bytes(),
+        }
+    }
+}
+
+fn replay_config(ops: usize) -> ShardedConfig {
+    let mut config = ShardedConfig::uniform(2, 3, CostProfile::recipe());
+    config.base.seed = 21;
+    config.base.clients = ClientModel {
+        clients: ops,
+        total_operations: ops,
+    };
+    config.rebalance = RebalanceConfig {
+        check_interval_ns: 4_000_000,
+        min_window_commits: 60,
+        imbalance_threshold: 1.3,
+        issue_stagger_ns: 20_000, // spread issues over ~16 ms of virtual time
+        ..RebalanceConfig::enabled()
+    };
+    config
+}
+
+#[test]
+fn mid_run_migration_commits_bit_identical_state_to_the_final_placement() {
+    let ops = 800usize;
+
+    // A schedule hot on shard 0: most unique keys hash anywhere, but the
+    // recurring hot key plus a biased unique-key prefix keep shard 0 busiest.
+    // First run: rebalancing on, migration happens mid-run.
+    let mut migrated = ShardedCluster::new(raft_groups(2), replay_config(ops));
+    let hot = hot_range_on_shard0(migrated.router(), 48, 2);
+    let hot_for_run = hot.clone();
+    let stats_a = migrated.run_rebalancing(move |client, seq| {
+        (seq == 1).then(|| {
+            let i = client;
+            if i % 3 != 0 {
+                // Two thirds of the schedule hammers the hot range on shard 0.
+                Operation::Put {
+                    key: hot_for_run[(i as usize / 3) % hot_for_run.len()].clone(),
+                    value: format!("v{i}").into_bytes(),
+                }
+            } else {
+                schedule_op(i, &hot_for_run)
+            }
+        })
+    });
+    assert_eq!(stats_a.total.committed, ops as u64, "run A lost commits");
+    assert!(
+        stats_a.migration.migrations_completed >= 1,
+        "the migration never ran: {:?}",
+        stats_a.migration
+    );
+    let moves: Vec<_> = migrated.router().moves().to_vec();
+    assert!(!moves.is_empty());
+
+    // Second run: same schedule, rebalancing off, router pre-set to the final
+    // placement recorded by run A.
+    let mut config_b = replay_config(ops);
+    config_b.rebalance.enabled = false;
+    let mut fixed = ShardedCluster::new(raft_groups(2), config_b);
+    for mv in &moves {
+        fixed.router_mut().rebalance(&mv.arcs, mv.to);
+    }
+    let hot_for_run = hot.clone();
+    let stats_b = fixed.run_rebalancing(move |client, seq| {
+        (seq == 1).then(|| {
+            let i = client;
+            if i % 3 != 0 {
+                Operation::Put {
+                    key: hot_for_run[(i as usize / 3) % hot_for_run.len()].clone(),
+                    value: format!("v{i}").into_bytes(),
+                }
+            } else {
+                schedule_op(i, &hot_for_run)
+            }
+        })
+    });
+    assert_eq!(stats_b.total.committed, ops as u64, "run B lost commits");
+    assert_eq!(stats_b.migration.migrations_completed, 0);
+
+    // Let both settle, clear donor remnants, and compare the committed state
+    // key by key: same owner shard, same bytes — bit-identical.
+    migrated.quiesce(50_000_000);
+    migrated.gc_moved_ranges();
+    fixed.quiesce(50_000_000);
+    fixed.gc_moved_ranges();
+    assert_eq!(
+        migrated.router().version(),
+        fixed.router().version(),
+        "replay must end at the same epoch"
+    );
+
+    let mut keys: Vec<Vec<u8>> = (0..ops as u64)
+        .map(|i| {
+            if i % 3 != 0 {
+                hot[(i as usize / 3) % hot.len()].clone()
+            } else if i.is_multiple_of(97) {
+                hot[0].clone()
+            } else {
+                format!("sched-{i:06}").into_bytes()
+            }
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut compared = 0;
+    for key in &keys {
+        let owner_a = migrated.router().shard_for_key(key);
+        let owner_b = fixed.router().shard_for_key(key);
+        assert_eq!(owner_a, owner_b, "placement diverged");
+        let value_a = migrated
+            .shard_mut(owner_a)
+            .replica_mut(NodeId(0))
+            .local_read(key);
+        let value_b = fixed
+            .shard_mut(owner_b)
+            .replica_mut(NodeId(0))
+            .local_read(key);
+        assert_eq!(
+            value_a,
+            value_b,
+            "committed state diverged on {}",
+            String::from_utf8_lossy(key)
+        );
+        if value_a.is_some() {
+            compared += 1;
+        }
+    }
+    assert!(
+        compared > (keys.len() * 9) / 10,
+        "too few keys materialized: {compared}/{}",
+        keys.len()
+    );
+}
