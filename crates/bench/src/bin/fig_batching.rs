@@ -1,8 +1,10 @@
 //! Regenerates the leader-batching experiment: per-leader committed-ops/sec of
 //! native Raft and confidential R-Raft across batch sizes 1/4/16/64.
 //!
-//! An optional first argument overrides the committed-operation count per run
-//! (default 1200; CI passes a small value as a smoke test).
+//! Arguments: `[operations] [summary_json_path]` — the first overrides the
+//! committed-operation count per run (default 1200; CI passes a small value
+//! as a smoke test), the second writes the machine-readable `BENCH_*.json`
+//! summary the perf gate compares against `crates/bench/baselines/`.
 fn main() {
     let operations = std::env::args()
         .nth(1)
@@ -14,4 +16,9 @@ fn main() {
         &rows,
     );
     println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
+    if let Some(path) = std::env::args().nth(2) {
+        let summary = recipe_bench::batching_summary(&rows);
+        recipe_bench::write_summary(&path, &summary).expect("summary written");
+        println!("summary written to {path}");
+    }
 }

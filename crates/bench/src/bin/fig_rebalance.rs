@@ -1,0 +1,48 @@
+//! Regenerates the online-rebalancing experiment: two R-Raft shards under a
+//! workload that turns skewed mid-run; the controller migrates the hot range
+//! and aggregate throughput recovers to the pre-skew level.
+//!
+//! Arguments: `[operations] [summary_json_path]` — the first overrides the
+//! committed-operation count (default 3200; CI passes a smoke value), the
+//! second writes the machine-readable `BENCH_*.json` summary the perf gate
+//! compares against `crates/bench/baselines/`.
+fn main() {
+    let operations = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(3_200);
+    let report = recipe_bench::fig_rebalance(operations);
+    recipe_bench::print_rows(
+        "Online rebalancing: R-Raft 2 shards, skewed hot range migrated to the idle shard",
+        &report.rows,
+    );
+    let m = &report.stats.migration;
+    println!(
+        "\nmigrations: {} (snapshot {} entries / {} wire B, catch-up {} entries / {} rounds, \
+         {} redirects, {} refusals, cutover at {:.1} ms, router epoch {})",
+        m.migrations_completed,
+        m.snapshot_entries,
+        m.snapshot_bytes,
+        m.catchup_entries,
+        m.catchup_rounds,
+        m.redirects,
+        m.refusals,
+        m.last_cutover_ns as f64 / 1e6,
+        m.router_version,
+    );
+    println!("throughput timeline (commits per 5 ms bucket):");
+    for bucket in &report.stats.timeline {
+        println!(
+            "  {:>6.1} ms  {:>5}  {}",
+            bucket.end_ns as f64 / 1e6,
+            bucket.committed,
+            "#".repeat((bucket.committed / 8) as usize)
+        );
+    }
+    let summary = recipe_bench::rebalance_summary(&report);
+    println!("\n{}", serde_json::to_string_pretty(&summary).unwrap());
+    if let Some(path) = std::env::args().nth(2) {
+        recipe_bench::write_summary(&path, &summary).expect("summary written");
+        println!("summary written to {path}");
+    }
+}

@@ -98,7 +98,7 @@ impl PbftReplica {
     }
 
     /// Enables request batching: outgoing PBFT messages accumulate per
-    /// destination and drain as one [`PbftBatch`] frame per flush.
+    /// destination and drain as one `PbftBatch` frame per flush.
     pub fn with_batching(mut self, config: BatchConfig) -> Self {
         self.batcher = Batcher::new(config);
         self

@@ -1,7 +1,7 @@
 //! Trusted leases (T-Lease).
 //!
 //! CFT protocols detect failures with timeouts, but SGX has no trusted timer; Recipe
-//! adopts the T-Lease design (paper §3.5 and [130]): a lease is granted to a holder
+//! adopts the T-Lease design (paper §3.5, citation \[130\]): a lease is granted to a holder
 //! for a bounded duration measured by a trusted time source, and actions that require
 //! the lease (serving local reads as a leader, suppressing elections) are only
 //! permitted while the lease provably has not expired.
