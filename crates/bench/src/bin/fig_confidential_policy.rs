@@ -1,0 +1,49 @@
+//! Per-shard confidentiality-policy sweep: four R-Raft shards, 0 → 4 of them
+//! confidential via `ShardPolicy::confidential()`. Shows confidential shards
+//! paying the AEAD + sealed-store cost while plaintext shards match the
+//! all-plaintext baseline within noise.
+//!
+//! Arguments: `[operations] [summary_json_path]` — the first overrides the
+//! committed-operation count per sweep step (default 1500; CI passes a smoke
+//! value), the second writes the machine-readable `BENCH_*.json` summary the
+//! perf gate compares against `crates/bench/baselines/`.
+fn main() {
+    let operations = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(1_500);
+    let report = recipe_bench::fig_confidential_policy(operations);
+    recipe_bench::print_rows(
+        "Per-shard confidentiality policies: R-Raft 4 shards, confidential fraction 0 -> 100%",
+        &report.rows,
+    );
+    println!("\nper-shard latency on the 2/4-confidential deployment:");
+    let mixed = &report.sweep[2];
+    for (shard, stats) in mixed.per_shard.iter().enumerate() {
+        println!(
+            "  shard {shard} ({}): {:>6} ops, mean {:>7.1} us, p99 {:>7.1} us",
+            if shard < 2 {
+                "confidential"
+            } else {
+                "plaintext"
+            },
+            stats.committed,
+            stats.mean_latency_us,
+            stats.p99_latency_us,
+        );
+    }
+    println!(
+        "plaintext shards vs all-plaintext baseline: {:.3}x mean latency (1.0 = no policy bleed)",
+        report.plaintext_latency_ratio
+    );
+    println!(
+        "confidential shards vs plaintext neighbours: {:.3}x mean latency (the policy's cost)",
+        report.confidential_latency_overhead
+    );
+    let summary = recipe_bench::confidential_policy_summary(&report);
+    println!("\n{}", serde_json::to_string_pretty(&summary).unwrap());
+    if let Some(path) = std::env::args().nth(2) {
+        recipe_bench::write_summary(&path, &summary).expect("summary written");
+        println!("summary written to {path}");
+    }
+}

@@ -16,7 +16,9 @@ use recipe_bft::{DamysusReplica, PbftReplica};
 use recipe_core::{Membership, Operation};
 use recipe_net::{ExecMode, NetCostModel, Transport};
 use recipe_protocols::{AbdReplica, AllConcurReplica, BatchConfig, ChainReplica, RaftReplica};
-use recipe_shard::{RebalanceConfig, ShardedCluster, ShardedConfig, ShardedRunStats};
+use recipe_shard::{
+    DeploymentSpec, PolicyReplica, RebalanceConfig, ShardPolicy, ShardedCluster, ShardedRunStats,
+};
 use recipe_sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
 use recipe_workload::{stable_key_hash, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -659,23 +661,17 @@ pub fn fig_rebalance(operations: usize) -> RebalanceReport {
     let balanced_ops = (operations * 7) / 32;
 
     let bucket_ns = 5_000_000u64;
-    let mut config = ShardedConfig::uniform(2, 3, CostProfile::recipe());
-    config.base.seed = 9;
-    config.base.clients = ClientModel {
-        clients: 64,
-        total_operations: operations,
-    };
-    config.rebalance = RebalanceConfig {
-        check_interval_ns: 10_000_000,
-        min_window_commits: 120,
-        imbalance_threshold: 1.4,
-        timeline_bucket_ns: bucket_ns,
-        ..RebalanceConfig::enabled()
-    };
-    let groups = recipe_protocols::build_sharded_cluster(2, 3, 1, |_, id, m| {
-        RaftReplica::recipe(id, m, false)
-    });
-    let mut cluster = ShardedCluster::new(groups, config);
+    let spec = DeploymentSpec::new(2, 3)
+        .with_seed(9)
+        .with_clients(64, operations)
+        .with_rebalance(RebalanceConfig {
+            check_interval_ns: 10_000_000,
+            min_window_commits: 120,
+            imbalance_threshold: 1.4,
+            timeline_bucket_ns: bucket_ns,
+            ..RebalanceConfig::enabled()
+        });
+    let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
     let hot = hot_range_on_shard(cluster.router(), 0, 48, 2);
 
     let issued = std::cell::Cell::new(0usize);
@@ -754,31 +750,149 @@ pub fn fig_rebalance(operations: usize) -> RebalanceReport {
     }
 }
 
+/// Results of the per-shard confidentiality-policy experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfidentialPolicyReport {
+    /// One row per sweep step (0..=shards confidential); "speedup" is the
+    /// step's aggregate throughput relative to the all-plaintext step.
+    pub rows: Vec<ExperimentRow>,
+    /// The full driver statistics of every sweep step, in step order.
+    pub sweep: Vec<ShardedRunStats>,
+    /// Mean service latency of the *plaintext* shards in the mixed
+    /// (half-confidential) deployment divided by the same shards' latency in
+    /// the all-plaintext baseline. ~1.0 means plaintext shards do not pay for
+    /// their confidential neighbours.
+    pub plaintext_latency_ratio: f64,
+    /// Mean service latency of the *confidential* shards divided by the
+    /// plaintext shards' latency within the same mixed deployment. > 1.0: the
+    /// encryption cost is paid exactly where the policy asks for it.
+    pub confidential_latency_overhead: f64,
+}
+
+/// Per-shard confidentiality-policy sweep (beyond the paper): four 3-replica
+/// R-Raft shards under the default YCSB Zipfian workload, sweeping the number
+/// of confidential shards 0 → 4 (shards `0..n` get
+/// [`ShardPolicy::confidential`]). Aggregate throughput decays as more of the
+/// keyspace pays the AEAD + sealed-store cost; the per-shard latency figures
+/// show the cost is *per policy*: confidential shards serve slower, plaintext
+/// shards match the all-plaintext baseline within noise.
+///
+/// The throughput sweep runs saturated (64 closed-loop clients); the latency
+/// split is measured on separate low-concurrency probe runs where mean
+/// latency ≈ service latency — at saturation, queueing dominates and the
+/// closed loop redistributes clients towards the slow shards, which would
+/// make plaintext shards look *faster* in a mixed deployment, not unchanged.
+pub fn fig_confidential_policy(operations: usize) -> ConfidentialPolicyReport {
+    const SHARDS: usize = 4;
+    let run_step = |confidential_shards: usize, clients: usize, ops: usize| -> ShardedRunStats {
+        let mut spec = DeploymentSpec::new(SHARDS, 3)
+            .with_seed(7)
+            .with_clients(clients, ops);
+        for shard in 0..confidential_shards {
+            spec = spec.with_shard_policy(shard, ShardPolicy::confidential());
+        }
+        let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
+        let workload = WorkloadSpec {
+            seed: 7,
+            ..WorkloadSpec::default()
+        };
+        let generator = RefCell::new(workload.generator());
+        cluster.run(move |_client, _seq| {
+            recipe_shard::op_from_workload(generator.borrow_mut().next_op())
+        })
+    };
+
+    let sweep: Vec<ShardedRunStats> = (0..=SHARDS).map(|n| run_step(n, 64, operations)).collect();
+    let baseline_ops = sweep[0].total.throughput_ops;
+    let rows = sweep
+        .iter()
+        .enumerate()
+        .map(|(n, stats)| ExperimentRow {
+            protocol: "R-Raft 4 shards".into(),
+            config: format!("{n}/{SHARDS} confidential"),
+            throughput_ops: stats.total.throughput_ops,
+            mean_latency_us: stats.total.mean_latency_us,
+            speedup_vs_baseline: stats.total.throughput_ops / baseline_ops,
+        })
+        .collect();
+
+    // Latency split at low concurrency: shards 0..2 confidential, 2..4
+    // plaintext on the mixed probe.
+    let probe_ops = operations.min(600);
+    let probe_baseline = run_step(0, 4, probe_ops);
+    let probe_mixed = run_step(SHARDS / 2, 4, probe_ops);
+    let mean_latency = |stats: &ShardedRunStats, shards: std::ops::Range<usize>| -> f64 {
+        let latencies: Vec<f64> = shards
+            .map(|shard| stats.per_shard[shard].mean_latency_us)
+            .collect();
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let mixed_plain = mean_latency(&probe_mixed, SHARDS / 2..SHARDS);
+    let mixed_conf = mean_latency(&probe_mixed, 0..SHARDS / 2);
+    let baseline_plain = mean_latency(&probe_baseline, SHARDS / 2..SHARDS);
+    ConfidentialPolicyReport {
+        rows,
+        sweep,
+        plaintext_latency_ratio: mixed_plain / baseline_plain,
+        confidential_latency_overhead: mixed_conf / mixed_plain,
+    }
+}
+
+/// The summary of a `fig_confidential_policy` run: aggregate ops/s per sweep
+/// step (gated) plus the latency-split ratios (informational).
+pub fn confidential_policy_summary(report: &ConfidentialPolicyReport) -> BenchSummary {
+    let mut metrics: Vec<BenchMetric> = report
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(n, row)| BenchMetric {
+            name: format!("conf_shards_{n}_of_4_ops_per_sec"),
+            value: row.throughput_ops,
+        })
+        .collect();
+    metrics.push(BenchMetric {
+        name: "plaintext_latency_ratio".into(),
+        value: report.plaintext_latency_ratio,
+    });
+    metrics.push(BenchMetric {
+        name: "confidential_latency_overhead".into(),
+        value: report.confidential_latency_overhead,
+    });
+    metrics.push(BenchMetric {
+        name: "committed".into(),
+        value: report
+            .sweep
+            .iter()
+            .map(|s| s.total.committed as f64)
+            .sum::<f64>(),
+    });
+    BenchSummary {
+        bench: "fig_confidential_policy".into(),
+        metrics,
+    }
+}
+
 /// Runs one sharded configuration: `shards` groups of 3 replicas, a global
 /// closed-loop client population and the default YCSB Zipfian workload.
 pub fn run_sharded(kind: ProtocolKind, shards: usize, operations: usize) -> ShardedRunStats {
-    let mut config = ShardedConfig::uniform(shards, 3, CostProfile::recipe());
-    config.base.seed = 7;
-    config.base.clients = ClientModel {
-        // Enough concurrency that a single leader saturates; fixed across
-        // shard counts so the sweep measures service capacity, not load.
-        clients: 64,
-        total_operations: operations,
-    };
+    // Enough concurrency that a single leader saturates; fixed across shard
+    // counts so the sweep measures service capacity, not load.
+    let spec = DeploymentSpec::new(shards, 3)
+        .with_seed(7)
+        .with_clients(64, operations);
     let workload = WorkloadSpec {
         seed: 7,
         ..WorkloadSpec::default()
     };
-    let groups = match kind {
-        ProtocolKind::RRaft => recipe_protocols::build_sharded_cluster(shards, 3, 1, |_, id, m| {
-            ShardReplica::Raft(RaftReplica::recipe(id, m, false))
+    let mut cluster = match kind {
+        ProtocolKind::RRaft => ShardedCluster::build_with(spec, |shard, id, m, policy| {
+            ShardReplica::Raft(RaftReplica::build_replica(shard, id, m, policy))
         }),
-        ProtocolKind::RAbd => recipe_protocols::build_sharded_cluster(shards, 3, 1, |_, id, m| {
-            ShardReplica::Abd(AbdReplica::recipe(id, m, false))
+        ProtocolKind::RAbd => ShardedCluster::build_with(spec, |shard, id, m, policy| {
+            ShardReplica::Abd(AbdReplica::build_replica(shard, id, m, policy))
         }),
         other => panic!("shard scaling is defined for R-Raft and R-ABD, not {other:?}"),
     };
-    let mut cluster = ShardedCluster::new(groups, config);
     let generator = RefCell::new(workload.generator());
     cluster
         .run(move |_client, _seq| recipe_shard::op_from_workload(generator.borrow_mut().next_op()))
@@ -1251,6 +1365,64 @@ mod tests {
             report.pre_skew_ops,
             report.post_cutover_ops
         );
+    }
+
+    #[test]
+    fn confidential_shards_pay_the_policy_cost_and_plaintext_shards_do_not() {
+        let report = fig_confidential_policy(600);
+        // Every sweep step committed exactly the asked-for operations — no
+        // policy mix loses or duplicates commits.
+        for stats in &report.sweep {
+            assert_eq!(stats.total.committed, 600);
+            assert_eq!(
+                stats.per_shard.iter().map(|s| s.committed).sum::<u64>(),
+                stats.total.committed
+            );
+        }
+        // Aggregate throughput decays as the confidential fraction grows: the
+        // all-confidential step is strictly slower than the all-plaintext
+        // baseline, and the mixed steps sit in between (loosely — routing
+        // noise can wobble neighbouring steps).
+        let first = report.rows.first().unwrap().throughput_ops;
+        let last = report.rows.last().unwrap().throughput_ops;
+        assert!(
+            last < first,
+            "confidentiality should cost throughput: {first:.0} -> {last:.0} ops/s"
+        );
+        for row in &report.rows {
+            assert!(
+                row.throughput_ops <= first * 1.05 && row.throughput_ops >= last * 0.95,
+                "step {} out of band: {:.0} ops/s (bounds {:.0}..{:.0})",
+                row.config,
+                row.throughput_ops,
+                last * 0.95,
+                first * 1.05
+            );
+        }
+        // The cost lands exactly where the policy asks: confidential shards
+        // serve visibly slower than their plaintext neighbours, while the
+        // plaintext shards match the all-plaintext baseline within noise.
+        assert!(
+            report.confidential_latency_overhead > 1.02,
+            "confidential shards show no overhead: {:.3}",
+            report.confidential_latency_overhead
+        );
+        assert!(
+            (0.9..=1.1).contains(&report.plaintext_latency_ratio),
+            "plaintext shards drifted from the baseline: {:.3}",
+            report.plaintext_latency_ratio
+        );
+        // The summary exposes one gated metric per sweep step.
+        let summary = confidential_policy_summary(&report);
+        assert_eq!(
+            summary
+                .metrics
+                .iter()
+                .filter(|m| m.name.ends_with("_ops_per_sec"))
+                .count(),
+            5
+        );
+        assert!(summary.metric("conf_shards_0_of_4_ops_per_sec").unwrap() > 0.0);
     }
 
     #[test]

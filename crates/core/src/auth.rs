@@ -23,6 +23,7 @@ use recipe_tee::Enclave;
 
 use crate::error::RecipeError;
 use crate::message::{BatchFrame, BatchOp, SequenceTuple, ShieldedMessage};
+use crate::policy::ConfidentialityMode;
 
 /// Label under which the cluster-wide value/message cipher key is provisioned.
 pub const CIPHER_LABEL: &str = "recipe.values";
@@ -192,7 +193,7 @@ pub struct AuthLayer {
     node: NodeId,
     view: u64,
     enclave: Enclave,
-    confidential: bool,
+    confidentiality: ConfidentialityMode,
     /// Out-of-order frames buffered per source node, keyed by counter.
     pending: HashMap<NodeId, BTreeMap<u64, PendingFrame>>,
     /// Reusable MAC-input buffer (one allocation across shield/verify calls).
@@ -204,14 +205,20 @@ pub struct AuthLayer {
 }
 
 impl AuthLayer {
-    /// Wraps an attested enclave. `confidential` selects whether payloads are
-    /// encrypted before leaving the enclave.
-    pub fn new(node: NodeId, enclave: Enclave, confidential: bool) -> Self {
+    /// Wraps an attested enclave. `confidentiality` selects whether payloads
+    /// are encrypted before leaving the enclave — a [`ConfidentialityMode`]
+    /// (the per-group policy a deployment spec resolves), or a legacy `bool`
+    /// via `From<bool>`.
+    pub fn new(
+        node: NodeId,
+        enclave: Enclave,
+        confidentiality: impl Into<ConfidentialityMode>,
+    ) -> Self {
         AuthLayer {
             node,
             view: 0,
             enclave,
-            confidential,
+            confidentiality: confidentiality.into(),
             pending: HashMap::new(),
             scratch: Vec::new(),
             rejected_replays: 0,
@@ -238,7 +245,12 @@ impl AuthLayer {
 
     /// Whether confidential mode is active.
     pub fn is_confidential(&self) -> bool {
-        self.confidential
+        self.confidentiality.is_confidential()
+    }
+
+    /// The confidentiality policy this layer enforces.
+    pub fn confidentiality(&self) -> ConfidentialityMode {
+        self.confidentiality
     }
 
     /// Immutable access to the underlying enclave.
@@ -288,7 +300,7 @@ impl AuthLayer {
 
         // Confidential mode: encrypt the payload before it leaves the enclave. The
         // nonce is unique per (channel, counter) pair.
-        let (wire_payload, confidential) = if self.confidential {
+        let (wire_payload, confidential) = if self.confidentiality.is_confidential() {
             let cipher = self.enclave.cipher(CIPHER_LABEL)?;
             let nonce = Self::payload_nonce(&channel, counter);
             let ct = cipher.seal(nonce, payload);
@@ -350,7 +362,7 @@ impl AuthLayer {
         };
 
         let body = BatchFrame::encode_ops(ops);
-        let (body, sealed) = if self.confidential {
+        let (body, sealed) = if self.confidentiality.is_confidential() {
             let cipher = self.enclave.cipher(CIPHER_LABEL)?;
             let nonce = Self::payload_nonce(&channel, counter);
             (Vec::new(), Some(cipher.seal(nonce, &body)))

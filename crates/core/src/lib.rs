@@ -31,6 +31,7 @@ pub mod error;
 pub mod membership;
 pub mod message;
 pub mod node;
+pub mod policy;
 pub mod recovery;
 pub mod view;
 
@@ -42,5 +43,6 @@ pub use message::{
     BatchFrame, BatchOp, ClientReply, ClientRequest, Operation, SequenceTuple, ShieldedMessage,
 };
 pub use node::{NodeRole, RecipeConfig, RecipeNode};
+pub use policy::ConfidentialityMode;
 pub use recovery::{JoinCoordinator, JoinRequest, StateSnapshot};
 pub use view::ViewTracker;

@@ -1,0 +1,81 @@
+//! Deployment-level security policies.
+//!
+//! The Recipe transformation is deliberately policy-free: authentication and
+//! non-equivocation wrap any CFT protocol unchanged. What *is* policy is
+//! whether a replica group additionally encrypts payloads and stored values —
+//! the paper's confidential mode (Figure 5). That choice used to be a `bool`
+//! threaded through every constructor; it is now a first-class
+//! [`ConfidentialityMode`] so a sharded deployment can select it **per replica
+//! group** (see `recipe_shard::DeploymentSpec`): sensitive key ranges pay the
+//! encryption cost while the rest of the keyspace runs plaintext.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a replica group's payloads and stored values are encrypted.
+///
+/// Flows from the deployment spec into [`crate::AuthLayer`] (payload AEAD on
+/// every shielded message), into the replicas' partitioned KV stores (values
+/// sealed before entering host memory) and into the migration channel (chunk
+/// AEAD when a moving range touches a confidential group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ConfidentialityMode {
+    /// Integrity and non-equivocation only: payloads travel and rest in
+    /// plaintext (MAC'd, counter-protected). The default.
+    #[default]
+    Plaintext,
+    /// Payloads are AEAD-encrypted inside the enclave before touching
+    /// untrusted memory or the wire, and stored values are sealed in the host
+    /// arena (the paper's confidential mode, Figure 5).
+    Confidential,
+}
+
+impl ConfidentialityMode {
+    /// True when payloads/values are encrypted.
+    pub fn is_confidential(self) -> bool {
+        matches!(self, ConfidentialityMode::Confidential)
+    }
+
+    /// Human-readable label used by examples and experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfidentialityMode::Plaintext => "plaintext",
+            ConfidentialityMode::Confidential => "confidential",
+        }
+    }
+}
+
+/// `true` maps to [`ConfidentialityMode::Confidential`] — the legacy
+/// constructor-bool convention, kept so call sites migrate incrementally.
+impl From<bool> for ConfidentialityMode {
+    fn from(confidential: bool) -> Self {
+        if confidential {
+            ConfidentialityMode::Confidential
+        } else {
+            ConfidentialityMode::Plaintext
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_conversion_matches_the_legacy_convention() {
+        assert_eq!(
+            ConfidentialityMode::from(true),
+            ConfidentialityMode::Confidential
+        );
+        assert_eq!(
+            ConfidentialityMode::from(false),
+            ConfidentialityMode::Plaintext
+        );
+        assert!(ConfidentialityMode::Confidential.is_confidential());
+        assert!(!ConfidentialityMode::Plaintext.is_confidential());
+        assert_eq!(
+            ConfidentialityMode::default(),
+            ConfidentialityMode::Plaintext
+        );
+        assert_eq!(ConfidentialityMode::Confidential.label(), "confidential");
+    }
+}

@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
-use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
+use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
+use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
 use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica};
 use serde::{Deserialize, Serialize};
@@ -89,8 +89,16 @@ pub struct AbdReplica {
 
 impl AbdReplica {
     /// Builds a Recipe-transformed replica (R-ABD).
-    pub fn recipe(id: u64, membership: Membership, confidential: bool) -> Self {
-        let shield = ProtocolShield::recipe(NodeId(id), &membership, confidential);
+    ///
+    /// `confidentiality` is the group's policy — a
+    /// [`recipe_core::ConfidentialityMode`] resolved by the deployment spec,
+    /// or a legacy `bool` via `From<bool>`.
+    pub fn recipe(
+        id: u64,
+        membership: Membership,
+        confidentiality: impl Into<ConfidentialityMode>,
+    ) -> Self {
+        let shield = ProtocolShield::recipe(NodeId(id), &membership, confidentiality.into());
         Self::with_shield(NodeId(id), membership, shield)
     }
 
@@ -104,11 +112,12 @@ impl AbdReplica {
     }
 
     fn with_shield(id: NodeId, membership: Membership, shield: ProtocolShield) -> Self {
+        let kv = PartitionedKvStore::new(shield.store_config());
         AbdReplica {
             id,
             membership,
             shield,
-            kv: PartitionedKvStore::new(StoreConfig::default()),
+            kv,
             next_op: 0,
             inflight: HashMap::new(),
             applied_writes: 0,

@@ -19,8 +19,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
-use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
+use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
+use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
 use recipe_sim::{Ctx, Replica};
 use serde::{Deserialize, Serialize};
@@ -65,8 +65,16 @@ pub struct AllConcurReplica {
 
 impl AllConcurReplica {
     /// Builds a Recipe-transformed replica (R-AllConcur).
-    pub fn recipe(id: u64, membership: Membership, confidential: bool) -> Self {
-        let shield = ProtocolShield::recipe(NodeId(id), &membership, confidential);
+    ///
+    /// `confidentiality` is the group's policy — a
+    /// [`recipe_core::ConfidentialityMode`] resolved by the deployment spec,
+    /// or a legacy `bool` via `From<bool>`.
+    pub fn recipe(
+        id: u64,
+        membership: Membership,
+        confidentiality: impl Into<ConfidentialityMode>,
+    ) -> Self {
+        let shield = ProtocolShield::recipe(NodeId(id), &membership, confidentiality.into());
         Self::with_shield(NodeId(id), membership, shield)
     }
 
@@ -80,11 +88,12 @@ impl AllConcurReplica {
     }
 
     fn with_shield(id: NodeId, membership: Membership, shield: ProtocolShield) -> Self {
+        let kv = PartitionedKvStore::new(shield.store_config());
         AllConcurReplica {
             id,
             membership,
             shield,
-            kv: PartitionedKvStore::new(StoreConfig::default()),
+            kv,
             next_op: 0,
             own: HashMap::new(),
             buffered: HashMap::new(),

@@ -8,8 +8,8 @@
 //! can verify the integrity of its local store (paper §B.2, choice C). Local tail
 //! reads are why R-CR shows the largest speedups on read-heavy workloads (Figure 4).
 
-use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
-use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
+use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
+use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
 use recipe_sim::{Ctx, Replica};
 use serde::{Deserialize, Serialize};
@@ -50,8 +50,16 @@ pub struct ChainReplica {
 
 impl ChainReplica {
     /// Builds a Recipe-transformed replica (R-CR).
-    pub fn recipe(id: u64, membership: Membership, confidential: bool) -> Self {
-        let shield = ProtocolShield::recipe(NodeId(id), &membership, confidential);
+    ///
+    /// `confidentiality` is the group's policy — a
+    /// [`recipe_core::ConfidentialityMode`] resolved by the deployment spec,
+    /// or a legacy `bool` via `From<bool>`.
+    pub fn recipe(
+        id: u64,
+        membership: Membership,
+        confidentiality: impl Into<ConfidentialityMode>,
+    ) -> Self {
+        let shield = ProtocolShield::recipe(NodeId(id), &membership, confidentiality.into());
         Self::with_shield(NodeId(id), membership, shield)
     }
 
@@ -65,11 +73,12 @@ impl ChainReplica {
     }
 
     fn with_shield(id: NodeId, membership: Membership, shield: ProtocolShield) -> Self {
+        let kv = PartitionedKvStore::new(shield.store_config());
         ChainReplica {
             id,
             membership,
             shield,
-            kv: PartitionedKvStore::new(StoreConfig::default()),
+            kv,
             next_seq: 0,
             applied_writes: 0,
             batcher: Batcher::new(BatchConfig::unbatched()),

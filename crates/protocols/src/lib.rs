@@ -60,6 +60,10 @@ pub fn build_cluster<R>(n: usize, f: usize, make: impl Fn(u64, Membership) -> R)
 /// Node ids are local to each group (every group numbers its replicas
 /// `0..n`), mirroring how each group runs its own attestation domain and
 /// membership.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a recipe_shard::DeploymentSpec and use ShardedCluster::build instead"
+)]
 pub fn build_sharded_cluster<R>(
     shards: usize,
     n: usize,

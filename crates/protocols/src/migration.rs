@@ -16,7 +16,7 @@
 //! charges `migration_epc_pressure` per chunk, mirroring §B.3's batch-size
 //! trade-off).
 
-use recipe_core::Membership;
+use recipe_core::{ConfidentialityMode, Membership};
 use recipe_net::NodeId;
 use recipe_sim::RangeEntry;
 use serde::{Deserialize, Serialize};
@@ -136,14 +136,23 @@ pub struct MigrationChannel {
 
 impl MigrationChannel {
     /// Opens the channel for migration `migration_id` from `donor` to
-    /// `recipient`. With `confidential`, chunk payloads are AEAD-encrypted in
-    /// transit. Channel keys are derived per migration (the migration id is
-    /// folded into the endpoint labels), so frames sealed for one migration
-    /// never verify on another.
+    /// `recipient`. With a [`ConfidentialityMode::Confidential`] policy (or a
+    /// legacy `true`), chunk payloads are AEAD-encrypted in transit — a
+    /// policy-aware controller passes the *stricter* of the donor's and the
+    /// recipient's per-shard modes, so a range never travels in plaintext
+    /// when either side of the move treats it as sensitive. Channel keys are
+    /// derived per migration (the migration id is folded into the endpoint
+    /// labels), so frames sealed for one migration never verify on another.
     ///
     /// # Panics
     /// Panics if donor and recipient are the same shard.
-    pub fn new(donor: usize, recipient: usize, migration_id: u64, confidential: bool) -> Self {
+    pub fn new(
+        donor: usize,
+        recipient: usize,
+        migration_id: u64,
+        confidentiality: impl Into<ConfidentialityMode>,
+    ) -> Self {
+        let confidentiality = confidentiality.into();
         assert_ne!(donor, recipient, "a migration needs two distinct shards");
         let membership = Membership::new(
             vec![
@@ -159,14 +168,19 @@ impl MigrationChannel {
             sender: ProtocolShield::recipe(
                 endpoint(donor, migration_id),
                 &membership,
-                confidential,
+                confidentiality,
             ),
             receiver: ProtocolShield::recipe(
                 endpoint(recipient, migration_id),
                 &membership,
-                confidential,
+                confidentiality,
             ),
         }
+    }
+
+    /// Whether chunk payloads are AEAD-encrypted in transit on this channel.
+    pub fn is_confidential(&self) -> bool {
+        self.sender.mode().confidentiality().is_confidential()
     }
 
     /// The donor shard.

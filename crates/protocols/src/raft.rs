@@ -16,8 +16,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
-use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
+use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
+use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
 use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica};
 use serde::{Deserialize, Serialize};
@@ -99,11 +99,20 @@ pub struct RaftReplica {
 
 impl RaftReplica {
     /// Builds a Recipe-transformed replica (R-Raft).
-    pub fn recipe(id: u64, membership: Membership, confidential: bool) -> Self {
+    ///
+    /// `confidentiality` is the group's policy — a
+    /// [`recipe_core::ConfidentialityMode`] resolved by the deployment spec
+    /// (see `recipe_shard::DeploymentSpec`), or a legacy `bool` via
+    /// `From<bool>`. Confidential replicas also seal their stored values.
+    pub fn recipe(
+        id: u64,
+        membership: Membership,
+        confidentiality: impl Into<ConfidentialityMode>,
+    ) -> Self {
         Self::with_shield(
             NodeId(id),
             membership.clone(),
-            ProtocolShield::recipe(NodeId(id), &membership, confidential),
+            ProtocolShield::recipe(NodeId(id), &membership, confidentiality.into()),
         )
     }
 
@@ -113,11 +122,12 @@ impl RaftReplica {
     }
 
     fn with_shield(id: NodeId, membership: Membership, shield: ProtocolShield) -> Self {
+        let kv = PartitionedKvStore::new(shield.store_config());
         RaftReplica {
             id,
             membership,
             shield,
-            kv: PartitionedKvStore::new(StoreConfig::default()),
+            kv,
             view: 0,
             next_index: 0,
             pending: HashMap::new(),

@@ -13,7 +13,8 @@
 //!   installed directly so protocol unit tests stay fast).
 
 use recipe_core::{
-    AuthLayer, BatchFrame, BatchOp, BatchVerifyOutcome, Membership, ShieldedMessage, VerifyOutcome,
+    AuthLayer, BatchFrame, BatchOp, BatchVerifyOutcome, ConfidentialityMode, Membership,
+    ShieldedMessage, VerifyOutcome,
 };
 use recipe_crypto::{CipherKey, MacKey};
 use recipe_net::NodeId;
@@ -27,8 +28,9 @@ pub enum ProtocolMode {
     Native,
     /// Recipe-transformed protocol (Byzantine untrusted infrastructure).
     Recipe {
-        /// Whether payloads are additionally encrypted.
-        confidential: bool,
+        /// The group's confidentiality policy (whether payloads are
+        /// additionally encrypted).
+        confidentiality: ConfidentialityMode,
     },
 }
 
@@ -36,6 +38,14 @@ impl ProtocolMode {
     /// True for the Recipe modes.
     pub fn is_recipe(&self) -> bool {
         matches!(self, ProtocolMode::Recipe { .. })
+    }
+
+    /// The confidentiality policy in force (native mode is always plaintext).
+    pub fn confidentiality(&self) -> ConfidentialityMode {
+        match self {
+            ProtocolMode::Native => ConfidentialityMode::Plaintext,
+            ProtocolMode::Recipe { confidentiality } => *confidentiality,
+        }
     }
 }
 
@@ -183,8 +193,23 @@ impl ProtocolShield {
         MacKey::from_bytes(*recipe_crypto::hash_parts(&[b"recipe.deployment.master"]).as_bytes())
     }
 
+    /// The deployment-wide value/payload cipher key (what the CAS provisions
+    /// into every confidential enclave and store in this reproduction).
+    pub fn deployment_cipher_key() -> CipherKey {
+        CipherKey::from_bytes(*recipe_crypto::hash_parts(&[b"recipe.deployment.cipher"]).as_bytes())
+    }
+
     /// Builds a Recipe-mode shield for `node` within `membership`.
-    pub fn recipe(node: NodeId, membership: &Membership, confidential: bool) -> Self {
+    ///
+    /// `confidentiality` is the group's policy — a
+    /// [`ConfidentialityMode`] resolved by the deployment spec, or a legacy
+    /// `bool` via `From<bool>`.
+    pub fn recipe(
+        node: NodeId,
+        membership: &Membership,
+        confidentiality: impl Into<ConfidentialityMode>,
+    ) -> Self {
+        let confidentiality = confidentiality.into();
         let mut enclave = Enclave::launch(
             EnclaveId(node.0),
             EnclaveConfig::new("recipe-replica-v1", node.0),
@@ -201,18 +226,18 @@ impl ProtocolShield {
                     .expect("fresh enclave accepts keys");
             }
         }
-        if confidential {
-            let key = CipherKey::from_bytes(
-                *recipe_crypto::hash_parts(&[b"recipe.deployment.cipher"]).as_bytes(),
-            );
+        if confidentiality.is_confidential() {
             enclave
-                .provision_cipher_key(recipe_core::auth::CIPHER_LABEL, key)
+                .provision_cipher_key(
+                    recipe_core::auth::CIPHER_LABEL,
+                    Self::deployment_cipher_key(),
+                )
                 .expect("fresh enclave accepts keys");
         }
         ProtocolShield {
             node,
-            mode: ProtocolMode::Recipe { confidential },
-            auth: Some(AuthLayer::new(node, enclave, confidential)),
+            mode: ProtocolMode::Recipe { confidentiality },
+            auth: Some(AuthLayer::new(node, enclave, confidentiality)),
             dropped: 0,
         }
     }
@@ -230,6 +255,19 @@ impl ProtocolShield {
     /// The mode of this shield.
     pub fn mode(&self) -> ProtocolMode {
         self.mode
+    }
+
+    /// The store configuration matching this shield's confidentiality policy:
+    /// confidential groups seal values with the deployment cipher key before
+    /// they enter host memory, so a group's policy covers its data at rest as
+    /// well as on the wire. Native and plaintext-Recipe groups store plain
+    /// values (integrity is still hash-checked by the partitioned store).
+    pub fn store_config(&self) -> recipe_kv::StoreConfig {
+        if self.mode.confidentiality().is_confidential() {
+            recipe_kv::StoreConfig::default().with_cipher(Self::deployment_cipher_key())
+        } else {
+            recipe_kv::StoreConfig::default()
+        }
     }
 
     /// The owning node.

@@ -6,21 +6,27 @@
 //! aggregate throughput is not capped by a single leader. This crate provides
 //! that scale-out layer for the deterministic simulator:
 //!
+//! * [`DeploymentSpec`] / [`ShardPolicy`] — the declarative deployment
+//!   surface: workspace-level defaults plus per-shard policy overrides
+//!   (confidentiality, batching, cost profile, fault plan), consumed by
+//!   [`ShardedCluster::build`];
 //! * [`ShardRouter`] — consistent-hash placement of keys onto shards
 //!   (virtual nodes, configurable shard count, deterministic and stable under
 //!   shard-count growth);
 //! * [`ShardedCluster`] — owns N replica groups (each its own protocol
-//!   instance, fault plan and cost profiles), routes every operation by key,
-//!   interleaves the per-shard event loops on one virtual clock and drives a
-//!   single global closed-loop client population over all groups;
+//!   instance, policy, fault plan and cost profiles), routes every operation
+//!   by key, interleaves the per-shard event loops on one virtual clock and
+//!   drives a single global closed-loop client population over all groups;
 //! * [`ShardedRunStats`] — total and per-shard throughput, latency
 //!   percentiles over all completions, message counters and a load-imbalance
 //!   factor.
 //!
 //! Shards are fully independent replica groups: confidentiality, fault
-//! tolerance and agreement are per-group properties, unchanged by sharding.
-//! Cross-shard transactions and live rebalancing are ROADMAP items that build
-//! on the placement primitives here.
+//! tolerance and agreement are per-group properties, unchanged by sharding —
+//! which is exactly why confidentiality can be chosen *per shard* (sensitive
+//! key ranges pay the encryption cost, the rest run plaintext). Cross-shard
+//! transactions are a ROADMAP item that builds on the placement primitives
+//! here.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +34,12 @@
 pub mod migration;
 pub mod router;
 pub mod sharded;
+pub mod spec;
 
 pub use migration::{MigrationStats, RebalanceConfig};
 pub use router::{RangeMove, RouteDecision, RouterVersion, ShardRouter};
 pub use sharded::{ShardedCluster, ShardedConfig, ShardedRunStats, TimelineBucket};
+pub use spec::{DeploymentSpec, PolicyReplica, ResolvedShardPolicy, ShardPolicy};
 
 /// Converts a generated workload operation into the protocol-level operation.
 ///

@@ -55,8 +55,13 @@ pub struct RebalanceConfig {
     pub imbalance_threshold: f64,
     /// Upper bound on migrations per run (one is in flight at a time).
     pub max_migrations: u64,
-    /// Seal transfer chunks with payload encryption (confidentiality of the
-    /// moving range in transit).
+    /// Force payload encryption on every transfer chunk, regardless of
+    /// policy. The AEAD choice is normally per move — a chunk is encrypted
+    /// iff the donor's or the recipient's shard policy
+    /// ([`crate::ShardedCluster::confidentiality_of`]) is confidential, so a
+    /// moving range never travels in plaintext when either side treats it as
+    /// sensitive — and this knob is the stricter-wins override on top: set it
+    /// to seal even plaintext→plaintext moves.
     pub confidential_transfer: bool,
     /// Records per sealed chunk — bounds the EPC staging footprint.
     pub chunk_entries: usize,
@@ -79,7 +84,7 @@ impl Default for RebalanceConfig {
             min_window_commits: 200,
             imbalance_threshold: 1.5,
             max_migrations: 4,
-            confidential_transfer: true,
+            confidential_transfer: false,
             chunk_entries: 128,
             drain_threshold_ops: 8,
             max_catchup_rounds: 8,
@@ -114,6 +119,10 @@ pub struct MigrationStats {
     pub catchup_entries: u64,
     /// Sealed wire bytes of all catch-up chunks.
     pub catchup_bytes: u64,
+    /// Wire bytes (snapshot + catch-up) that travelled AEAD-encrypted because
+    /// the move touched a confidential shard (or the legacy
+    /// [`RebalanceConfig::confidential_transfer`] forced it).
+    pub confidential_transfer_bytes: u64,
     /// Catch-up rounds shipped (including the final delta).
     pub catchup_rounds: u64,
     /// `WrongShard` redirects served to stale clients.
@@ -265,6 +274,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
         let mut outstanding: HashMap<u64, Issued> = HashMap::new();
         let mut next_request_id: HashMap<u64, u64> = HashMap::new();
         let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut shard_latencies: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
         let mut timeline: Vec<u64> = Vec::new();
         let mut committed = 0u64;
         let mut committed_reads = 0u64;
@@ -413,6 +423,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                         committed_reads += 1;
                     }
                     latencies_ns.push(completion.latency_ns);
+                    shard_latencies[shard].push(completion.latency_ns);
                     // Bucket width 0 disables the timeline.
                     if let Some(bucket) = completion.at_ns.checked_div(rb.timeline_bucket_ns) {
                         let bucket = bucket as usize;
@@ -497,6 +508,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             committed_reads,
             committed_writes,
             latencies_ns,
+            shard_latencies,
         );
         st.stats.router_version = self.router.version().0;
         stats.migration = st.stats;
@@ -647,6 +659,18 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
 
         st.next_migration_id += 1;
         st.stats.migrations_started += 1;
+        // Transfer AEAD per move, stricter-wins: the chunks are sealed
+        // whenever the donor or the recipient treats the range as sensitive
+        // (the same per-shard policy `confidentiality_of` reports — spec
+        // policies when present, profile-derived for legacy configs), or when
+        // `confidential_transfer` forces sealing globally. On arrival the
+        // recipient's replicas re-seal the records under their own policy
+        // (their stores encrypt values iff *they* are confidential).
+        let transfer_confidentiality = recipe_core::ConfidentialityMode::from(
+            rb.confidential_transfer
+                || self.confidentiality_of(donor).is_confidential()
+                || self.confidentiality_of(recipient).is_confidential(),
+        );
         let mut active = ActiveMigration {
             donor,
             recipient,
@@ -656,7 +680,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                 donor,
                 recipient,
                 st.next_migration_id,
-                rb.confidential_transfer,
+                transfer_confidentiality,
             ),
             catchup: Vec::new(),
             next_chunk_seq: 0,
@@ -773,6 +797,9 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             } else {
                 st.stats.catchup_entries += batch.len() as u64;
                 st.stats.catchup_bytes += wire.len() as u64;
+            }
+            if active.channel.is_confidential() {
+                st.stats.confidential_transfer_bytes += wire.len() as u64;
             }
         }
         if !is_snapshot {

@@ -24,7 +24,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use recipe_core::Operation;
+use recipe_core::{ConfidentialityMode, Operation};
 use recipe_net::{FaultPlan, NodeId};
 use recipe_sim::{CostProfile, Replica, RunStats, SimCluster, SimConfig, StepOutcome};
 use recipe_workload::stable_key_hash;
@@ -33,6 +33,10 @@ use crate::migration::{MigrationStats, RebalanceConfig};
 use crate::router::{RouteDecision, RouterVersion, ShardRouter};
 
 /// Configuration of a sharded deployment.
+///
+/// This is the *lowered* form a [`crate::DeploymentSpec`] resolves into; new
+/// code should build deployments through the spec rather than assembling a
+/// `ShardedConfig` by hand.
 #[derive(Debug, Clone)]
 pub struct ShardedConfig {
     /// Number of independent replica groups.
@@ -48,6 +52,13 @@ pub struct ShardedConfig {
     pub fault_plans: Option<Vec<FaultPlan>>,
     /// Per-shard cost-profile overrides (heterogeneous hardware per group).
     pub profiles: Option<Vec<Vec<CostProfile>>>,
+    /// Per-shard confidentiality policies, resolved by the deployment spec.
+    /// `None` (legacy configurations) means the policy is whatever the
+    /// replicas were constructed with —
+    /// [`ShardedCluster::confidentiality_of`] then derives it from the cost
+    /// profiles, and the migration controller's per-move transfer AEAD
+    /// follows that derivation.
+    pub confidentiality: Option<Vec<ConfidentialityMode>>,
     /// Online-rebalancing controller knobs (disabled by default; only
     /// [`ShardedCluster::run_rebalancing`] consults them).
     pub rebalance: RebalanceConfig,
@@ -56,6 +67,10 @@ pub struct ShardedConfig {
 impl ShardedConfig {
     /// A benign-network configuration: `shards` groups of `replicas_per_group`
     /// nodes, each node using `profile`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a DeploymentSpec and use ShardedCluster::build instead"
+    )]
     pub fn uniform(shards: usize, replicas_per_group: usize, profile: CostProfile) -> Self {
         ShardedConfig {
             shards,
@@ -63,6 +78,7 @@ impl ShardedConfig {
             base: SimConfig::uniform(replicas_per_group, profile),
             fault_plans: None,
             profiles: None,
+            confidentiality: None,
             rebalance: RebalanceConfig::default(),
         }
     }
@@ -173,13 +189,23 @@ pub struct ShardedCluster<R: Replica> {
 }
 
 impl<R: Replica> ShardedCluster<R> {
-    /// Creates a sharded cluster from one replica group per shard (see
-    /// `recipe_protocols::build_sharded_cluster` for the usual constructor).
+    /// Creates a sharded cluster from one replica group per shard.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a DeploymentSpec and use ShardedCluster::build / build_with instead"
+    )]
+    pub fn new(groups: Vec<Vec<R>>, config: ShardedConfig) -> Self {
+        Self::from_groups(groups, config)
+    }
+
+    /// Creates a sharded cluster from one replica group per shard plus the
+    /// lowered configuration — the shared body of [`ShardedCluster::build`]
+    /// and the deprecated [`ShardedCluster::new`].
     ///
     /// # Panics
     /// Panics if `groups.len() != config.shards`, if any override vector has
     /// the wrong length, or if a group is empty.
-    pub fn new(groups: Vec<Vec<R>>, config: ShardedConfig) -> Self {
+    pub(crate) fn from_groups(groups: Vec<Vec<R>>, config: ShardedConfig) -> Self {
         assert_eq!(groups.len(), config.shards, "one replica group per shard");
         if let Some(plans) = &config.fault_plans {
             assert_eq!(plans.len(), config.shards, "one fault plan per shard");
@@ -193,6 +219,9 @@ impl<R: Replica> ShardedCluster<R> {
                     "shard {shard}: one cost profile per replica"
                 );
             }
+        }
+        if let Some(modes) = &config.confidentiality {
+            assert_eq!(modes.len(), config.shards, "one policy per shard");
         }
         let router = ShardRouter::new(config.shards, config.vnodes_per_shard);
         let shards = groups
@@ -235,6 +264,21 @@ impl<R: Replica> ShardedCluster<R> {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The confidentiality policy of one shard: the spec-resolved per-shard
+    /// mode when the deployment carries policies, otherwise derived from the
+    /// shard's cost profile (legacy configurations, where the profile's
+    /// `confidential` flag was the only record of the mode).
+    pub fn confidentiality_of(&self, shard: usize) -> ConfidentialityMode {
+        if let Some(modes) = &self.config.confidentiality {
+            return modes[shard];
+        }
+        let confidential = match &self.config.profiles {
+            Some(profiles) => profiles[shard].iter().any(|p| p.confidential),
+            None => self.config.base.profiles.iter().any(|p| p.confidential),
+        };
+        ConfidentialityMode::from(confidential)
     }
 
     /// Immutable access to one shard's cluster (post-run assertions).
@@ -323,6 +367,7 @@ impl<R: Replica> ShardedCluster<R> {
             vec![self.router.version(); self.config.base.clients.clients];
         let mut next_request_id: HashMap<u64, u64> = HashMap::new();
         let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut shard_latencies: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
         let mut committed = 0u64;
         let mut committed_reads = 0u64;
         let mut committed_writes = 0u64;
@@ -424,6 +469,7 @@ impl<R: Replica> ShardedCluster<R> {
                         committed_reads += 1;
                     }
                     latencies_ns.push(completion.latency_ns);
+                    shard_latencies[shard].push(completion.latency_ns);
                     // Closed loop: the client's next operation may route to a
                     // different shard, so issuance returns to the driver.
                     queue.push(Reverse(DriverEvent {
@@ -443,6 +489,7 @@ impl<R: Replica> ShardedCluster<R> {
             committed_reads,
             committed_writes,
             latencies_ns,
+            shard_latencies,
         )
     }
 
@@ -453,8 +500,18 @@ impl<R: Replica> ShardedCluster<R> {
         committed_reads: u64,
         committed_writes: u64,
         mut latencies_ns: Vec<u64>,
+        shard_latencies: Vec<Vec<u64>>,
     ) -> ShardedRunStats {
-        let per_shard: Vec<RunStats> = self.shards.iter_mut().map(|s| s.finish()).collect();
+        let mut per_shard: Vec<RunStats> = self.shards.iter_mut().map(|s| s.finish()).collect();
+        // The driver owns latency accounting in external-client mode; fold
+        // each completion's latency back onto the shard that served it, so
+        // per-shard figures expose policy costs (a confidential shard's mean
+        // service latency is visibly higher than a plaintext one's).
+        for (stats, mut latencies) in per_shard.iter_mut().zip(shard_latencies) {
+            let (mean_us, p99_us) = recipe_sim::latency_summary(&mut latencies);
+            stats.mean_latency_us = mean_us;
+            stats.p99_latency_us = p99_us;
+        }
         let elapsed_secs = global_now.max(1) as f64 / 1e9;
         let mut total = RunStats {
             committed,

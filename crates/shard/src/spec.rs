@@ -1,0 +1,583 @@
+//! The declarative deployment surface: one typed spec instead of three
+//! positional constructors.
+//!
+//! Assembling a sharded deployment used to take three coupled steps — a
+//! `build_sharded_cluster` closure for the replicas, a
+//! [`ShardedConfig::uniform`](crate::ShardedConfig) for the simulator knobs
+//! and a `ShardedCluster::new` to tie them together — and the confidentiality
+//! choice was a `bool` baked into every replica at construction, which made
+//! *per-shard* policies inexpressible. [`DeploymentSpec`] replaces the
+//! three-step with one declarative description:
+//!
+//! * **workspace-level defaults** — replica count per group, cost profile,
+//!   confidentiality, batching triggers, fault plan, client population, seed,
+//!   rebalancing knobs;
+//! * **per-shard [`ShardPolicy`] overrides** — any subset of
+//!   `{confidentiality, batching, cost profile, fault plan}` for a specific
+//!   shard, composed over the defaults (the layered-config idiom);
+//! * **one consumer** — [`ShardedCluster::build`] resolves the spec into the
+//!   per-shard [`ResolvedShardPolicy`]s, constructs every replica through
+//!   [`PolicyReplica`] (or a caller closure via
+//!   [`ShardedCluster::build_with`]) and lowers the rest into the internal
+//!   [`ShardedConfig`].
+//!
+//! ```
+//! use recipe_shard::{DeploymentSpec, ShardPolicy, ShardedCluster};
+//! use recipe_protocols::RaftReplica;
+//!
+//! // Four 3-replica R-Raft groups; shard 0 holds the sensitive range and
+//! // pays the encryption cost, the rest run plaintext.
+//! let spec = DeploymentSpec::new(4, 3)
+//!     .with_clients(16, 200)
+//!     .with_shard_policy(0, ShardPolicy::confidential());
+//! let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
+//! let stats = cluster.run(|client, seq| recipe_core::Operation::Put {
+//!     key: format!("user{:08}", client * 131 + seq).into_bytes(),
+//!     value: b"v".to_vec(),
+//! });
+//! assert_eq!(stats.total.committed, 200);
+//! ```
+
+use std::collections::BTreeMap;
+
+use recipe_core::{ConfidentialityMode, Membership};
+use recipe_net::FaultPlan;
+use recipe_protocols::{AbdReplica, AllConcurReplica, BatchConfig, ChainReplica, RaftReplica};
+use recipe_sim::{ClientModel, CostProfile, Replica, SimConfig};
+
+use crate::migration::RebalanceConfig;
+use crate::router::ShardRouter;
+use crate::sharded::{ShardedCluster, ShardedConfig};
+
+/// Per-shard overrides layered over a [`DeploymentSpec`]'s defaults.
+///
+/// Every field is optional; an unset field inherits the workspace-level
+/// default. Policies compose with builder calls:
+///
+/// ```
+/// use recipe_shard::ShardPolicy;
+/// use recipe_protocols::BatchConfig;
+///
+/// let policy = ShardPolicy::confidential().with_batch(BatchConfig::of_ops(16));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShardPolicy {
+    confidentiality: Option<ConfidentialityMode>,
+    batch: Option<BatchConfig>,
+    profile: Option<CostProfile>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl ShardPolicy {
+    /// An empty policy: the shard inherits every workspace-level default.
+    pub fn new() -> Self {
+        ShardPolicy::default()
+    }
+
+    /// A policy that makes the shard confidential (payloads AEAD-encrypted,
+    /// stored values sealed, encryption cost charged).
+    pub fn confidential() -> Self {
+        ShardPolicy::new().with_confidentiality(ConfidentialityMode::Confidential)
+    }
+
+    /// A policy that makes the shard plaintext (overriding a confidential
+    /// workspace default).
+    pub fn plaintext() -> Self {
+        ShardPolicy::new().with_confidentiality(ConfidentialityMode::Plaintext)
+    }
+
+    /// Overrides the shard's confidentiality mode.
+    pub fn with_confidentiality(mut self, mode: ConfidentialityMode) -> Self {
+        self.confidentiality = Some(mode);
+        self
+    }
+
+    /// Overrides the shard's leader-side batching triggers.
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Overrides the shard's cost profile (heterogeneous hardware per group).
+    /// The resolved profile still gets the shard's confidentiality and
+    /// batching folded in, so the policy stays authoritative.
+    pub fn with_profile(mut self, profile: CostProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Overrides the shard's network fault plan (e.g. one lossy shard).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// The fully-resolved policy of one shard: workspace defaults with that
+/// shard's [`ShardPolicy`] overrides applied. This is what replica factories
+/// receive — `profile` already carries the confidentiality flag and batching
+/// factor, so the cost accounting can never disagree with the replicas.
+#[derive(Debug, Clone)]
+pub struct ResolvedShardPolicy {
+    /// The shard this policy was resolved for.
+    pub shard: usize,
+    /// Whether the shard's group encrypts payloads and seals stored values.
+    pub confidentiality: ConfidentialityMode,
+    /// The group's leader-side batching triggers.
+    pub batch: BatchConfig,
+    /// The per-replica cost profile, with `confidential` and `batch_ops`
+    /// already aligned to this policy.
+    pub profile: CostProfile,
+    /// The group's network fault plan.
+    pub fault_plan: FaultPlan,
+}
+
+/// A replica type that can be constructed from a resolved shard policy —
+/// what [`ShardedCluster::build`] uses to turn a [`DeploymentSpec`] into
+/// replica groups without a caller closure.
+///
+/// Implemented for the four Recipe-transformed protocols; deployments of
+/// other replica types (mixed protocols, baselines) use
+/// [`ShardedCluster::build_with`] and construct replicas themselves.
+pub trait PolicyReplica: Replica + Sized {
+    /// Builds replica `id` of shard `shard` under the shard's resolved policy.
+    fn build_replica(
+        shard: usize,
+        id: u64,
+        membership: Membership,
+        policy: &ResolvedShardPolicy,
+    ) -> Self;
+}
+
+impl PolicyReplica for RaftReplica {
+    fn build_replica(
+        _shard: usize,
+        id: u64,
+        membership: Membership,
+        policy: &ResolvedShardPolicy,
+    ) -> Self {
+        RaftReplica::recipe(id, membership, policy.confidentiality).with_batching(policy.batch)
+    }
+}
+
+impl PolicyReplica for ChainReplica {
+    fn build_replica(
+        _shard: usize,
+        id: u64,
+        membership: Membership,
+        policy: &ResolvedShardPolicy,
+    ) -> Self {
+        ChainReplica::recipe(id, membership, policy.confidentiality).with_batching(policy.batch)
+    }
+}
+
+impl PolicyReplica for AbdReplica {
+    fn build_replica(
+        _shard: usize,
+        id: u64,
+        membership: Membership,
+        policy: &ResolvedShardPolicy,
+    ) -> Self {
+        // ABD has no leader to batch on; the policy's batch triggers only
+        // shape the cost profile's bookkeeping.
+        AbdReplica::recipe(id, membership, policy.confidentiality)
+    }
+}
+
+impl PolicyReplica for AllConcurReplica {
+    fn build_replica(
+        _shard: usize,
+        id: u64,
+        membership: Membership,
+        policy: &ResolvedShardPolicy,
+    ) -> Self {
+        AllConcurReplica::recipe(id, membership, policy.confidentiality)
+    }
+}
+
+/// Declarative description of a sharded deployment: workspace-level defaults
+/// plus per-shard [`ShardPolicy`] overrides, consumed by
+/// [`ShardedCluster::build`]. See the [module docs](self) for the shape and
+/// an example.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    shards: usize,
+    replicas_per_shard: usize,
+    faults_tolerated: usize,
+    vnodes_per_shard: usize,
+    profile: CostProfile,
+    confidentiality: ConfidentialityMode,
+    batch: BatchConfig,
+    fault_plan: FaultPlan,
+    clients: ClientModel,
+    seed: u64,
+    max_virtual_ns: u64,
+    rebalance: RebalanceConfig,
+    overrides: BTreeMap<usize, ShardPolicy>,
+}
+
+impl DeploymentSpec {
+    /// A deployment of `shards` independent groups of `replicas_per_shard`
+    /// replicas each, with the workspace defaults: Recipe cost profile,
+    /// plaintext, unbatched, benign network, default client population,
+    /// `f = (replicas_per_shard - 1) / 2` crash faults tolerated per group.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(shards: usize, replicas_per_shard: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(replicas_per_shard > 0, "at least one replica per shard");
+        DeploymentSpec {
+            shards,
+            replicas_per_shard,
+            faults_tolerated: (replicas_per_shard - 1) / 2,
+            vnodes_per_shard: ShardRouter::DEFAULT_VNODES,
+            profile: CostProfile::recipe(),
+            confidentiality: ConfidentialityMode::Plaintext,
+            batch: BatchConfig::unbatched(),
+            fault_plan: FaultPlan::benign(),
+            clients: ClientModel::default(),
+            seed: 42,
+            max_virtual_ns: 120 * 1_000_000_000,
+            rebalance: RebalanceConfig::default(),
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the default per-replica cost profile. Confidentiality and
+    /// batching are folded in at resolution time, so pass the *hardware*
+    /// profile here and express policy through the policy knobs.
+    pub fn with_profile(mut self, profile: CostProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the workspace-default confidentiality mode (individual shards can
+    /// still override it with a [`ShardPolicy`]).
+    pub fn with_confidentiality(mut self, mode: ConfidentialityMode) -> Self {
+        self.confidentiality = mode;
+        self
+    }
+
+    /// Shorthand: every shard confidential by default.
+    pub fn confidential(self) -> Self {
+        self.with_confidentiality(ConfidentialityMode::Confidential)
+    }
+
+    /// Sets the workspace-default leader-side batching triggers.
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the workspace-default network fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the global closed-loop client population: `clients` concurrent
+    /// clients, ending the run after `total_operations` commits.
+    pub fn with_clients(mut self, clients: usize, total_operations: usize) -> Self {
+        self.clients = ClientModel {
+            clients,
+            total_operations,
+        };
+        self
+    }
+
+    /// Sets the deterministic seed (workload routing tie-breaks and fault
+    /// streams derive from it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the hard cap on virtual time (safety net for fault scenarios).
+    pub fn with_time_cap_ns(mut self, max_virtual_ns: u64) -> Self {
+        self.max_virtual_ns = max_virtual_ns;
+        self
+    }
+
+    /// Sets the number of virtual nodes each shard contributes to the ring.
+    pub fn with_vnodes_per_shard(mut self, vnodes: usize) -> Self {
+        self.vnodes_per_shard = vnodes;
+        self
+    }
+
+    /// Sets the crash-fault budget `f` of every group (defaults to a minority,
+    /// `(replicas_per_shard - 1) / 2`).
+    pub fn with_faults_tolerated(mut self, f: usize) -> Self {
+        self.faults_tolerated = f;
+        self
+    }
+
+    /// Sets the online-rebalancing controller knobs.
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
+    /// Layers a per-shard policy over the defaults. Repeated calls for the
+    /// same shard replace the earlier policy.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn with_shard_policy(mut self, shard: usize, policy: ShardPolicy) -> Self {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        self.overrides.insert(shard, policy);
+        self
+    }
+
+    /// Number of shards in the deployment.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Replicas in each group.
+    pub fn replicas_per_shard(&self) -> usize {
+        self.replicas_per_shard
+    }
+
+    /// The membership every group runs (node ids are group-local, mirroring
+    /// each group's own attestation domain).
+    pub fn membership(&self) -> Membership {
+        Membership::of_size(self.replicas_per_shard, self.faults_tolerated)
+    }
+
+    /// Resolves the effective policy of one shard: the workspace defaults
+    /// with the shard's overrides applied, the cost profile aligned to the
+    /// resolved confidentiality and batching.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn policy_for(&self, shard: usize) -> ResolvedShardPolicy {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let overrides = self.overrides.get(&shard);
+        let confidentiality = overrides
+            .and_then(|p| p.confidentiality)
+            .unwrap_or(self.confidentiality);
+        let batch = overrides.and_then(|p| p.batch).unwrap_or(self.batch);
+        let profile = overrides
+            .and_then(|p| p.profile.clone())
+            .unwrap_or_else(|| self.profile.clone())
+            .with_confidentiality(confidentiality)
+            .with_batch_ops(batch.max_ops);
+        let fault_plan = overrides
+            .and_then(|p| p.fault_plan)
+            .unwrap_or(self.fault_plan);
+        ResolvedShardPolicy {
+            shard,
+            confidentiality,
+            batch,
+            profile,
+            fault_plan,
+        }
+    }
+
+    /// Lowers the spec into the internal [`ShardedConfig`] the driver
+    /// consumes: per-shard profile/fault-plan/confidentiality vectors from
+    /// the resolved policies, the shared simulator knobs in `base`.
+    pub fn to_sharded_config(&self) -> ShardedConfig {
+        let policies: Vec<ResolvedShardPolicy> = (0..self.shards)
+            .map(|shard| self.policy_for(shard))
+            .collect();
+        let mut base = SimConfig::uniform(self.replicas_per_shard, self.profile.clone());
+        base.seed = self.seed;
+        base.clients = self.clients.clone();
+        base.max_virtual_ns = self.max_virtual_ns;
+        base.fault_plan = self.fault_plan;
+        ShardedConfig {
+            shards: self.shards,
+            vnodes_per_shard: self.vnodes_per_shard,
+            base,
+            fault_plans: Some(policies.iter().map(|p| p.fault_plan).collect()),
+            profiles: Some(
+                policies
+                    .iter()
+                    .map(|p| vec![p.profile.clone(); self.replicas_per_shard])
+                    .collect(),
+            ),
+            confidentiality: Some(policies.iter().map(|p| p.confidentiality).collect()),
+            rebalance: self.rebalance.clone(),
+        }
+    }
+}
+
+impl<R: Replica> ShardedCluster<R> {
+    /// Builds a sharded cluster from a [`DeploymentSpec`] and a caller
+    /// factory: `make(shard, node_id, membership, policy)` returns each
+    /// replica. Use this for replica types without a [`PolicyReplica`] impl
+    /// (mixed-protocol deployments, baselines); everything else reads better
+    /// through [`ShardedCluster::build`].
+    pub fn build_with(
+        spec: DeploymentSpec,
+        mut make: impl FnMut(usize, u64, Membership, &ResolvedShardPolicy) -> R,
+    ) -> Self {
+        let config = spec.to_sharded_config();
+        let membership = spec.membership();
+        let groups = (0..spec.shards)
+            .map(|shard| {
+                let policy = spec.policy_for(shard);
+                (0..spec.replicas_per_shard as u64)
+                    .map(|id| make(shard, id, membership.clone(), &policy))
+                    .collect()
+            })
+            .collect();
+        ShardedCluster::from_groups(groups, config)
+    }
+}
+
+impl<R: PolicyReplica> ShardedCluster<R> {
+    /// Builds a sharded cluster from a [`DeploymentSpec`]: the one-call
+    /// replacement for the old `build_sharded_cluster` +
+    /// `ShardedConfig::uniform` + `ShardedCluster::new` three-step. Every
+    /// replica is constructed under its shard's resolved policy, so
+    /// confidentiality, batching, cost profile and fault plan are all
+    /// per-shard properties.
+    pub fn build(spec: DeploymentSpec) -> Self {
+        Self::build_with(spec, |shard, id, membership, policy| {
+            R::build_replica(shard, id, membership, policy)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve_uniformly() {
+        let spec = DeploymentSpec::new(4, 3);
+        for shard in 0..4 {
+            let policy = spec.policy_for(shard);
+            assert_eq!(policy.shard, shard);
+            assert_eq!(policy.confidentiality, ConfidentialityMode::Plaintext);
+            assert!(!policy.profile.confidential);
+            assert_eq!(policy.batch, BatchConfig::unbatched());
+            assert_eq!(policy.profile.batch_ops, 1);
+        }
+        assert_eq!(spec.membership().n(), 3);
+        assert_eq!(spec.membership().f(), 1);
+    }
+
+    #[test]
+    fn per_shard_overrides_compose_over_the_defaults() {
+        let spec = DeploymentSpec::new(4, 3)
+            .with_batching(BatchConfig::of_ops(4))
+            .with_shard_policy(
+                1,
+                ShardPolicy::confidential().with_batch(BatchConfig::of_ops(16)),
+            )
+            .with_shard_policy(2, ShardPolicy::new().with_fault_plan(FaultPlan::lossy(0.1)));
+        // Shard 0: pure defaults.
+        let p0 = spec.policy_for(0);
+        assert_eq!(p0.confidentiality, ConfidentialityMode::Plaintext);
+        assert_eq!(p0.batch, BatchConfig::of_ops(4));
+        assert_eq!(p0.profile.batch_ops, 4);
+        // Shard 1: confidential + its own batching; profile follows both.
+        let p1 = spec.policy_for(1);
+        assert_eq!(p1.confidentiality, ConfidentialityMode::Confidential);
+        assert!(p1.profile.confidential);
+        assert_eq!(p1.profile.batch_ops, 16);
+        // Shard 2: only the fault plan differs.
+        let p2 = spec.policy_for(2);
+        assert_eq!(p2.confidentiality, ConfidentialityMode::Plaintext);
+        assert!(p2.fault_plan.drop_probability > 0.0);
+        assert_eq!(p2.batch, BatchConfig::of_ops(4));
+    }
+
+    #[test]
+    fn plaintext_policy_overrides_a_confidential_default() {
+        let spec = DeploymentSpec::new(2, 3)
+            .confidential()
+            .with_shard_policy(1, ShardPolicy::plaintext());
+        assert!(spec.policy_for(0).profile.confidential);
+        assert!(!spec.policy_for(1).profile.confidential);
+        let config = spec.to_sharded_config();
+        assert_eq!(
+            config.confidentiality,
+            Some(vec![
+                ConfidentialityMode::Confidential,
+                ConfidentialityMode::Plaintext
+            ])
+        );
+    }
+
+    #[test]
+    fn lowering_produces_one_override_row_per_shard() {
+        let spec = DeploymentSpec::new(3, 5)
+            .with_seed(7)
+            .with_clients(10, 100)
+            .with_faults_tolerated(2)
+            .with_shard_policy(2, ShardPolicy::confidential());
+        let config = spec.to_sharded_config();
+        assert_eq!(config.shards, 3);
+        assert_eq!(config.base.seed, 7);
+        assert_eq!(config.base.clients.clients, 10);
+        assert_eq!(config.fault_plans.as_ref().unwrap().len(), 3);
+        let profiles = config.profiles.as_ref().unwrap();
+        assert_eq!(profiles.len(), 3);
+        assert!(profiles.iter().all(|shard| shard.len() == 5));
+        assert!(profiles[2].iter().all(|p| p.confidential));
+        assert!(!profiles[0][0].confidential);
+        assert_eq!(spec.membership().f(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_policies_are_rejected() {
+        let _ = DeploymentSpec::new(2, 3).with_shard_policy(2, ShardPolicy::confidential());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_three_step_still_builds_the_same_deployment() {
+        // The old surface survives one release as thin shims: the three-step
+        // must keep compiling and produce a cluster with the same shape and
+        // placement as the spec path.
+        let groups = recipe_protocols::build_sharded_cluster(2, 3, 1, |_, id, m| {
+            RaftReplica::recipe(id, m, false)
+        });
+        let legacy =
+            ShardedCluster::new(groups, ShardedConfig::uniform(2, 3, CostProfile::recipe()));
+        let spec_built = ShardedCluster::<RaftReplica>::build(DeploymentSpec::new(2, 3));
+        assert_eq!(legacy.shards(), spec_built.shards());
+        assert_eq!(legacy.router(), spec_built.router());
+        assert_eq!(
+            legacy.confidentiality_of(0),
+            spec_built.confidentiality_of(0)
+        );
+    }
+
+    #[test]
+    fn build_constructs_replicas_under_the_resolved_policies() {
+        let spec = DeploymentSpec::new(2, 3)
+            .with_clients(4, 40)
+            .with_shard_policy(1, ShardPolicy::confidential());
+        let mut seen = Vec::new();
+        let cluster =
+            ShardedCluster::<RaftReplica>::build_with(spec, |shard, id, membership, policy| {
+                seen.push((shard, id, policy.confidentiality));
+                RaftReplica::build_replica(shard, id, membership, policy)
+            });
+        assert_eq!(cluster.shards(), 2);
+        assert_eq!(seen.len(), 6);
+        assert!(seen
+            .iter()
+            .filter(|(shard, _, _)| *shard == 0)
+            .all(|(_, _, mode)| !mode.is_confidential()));
+        assert!(seen
+            .iter()
+            .filter(|(shard, _, _)| *shard == 1)
+            .all(|(_, _, mode)| mode.is_confidential()));
+        assert_eq!(
+            cluster.confidentiality_of(0),
+            ConfidentialityMode::Plaintext
+        );
+        assert_eq!(
+            cluster.confidentiality_of(1),
+            ConfidentialityMode::Confidential
+        );
+    }
+}

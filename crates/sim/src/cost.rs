@@ -132,6 +132,15 @@ impl CostProfile {
         self
     }
 
+    /// Sets confidential mode from a per-group policy: the encryption cost
+    /// term follows the group's [`recipe_core::ConfidentialityMode`], so a
+    /// mixed deployment charges it exactly on the shards whose policy asks
+    /// for it. Overwrites (in both directions) whatever the profile carried.
+    pub fn with_confidentiality(mut self, mode: recipe_core::ConfidentialityMode) -> Self {
+        self.confidential = mode.is_confidential();
+        self
+    }
+
     /// Sets the batching factor (in-flight payload buffers inside the enclave).
     pub fn with_inflight(mut self, messages: usize) -> Self {
         self.inflight_messages = messages;

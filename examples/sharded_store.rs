@@ -5,32 +5,29 @@
 //! cargo run --example sharded_store
 //! ```
 
-use recipe::protocols::{build_sharded_cluster, RaftReplica};
-use recipe::shard::{op_from_workload, ShardRouter, ShardedCluster, ShardedConfig};
-use recipe::sim::{ClientModel, CostProfile};
+use recipe::protocols::RaftReplica;
+use recipe::shard::{op_from_workload, DeploymentSpec, ShardedCluster};
 use recipe::workload::WorkloadSpec;
 use std::cell::RefCell;
 
 fn main() {
-    // 1. Four shards, each an independent 3-replica R-Raft group with its own
-    //    leader, attestation domain and fault budget (f = 1 per shard).
+    // 1. One declarative spec: four shards, each an independent 3-replica
+    //    R-Raft group with its own leader, attestation domain and fault
+    //    budget (f = 1 per shard). The spec replaces the old three-step
+    //    (replica closure + uniform config + cluster constructor).
     const SHARDS: usize = 4;
-    let groups = build_sharded_cluster(SHARDS, 3, 1, |_shard, id, membership| {
-        RaftReplica::recipe(id, membership, false)
-    });
+    let spec = DeploymentSpec::new(SHARDS, 3).with_clients(48, 2_000);
+    let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
 
-    let mut config = ShardedConfig::uniform(SHARDS, 3, CostProfile::recipe());
-    config.base.clients = ClientModel {
-        clients: 48,
-        total_operations: 2_000,
-    };
-    let mut cluster = ShardedCluster::new(groups, config);
-
-    // 2. Show where keys land: the router is deterministic, so any component
-    //    (client library, rebalancer, debugger) can compute placement offline.
-    let router = ShardRouter::with_default_vnodes(SHARDS);
+    // 2. Show where keys land. Always ask the *cluster's* router: it is the
+    //    authoritative placement, including any rebalancing epoch bumps — a
+    //    separately-constructed router would silently diverge from the real
+    //    placement after the first online migration.
     for key in ["user00000001", "user00004711", "user00002642"] {
-        println!("{key} -> shard {}", router.shard_for_key(key.as_bytes()));
+        println!(
+            "{key} -> shard {}",
+            cluster.router().shard_for_key(key.as_bytes())
+        );
     }
 
     // 3. One global closed-loop client population issues a YCSB Zipfian
@@ -52,8 +49,8 @@ fn main() {
     );
     for (shard, s) in stats.per_shard.iter().enumerate() {
         println!(
-            "shard {shard}: {:>5} ops at {:>8.0} ops/s ({} messages)",
-            s.committed, s.throughput_ops, s.messages_delivered
+            "shard {shard}: {:>5} ops at {:>8.0} ops/s, mean {:>7.1} us ({} messages)",
+            s.committed, s.throughput_ops, s.mean_latency_us, s.messages_delivered
         );
     }
     println!(

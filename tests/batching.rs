@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 use recipe::core::Operation;
-use recipe::protocols::{build_cluster, build_sharded_cluster, BatchConfig, RaftReplica};
-use recipe::shard::{ShardedCluster, ShardedConfig};
+use recipe::protocols::{build_cluster, BatchConfig, RaftReplica};
+use recipe::shard::{DeploymentSpec, ShardedCluster};
 use recipe::sim::{ClientModel, CostProfile, SimCluster, SimConfig, StepOutcome};
 use recipe_net::NodeId;
 use std::sync::OnceLock;
@@ -127,15 +127,10 @@ proptest! {
 fn batched_sharded_runs_are_deterministic_with_per_shard_agreement() {
     let batch = 8usize;
     let run = || {
-        let groups = build_sharded_cluster(4, 3, 1, |_, id, m| {
-            RaftReplica::recipe(id, m, false).with_batching(BatchConfig::of_ops(batch))
-        });
-        let mut config = ShardedConfig::uniform(4, 3, CostProfile::recipe()).with_batch_ops(batch);
-        config.base.clients = ClientModel {
-            clients: 48,
-            total_operations: 500,
-        };
-        let mut cluster = ShardedCluster::new(groups, config);
+        let spec = DeploymentSpec::new(4, 3)
+            .with_batching(BatchConfig::of_ops(batch))
+            .with_clients(48, 500);
+        let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
         let stats = cluster.run(|client, seq| Operation::Put {
             key: format!("key-{}", (client * 13 + seq) % 200).into_bytes(),
             value: format!("v{client}-{seq}").into_bytes(),

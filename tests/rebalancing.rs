@@ -6,12 +6,11 @@
 
 use proptest::prelude::*;
 use recipe::core::Operation;
-use recipe::protocols::{build_sharded_cluster, RaftReplica};
+use recipe::protocols::RaftReplica;
 use recipe::shard::{
-    RebalanceConfig, RouteDecision, RouterVersion, ShardRouter, ShardedCluster, ShardedConfig,
+    DeploymentSpec, RebalanceConfig, RouteDecision, RouterVersion, ShardRouter, ShardedCluster,
     ShardedRunStats,
 };
-use recipe::sim::{ClientModel, CostProfile};
 use recipe::workload::stable_key_hash;
 use recipe_net::NodeId;
 use std::cell::Cell;
@@ -84,12 +83,6 @@ proptest! {
 // Shared setup
 // ---------------------------------------------------------------------------
 
-fn raft_groups(shards: usize) -> Vec<Vec<RaftReplica>> {
-    build_sharded_cluster(shards, 3, 1, |_, id, membership| {
-        RaftReplica::recipe(id, membership, false)
-    })
-}
-
 /// A hot range owned by shard 0, spanning enough ring arcs that the
 /// controller can split it — the same selection `fig_rebalance` measures.
 fn hot_range_on_shard0(router: &ShardRouter, max_arcs: usize, per_arc: usize) -> Vec<Vec<u8>> {
@@ -119,14 +112,11 @@ struct SkewedRun {
 /// Runs 2 shards under a workload that starts balanced and then funnels every
 /// write into a hot range owned entirely by shard 0.
 fn skewed_run(operations: usize, balanced_ops: usize) -> SkewedRun {
-    let mut config = ShardedConfig::uniform(2, 3, CostProfile::recipe());
-    config.base.seed = 9;
-    config.base.clients = ClientModel {
-        clients: 64,
-        total_operations: operations,
-    };
-    config.rebalance = rebalance_knobs();
-    let mut cluster = ShardedCluster::new(raft_groups(2), config);
+    let spec = DeploymentSpec::new(2, 3)
+        .with_seed(9)
+        .with_clients(64, operations)
+        .with_rebalance(rebalance_knobs());
+    let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
     let hot = hot_range_on_shard0(cluster.router(), 48, 2);
     assert!(hot.len() >= 48, "hot range too small: {}", hot.len());
 
@@ -300,21 +290,18 @@ fn schedule_op(i: u64, hot: &[Vec<u8>]) -> Operation {
     }
 }
 
-fn replay_config(ops: usize) -> ShardedConfig {
-    let mut config = ShardedConfig::uniform(2, 3, CostProfile::recipe());
-    config.base.seed = 21;
-    config.base.clients = ClientModel {
-        clients: ops,
-        total_operations: ops,
-    };
-    config.rebalance = RebalanceConfig {
-        check_interval_ns: 4_000_000,
-        min_window_commits: 60,
-        imbalance_threshold: 1.3,
-        issue_stagger_ns: 20_000, // spread issues over ~16 ms of virtual time
-        ..RebalanceConfig::enabled()
-    };
-    config
+fn replay_spec(ops: usize, rebalancing_enabled: bool) -> DeploymentSpec {
+    DeploymentSpec::new(2, 3)
+        .with_seed(21)
+        .with_clients(ops, ops)
+        .with_rebalance(RebalanceConfig {
+            enabled: rebalancing_enabled,
+            check_interval_ns: 4_000_000,
+            min_window_commits: 60,
+            imbalance_threshold: 1.3,
+            issue_stagger_ns: 20_000, // spread issues over ~16 ms of virtual time
+            ..RebalanceConfig::enabled()
+        })
 }
 
 #[test]
@@ -324,7 +311,7 @@ fn mid_run_migration_commits_bit_identical_state_to_the_final_placement() {
     // A schedule hot on shard 0: most unique keys hash anywhere, but the
     // recurring hot key plus a biased unique-key prefix keep shard 0 busiest.
     // First run: rebalancing on, migration happens mid-run.
-    let mut migrated = ShardedCluster::new(raft_groups(2), replay_config(ops));
+    let mut migrated = ShardedCluster::<RaftReplica>::build(replay_spec(ops, true));
     let hot = hot_range_on_shard0(migrated.router(), 48, 2);
     let hot_for_run = hot.clone();
     let stats_a = migrated.run_rebalancing(move |client, seq| {
@@ -352,9 +339,7 @@ fn mid_run_migration_commits_bit_identical_state_to_the_final_placement() {
 
     // Second run: same schedule, rebalancing off, router pre-set to the final
     // placement recorded by run A.
-    let mut config_b = replay_config(ops);
-    config_b.rebalance.enabled = false;
-    let mut fixed = ShardedCluster::new(raft_groups(2), config_b);
+    let mut fixed = ShardedCluster::<RaftReplica>::build(replay_spec(ops, false));
     for mv in &moves {
         fixed.router_mut().rebalance(&mv.arcs, mv.to);
     }

@@ -4,9 +4,8 @@
 //! speedup the ROADMAP targets.
 
 use recipe::core::Operation;
-use recipe::protocols::{build_sharded_cluster, RaftReplica};
-use recipe::shard::{ShardRouter, ShardedCluster, ShardedConfig, ShardedRunStats};
-use recipe::sim::{ClientModel, CostProfile};
+use recipe::protocols::RaftReplica;
+use recipe::shard::{DeploymentSpec, ShardRouter, ShardedCluster, ShardedRunStats};
 use recipe::workload::WorkloadSpec;
 use recipe_net::NodeId;
 use std::cell::RefCell;
@@ -64,12 +63,6 @@ fn placement_is_balanced_over_the_key_universe() {
     assert!(min / expected > 0.75, "starved shard: {counts:?}");
 }
 
-fn raft_groups(shards: usize) -> Vec<Vec<RaftReplica>> {
-    build_sharded_cluster(shards, 3, 1, |_, id, membership| {
-        RaftReplica::recipe(id, membership, false)
-    })
-}
-
 fn zipfian_workload(seed: u64) -> impl FnMut(u64, u64) -> Operation {
     let generator = RefCell::new(
         WorkloadSpec {
@@ -82,13 +75,10 @@ fn zipfian_workload(seed: u64) -> impl FnMut(u64, u64) -> Operation {
 }
 
 fn run_sharded_raft(shards: usize, operations: usize, seed: u64) -> ShardedRunStats {
-    let mut config = ShardedConfig::uniform(shards, 3, CostProfile::recipe());
-    config.base.seed = seed;
-    config.base.clients = ClientModel {
-        clients: 64,
-        total_operations: operations,
-    };
-    ShardedCluster::new(raft_groups(shards), config).run(zipfian_workload(seed))
+    let spec = DeploymentSpec::new(shards, 3)
+        .with_seed(seed)
+        .with_clients(64, operations);
+    ShardedCluster::<RaftReplica>::build(spec).run(zipfian_workload(seed))
 }
 
 #[test]
@@ -104,13 +94,11 @@ fn sharded_runs_are_bit_identical_for_a_seed() {
 #[test]
 fn crash_of_one_shard_leaves_other_shards_committing() {
     let shards = 4usize;
-    let mut config = ShardedConfig::uniform(shards, 3, CostProfile::recipe());
-    config.base.clients = ClientModel {
-        clients: 32,
-        total_operations: 100_000, // unreachable: the run ends at the time cap
-    };
-    config.base.max_virtual_ns = 80_000_000; // 80 ms
-    let mut cluster = ShardedCluster::new(raft_groups(shards), config);
+    let spec = DeploymentSpec::new(shards, 3)
+        // 100k operations are unreachable: the run ends at the 80 ms time cap.
+        .with_clients(32, 100_000)
+        .with_time_cap_ns(80_000_000);
+    let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
     // Kill the whole of shard 1 (leader and followers) early in the run.
     for node in 0..3 {
         cluster.crash_at(1, NodeId(node), 2_000_000);
@@ -150,12 +138,8 @@ fn crash_of_one_shard_leaves_other_shards_committing() {
 #[test]
 fn cross_shard_traffic_preserves_per_shard_agreement_and_isolation() {
     let shards = 4usize;
-    let mut config = ShardedConfig::uniform(shards, 3, CostProfile::recipe());
-    config.base.clients = ClientModel {
-        clients: 24,
-        total_operations: 800,
-    };
-    let mut cluster = ShardedCluster::new(raft_groups(shards), config);
+    let spec = DeploymentSpec::new(shards, 3).with_clients(24, 800);
+    let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
     // Distinct value per (client, seq) over a small key pool, so agreement
     // checks compare real data rather than identical filler bytes.
     let stats = cluster.run(|client, seq| {
@@ -178,7 +162,9 @@ fn cross_shard_traffic_preserves_per_shard_agreement_and_isolation() {
     // applied state converges on the leaders' committed logs.
     cluster.quiesce(50_000_000);
 
-    let router = ShardRouter::with_default_vnodes(shards);
+    // The cluster's router is the authoritative placement (a standalone
+    // router would diverge after any rebalancing epoch bump).
+    let router = cluster.router().clone();
     let mut checked_agreement = 0;
     let mut checked_isolation = 0;
     for i in 0..200u64 {
@@ -247,13 +233,10 @@ fn four_shards_at_least_double_single_shard_throughput() {
 
     // Per-shard agreement assertions still hold under sharding: re-run the
     // 4-shard config and inspect replica state directly.
-    let mut config = ShardedConfig::uniform(4, 3, CostProfile::recipe());
-    config.base.seed = 7;
-    config.base.clients = ClientModel {
-        clients: 64,
-        total_operations: 1_200,
-    };
-    let mut cluster = ShardedCluster::new(raft_groups(4), config);
+    let spec = DeploymentSpec::new(4, 3)
+        .with_seed(7)
+        .with_clients(64, 1_200);
+    let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
     let stats = cluster.run(zipfian_workload(7));
     assert_eq!(stats.total, quad.total, "same seed, same figures");
     cluster.quiesce(50_000_000);
