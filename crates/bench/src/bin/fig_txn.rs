@@ -1,0 +1,34 @@
+//! Cross-shard transaction experiment: four R-Raft shards (shard 0
+//! confidential), sweeping the transaction fraction 0 → 100% (fan-out 2) and
+//! the cross-shard fan-out 1 → 4 (fraction 50%) against the single-key
+//! baseline.
+//!
+//! Arguments: `[operations] [summary_json_path]` — the first overrides the
+//! committed-operation count per sweep step (default 1200; CI passes a smoke
+//! value), the second writes the machine-readable `BENCH_txn.json` summary
+//! the perf gate compares against `crates/bench/baselines/`.
+fn main() {
+    let operations = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(1_200);
+    let report = recipe_bench::fig_txn(operations);
+    recipe_bench::print_rows(
+        "Cross-shard transactions: R-Raft 4 shards (shard 0 confidential), txn fraction 0-100%, fan-out 1-4",
+        &report.rows,
+    );
+    let committed: u64 = report.sweep.iter().map(|s| s.txn.committed).sum();
+    let aborted: u64 = report.sweep.iter().map(|s| s.txn.aborted).sum();
+    let sealed: u64 = report.sweep.iter().map(|s| s.txn.sealed_frames).sum();
+    let frames: u64 = report.sweep.iter().map(|s| s.txn.frames_sent).sum();
+    println!(
+        "\ntransactions: {committed} committed, {aborted} aborted (lock conflicts, retried); \
+         {frames} 2PC frames, {sealed} sealed (confidential participant)"
+    );
+    let summary = recipe_bench::txn_summary(&report);
+    println!("\n{}", serde_json::to_string_pretty(&summary).unwrap());
+    if let Some(path) = std::env::args().nth(2) {
+        recipe_bench::write_summary(&path, &summary).expect("summary written");
+        println!("summary written to {path}");
+    }
+}

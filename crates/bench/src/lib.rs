@@ -20,7 +20,7 @@ use recipe_shard::{
     DeploymentSpec, PolicyReplica, RebalanceConfig, ShardPolicy, ShardedCluster, ShardedRunStats,
 };
 use recipe_sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
-use recipe_workload::{stable_key_hash, WorkloadSpec};
+use recipe_workload::{stable_key_hash, TxnWorkloadSpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Which system a run exercises.
@@ -838,6 +838,154 @@ pub fn fig_confidential_policy(operations: usize) -> ConfidentialPolicyReport {
     }
 }
 
+/// Results of the cross-shard transaction experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TxnReport {
+    /// One row per sweep step; "speedup" is the step's aggregate throughput
+    /// relative to the single-key (txn fraction 0) baseline.
+    pub rows: Vec<ExperimentRow>,
+    /// The full driver statistics of every sweep step, in row order.
+    pub sweep: Vec<ShardedRunStats>,
+    /// Aggregate ops/s of the single-key baseline (txn fraction 0).
+    pub single_key_ops: f64,
+}
+
+/// Cross-shard transaction sweep (beyond the paper): four 3-replica R-Raft
+/// shards — shard 0 confidential, so transactions touching it seal every 2PC
+/// frame — under the deterministic multi-key workload generator
+/// ([`recipe_workload::TxnWorkloadSpec`]).
+///
+/// Two sweeps share one deployment shape:
+///
+/// * **transaction fraction** 0 → 100% at fan-out 2 (3 ops per
+///   transaction). The 0% step *is* the single-key baseline every other row
+///   is measured against — by construction it takes exactly the
+///   pre-transaction batched path.
+/// * **cross-shard fan-out** 1 → 4 at a fixed 50% transaction fraction and
+///   4 ops per transaction (a transaction needs at least as many ops as
+///   participants, so the fan-out sweep carries one op more than the
+///   fraction sweep): more participants per transaction mean more 2PC round
+///   trips and more staged state before commit.
+pub fn fig_txn(operations: usize) -> TxnReport {
+    const SHARDS: usize = 4;
+    let run_step = |txn_fraction: f64, fan_out: usize, ops_per_txn: usize| -> ShardedRunStats {
+        let spec = DeploymentSpec::new(SHARDS, 3)
+            .with_seed(13)
+            .with_clients(48, operations)
+            .with_shard_policy(0, ShardPolicy::confidential());
+        let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
+        let router = cluster.router().clone();
+        let workload = TxnWorkloadSpec {
+            base: WorkloadSpec {
+                seed: 13,
+                read_ratio: 0.5,
+                ..WorkloadSpec::default()
+            },
+            txn_fraction,
+            ops_per_txn,
+            fan_out,
+        };
+        let generator = RefCell::new(workload.generator());
+        cluster.run_requests(move |_client, _seq| {
+            let request = generator
+                .borrow_mut()
+                .next_request(&|key| router.shard_for_key(key));
+            Some(recipe_shard::request_from_workload(request))
+        })
+    };
+
+    let fractions = [0.0f64, 0.25, 0.5, 1.0];
+    let fanouts = [1usize, 2, 3, 4];
+    let mut rows = Vec::new();
+    let mut sweep = Vec::new();
+    for &fraction in &fractions {
+        sweep.push(run_step(fraction, 2, 3));
+    }
+    let single_key_ops = sweep[0].total.throughput_ops;
+    for (stats, &fraction) in sweep.iter().zip(&fractions) {
+        rows.push(ExperimentRow {
+            protocol: "R-Raft 4 shards".into(),
+            config: format!("txn={:.0}%", fraction * 100.0),
+            throughput_ops: stats.total.throughput_ops,
+            mean_latency_us: stats.total.mean_latency_us,
+            speedup_vs_baseline: stats.total.throughput_ops / single_key_ops,
+        });
+    }
+    for &fan_out in &fanouts {
+        let stats = run_step(0.5, fan_out, 4);
+        rows.push(ExperimentRow {
+            protocol: "R-Raft 4 shards".into(),
+            config: format!("fanout={fan_out}"),
+            throughput_ops: stats.total.throughput_ops,
+            mean_latency_us: stats.total.mean_latency_us,
+            speedup_vs_baseline: stats.total.throughput_ops / single_key_ops,
+        });
+        sweep.push(stats);
+    }
+    TxnReport {
+        rows,
+        sweep,
+        single_key_ops,
+    }
+}
+
+/// The summary of a `fig_txn` run: aggregate ops/s per sweep step (gated)
+/// plus the transaction counters that must stay non-degenerate.
+pub fn txn_summary(report: &TxnReport) -> BenchSummary {
+    let mut metrics: Vec<BenchMetric> = report
+        .rows
+        .iter()
+        .map(|row| BenchMetric {
+            name: format!("{}_ops_per_sec", metric_slug(&row.config)),
+            value: row.throughput_ops,
+        })
+        .collect();
+    metrics.push(BenchMetric {
+        name: "txns_committed".into(),
+        value: report
+            .sweep
+            .iter()
+            .map(|s| s.txn.committed as f64)
+            .sum::<f64>(),
+    });
+    metrics.push(BenchMetric {
+        name: "txns_aborted".into(),
+        value: report
+            .sweep
+            .iter()
+            .map(|s| s.txn.aborted as f64)
+            .sum::<f64>(),
+    });
+    metrics.push(BenchMetric {
+        name: "sealed_2pc_frames".into(),
+        value: report
+            .sweep
+            .iter()
+            .map(|s| s.txn.sealed_frames as f64)
+            .sum::<f64>(),
+    });
+    metrics.push(BenchMetric {
+        name: "cross_shard_committed".into(),
+        value: report
+            .sweep
+            .iter()
+            .map(|s| s.txn.cross_shard_committed as f64)
+            .sum::<f64>(),
+    });
+    metrics.push(BenchMetric {
+        name: "committed".into(),
+        value: report
+            .sweep
+            .iter()
+            .map(|s| s.total.committed as f64)
+            .sum::<f64>(),
+    });
+    BenchSummary {
+        bench: "fig_txn".into(),
+        metrics,
+    }
+}
+
 /// The summary of a `fig_confidential_policy` run: aggregate ops/s per sweep
 /// step (gated) plus the latency-split ratios (informational).
 pub fn confidential_policy_summary(report: &ConfidentialPolicyReport) -> BenchSummary {
@@ -961,6 +1109,60 @@ impl Replica for ShardReplica {
         match self {
             ShardReplica::Raft(r) => r.protocol_name(),
             ShardReplica::Abd(r) => r.protocol_name(),
+        }
+    }
+
+    fn txn_prepare(&mut self, txn_id: u64, ops: &[recipe_core::Operation]) -> recipe_sim::TxnVote {
+        match self {
+            ShardReplica::Raft(r) => r.txn_prepare(txn_id, ops),
+            ShardReplica::Abd(r) => r.txn_prepare(txn_id, ops),
+        }
+    }
+
+    fn txn_commit(&mut self, txn_id: u64) -> Vec<recipe_sim::RangeEntry> {
+        match self {
+            ShardReplica::Raft(r) => r.txn_commit(txn_id),
+            ShardReplica::Abd(r) => r.txn_commit(txn_id),
+        }
+    }
+
+    fn txn_abort(&mut self, txn_id: u64) {
+        match self {
+            ShardReplica::Raft(r) => r.txn_abort(txn_id),
+            ShardReplica::Abd(r) => r.txn_abort(txn_id),
+        }
+    }
+}
+
+impl recipe_sim::RangeStateTransfer for ShardReplica {
+    fn export_range(
+        &mut self,
+        filter: &dyn Fn(&[u8]) -> bool,
+    ) -> Result<Vec<recipe_sim::RangeEntry>, String> {
+        match self {
+            ShardReplica::Raft(r) => r.export_range(filter),
+            ShardReplica::Abd(r) => r.export_range(filter),
+        }
+    }
+
+    fn read_entry(&mut self, key: &[u8]) -> Result<Option<recipe_sim::RangeEntry>, String> {
+        match self {
+            ShardReplica::Raft(r) => r.read_entry(key),
+            ShardReplica::Abd(r) => r.read_entry(key),
+        }
+    }
+
+    fn import_range(&mut self, entries: &[recipe_sim::RangeEntry]) {
+        match self {
+            ShardReplica::Raft(r) => r.import_range(entries),
+            ShardReplica::Abd(r) => r.import_range(entries),
+        }
+    }
+
+    fn evict_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> usize {
+        match self {
+            ShardReplica::Raft(r) => r.evict_range(filter),
+            ShardReplica::Abd(r) => r.evict_range(filter),
         }
     }
 }

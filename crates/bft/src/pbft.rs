@@ -22,7 +22,7 @@ use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
 use recipe_net::NodeId;
 use recipe_protocols::{BatchConfig, Batcher};
-use recipe_sim::{Ctx, Replica};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
 use serde::{Deserialize, Serialize};
 
 /// Timer token: flush partially-filled batches (time-budget trigger).
@@ -302,6 +302,12 @@ impl Replica for PbftReplica {
         if !self.is_primary() {
             return;
         }
+        if self.kv.is_locked(request.operation.key()) {
+            // An in-flight transaction prepared on this primary holds the key
+            // (2PL isolation): defer by dropping — the client's
+            // retransmission resubmits after the transaction resolved.
+            return;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         let digest = Self::digest(&request);
@@ -346,6 +352,47 @@ impl Replica for PbftReplica {
 
     fn protocol_name(&self) -> &'static str {
         "PBFT"
+    }
+
+    fn txn_prepare(&mut self, txn_id: u64, ops: &[Operation]) -> TxnVote {
+        recipe_protocols::txn::kv_txn_prepare(&mut self.kv, txn_id, ops)
+    }
+
+    fn txn_commit(&mut self, txn_id: u64) -> Vec<RangeEntry> {
+        // Staged writes execute through the primary's normal execution
+        // counter; the coordinator installs the returned records on the
+        // other replicas.
+        let mut executed = self.executed_ops;
+        let id = self.id.0;
+        let entries =
+            recipe_protocols::txn::kv_txn_commit(&mut self.kv, txn_id, |kv, key, value| {
+                executed += 1;
+                let _ = kv.write(key, value, Timestamp::new(executed, id));
+            });
+        self.executed_ops = executed;
+        entries
+    }
+
+    fn txn_abort(&mut self, txn_id: u64) {
+        self.kv.txn_abort(txn_id);
+    }
+}
+
+impl RangeStateTransfer for PbftReplica {
+    fn export_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> Result<Vec<RangeEntry>, String> {
+        recipe_protocols::migration::kv_export_range(&mut self.kv, filter)
+    }
+
+    fn read_entry(&mut self, key: &[u8]) -> Result<Option<RangeEntry>, String> {
+        recipe_protocols::migration::kv_read_entry(&mut self.kv, key)
+    }
+
+    fn import_range(&mut self, entries: &[RangeEntry]) {
+        recipe_protocols::migration::kv_import_range(&mut self.kv, entries);
+    }
+
+    fn evict_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> usize {
+        self.kv.remove_matching(filter)
     }
 }
 

@@ -22,7 +22,7 @@ use recipe_net::{ChannelId, NodeId};
 use recipe_tee::Enclave;
 
 use crate::error::RecipeError;
-use crate::message::{BatchFrame, BatchOp, SequenceTuple, ShieldedMessage};
+use crate::message::{BatchFrame, BatchOp, SequenceTuple, ShieldedMessage, TxnBody, TxnFrame};
 use crate::policy::ConfidentialityMode;
 
 /// Label under which the cluster-wide value/message cipher key is provisioned.
@@ -127,6 +127,60 @@ impl BatchVerifyOutcome {
     }
 }
 
+/// Result of verifying an incoming two-phase-commit frame. Mirrors
+/// [`VerifyOutcome`]; a 2PC channel is strictly sequential (prepare, then
+/// commit/abort, each answered before the next is sent), so an
+/// [`TxnVerifyOutcome::OutOfOrder`] frame is never buffered — the
+/// coordinator's retransmission protocol redelivers the missing predecessor
+/// with its original counter instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnVerifyOutcome {
+    /// The frame is authentic, fresh and in order.
+    Accept {
+        /// The transaction the frame belongs to.
+        txn_id: u64,
+        /// The decoded 2PC message.
+        body: TxnBody,
+        /// The counter the frame carried.
+        counter: u64,
+    },
+    /// Authentic but ahead of its predecessors — dropped, not buffered; the
+    /// sender retransmits the missing frame first.
+    OutOfOrder {
+        /// The counter the frame carried.
+        counter: u64,
+        /// The next counter the receiver is waiting for.
+        expected: u64,
+    },
+    /// The frame is a replay (stale counter) and must be dropped.
+    Replay {
+        /// The counter the frame carried.
+        counter: u64,
+        /// Last counter already accepted on the channel.
+        last_accepted: u64,
+    },
+    /// The MAC did not verify — drop.
+    BadAuthenticator,
+    /// The frame was addressed to a different node — drop.
+    Misaddressed,
+    /// The view in the frame does not match the current view — drop.
+    WrongView {
+        /// View carried by the frame.
+        got: u64,
+        /// The receiver's current view.
+        current: u64,
+    },
+    /// Confidential body failed to decrypt or decode.
+    DecryptionFailed,
+}
+
+impl TxnVerifyOutcome {
+    /// True if the frame should be processed right now.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, TxnVerifyOutcome::Accept { .. })
+    }
+}
+
 /// An out-of-order arrival held in the protected area: a single shielded
 /// message or a whole batch frame. Both consume one counter slot, so one
 /// ordered buffer serves both.
@@ -181,6 +235,23 @@ impl From<Rejection> for BatchVerifyOutcome {
                 counter,
                 last_accepted,
             } => BatchVerifyOutcome::Replay {
+                counter,
+                last_accepted,
+            },
+        }
+    }
+}
+
+impl From<Rejection> for TxnVerifyOutcome {
+    fn from(rejection: Rejection) -> Self {
+        match rejection {
+            Rejection::Misaddressed => TxnVerifyOutcome::Misaddressed,
+            Rejection::BadAuthenticator => TxnVerifyOutcome::BadAuthenticator,
+            Rejection::WrongView { got, current } => TxnVerifyOutcome::WrongView { got, current },
+            Rejection::Replay {
+                counter,
+                last_accepted,
+            } => TxnVerifyOutcome::Replay {
                 counter,
                 last_accepted,
             },
@@ -389,6 +460,102 @@ impl AuthLayer {
             sealed,
             mac,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // shield_txn
+    // ------------------------------------------------------------------
+
+    /// Shields one two-phase-commit message for `dst` under the next counter
+    /// slot of the channel: the body is serialized, AEAD-sealed in
+    /// confidential mode, and MAC'd together with the transaction id under
+    /// the transaction MAC domain — a 2PC frame can never be replayed as (or
+    /// confused with) protocol traffic.
+    pub fn shield_txn(
+        &mut self,
+        dst: NodeId,
+        txn_id: u64,
+        body: &TxnBody,
+    ) -> Result<TxnFrame, RecipeError> {
+        let channel = ChannelId::new(self.node, dst);
+        let label = channel.label();
+
+        let counter = self
+            .enclave
+            .counter_mut(&format!("send:{label}"))?
+            .increment();
+        let tuple = SequenceTuple {
+            view: self.view,
+            channel,
+            counter,
+        };
+
+        let encoded = TxnFrame::encode_body(body);
+        let (body, sealed) = if self.confidentiality.is_confidential() {
+            let cipher = self.enclave.cipher(CIPHER_LABEL)?;
+            let nonce = Self::payload_nonce(&channel, counter);
+            (Vec::new(), Some(cipher.seal(nonce, &encoded)))
+        } else {
+            (encoded, None)
+        };
+
+        let mac_key = self.enclave.mac_key(&label)?;
+        self.scratch.clear();
+        TxnFrame::write_authenticated_parts(
+            &mut self.scratch,
+            &body,
+            sealed.as_ref(),
+            txn_id,
+            &tuple.to_bytes(),
+        );
+        let mac = mac_key.tag(&self.scratch);
+
+        Ok(TxnFrame {
+            tuple,
+            txn_id,
+            body,
+            sealed,
+            mac,
+        })
+    }
+
+    /// Verifies an incoming two-phase-commit frame: addressing, MAC (under
+    /// the transaction domain), view and counter freshness, then one AEAD
+    /// pass over the body in confidential mode. Out-of-order frames are
+    /// dropped rather than buffered — see [`TxnVerifyOutcome::OutOfOrder`].
+    pub fn verify_txn(&mut self, frame: TxnFrame) -> TxnVerifyOutcome {
+        match self.admit(&frame.tuple, &frame.mac, |buf| {
+            TxnFrame::write_authenticated_parts(
+                buf,
+                &frame.body,
+                frame.sealed.as_ref(),
+                frame.txn_id,
+                &frame.tuple.to_bytes(),
+            )
+        }) {
+            Admission::Reject(rejection) => rejection.into(),
+            Admission::Buffer { counter, expected } => {
+                TxnVerifyOutcome::OutOfOrder { counter, expected }
+            }
+            Admission::Deliver { counter } => {
+                let txn_id = frame.txn_id;
+                let opened = match &frame.sealed {
+                    Some(ct) => self.open_ciphertext(ct),
+                    None => Ok(frame.body),
+                };
+                match opened.ok().and_then(|bytes| TxnFrame::decode_body(&bytes)) {
+                    Some(body) => TxnVerifyOutcome::Accept {
+                        txn_id,
+                        body,
+                        counter,
+                    },
+                    None => {
+                        self.rejected_auth += 1;
+                        TxnVerifyOutcome::DecryptionFailed
+                    }
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1002,6 +1169,91 @@ mod tests {
             receiver.verify_batch(frame),
             BatchVerifyOutcome::WrongView { got: 0, current: 4 }
         );
+    }
+
+    fn prepare_body() -> TxnBody {
+        TxnBody::Prepare {
+            ops: vec![crate::message::Operation::Put {
+                key: b"account:7".to_vec(),
+                value: b"balance=100".to_vec(),
+            }],
+        }
+    }
+
+    #[test]
+    fn txn_frames_roundtrip_and_consume_counter_slots() {
+        let (mut sender, mut receiver) = layer_pair(false);
+        let frame = sender.shield_txn(NodeId(2), 7, &prepare_body()).unwrap();
+        assert_eq!(frame.tuple.counter, 1);
+        match receiver.verify_txn(frame.clone()) {
+            TxnVerifyOutcome::Accept {
+                txn_id,
+                body,
+                counter,
+            } => {
+                assert_eq!(txn_id, 7);
+                assert_eq!(body, prepare_body());
+                assert_eq!(counter, 1);
+            }
+            other => panic!("expected Accept, got {other:?}"),
+        }
+        // Replaying the frame is rejected by the trusted counter: a Byzantine
+        // host cannot re-apply a prepare.
+        assert!(matches!(
+            receiver.verify_txn(frame),
+            TxnVerifyOutcome::Replay { .. }
+        ));
+        // The next frame (the commit) takes the next slot and still verifies.
+        let commit = sender.shield_txn(NodeId(2), 7, &TxnBody::Commit).unwrap();
+        assert_eq!(commit.tuple.counter, 2);
+        assert!(receiver.verify_txn(commit).is_accept());
+    }
+
+    #[test]
+    fn txn_frames_cannot_be_spliced_into_another_transaction() {
+        let (mut sender, mut receiver) = layer_pair(false);
+        let mut frame = sender.shield_txn(NodeId(2), 7, &TxnBody::Commit).unwrap();
+        // The host rewrites the txn id to commit a different transaction.
+        frame.txn_id = 8;
+        assert_eq!(
+            receiver.verify_txn(frame),
+            TxnVerifyOutcome::BadAuthenticator
+        );
+    }
+
+    #[test]
+    fn out_of_order_txn_frames_are_dropped_not_buffered() {
+        let (mut sender, mut receiver) = layer_pair(false);
+        let first = sender.shield_txn(NodeId(2), 7, &prepare_body()).unwrap();
+        let second = sender.shield_txn(NodeId(2), 7, &TxnBody::Commit).unwrap();
+        // The commit overtakes the (lost) prepare: dropped, nothing buffered.
+        assert_eq!(
+            receiver.verify_txn(second.clone()),
+            TxnVerifyOutcome::OutOfOrder {
+                counter: 2,
+                expected: 1
+            }
+        );
+        assert_eq!(receiver.pending_from(NodeId(1)), 0);
+        // The coordinator retransmits the prepare (same sealed bytes, same
+        // counter), then the commit: both verify in order.
+        assert!(receiver.verify_txn(first).is_accept());
+        assert!(receiver.verify_txn(second).is_accept());
+    }
+
+    #[test]
+    fn confidential_txn_frames_seal_the_body() {
+        let (mut sender, mut receiver) = layer_pair(true);
+        let frame = sender.shield_txn(NodeId(2), 7, &prepare_body()).unwrap();
+        assert!(frame.is_confidential());
+        assert!(frame.body.is_empty());
+        let sealed = frame.sealed.clone().unwrap();
+        assert!(!sealed.bytes.windows(7).any(|w| w == b"balance"));
+        assert!(!sealed.bytes.windows(7).any(|w| w == b"account"));
+        match receiver.verify_txn(frame) {
+            TxnVerifyOutcome::Accept { body, .. } => assert_eq!(body, prepare_body()),
+            other => panic!("expected Accept, got {other:?}"),
+        }
     }
 
     #[test]

@@ -35,12 +35,13 @@ pub mod policy;
 pub mod recovery;
 pub mod view;
 
-pub use auth::{AuthLayer, BatchVerifyOutcome, VerifyOutcome};
+pub use auth::{AuthLayer, BatchVerifyOutcome, TxnVerifyOutcome, VerifyOutcome};
 pub use client_table::ClientTable;
 pub use error::RecipeError;
 pub use membership::Membership;
 pub use message::{
-    BatchFrame, BatchOp, ClientReply, ClientRequest, Operation, SequenceTuple, ShieldedMessage,
+    BatchFrame, BatchOp, ClientReply, ClientRequest, Operation, Request, SequenceTuple,
+    ShieldedMessage, TxnBody, TxnFrame,
 };
 pub use node::{NodeRole, RecipeConfig, RecipeNode};
 pub use policy::ConfidentialityMode;

@@ -314,6 +314,203 @@ impl Operation {
     }
 }
 
+/// A typed client request: the single-key fast path or a multi-key atomic
+/// transaction.
+///
+/// This is the client surface the sharded data store accepts (the
+/// middleware's "uniform service request" interface): a
+/// [`Request::Single`] compiles down to exactly the per-shard batched path a
+/// bare [`Operation`] always took, while a [`Request::Txn`] may span replica
+/// groups and commits (or aborts) atomically through two-phase commit carried
+/// over the shield layer — see `recipe_shard`'s transaction coordinator.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize, Debug)]
+pub enum Request {
+    /// One single-key operation (the fast path; bit-identical to the
+    /// pre-transaction API).
+    Single(Operation),
+    /// A multi-key atomic transaction: every operation commits or none does,
+    /// even when the touched keys live on different shards.
+    Txn(Vec<Operation>),
+}
+
+impl Request {
+    /// The operations this request carries, in client order.
+    pub fn ops(&self) -> &[Operation] {
+        match self {
+            Request::Single(op) => std::slice::from_ref(op),
+            Request::Txn(ops) => ops,
+        }
+    }
+
+    /// True for multi-operation transactions.
+    pub fn is_txn(&self) -> bool {
+        matches!(self, Request::Txn(_))
+    }
+
+    /// Number of operations carried.
+    pub fn len(&self) -> usize {
+        self.ops().len()
+    }
+
+    /// True when the request carries no operations (only possible for an
+    /// empty [`Request::Txn`], which coordinators complete trivially).
+    pub fn is_empty(&self) -> bool {
+        self.ops().is_empty()
+    }
+}
+
+impl From<Operation> for Request {
+    fn from(op: Operation) -> Self {
+        Request::Single(op)
+    }
+}
+
+/// Domain-separation prefix folded into every transaction-frame MAC, so a 2PC
+/// authenticator can never be replayed as (or confused with) a single-message
+/// or batch authenticator. Mirrors [`BATCH_MAC_DOMAIN`].
+const TXN_MAC_DOMAIN: &[u8] = b"recipe.txn.v1";
+
+/// One two-phase-commit message, carried as the body of a [`TxnFrame`].
+///
+/// The coordinator sends `Prepare` / `Commit` / `Abort`; the participant
+/// shard leader answers `Vote` / `Ack`. Every body travels MAC'd and
+/// counter-stamped (and AEAD-sealed when any participant shard's policy is
+/// confidential) — the untrusted infrastructure never observes or forges a
+/// 2PC decision.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize, Debug)]
+pub enum TxnBody {
+    /// Coordinator → participant: lock the touched keys and stage the writes.
+    Prepare {
+        /// The sub-operations routed to this participant, in client order.
+        ops: Vec<Operation>,
+    },
+    /// Participant → coordinator: the prepare outcome.
+    Vote {
+        /// True when every key was locked and every write staged.
+        granted: bool,
+        /// The first conflicting key when `granted` is false.
+        conflict: Option<Vec<u8>>,
+    },
+    /// Coordinator → participant: apply the staged writes and release locks.
+    Commit,
+    /// Coordinator → participant: discard staged writes and release locks.
+    Abort,
+    /// Participant → coordinator: commit/abort executed.
+    Ack {
+        /// Writes applied by a commit (0 for aborts).
+        applied: u32,
+    },
+}
+
+/// A shielded two-phase-commit frame between a transaction coordinator and a
+/// participant shard leader: `body` is a serialized [`TxnBody`], authenticated
+/// under the channel key together with the transaction id and the sequence
+/// tuple, with its own MAC domain (`recipe.txn.v1`) so 2PC frames, batch
+/// frames and single messages can never be confused for one another.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnFrame {
+    /// Sequence tuple (view, channel, counter) — one slot per frame, so a
+    /// replayed or reordered 2PC frame is rejected by the trusted counter.
+    pub tuple: SequenceTuple,
+    /// The transaction this frame belongs to (authenticated, so a frame can
+    /// never be spliced into another transaction).
+    pub txn_id: u64,
+    /// Serialized [`TxnBody`]; empty in confidential mode.
+    pub body: Vec<u8>,
+    /// The sealed body in confidential mode (`None` in plaintext mode).
+    pub sealed: Option<Ciphertext>,
+    /// MAC over domain, body/ciphertext, txn id and tuple under the channel
+    /// key.
+    pub mac: MacTag,
+}
+
+impl TxnFrame {
+    /// Whether the frame's body is encrypted.
+    pub fn is_confidential(&self) -> bool {
+        self.sealed.is_some()
+    }
+
+    /// Serializes a body for framing.
+    pub fn encode_body(body: &TxnBody) -> Vec<u8> {
+        serde_json::to_vec(body).expect("txn body serializes")
+    }
+
+    /// Decodes a frame body. `None` on malformed bytes.
+    pub fn decode_body(bytes: &[u8]) -> Option<TxnBody> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// The bytes covered by the MAC (domain tag, body or nonce‖ciphertext,
+    /// confidentiality flag, txn id, tuple).
+    pub fn authenticated_parts<'a>(
+        body: &'a [u8],
+        sealed: Option<&'a Ciphertext>,
+        txn_id: u64,
+        tuple_bytes: &'a [u8],
+    ) -> [Vec<u8>; 1] {
+        let mut buf =
+            Vec::with_capacity(TXN_MAC_DOMAIN.len() + body.len() + tuple_bytes.len() + 64);
+        Self::write_authenticated_parts(&mut buf, body, sealed, txn_id, tuple_bytes);
+        [buf]
+    }
+
+    /// Appends the MAC-covered bytes to `buf` (scratch-buffer variant).
+    pub fn write_authenticated_parts(
+        buf: &mut Vec<u8>,
+        body: &[u8],
+        sealed: Option<&Ciphertext>,
+        txn_id: u64,
+        tuple_bytes: &[u8],
+    ) {
+        buf.extend_from_slice(TXN_MAC_DOMAIN);
+        match sealed {
+            None => {
+                buf.extend_from_slice(&(body.len() as u64).to_le_bytes());
+                buf.extend_from_slice(body);
+                buf.push(0);
+            }
+            Some(ct) => {
+                buf.extend_from_slice(&(ct.bytes.len() as u64).to_le_bytes());
+                buf.extend_from_slice(ct.nonce.as_bytes());
+                buf.extend_from_slice(&ct.bytes);
+                buf.push(1);
+            }
+        }
+        buf.extend_from_slice(&txn_id.to_le_bytes());
+        buf.extend_from_slice(tuple_bytes);
+    }
+
+    /// Serializes the frame for the wire.
+    pub fn to_wire(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("txn frame serializes")
+    }
+
+    /// Parses a frame from wire bytes.
+    pub fn from_wire(bytes: &[u8]) -> Option<TxnFrame> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// Size on the wire (drives the network cost model).
+    pub fn wire_len(&self) -> usize {
+        self.to_wire().len()
+    }
+}
+
+impl fmt::Debug for TxnFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TxnFrame({:?}, txn {}, {}B{})",
+            self.tuple,
+            self.txn_id,
+            self.sealed
+                .as_ref()
+                .map_or(self.body.len(), |ct| ct.bytes.len()),
+            if self.is_confidential() { ", conf" } else { "" }
+        )
+    }
+}
+
 /// An attested client request `[h_c_σc, (metadata, req_data)]`.
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize, Debug)]
 pub struct ClientRequest {
@@ -518,6 +715,87 @@ mod tests {
         assert_eq!(put.key(), b"k");
         assert_eq!(put.value_len(), 10);
         assert_eq!(get.value_len(), 0);
+    }
+
+    #[test]
+    fn request_accessors_cover_both_variants() {
+        let single = Request::Single(Operation::Get { key: b"k".to_vec() });
+        assert!(!single.is_txn());
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.ops()[0].key(), b"k");
+        let txn = Request::Txn(vec![
+            Operation::Put {
+                key: b"a".to_vec(),
+                value: b"1".to_vec(),
+            },
+            Operation::Get { key: b"b".to_vec() },
+        ]);
+        assert!(txn.is_txn());
+        assert_eq!(txn.len(), 2);
+        assert!(!txn.is_empty());
+        assert!(Request::Txn(Vec::new()).is_empty());
+        let from: Request = Operation::Get { key: b"k".to_vec() }.into();
+        assert_eq!(from, single);
+    }
+
+    #[test]
+    fn txn_frame_wire_roundtrip_and_mac_domain_separation() {
+        let key = MacKey::from_bytes([1u8; 32]);
+        let tuple = tuple();
+        let body = TxnFrame::encode_body(&TxnBody::Prepare {
+            ops: vec![Operation::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }],
+        });
+        assert!(matches!(
+            TxnFrame::decode_body(&body),
+            Some(TxnBody::Prepare { .. })
+        ));
+        let parts = TxnFrame::authenticated_parts(&body, None, 7, &tuple.to_bytes());
+        let frame = TxnFrame {
+            tuple,
+            txn_id: 7,
+            body: body.clone(),
+            sealed: None,
+            mac: key.tag(&parts[0]),
+        };
+        assert!(!frame.is_confidential());
+        let wire = frame.to_wire();
+        assert_eq!(TxnFrame::from_wire(&wire).unwrap(), frame);
+        assert_eq!(frame.wire_len(), wire.len());
+        // A txn frame never parses as a single message or batch frame and vice
+        // versa (disjoint required fields), so the shield can discriminate.
+        assert!(ShieldedMessage::from_wire(&wire).is_none());
+        assert!(BatchFrame::from_wire(&wire).is_none());
+        assert!(TxnFrame::from_wire(b"not json").is_none());
+        // The MAC input is domain-separated from both other frame families.
+        let single = ShieldedMessage::authenticated_parts(&body, 1, false, &tuple.to_bytes());
+        let batch = BatchFrame::authenticated_parts(&body, None, 1, &tuple.to_bytes());
+        assert_ne!(parts, single);
+        assert_ne!(parts, batch);
+    }
+
+    #[test]
+    fn txn_authenticated_parts_bind_every_field() {
+        use recipe_crypto::Nonce;
+        let t = tuple().to_bytes();
+        let a = TxnFrame::authenticated_parts(b"body", None, 7, &t);
+        // Splicing a frame into another transaction changes the MAC input.
+        assert_ne!(a, TxnFrame::authenticated_parts(b"body", None, 8, &t));
+        assert_ne!(a, TxnFrame::authenticated_parts(b"ydob", None, 7, &t));
+        let mut other = tuple();
+        other.counter += 1;
+        assert_ne!(
+            a,
+            TxnFrame::authenticated_parts(b"body", None, 7, &other.to_bytes())
+        );
+        let ct = Ciphertext {
+            nonce: Nonce::from_u128(9),
+            bytes: b"body".to_vec(),
+            tag: [0u8; 32],
+        };
+        assert_ne!(a, TxnFrame::authenticated_parts(&[], Some(&ct), 7, &t));
     }
 
     #[test]

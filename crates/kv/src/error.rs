@@ -28,6 +28,15 @@ pub enum KvError {
         /// The key whose value vanished.
         key: Vec<u8>,
     },
+    /// A transaction prepare tried to lock a key already locked by another
+    /// in-flight transaction; the prepare votes no and the coordinator aborts
+    /// (and typically retries) the whole transaction.
+    LockConflict {
+        /// The key that could not be locked.
+        key: Vec<u8>,
+        /// The transaction currently holding the lock.
+        holder: u64,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -52,6 +61,11 @@ impl fmt::Display for KvError {
             KvError::HostValueMissing { key } => write!(
                 f,
                 "host memory no longer holds the value for key {:?}",
+                String::from_utf8_lossy(key)
+            ),
+            KvError::LockConflict { key, holder } => write!(
+                f,
+                "key {:?} is locked by transaction {holder}",
                 String::from_utf8_lossy(key)
             ),
         }

@@ -31,8 +31,10 @@ pub mod error;
 pub mod skiplist;
 pub mod store;
 pub mod timestamp;
+pub mod txn;
 
 pub use error::KvError;
 pub use skiplist::SkipList;
 pub use store::{ExportedEntry, PartitionedKvStore, ReadResult, StoreConfig, StoreStats};
 pub use timestamp::Timestamp;
+pub use txn::TxnTable;

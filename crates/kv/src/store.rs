@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::KvError;
 use crate::skiplist::SkipList;
 use crate::timestamp::Timestamp;
+use crate::txn::TxnTable;
 
 /// Configuration for a [`PartitionedKvStore`].
 #[derive(Clone, Debug)]
@@ -119,6 +120,8 @@ pub struct PartitionedKvStore {
     cipher: Option<Cipher>,
     nonce_counter: u64,
     stats: StoreStats,
+    /// Transaction locks + staged writes (enclave-resident, like the index).
+    txns: TxnTable,
 }
 
 impl PartitionedKvStore {
@@ -131,6 +134,7 @@ impl PartitionedKvStore {
             cipher: config.cipher_key.as_ref().map(Cipher::new),
             nonce_counter: 0,
             stats: StoreStats::default(),
+            txns: TxnTable::default(),
         }
     }
 
@@ -286,6 +290,59 @@ impl PartitionedKvStore {
     /// All keys in order (used by state transfer during recovery).
     pub fn keys(&self) -> Vec<Vec<u8>> {
         self.index.iter().map(|(k, _)| k.to_vec()).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Two-phase-commit participation (cross-shard transactions)
+    // ------------------------------------------------------------------
+
+    /// True when any in-flight transaction holds a lock on `key`. A
+    /// coordinator consults this before serving a single-key operation: a
+    /// locked key means an uncommitted transaction touches it, so the
+    /// operation must wait (the replica drops it and the client's retry
+    /// resubmits after the transaction resolved).
+    pub fn is_locked(&self, key: &[u8]) -> bool {
+        self.txns.is_locked(key)
+    }
+
+    /// The transaction holding the lock on `key`, if any.
+    pub fn lock_owner(&self, key: &[u8]) -> Option<u64> {
+        self.txns.lock_owner(key)
+    }
+
+    /// Number of keys currently locked by in-flight transactions.
+    pub fn locked_keys(&self) -> usize {
+        self.txns.locked_keys()
+    }
+
+    /// Bytes staged by in-flight prepares (enclave-resident until commit;
+    /// the cost model's per-prepare EPC pressure reads this footprint).
+    pub fn txn_staged_bytes(&self) -> usize {
+        self.txns.staged_bytes()
+    }
+
+    /// Prepare phase of 2PC: locks every key of `ops` for `txn_id`
+    /// (all-or-nothing) and stages the writes. See [`crate::txn::TxnTable`].
+    pub fn txn_prepare(
+        &mut self,
+        txn_id: u64,
+        ops: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> Result<(), KvError> {
+        self.txns.prepare(txn_id, ops)
+    }
+
+    /// Commit phase of 2PC: removes `txn_id`'s staged writes and releases its
+    /// locks. The caller applies the returned writes through its normal write
+    /// path so versions and replication counters stay consistent. `None` when
+    /// the transaction is unknown (already resolved) — ack idempotently.
+    pub fn txn_take_staged(&mut self, txn_id: u64) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.txns.take_staged(txn_id)
+    }
+
+    /// Abort phase of 2PC: discards `txn_id`'s staged writes and releases its
+    /// locks. Returns true when the transaction was known.
+    pub fn txn_abort(&mut self, txn_id: u64) -> bool {
+        self.txns.abort(txn_id)
     }
 
     // ------------------------------------------------------------------
@@ -680,6 +737,39 @@ mod tests {
         let mut store = plain_store();
         store.write(b"k", b"", Timestamp::new(1, 0)).unwrap();
         assert_eq!(store.get(b"k").unwrap().value, b"");
+    }
+
+    #[test]
+    fn store_level_txn_prepare_commit_roundtrip() {
+        let mut store = plain_store();
+        store.write(b"a", b"old", Timestamp::new(1, 0)).unwrap();
+        store
+            .txn_prepare(
+                7,
+                &[
+                    (b"a".to_vec(), Some(b"new".to_vec())),
+                    (b"b".to_vec(), None),
+                ],
+            )
+            .unwrap();
+        assert!(store.is_locked(b"a"));
+        assert_eq!(store.lock_owner(b"b"), Some(7));
+        assert_eq!(store.locked_keys(), 2);
+        assert_eq!(store.txn_staged_bytes(), 4);
+        // A second transaction conflicts on either key.
+        assert!(matches!(
+            store.txn_prepare(8, &[(b"b".to_vec(), Some(b"x".to_vec()))]),
+            Err(KvError::LockConflict { holder: 7, .. })
+        ));
+        // The staged value is not visible until the caller applies it.
+        assert_eq!(store.get(b"a").unwrap().value, b"old");
+        let writes = store.txn_take_staged(7).unwrap();
+        for (key, value) in &writes {
+            store.write(key, value, Timestamp::new(2, 0)).unwrap();
+        }
+        assert_eq!(store.get(b"a").unwrap().value, b"new");
+        assert_eq!(store.locked_keys(), 0);
+        assert!(!store.txn_abort(7));
     }
 
     proptest! {

@@ -1,0 +1,228 @@
+//! Two-phase-commit support for the partitioned store: key locks and staged
+//! writes.
+//!
+//! A transaction participant (a shard leader) calls
+//! [`crate::store::PartitionedKvStore::txn_prepare`] to lock every key a
+//! transaction touches and stage its writes inside the enclave region, then
+//! either [`crate::store::PartitionedKvStore::txn_take_staged`] (commit: the
+//! caller applies the returned writes through its normal apply path, so
+//! versions, timestamps and replication counters stay consistent) or
+//! [`crate::store::PartitionedKvStore::txn_abort`] (discard everything).
+//! Locks are
+//! exclusive and all-or-nothing: a prepare that hits a conflicting lock
+//! releases whatever it acquired and reports the conflict, so a participant
+//! never holds a partial lock set — the deadlock-freedom argument of the
+//! coordinator's vote-then-decide 2PC.
+//!
+//! The table lives in [`TxnTable`], embedded in the store: lock state is
+//! enclave-resident metadata exactly like the index (a Byzantine host cannot
+//! forge or drop a lock), and staged values are enclave-resident until commit
+//! — which is why the cost model charges EPC pressure per in-flight prepare.
+
+use std::collections::BTreeMap;
+
+use crate::error::KvError;
+
+/// One transaction's staged state on a participant store.
+#[derive(Debug, Clone, Default)]
+struct StagedTxn {
+    /// Keys this transaction locked, in lock order.
+    keys: Vec<Vec<u8>>,
+    /// Writes staged for commit, in operation order (later writes to the same
+    /// key win when applied in order).
+    writes: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// Enclave-resident lock and staging table of one participant store.
+#[derive(Debug, Default)]
+pub struct TxnTable {
+    /// Exclusive key locks: key → holding transaction.
+    locks: BTreeMap<Vec<u8>, u64>,
+    /// Per-transaction staged state.
+    staged: BTreeMap<u64, StagedTxn>,
+}
+
+impl TxnTable {
+    /// The transaction currently holding a lock on `key`, if any.
+    pub fn lock_owner(&self, key: &[u8]) -> Option<u64> {
+        self.locks.get(key).copied()
+    }
+
+    /// True when any transaction holds a lock on `key`. Single-key requests
+    /// consult this on their coordinator: an operation touching a locked key
+    /// is deferred (dropped, so the client's retry resubmits it after the
+    /// transaction released the key) — two-phase locking's isolation rule.
+    pub fn is_locked(&self, key: &[u8]) -> bool {
+        self.locks.contains_key(key)
+    }
+
+    /// True when transaction `txn_id` has prepared on this store.
+    pub fn is_prepared(&self, txn_id: u64) -> bool {
+        self.staged.contains_key(&txn_id)
+    }
+
+    /// Number of keys currently locked.
+    pub fn locked_keys(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Bytes staged by in-flight prepares (the enclave-resident footprint the
+    /// EPC model charges for).
+    pub fn staged_bytes(&self) -> usize {
+        self.staged
+            .values()
+            .flat_map(|txn| txn.writes.iter())
+            .map(|(key, value)| key.len() + value.len())
+            .sum()
+    }
+
+    /// Locks every key of `ops` for `txn_id` and stages the writes,
+    /// all-or-nothing: on the first conflicting lock, everything this call
+    /// acquired is released and [`KvError::LockConflict`] names the key and
+    /// the holder. Re-preparing an already-prepared transaction is a no-op
+    /// (the coordinator's retransmission protocol never re-executes, but the
+    /// idempotence keeps the store safe regardless).
+    ///
+    /// `ops` pairs each touched key with `Some(value)` for writes and `None`
+    /// for reads — reads lock too (2PL), they just stage nothing.
+    pub fn prepare(
+        &mut self,
+        txn_id: u64,
+        ops: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> Result<(), KvError> {
+        if self.staged.contains_key(&txn_id) {
+            return Ok(());
+        }
+        let mut txn = StagedTxn::default();
+        for (key, write) in ops {
+            match self.locks.get(key) {
+                Some(&holder) if holder != txn_id => {
+                    // All-or-nothing: release what this prepare acquired.
+                    for key in &txn.keys {
+                        self.locks.remove(key);
+                    }
+                    return Err(KvError::LockConflict {
+                        key: key.clone(),
+                        holder,
+                    });
+                }
+                Some(_) => {} // a key touched twice by the same transaction
+                None => {
+                    self.locks.insert(key.clone(), txn_id);
+                    txn.keys.push(key.clone());
+                }
+            }
+            if let Some(value) = write {
+                txn.writes.push((key.clone(), value.clone()));
+            }
+        }
+        self.staged.insert(txn_id, txn);
+        Ok(())
+    }
+
+    /// Commit: removes the transaction's staged writes and releases its
+    /// locks, returning the writes in operation order for the caller to apply
+    /// through its normal write path. `None` when the transaction is unknown
+    /// (already committed or aborted) — the caller acks idempotently.
+    pub fn take_staged(&mut self, txn_id: u64) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        let txn = self.staged.remove(&txn_id)?;
+        for key in &txn.keys {
+            self.locks.remove(key);
+        }
+        Some(txn.writes)
+    }
+
+    /// Abort: discards staged writes and releases locks. Returns true when
+    /// the transaction was known.
+    pub fn abort(&mut self, txn_id: u64) -> bool {
+        self.take_staged(txn_id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(key: &[u8], value: &[u8]) -> (Vec<u8>, Option<Vec<u8>>) {
+        (key.to_vec(), Some(value.to_vec()))
+    }
+
+    fn get(key: &[u8]) -> (Vec<u8>, Option<Vec<u8>>) {
+        (key.to_vec(), None)
+    }
+
+    #[test]
+    fn prepare_locks_all_keys_and_stages_writes() {
+        let mut table = TxnTable::default();
+        table.prepare(1, &[put(b"a", b"1"), get(b"b")]).unwrap();
+        assert!(table.is_locked(b"a"));
+        assert!(table.is_locked(b"b"));
+        assert_eq!(table.lock_owner(b"a"), Some(1));
+        assert!(table.is_prepared(1));
+        assert_eq!(table.locked_keys(), 2);
+        assert_eq!(table.staged_bytes(), 2);
+        let writes = table.take_staged(1).unwrap();
+        assert_eq!(writes, vec![(b"a".to_vec(), b"1".to_vec())]);
+        assert!(!table.is_locked(b"a"));
+        assert!(!table.is_locked(b"b"));
+        // Committing again acks idempotently with nothing to apply.
+        assert_eq!(table.take_staged(1), None);
+    }
+
+    #[test]
+    fn conflicting_prepare_releases_everything_it_acquired() {
+        let mut table = TxnTable::default();
+        table.prepare(1, &[put(b"b", b"1")]).unwrap();
+        let err = table
+            .prepare(2, &[put(b"a", b"2"), put(b"b", b"2"), put(b"c", b"2")])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            KvError::LockConflict {
+                key: b"b".to_vec(),
+                holder: 1
+            }
+        );
+        // Transaction 2 holds nothing: its partial locks were rolled back.
+        assert!(!table.is_locked(b"a"));
+        assert!(!table.is_locked(b"c"));
+        assert!(!table.is_prepared(2));
+        // Transaction 1 is untouched and can still commit.
+        assert_eq!(table.take_staged(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn abort_discards_staged_writes_and_releases_locks() {
+        let mut table = TxnTable::default();
+        table.prepare(1, &[put(b"a", b"1")]).unwrap();
+        assert!(table.abort(1));
+        assert!(!table.is_locked(b"a"));
+        assert!(!table.abort(1));
+        // The keys are free for the next transaction.
+        table.prepare(2, &[put(b"a", b"2")]).unwrap();
+        assert_eq!(table.lock_owner(b"a"), Some(2));
+    }
+
+    #[test]
+    fn same_transaction_may_touch_a_key_twice() {
+        let mut table = TxnTable::default();
+        table
+            .prepare(1, &[put(b"a", b"first"), put(b"a", b"second")])
+            .unwrap();
+        let writes = table.take_staged(1).unwrap();
+        // Both staged writes surface, in operation order: applying them in
+        // order makes the later one win, matching sequential semantics.
+        assert_eq!(writes.len(), 2);
+        assert_eq!(writes[1].1, b"second");
+        assert!(!table.is_locked(b"a"));
+    }
+
+    #[test]
+    fn re_prepare_is_idempotent() {
+        let mut table = TxnTable::default();
+        table.prepare(1, &[put(b"a", b"1")]).unwrap();
+        table.prepare(1, &[put(b"a", b"1")]).unwrap();
+        assert_eq!(table.take_staged(1).unwrap().len(), 1);
+        assert_eq!(table.locked_keys(), 0);
+    }
+}

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
 use serde::{Deserialize, Serialize};
 
 use crate::shield::ProtocolShield;
@@ -342,6 +342,12 @@ impl Replica for AbdReplica {
     }
 
     fn on_client_request(&mut self, request: ClientRequest, ctx: &mut Ctx) {
+        if self.kv.is_locked(request.operation.key()) {
+            // An in-flight transaction prepared on this coordinator holds the
+            // key (2PL isolation): defer by dropping — the client's
+            // retransmission resubmits after the transaction resolved.
+            return;
+        }
         self.next_op += 1;
         // Operation ids are namespaced by coordinator so concurrent coordinators
         // never collide.
@@ -407,6 +413,29 @@ impl Replica for AbdReplica {
         } else {
             "ABD"
         }
+    }
+
+    fn txn_prepare(&mut self, txn_id: u64, ops: &[Operation]) -> TxnVote {
+        crate::txn::kv_txn_prepare(&mut self.kv, txn_id, ops)
+    }
+
+    fn txn_commit(&mut self, txn_id: u64) -> Vec<RangeEntry> {
+        // Each staged write takes a strictly newer Lamport timestamp than the
+        // stored one (the ABD write rule), so replicas installing the
+        // returned records via `write_if_newer` semantics converge.
+        let id = self.id.0;
+        let mut applied = self.applied_writes;
+        let entries = crate::txn::kv_txn_commit(&mut self.kv, txn_id, |kv, key, value| {
+            let next = kv.timestamp_of(key).unwrap_or(Timestamp::ZERO).next_for(id);
+            applied += 1;
+            let _ = kv.write(key, value, next);
+        });
+        self.applied_writes = applied;
+        entries
+    }
+
+    fn txn_abort(&mut self, txn_id: u64) {
+        self.kv.txn_abort(txn_id);
     }
 }
 

@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, Replica};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica};
 use serde::{Deserialize, Serialize};
 
 use crate::shield::ProtocolShield;
@@ -239,6 +239,24 @@ impl Replica for AllConcurReplica {
         } else {
             "AllConcur"
         }
+    }
+}
+
+impl RangeStateTransfer for AllConcurReplica {
+    fn export_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> Result<Vec<RangeEntry>, String> {
+        crate::migration::kv_export_range(&mut self.kv, filter)
+    }
+
+    fn read_entry(&mut self, key: &[u8]) -> Result<Option<RangeEntry>, String> {
+        crate::migration::kv_read_entry(&mut self.kv, key)
+    }
+
+    fn import_range(&mut self, entries: &[RangeEntry]) {
+        crate::migration::kv_import_range(&mut self.kv, entries);
+    }
+
+    fn evict_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> usize {
+        self.kv.remove_matching(filter)
     }
 }
 

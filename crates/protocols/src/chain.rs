@@ -11,7 +11,7 @@
 use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, Replica};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{BatchConfig, Batcher};
@@ -180,6 +180,12 @@ impl Replica for ChainReplica {
     }
 
     fn on_client_request(&mut self, request: ClientRequest, ctx: &mut Ctx) {
+        if self.kv.is_locked(request.operation.key()) {
+            // An in-flight transaction holds the key (2PL isolation): defer
+            // by dropping — the client's retransmission resubmits after the
+            // transaction resolved. Never taken without transactions.
+            return;
+        }
         match request.operation {
             Operation::Get { key } => {
                 // Reads are served locally at the tail.
@@ -245,6 +251,46 @@ impl Replica for ChainReplica {
         } else {
             "CR"
         }
+    }
+
+    fn txn_prepare(&mut self, txn_id: u64, ops: &[Operation]) -> TxnVote {
+        crate::txn::kv_txn_prepare(&mut self.kv, txn_id, ops)
+    }
+
+    fn txn_commit(&mut self, txn_id: u64) -> Vec<RangeEntry> {
+        // The head applies through its normal apply path (sequencing the
+        // writes like forwarded ones); the coordinator installs the returned
+        // records down-chain, mirroring the forward traversal.
+        let mut applied = self.applied_writes;
+        let id = self.id.0;
+        let entries = crate::txn::kv_txn_commit(&mut self.kv, txn_id, |kv, key, value| {
+            applied += 1;
+            let _ = kv.write(key, value, Timestamp::new(applied, id));
+        });
+        self.applied_writes = applied;
+        entries
+    }
+
+    fn txn_abort(&mut self, txn_id: u64) {
+        self.kv.txn_abort(txn_id);
+    }
+}
+
+impl RangeStateTransfer for ChainReplica {
+    fn export_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> Result<Vec<RangeEntry>, String> {
+        crate::migration::kv_export_range(&mut self.kv, filter)
+    }
+
+    fn read_entry(&mut self, key: &[u8]) -> Result<Option<RangeEntry>, String> {
+        crate::migration::kv_read_entry(&mut self.kv, key)
+    }
+
+    fn import_range(&mut self, entries: &[RangeEntry]) {
+        crate::migration::kv_import_range(&mut self.kv, entries);
+    }
+
+    fn evict_range(&mut self, filter: &dyn Fn(&[u8]) -> bool) -> usize {
+        self.kv.remove_matching(filter)
     }
 }
 

@@ -31,6 +31,7 @@ pub mod chain;
 pub mod migration;
 pub mod raft;
 pub mod shield;
+pub mod txn;
 
 pub use abd::AbdReplica;
 pub use allconcur::AllConcurReplica;
@@ -39,6 +40,7 @@ pub use chain::ChainReplica;
 pub use migration::{ChunkPhase, MigrationChannel, MigrationChunk};
 pub use raft::RaftReplica;
 pub use shield::{Frames, FramesIter, ProtocolMode, ProtocolShield};
+pub use txn::TxnChannel;
 
 use recipe_core::Membership;
 
@@ -50,33 +52,6 @@ pub fn build_cluster<R>(n: usize, f: usize, make: impl Fn(u64, Membership) -> R)
     let membership = Membership::of_size(n, f);
     (0..n as u64)
         .map(|id| make(id, membership.clone()))
-        .collect()
-}
-
-/// Builds `shards` independent replica groups of one protocol, for
-/// `recipe_shard::ShardedCluster`.
-///
-/// `make` receives `(shard, node_id, membership)` and returns the replica.
-/// Node ids are local to each group (every group numbers its replicas
-/// `0..n`), mirroring how each group runs its own attestation domain and
-/// membership.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a recipe_shard::DeploymentSpec and use ShardedCluster::build instead"
-)]
-pub fn build_sharded_cluster<R>(
-    shards: usize,
-    n: usize,
-    f: usize,
-    make: impl Fn(usize, u64, Membership) -> R,
-) -> Vec<Vec<R>> {
-    (0..shards)
-        .map(|shard| {
-            let membership = Membership::of_size(n, f);
-            (0..n as u64)
-                .map(|id| make(shard, id, membership.clone()))
-                .collect()
-        })
         .collect()
 }
 

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{BatchConfig, Batcher};
@@ -345,6 +345,14 @@ impl Replica for RaftReplica {
             // The distributed data-store layer normally routes around this; drop.
             return;
         }
+        if self.kv.is_locked(request.operation.key()) {
+            // An in-flight transaction holds the key (2PL isolation): defer
+            // by dropping — the client's retransmission resubmits the
+            // operation after the transaction committed or aborted. With no
+            // transactions in flight this branch never taken, so the
+            // single-key path is bit-identical to the pre-transaction API.
+            return;
+        }
         match request.operation {
             Operation::Get { key } => {
                 // Linearizable local read at the leader.
@@ -452,6 +460,29 @@ impl Replica for RaftReplica {
         } else {
             "Raft"
         }
+    }
+
+    fn txn_prepare(&mut self, txn_id: u64, ops: &[Operation]) -> TxnVote {
+        crate::txn::kv_txn_prepare(&mut self.kv, txn_id, ops)
+    }
+
+    fn txn_commit(&mut self, txn_id: u64) -> Vec<RangeEntry> {
+        // Each staged write goes through the leader's normal apply path, so
+        // log positions and timestamps advance exactly as for replicated
+        // single-key writes; the coordinator installs the returned records on
+        // the followers (the migration-import idiom).
+        let mut committed = self.committed_entries;
+        let id = self.id.0;
+        let entries = crate::txn::kv_txn_commit(&mut self.kv, txn_id, |kv, key, value| {
+            committed += 1;
+            let _ = kv.write(key, value, Timestamp::new(committed, id));
+        });
+        self.committed_entries = committed;
+        entries
+    }
+
+    fn txn_abort(&mut self, txn_id: u64) {
+        self.kv.txn_abort(txn_id);
     }
 }
 

@@ -14,7 +14,7 @@
 
 use recipe_core::{
     AuthLayer, BatchFrame, BatchOp, BatchVerifyOutcome, ConfidentialityMode, Membership,
-    ShieldedMessage, VerifyOutcome,
+    ShieldedMessage, TxnBody, TxnFrame, TxnVerifyOutcome, VerifyOutcome,
 };
 use recipe_crypto::{CipherKey, MacKey};
 use recipe_net::NodeId;
@@ -314,6 +314,46 @@ impl ProtocolShield {
                 .shield_batch(dst, &ops)
                 .expect("channel key provisioned for every peer")
                 .to_wire(),
+        }
+    }
+
+    /// Wraps one two-phase-commit message for `dst` into wire bytes: a
+    /// domain-separated [`recipe_core::TxnFrame`] under the channel's next
+    /// counter slot (MAC always; AEAD over the body in confidential mode).
+    /// 2PC endpoints always run Recipe mode — there is no native 2PC.
+    ///
+    /// # Panics
+    /// Panics on a native-mode shield: transaction frames only exist inside
+    /// the authenticated channel.
+    pub fn wrap_txn(&mut self, dst: NodeId, txn_id: u64, body: &TxnBody) -> Vec<u8> {
+        self.auth
+            .as_mut()
+            .expect("2PC frames require a Recipe-mode shield")
+            .shield_txn(dst, txn_id, body)
+            .expect("channel key provisioned for every peer")
+            .to_wire()
+    }
+
+    /// Unwraps a two-phase-commit frame received from a coordinator or
+    /// participant endpoint. Returns the `(txn_id, body)` the frame carried
+    /// when it is authentic, fresh and in order; `None` otherwise (tampered,
+    /// replayed, out of order, misaddressed — the 2PC retransmission
+    /// protocol redelivers; the rejection is counted).
+    pub fn unwrap_txn(&mut self, bytes: &[u8]) -> Option<(u64, TxnBody)> {
+        let auth = self
+            .auth
+            .as_mut()
+            .expect("2PC frames require a Recipe-mode shield");
+        let Some(frame) = TxnFrame::from_wire(bytes) else {
+            self.dropped += 1;
+            return None;
+        };
+        match auth.verify_txn(frame) {
+            TxnVerifyOutcome::Accept { txn_id, body, .. } => Some((txn_id, body)),
+            _ => {
+                self.dropped += 1;
+                None
+            }
         }
     }
 

@@ -1,0 +1,616 @@
+//! The unified request driver: one event loop for single-key operations,
+//! cross-shard transactions and online rebalancing.
+//!
+//! [`ShardedCluster::run_requests`] is the principal entry point of the
+//! typed request API: the workload closure returns
+//! [`recipe_core::Request`]s, and the driver
+//!
+//! * routes every operation by key through the epoch-stamped
+//!   [`crate::ShardRouter`] (stale clients earn `WrongShard` redirects and
+//!   re-resolve — including *whole transactions*, which re-route every key
+//!   before 2PC starts);
+//! * submits [`Request::Single`] operations to their shard exactly as the
+//!   pre-transaction driver did — the fast path compiles down to the same
+//!   leader-side batched pipeline, bit for bit;
+//! * coordinates [`Request::Txn`] requests through the two-phase-commit
+//!   machinery in [`crate::txn`], with every 2PC frame shielded;
+//! * runs the online-rebalancing controller when the deployment enables it,
+//!   with transactions participating in the drain rules: a transaction
+//!   touching a draining range backs off whole, and a cutover waits for
+//!   in-flight transactions on the moving range exactly as it waits for
+//!   outstanding single-key operations.
+//!
+//! The legacy surfaces — [`ShardedCluster::run`] (plain operations) and
+//! [`ShardedCluster::run_rebalancing`] (optional operations) — are thin
+//! wrappers lowering their workloads into `Request::Single` streams.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use recipe_core::Request;
+use recipe_sim::{RangeStateTransfer, Replica, StepOutcome};
+use recipe_workload::stable_key_hash;
+
+use crate::migration::ControllerState;
+use crate::router::{RouteDecision, RouterVersion};
+use crate::sharded::{ShardedCluster, ShardedRunStats, TimelineBucket};
+use crate::txn::{TxnManager, TxnResolution, TxnSchedule};
+
+/// Work carried by one driver event.
+#[derive(Debug)]
+pub(crate) enum DriverWork {
+    /// Draw the client's next request from the workload.
+    Fresh,
+    /// Re-issue an already-generated `(request_id, request)` — a redirect,
+    /// refusal, submit failure or abort retry. Re-drawing from the workload
+    /// closure would silently mutate stateful generators, the bug class the
+    /// single-group retry path fixed in PR 1.
+    Retry(u64, Request),
+    /// Retransmit one participant's current 2PC frame.
+    TxnRetry {
+        /// The transaction.
+        txn_id: u64,
+        /// Participant index within the transaction.
+        participant: usize,
+    },
+    /// Every round trip of a 2PC phase landed; advance the transaction.
+    TxnAdvance {
+        /// The transaction.
+        txn_id: u64,
+    },
+}
+
+/// One driver event, ordered by `(at, seq)`.
+#[derive(Debug)]
+pub(crate) struct DriverEvent {
+    pub(crate) at: u64,
+    pub(crate) seq: u64,
+    pub(crate) client_id: u64,
+    pub(crate) work: DriverWork,
+}
+
+impl PartialEq for DriverEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for DriverEvent {}
+impl PartialOrd for DriverEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DriverEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One single-key operation in flight, as the driver submitted it.
+pub(crate) struct Issued {
+    pub(crate) shard: usize,
+    pub(crate) arc: usize,
+    pub(crate) request_id: u64,
+    pub(crate) key: Vec<u8>,
+    pub(crate) is_write: bool,
+}
+
+/// Single-key operations currently in flight on the moving range of the
+/// active migration.
+fn singles_on_moving(st: &ControllerState, outstanding: &HashMap<u64, Issued>) -> usize {
+    match st.active_range() {
+        Some((donor, arc_set)) => outstanding
+            .values()
+            .filter(|issued| issued.shard == donor && arc_set.contains(&issued.arc))
+            .count(),
+        None => 0,
+    }
+}
+
+/// Everything in flight on the moving range: outstanding single-key
+/// operations plus transactions with a participant on it.
+fn inflight_on_moving(
+    st: &ControllerState,
+    outstanding: &HashMap<u64, Issued>,
+    txns: &TxnManager,
+) -> usize {
+    let singles = singles_on_moving(st, outstanding);
+    let in_txns = match st.active_range() {
+        Some((donor, arc_set)) => txns.inflight_on(donor, arc_set),
+        None => 0,
+    };
+    singles + in_txns
+}
+
+impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
+    /// Runs the sharded simulation over a typed-request workload: the new
+    /// principal driver surface. `workload(client_id, seq)` returns the
+    /// client's next [`Request`] (`None` retires the client — open-loop
+    /// schedules need a stop signal).
+    ///
+    /// Single-key requests take exactly the per-shard batched path the
+    /// operation-level API always took; transactions run atomic cross-shard
+    /// 2PC through the shield layer (see [`crate::txn`]). The
+    /// online-rebalancing controller runs when
+    /// [`crate::migration::RebalanceConfig::enabled`] is set on the
+    /// deployment.
+    pub fn run_requests<W>(&mut self, workload: W) -> ShardedRunStats
+    where
+        W: FnMut(u64, u64) -> Option<Request>,
+    {
+        let enabled = self.config.rebalance.enabled;
+        self.run_engine(workload, enabled)
+    }
+
+    /// The engine behind every driver surface. `controller_enabled` gates
+    /// the rebalancing controller (the legacy [`ShardedCluster::run`] always
+    /// disables it, matching its historical behaviour).
+    pub(crate) fn run_engine<W>(
+        &mut self,
+        mut workload: W,
+        controller_enabled: bool,
+    ) -> ShardedRunStats
+    where
+        W: FnMut(u64, u64) -> Option<Request>,
+    {
+        for shard in &mut self.shards {
+            shard.seed_initial_events();
+        }
+
+        let rb = self.config.rebalance.clone();
+        let link_latency = self.config.base.cost_model.link_latency_ns;
+        let think = self.config.base.cost_model.client_think_ns;
+        let cap = self.config.base.max_virtual_ns;
+        let target = self.config.base.clients.total_operations as u64;
+        let clients = self.config.base.clients.clients;
+        let shard_count = self.shards.len();
+
+        let mut queue: BinaryHeap<Reverse<DriverEvent>> = BinaryHeap::new();
+        let mut next_seq = 0u64;
+        for client_id in 0..clients as u64 {
+            queue.push(Reverse(DriverEvent {
+                at: client_id * rb.issue_stagger_ns,
+                seq: next_seq,
+                client_id,
+                work: DriverWork::Fresh,
+            }));
+            next_seq += 1;
+        }
+
+        let mut st = ControllerState::new(shard_count, rb.check_interval_ns);
+        let profiles = (0..shard_count)
+            .map(|shard| self.config.config_for_shard(shard).profiles)
+            .collect();
+        let mut txns = TxnManager::new(
+            self.config.txn.clone(),
+            self.config.base.seed,
+            profiles,
+            link_latency,
+        );
+        let mut client_versions: Vec<RouterVersion> = vec![self.router.version(); clients];
+        let mut outstanding: HashMap<u64, Issued> = HashMap::new();
+        let mut next_request_id: HashMap<u64, u64> = HashMap::new();
+        let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut shard_latencies: Vec<Vec<u64>> = vec![Vec::new(); shard_count];
+        let mut txn_shard_ops: Vec<(u64, u64, u64)> = vec![(0, 0, 0); shard_count];
+        let mut timeline: Vec<u64> = Vec::new();
+        let mut committed = 0u64;
+        let mut committed_reads = 0u64;
+        let mut committed_writes = 0u64;
+        let mut global_now = 0u64;
+
+        let bucket_commit = |timeline: &mut Vec<u64>, at_ns: u64, count: u64| {
+            if let Some(bucket) = at_ns.checked_div(rb.timeline_bucket_ns) {
+                let bucket = bucket as usize;
+                if timeline.len() <= bucket {
+                    timeline.resize(bucket + 1, 0);
+                }
+                timeline[bucket] += count;
+            }
+        };
+        let push_schedules = |queue: &mut BinaryHeap<Reverse<DriverEvent>>,
+                              next_seq: &mut u64,
+                              client_id: u64,
+                              schedules: Vec<TxnSchedule>| {
+            for schedule in schedules {
+                let (at, work) = match schedule {
+                    TxnSchedule::Retry {
+                        txn_id,
+                        participant,
+                        at,
+                    } => (
+                        at,
+                        DriverWork::TxnRetry {
+                            txn_id,
+                            participant,
+                        },
+                    ),
+                    TxnSchedule::Advance { txn_id, at } => (at, DriverWork::TxnAdvance { txn_id }),
+                };
+                queue.push(Reverse(DriverEvent {
+                    at,
+                    seq: *next_seq,
+                    client_id,
+                    work,
+                }));
+                *next_seq += 1;
+            }
+        };
+
+        loop {
+            // Termination: a transaction whose outcome is decided must
+            // resolve on every participant (2PC's completion property), so
+            // reaching the commit target only stops the run once no
+            // transaction is in flight. In the drain that follows, clients
+            // issue nothing new — only 2PC events, the controller and shard
+            // work keep running.
+            let draining_txns = committed >= target;
+            if draining_txns && txns.is_idle() {
+                break;
+            }
+            let driver_at = queue.peek().map(|Reverse(event)| event.at);
+            let ctrl_at = st
+                .deadline(controller_enabled, rb.max_migrations)
+                .filter(|&at| at <= cap);
+            let shard_at = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(shard, cluster)| cluster.peek_next_at().map(|at| (at, shard)))
+                .min();
+
+            // Priority on ties: client/txn events, then the controller, then
+            // shard work — all deterministic.
+            let driver_wins = match (driver_at, ctrl_at, shard_at) {
+                (None, None, None) => break,
+                (Some(d), c, s) => {
+                    d <= c.unwrap_or(u64::MAX) && d <= s.map(|(at, _)| at).unwrap_or(u64::MAX)
+                }
+                _ => false,
+            };
+            let ctrl_wins = !driver_wins
+                && match (ctrl_at, shard_at) {
+                    (Some(c), s) => c <= s.map(|(at, _)| at).unwrap_or(u64::MAX),
+                    (None, _) => false,
+                };
+
+            if driver_wins {
+                let Reverse(event) = queue.pop().expect("peeked driver event");
+                if event.at > cap {
+                    break;
+                }
+                global_now = global_now.max(event.at);
+                let client_id = event.client_id;
+
+                let (rid, request) = match event.work {
+                    DriverWork::TxnRetry {
+                        txn_id,
+                        participant,
+                    } => {
+                        let schedules =
+                            self.txn_retry_event(&mut txns, &mut st, txn_id, participant, event.at);
+                        push_schedules(&mut queue, &mut next_seq, client_id, schedules);
+                        continue;
+                    }
+                    DriverWork::TxnAdvance { txn_id } => {
+                        let (resolution, schedules) =
+                            self.txn_advance_event(&mut txns, &mut st, txn_id, event.at);
+                        push_schedules(&mut queue, &mut next_seq, client_id, schedules);
+                        match resolution {
+                            TxnResolution::Pending => {}
+                            TxnResolution::Committed(done) => {
+                                global_now = global_now.max(done.finished_at);
+                                latencies_ns.push(done.latency_ns);
+                                let mut seen_shards: Vec<usize> = Vec::new();
+                                for &(shard, arc, is_write) in &done.op_placements {
+                                    committed += 1;
+                                    if is_write {
+                                        committed_writes += 1;
+                                        txn_shard_ops[shard].2 += 1;
+                                    } else {
+                                        committed_reads += 1;
+                                        txn_shard_ops[shard].1 += 1;
+                                    }
+                                    txn_shard_ops[shard].0 += 1;
+                                    st.window_shard[shard] += 1;
+                                    *st.window_arc.entry(arc).or_default() += 1;
+                                    if !seen_shards.contains(&shard) {
+                                        seen_shards.push(shard);
+                                    }
+                                }
+                                bucket_commit(
+                                    &mut timeline,
+                                    done.finished_at,
+                                    done.op_placements.len() as u64,
+                                );
+                                for shard in seen_shards {
+                                    shard_latencies[shard].push(done.latency_ns);
+                                }
+                                queue.push(Reverse(DriverEvent {
+                                    at: done.finished_at + link_latency + think,
+                                    seq: next_seq,
+                                    client_id: done.client_id,
+                                    work: DriverWork::Fresh,
+                                }));
+                                next_seq += 1;
+                                if st.is_draining()
+                                    && inflight_on_moving(&st, &outstanding, &txns) == 0
+                                {
+                                    self.finish_cutover(&mut st, &rb, global_now);
+                                }
+                            }
+                            TxnResolution::Aborted {
+                                client_id: aborted_client,
+                                request_id,
+                                finished_at,
+                                request,
+                            } => {
+                                global_now = global_now.max(finished_at);
+                                // Deterministic per-client jitter breaks the
+                                // symmetry of mutually aborting transactions.
+                                let backoff =
+                                    txns.config.conflict_backoff_ns + aborted_client * 7_919;
+                                queue.push(Reverse(DriverEvent {
+                                    at: finished_at + backoff,
+                                    seq: next_seq,
+                                    client_id: aborted_client,
+                                    work: DriverWork::Retry(request_id, request),
+                                }));
+                                next_seq += 1;
+                                if st.is_draining()
+                                    && inflight_on_moving(&st, &outstanding, &txns) == 0
+                                {
+                                    self.finish_cutover(&mut st, &rb, global_now);
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    DriverWork::Fresh => {
+                        if draining_txns {
+                            continue; // past the target: no new work
+                        }
+                        let rid = next_request_id.get(&client_id).copied().unwrap_or(0) + 1;
+                        match workload(client_id, rid) {
+                            Some(request) => {
+                                next_request_id.insert(client_id, rid);
+                                (rid, request)
+                            }
+                            // The client retired; nothing more to issue.
+                            None => continue,
+                        }
+                    }
+                    DriverWork::Retry(rid, request) => {
+                        if draining_txns {
+                            continue; // past the target: the retry is moot
+                        }
+                        (rid, request)
+                    }
+                };
+
+                // Route every operation under the client's cached epoch; one
+                // stale key re-resolves the whole request.
+                let mut placements: Vec<(usize, usize)> = Vec::with_capacity(request.len());
+                let mut redirect = None;
+                for op in request.ops() {
+                    let point = stable_key_hash(op.key());
+                    let arc = self.router.arc_of_point(point);
+                    match self
+                        .router
+                        .route(point, client_versions[client_id as usize])
+                    {
+                        RouteDecision::Owned { shard } => placements.push((arc, shard)),
+                        RouteDecision::WrongShard { new_version, .. } => {
+                            redirect = Some(new_version);
+                            break;
+                        }
+                    }
+                }
+                if let Some(new_version) = redirect {
+                    st.stats.redirects += 1;
+                    if request.is_txn() {
+                        txns.stats.wrong_shard_retries += 1;
+                    }
+                    client_versions[client_id as usize] = new_version;
+                    queue.push(Reverse(DriverEvent {
+                        at: event.at + 2 * link_latency,
+                        seq: next_seq,
+                        client_id,
+                        work: DriverWork::Retry(rid, request),
+                    }));
+                    next_seq += 1;
+                    continue;
+                }
+                if placements
+                    .iter()
+                    .any(|&(arc, shard)| st.refuses(shard, arc))
+                {
+                    // Cutover drain: the donor refuses fresh work on the
+                    // moving range; the whole request backs off and retries
+                    // — after the epoch bump it is redirected.
+                    st.stats.refusals += 1;
+                    if request.is_txn() {
+                        txns.stats.refusal_backoffs += 1;
+                    }
+                    queue.push(Reverse(DriverEvent {
+                        at: event.at + 2 * link_latency + 50_000,
+                        seq: next_seq,
+                        client_id,
+                        work: DriverWork::Retry(rid, request),
+                    }));
+                    next_seq += 1;
+                    continue;
+                }
+
+                match request {
+                    Request::Single(operation) => {
+                        let (arc, shard) = placements[0];
+                        let key = operation.key().to_vec();
+                        let is_write = operation.is_write();
+                        match self.shards[shard].try_submit_at(event.at, client_id, rid, operation)
+                        {
+                            Ok(()) => {
+                                outstanding.insert(
+                                    client_id,
+                                    Issued {
+                                        shard,
+                                        arc,
+                                        request_id: rid,
+                                        key,
+                                        is_write,
+                                    },
+                                );
+                            }
+                            Err(operation) => {
+                                // No live coordinator; retry the *identical*
+                                // payload later.
+                                queue.push(Reverse(DriverEvent {
+                                    at: event.at + 1_000_000,
+                                    seq: next_seq,
+                                    client_id,
+                                    work: DriverWork::Retry(rid, Request::Single(operation)),
+                                }));
+                                next_seq += 1;
+                            }
+                        }
+                    }
+                    Request::Txn(ops) => {
+                        if ops.is_empty() {
+                            // A degenerate empty transaction commits
+                            // trivially; the client moves on.
+                            queue.push(Reverse(DriverEvent {
+                                at: event.at + think,
+                                seq: next_seq,
+                                client_id,
+                                work: DriverWork::Fresh,
+                            }));
+                            next_seq += 1;
+                            continue;
+                        }
+                        match self.txn_begin(
+                            &mut txns,
+                            &mut st,
+                            client_id,
+                            rid,
+                            ops,
+                            &placements,
+                            event.at,
+                        ) {
+                            Ok(schedules) => {
+                                push_schedules(&mut queue, &mut next_seq, client_id, schedules);
+                            }
+                            Err(ops) => {
+                                // A participant group has no live
+                                // coordinator; retry the whole transaction.
+                                queue.push(Reverse(DriverEvent {
+                                    at: event.at + 1_000_000,
+                                    seq: next_seq,
+                                    client_id,
+                                    work: DriverWork::Retry(rid, Request::Txn(ops)),
+                                }));
+                                next_seq += 1;
+                            }
+                        }
+                    }
+                }
+            } else if ctrl_wins {
+                let now = ctrl_at.expect("controller deadline selected");
+                global_now = global_now.max(now);
+                let inflight = inflight_on_moving(&st, &outstanding, &txns);
+                self.controller_step(&mut st, &rb, now, inflight);
+            } else {
+                let (at, shard) = shard_at.expect("selected shard event");
+                if at > cap {
+                    break;
+                }
+                global_now = global_now.max(at);
+                match self.shards[shard].step() {
+                    StepOutcome::Idle => continue,
+                    StepOutcome::CapReached => break,
+                    StepOutcome::NeedsIssue { .. } => {
+                        unreachable!("external-client shards never issue internally")
+                    }
+                    StepOutcome::Processed => {}
+                }
+                for completion in self.shards[shard].drain_completions() {
+                    committed += 1;
+                    if completion.was_write {
+                        committed_writes += 1;
+                    } else {
+                        committed_reads += 1;
+                    }
+                    latencies_ns.push(completion.latency_ns);
+                    shard_latencies[shard].push(completion.latency_ns);
+                    bucket_commit(&mut timeline, completion.at_ns, 1);
+                    st.window_shard[shard] += 1;
+                    if let Some(issued) = outstanding.get(&completion.client_id) {
+                        if issued.request_id == completion.request_id {
+                            let issued = outstanding
+                                .remove(&completion.client_id)
+                                .expect("checked above");
+                            *st.window_arc.entry(issued.arc).or_default() += 1;
+                            // Catch-up capture: a write committed on the
+                            // donor inside the moving range replays on the
+                            // recipient. The record is re-read from the
+                            // donor leader's store so it carries the *real*
+                            // committed value and write timestamp.
+                            if st.captures(issued.shard, issued.arc) && issued.is_write {
+                                let entry = self.shards[issued.shard].write_coordinator().and_then(
+                                    |leader| {
+                                        self.shards[issued.shard]
+                                            .replica_mut(leader)
+                                            .read_entry(&issued.key)
+                                            .ok()
+                                            .flatten()
+                                    },
+                                );
+                                st.record_capture(entry);
+                            }
+                        }
+                    }
+                    queue.push(Reverse(DriverEvent {
+                        at: completion.at_ns + link_latency + think,
+                        seq: next_seq,
+                        client_id: completion.client_id,
+                        work: DriverWork::Fresh,
+                    }));
+                    next_seq += 1;
+                }
+                // A drain completes as soon as the last in-flight operation
+                // (single or transactional) on the moving range finished.
+                if st.is_draining() && inflight_on_moving(&st, &outstanding, &txns) == 0 {
+                    self.finish_cutover(&mut st, &rb, global_now);
+                }
+            }
+        }
+
+        // Background range GC: clear moved-range remnants a straggling
+        // in-group commit may have resurrected on a donor after eviction.
+        if st.stats.migrations_completed > 0 {
+            self.gc_moved_ranges();
+        }
+        let mut stats = self.finalize(
+            global_now,
+            committed,
+            committed_reads,
+            committed_writes,
+            latencies_ns,
+            shard_latencies,
+            &txn_shard_ops,
+        );
+        st.stats.router_version = self.router.version().0;
+        stats.migration = st.stats;
+        stats.txn = txns.stats;
+        stats.total.committed_txns = txns.stats.committed;
+        stats.total.aborted_txns = txns.stats.aborted;
+        stats.timeline = timeline
+            .iter()
+            .enumerate()
+            .map(|(i, &committed)| TimelineBucket {
+                end_ns: (i as u64 + 1) * rb.timeline_bucket_ns,
+                committed,
+            })
+            .collect();
+        stats
+    }
+}

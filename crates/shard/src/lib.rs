@@ -31,15 +31,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod driver;
 pub mod migration;
 pub mod router;
 pub mod sharded;
 pub mod spec;
+pub mod txn;
 
 pub use migration::{MigrationStats, RebalanceConfig};
 pub use router::{RangeMove, RouteDecision, RouterVersion, ShardRouter};
 pub use sharded::{ShardedCluster, ShardedConfig, ShardedRunStats, TimelineBucket};
 pub use spec::{DeploymentSpec, PolicyReplica, ResolvedShardPolicy, ShardPolicy};
+pub use txn::{TxnConfig, TxnStats};
 
 /// Converts a generated workload operation into the protocol-level operation.
 ///
@@ -52,6 +55,19 @@ pub fn op_from_workload(op: recipe_workload::WorkloadOp) -> recipe_core::Operati
         recipe_workload::WorkloadOp::Read { key } => recipe_core::Operation::Get { key },
         recipe_workload::WorkloadOp::Write { key, value } => {
             recipe_core::Operation::Put { key, value }
+        }
+    }
+}
+
+/// Converts a generated workload request into the protocol-level typed
+/// request ([`op_from_workload`]'s counterpart for the multi-key surface).
+pub fn request_from_workload(request: recipe_workload::WorkloadRequest) -> recipe_core::Request {
+    match request {
+        recipe_workload::WorkloadRequest::Single(op) => {
+            recipe_core::Request::Single(op_from_workload(op))
+        }
+        recipe_workload::WorkloadRequest::Txn(ops) => {
+            recipe_core::Request::Txn(ops.into_iter().map(op_from_workload).collect())
         }
     }
 }

@@ -29,16 +29,16 @@
 //! throughput timeline shows the true cost of the transfer, not a free move.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
-use recipe_core::Operation;
+use recipe_core::{Operation, Request};
 use recipe_protocols::{ChunkPhase, MigrationChannel, MigrationChunk};
 use recipe_sim::{RangeEntry, RangeStateTransfer, Replica};
 use recipe_workload::stable_key_hash;
 use serde::{Deserialize, Serialize};
 
-use crate::router::RouteDecision;
-use crate::sharded::{DriverEvent, ShardedCluster, ShardedRunStats, TimelineBucket};
+use crate::router::ShardRouter;
+use crate::sharded::{ShardedCluster, ShardedRunStats};
 
 /// Knobs of the online-rebalancing controller.
 #[derive(Debug, Clone)]
@@ -143,15 +143,6 @@ pub struct MigrationStats {
     pub router_version: u64,
 }
 
-/// One client operation in flight, as the driver submitted it.
-struct Issued {
-    shard: usize,
-    arc: usize,
-    request_id: u64,
-    key: Vec<u8>,
-    is_write: bool,
-}
-
 /// A migration in flight.
 struct ActiveMigration {
     donor: usize,
@@ -175,18 +166,19 @@ struct ActiveMigration {
     transfer_ready_at: Option<u64>,
 }
 
-/// Controller state local to one `run_rebalancing` invocation.
-struct ControllerState {
+/// Controller state local to one driver-engine invocation (see
+/// `crate::driver`).
+pub(crate) struct ControllerState {
     next_check_ns: u64,
-    window_shard: Vec<u64>,
-    window_arc: HashMap<usize, u64>,
+    pub(crate) window_shard: Vec<u64>,
+    pub(crate) window_arc: HashMap<usize, u64>,
     active: Option<ActiveMigration>,
     next_migration_id: u64,
-    stats: MigrationStats,
+    pub(crate) stats: MigrationStats,
 }
 
 impl ControllerState {
-    fn new(shards: usize, first_check_ns: u64) -> Self {
+    pub(crate) fn new(shards: usize, first_check_ns: u64) -> Self {
         ControllerState {
             next_check_ns: first_check_ns,
             window_shard: vec![0; shards],
@@ -203,7 +195,7 @@ impl ControllerState {
     }
 
     /// The next virtual time the controller must act at, if any.
-    fn deadline(&self, enabled: bool, max_migrations: u64) -> Option<u64> {
+    pub(crate) fn deadline(&self, enabled: bool, max_migrations: u64) -> Option<u64> {
         match &self.active {
             Some(active) => active.transfer_ready_at,
             None if enabled && self.stats.migrations_started < max_migrations => {
@@ -215,12 +207,72 @@ impl ControllerState {
 
     /// True when the donor must refuse a fresh operation on `(shard, arc)`
     /// (cutover drain in progress for that range).
-    fn refuses(&self, shard: usize, arc: usize) -> bool {
+    pub(crate) fn refuses(&self, shard: usize, arc: usize) -> bool {
         match &self.active {
             Some(active) => {
                 active.draining && shard == active.donor && active.arc_set.contains(&arc)
             }
             None => false,
+        }
+    }
+
+    /// The active migration's `(donor, moving arcs)`, if one is in flight.
+    pub(crate) fn active_range(&self) -> Option<(usize, &HashSet<usize>)> {
+        self.active
+            .as_ref()
+            .map(|active| (active.donor, &active.arc_set))
+    }
+
+    /// True while the active migration drains the moving range for cutover.
+    pub(crate) fn is_draining(&self) -> bool {
+        self.active.as_ref().is_some_and(|active| active.draining)
+    }
+
+    /// True when a committed write on `(shard, arc)` must be captured for
+    /// the active migration's catch-up log.
+    pub(crate) fn captures(&self, shard: usize, arc: usize) -> bool {
+        self.active
+            .as_ref()
+            .is_some_and(|active| shard == active.donor && active.arc_set.contains(&arc))
+    }
+
+    /// Records one capture attempt: the re-read record, or a capture miss
+    /// (leader gone / unverifiable) which forces a full verified re-export
+    /// at cutover.
+    pub(crate) fn record_capture(&mut self, entry: Option<RangeEntry>) {
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        match entry {
+            Some(entry) => active.catchup.push(entry),
+            None => {
+                active.capture_misses += 1;
+                self.stats.capture_misses += 1;
+            }
+        }
+    }
+
+    /// Feeds the applied records of a committed transaction into the active
+    /// migration's catch-up log — transaction writes on the moving range
+    /// replay on the recipient exactly like single-key commits do. The
+    /// records carry their real stored timestamps, so no re-read is needed.
+    pub(crate) fn capture_txn_entries(
+        &mut self,
+        router: &ShardRouter,
+        shard: usize,
+        entries: &[RangeEntry],
+    ) {
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        if shard != active.donor {
+            return;
+        }
+        for entry in entries {
+            let arc = router.arc_of_point(stable_key_hash(&entry.key));
+            if active.arc_set.contains(&arc) {
+                active.catchup.push(entry.clone());
+            }
         }
     }
 }
@@ -246,281 +298,11 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
     where
         W: FnMut(u64, u64) -> Option<Operation>,
     {
-        for shard in &mut self.shards {
-            shard.seed_initial_events();
-        }
-
-        let rb = self.config.rebalance.clone();
-        let link_latency = self.config.base.cost_model.link_latency_ns;
-        let think = self.config.base.cost_model.client_think_ns;
-        let cap = self.config.base.max_virtual_ns;
-        let target = self.config.base.clients.total_operations as u64;
-        let clients = self.config.base.clients.clients;
-
-        let mut queue: BinaryHeap<Reverse<DriverEvent>> = BinaryHeap::new();
-        let mut next_seq = 0u64;
-        for client_id in 0..clients as u64 {
-            queue.push(Reverse(DriverEvent {
-                at: client_id * rb.issue_stagger_ns,
-                seq: next_seq,
-                client_id,
-                work: None,
-            }));
-            next_seq += 1;
-        }
-
-        let mut st = ControllerState::new(self.shards.len(), rb.check_interval_ns);
-        let mut client_versions = vec![self.router.version(); clients];
-        let mut outstanding: HashMap<u64, Issued> = HashMap::new();
-        let mut next_request_id: HashMap<u64, u64> = HashMap::new();
-        let mut latencies_ns: Vec<u64> = Vec::new();
-        let mut shard_latencies: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
-        let mut timeline: Vec<u64> = Vec::new();
-        let mut committed = 0u64;
-        let mut committed_reads = 0u64;
-        let mut committed_writes = 0u64;
-        let mut global_now = 0u64;
-
-        loop {
-            if committed >= target {
-                break;
-            }
-            let driver_at = queue.peek().map(|Reverse(event)| event.at);
-            let ctrl_at = st
-                .deadline(rb.enabled, rb.max_migrations)
-                .filter(|&at| at <= cap);
-            let shard_at = self
-                .shards
-                .iter()
-                .enumerate()
-                .filter_map(|(shard, cluster)| cluster.peek_next_at().map(|at| (at, shard)))
-                .min();
-
-            // Priority on ties: client issues, then the controller, then shard
-            // work — all deterministic.
-            let driver_wins = match (driver_at, ctrl_at, shard_at) {
-                (None, None, None) => break,
-                (Some(d), c, s) => {
-                    d <= c.unwrap_or(u64::MAX) && d <= s.map(|(at, _)| at).unwrap_or(u64::MAX)
-                }
-                _ => false,
-            };
-            let ctrl_wins = !driver_wins
-                && match (ctrl_at, shard_at) {
-                    (Some(c), s) => c <= s.map(|(at, _)| at).unwrap_or(u64::MAX),
-                    (None, _) => false,
-                };
-
-            if driver_wins {
-                let Reverse(event) = queue.pop().expect("peeked driver event");
-                if event.at > cap {
-                    break;
-                }
-                global_now = global_now.max(event.at);
-                let client_id = event.client_id;
-                let (rid, operation) = match event.work {
-                    Some(work) => work,
-                    None => {
-                        let rid = next_request_id.get(&client_id).copied().unwrap_or(0) + 1;
-                        match workload(client_id, rid) {
-                            Some(op) => {
-                                next_request_id.insert(client_id, rid);
-                                (rid, op)
-                            }
-                            // The client retired; nothing more to issue.
-                            None => continue,
-                        }
-                    }
-                };
-                let point = stable_key_hash(operation.key());
-                let arc = self.router.arc_of_point(point);
-
-                let shard = match self
-                    .router
-                    .route(point, client_versions[client_id as usize])
-                {
-                    RouteDecision::Owned { shard } => shard,
-                    RouteDecision::WrongShard { new_version, .. } => {
-                        // Stale epoch: redirected after a round trip, retried
-                        // against the new placement.
-                        st.stats.redirects += 1;
-                        client_versions[client_id as usize] = new_version;
-                        queue.push(Reverse(DriverEvent {
-                            at: event.at + 2 * link_latency,
-                            seq: next_seq,
-                            client_id,
-                            work: Some((rid, operation)),
-                        }));
-                        next_seq += 1;
-                        continue;
-                    }
-                };
-                if st.refuses(shard, arc) {
-                    // Cutover drain: the donor refuses fresh operations on the
-                    // moving range; the client backs off and retries — after
-                    // the epoch bump its retry is redirected to the recipient.
-                    st.stats.refusals += 1;
-                    queue.push(Reverse(DriverEvent {
-                        at: event.at + 2 * link_latency + 50_000,
-                        seq: next_seq,
-                        client_id,
-                        work: Some((rid, operation)),
-                    }));
-                    next_seq += 1;
-                    continue;
-                }
-
-                let key = operation.key().to_vec();
-                let is_write = operation.is_write();
-                match self.shards[shard].try_submit_at(event.at, client_id, rid, operation) {
-                    Ok(()) => {
-                        outstanding.insert(
-                            client_id,
-                            Issued {
-                                shard,
-                                arc,
-                                request_id: rid,
-                                key,
-                                is_write,
-                            },
-                        );
-                    }
-                    Err(operation) => {
-                        // No live coordinator; retry the *identical* payload —
-                        // re-drawing would silently drop this operation.
-                        queue.push(Reverse(DriverEvent {
-                            at: event.at + 1_000_000,
-                            seq: next_seq,
-                            client_id,
-                            work: Some((rid, operation)),
-                        }));
-                        next_seq += 1;
-                    }
-                }
-            } else if ctrl_wins {
-                let now = ctrl_at.expect("controller deadline selected");
-                global_now = global_now.max(now);
-                self.controller_step(&mut st, &rb, now, &outstanding);
-            } else {
-                let (at, shard) = shard_at.expect("selected shard event");
-                if at > cap {
-                    break;
-                }
-                global_now = global_now.max(at);
-                match self.shards[shard].step() {
-                    recipe_sim::StepOutcome::Idle => continue,
-                    recipe_sim::StepOutcome::CapReached => break,
-                    recipe_sim::StepOutcome::NeedsIssue { .. } => {
-                        unreachable!("external-client shards never issue internally")
-                    }
-                    recipe_sim::StepOutcome::Processed => {}
-                }
-                for completion in self.shards[shard].drain_completions() {
-                    committed += 1;
-                    if completion.was_write {
-                        committed_writes += 1;
-                    } else {
-                        committed_reads += 1;
-                    }
-                    latencies_ns.push(completion.latency_ns);
-                    shard_latencies[shard].push(completion.latency_ns);
-                    // Bucket width 0 disables the timeline.
-                    if let Some(bucket) = completion.at_ns.checked_div(rb.timeline_bucket_ns) {
-                        let bucket = bucket as usize;
-                        if timeline.len() <= bucket {
-                            timeline.resize(bucket + 1, 0);
-                        }
-                        timeline[bucket] += 1;
-                    }
-                    st.window_shard[shard] += 1;
-                    if let Some(issued) = outstanding.get(&completion.client_id) {
-                        if issued.request_id == completion.request_id {
-                            let issued = outstanding
-                                .remove(&completion.client_id)
-                                .expect("checked above");
-                            *st.window_arc.entry(issued.arc).or_default() += 1;
-                            // Catch-up capture: a write committed on the donor
-                            // inside the moving range replays on the recipient.
-                            // The record is re-read from the donor leader's
-                            // store so it carries the *real* committed value
-                            // and write timestamp — timestamp-ordered stores
-                            // (R-ABD) keep their strictly-newer write rule
-                            // across the move. Reading the latest state may
-                            // capture a newer write than this completion;
-                            // replay stays idempotent and converges on the
-                            // donor's final state either way.
-                            let capture = st.active.as_ref().is_some_and(|active| {
-                                issued.is_write
-                                    && issued.shard == active.donor
-                                    && active.arc_set.contains(&issued.arc)
-                            });
-                            if capture {
-                                let entry = self.shards[issued.shard].write_coordinator().and_then(
-                                    |leader| {
-                                        self.shards[issued.shard]
-                                            .replica_mut(leader)
-                                            .read_entry(&issued.key)
-                                            .ok()
-                                            .flatten()
-                                    },
-                                );
-                                let active = st.active.as_mut().expect("capture implies active");
-                                match entry {
-                                    Some(entry) => active.catchup.push(entry),
-                                    // Leader gone or record unverifiable: the
-                                    // write cannot be captured faithfully —
-                                    // the cutover falls back to a full
-                                    // verified re-export (or aborts).
-                                    None => {
-                                        active.capture_misses += 1;
-                                        st.stats.capture_misses += 1;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    queue.push(Reverse(DriverEvent {
-                        at: completion.at_ns + link_latency + think,
-                        seq: next_seq,
-                        client_id: completion.client_id,
-                        work: None,
-                    }));
-                    next_seq += 1;
-                }
-                // A drain completes as soon as the last in-flight operation on
-                // the moving range finished.
-                if st.active.as_ref().is_some_and(|active| active.draining)
-                    && inflight_on_moving(&st, &outstanding) == 0
-                {
-                    self.finish_cutover(&mut st, &rb, global_now);
-                }
-            }
-        }
-
-        // Background range GC: clear moved-range remnants a straggling
-        // in-group commit may have resurrected on a donor after its eviction.
-        if st.stats.migrations_completed > 0 {
-            self.gc_moved_ranges();
-        }
-        let mut stats = self.finalize(
-            global_now,
-            committed,
-            committed_reads,
-            committed_writes,
-            latencies_ns,
-            shard_latencies,
-        );
-        st.stats.router_version = self.router.version().0;
-        stats.migration = st.stats;
-        stats.timeline = timeline
-            .iter()
-            .enumerate()
-            .map(|(i, &committed)| TimelineBucket {
-                end_ns: (i as u64 + 1) * rb.timeline_bucket_ns,
-                committed,
-            })
-            .collect();
-        stats
+        let enabled = self.config.rebalance.enabled;
+        self.run_engine(
+            move |client, seq| workload(client, seq).map(Request::Single),
+            enabled,
+        )
     }
 
     /// Drops every key a shard no longer owns at the current epoch from that
@@ -543,12 +325,14 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
 
     /// One controller action at virtual time `now`: either a periodic window
     /// evaluation or the landing of an in-flight transfer round.
-    fn controller_step(
+    /// `inflight_moving` is the caller's count of operations (single-key and
+    /// transactional) currently in flight on the moving range.
+    pub(crate) fn controller_step(
         &mut self,
         st: &mut ControllerState,
         rb: &RebalanceConfig,
         now: u64,
-        outstanding: &HashMap<u64, Issued>,
+        inflight_moving: usize,
     ) {
         let Some(active) = &st.active else {
             self.maybe_start_migration(st, rb, now);
@@ -565,7 +349,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             let active = st.active.as_mut().expect("checked above");
             active.draining = true;
             active.transfer_ready_at = None;
-            if inflight_on_moving(st, outstanding) == 0 {
+            if inflight_moving == 0 {
                 self.finish_cutover(st, rb, now);
             }
         }
@@ -810,7 +594,12 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
 
     /// The drain is empty: ship the final delta, evict the donor's copy, bump
     /// the router epoch. From this instant the old placement earns redirects.
-    fn finish_cutover(&mut self, st: &mut ControllerState, rb: &RebalanceConfig, now: u64) {
+    pub(crate) fn finish_cutover(
+        &mut self,
+        st: &mut ControllerState,
+        rb: &RebalanceConfig,
+        now: u64,
+    ) {
         let mut active = st.active.take().expect("a migration is draining");
         let mut delta = std::mem::take(&mut active.catchup);
         // Zero-loss guard: if any committed moving-range write could not be
@@ -855,16 +644,5 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
         st.stats.last_cutover_ns = now;
         st.next_check_ns = now + rb.check_interval_ns;
         st.clear_window();
-    }
-}
-
-/// Operations currently in flight on the moving range of the active migration.
-fn inflight_on_moving(st: &ControllerState, outstanding: &HashMap<u64, Issued>) -> usize {
-    match &st.active {
-        Some(active) => outstanding
-            .values()
-            .filter(|issued| issued.shard == active.donor && active.arc_set.contains(&issued.arc))
-            .count(),
-        None => 0,
     }
 }

@@ -21,16 +21,16 @@
 //! but the single clock is what makes the aggregate wall-clock figures in
 //! [`ShardedRunStats`] meaningful.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-
-use recipe_core::{ConfidentialityMode, Operation};
+use recipe_core::{ConfidentialityMode, Operation, Request};
 use recipe_net::{FaultPlan, NodeId};
-use recipe_sim::{CostProfile, Replica, RunStats, SimCluster, SimConfig, StepOutcome};
+use recipe_sim::{
+    CostProfile, RangeStateTransfer, Replica, RunStats, SimCluster, SimConfig, StepOutcome,
+};
 use recipe_workload::stable_key_hash;
 
 use crate::migration::{MigrationStats, RebalanceConfig};
-use crate::router::{RouteDecision, RouterVersion, ShardRouter};
+use crate::router::ShardRouter;
+use crate::txn::{TxnConfig, TxnStats};
 
 /// Configuration of a sharded deployment.
 ///
@@ -60,29 +60,14 @@ pub struct ShardedConfig {
     /// follows that derivation.
     pub confidentiality: Option<Vec<ConfidentialityMode>>,
     /// Online-rebalancing controller knobs (disabled by default; only
-    /// [`ShardedCluster::run_rebalancing`] consults them).
+    /// request drivers with the controller enabled consult them).
     pub rebalance: RebalanceConfig,
+    /// Transaction-coordinator knobs (retransmission timeout, abort backoff,
+    /// 2PC fault plan).
+    pub txn: TxnConfig,
 }
 
 impl ShardedConfig {
-    /// A benign-network configuration: `shards` groups of `replicas_per_group`
-    /// nodes, each node using `profile`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a DeploymentSpec and use ShardedCluster::build instead"
-    )]
-    pub fn uniform(shards: usize, replicas_per_group: usize, profile: CostProfile) -> Self {
-        ShardedConfig {
-            shards,
-            vnodes_per_shard: ShardRouter::DEFAULT_VNODES,
-            base: SimConfig::uniform(replicas_per_group, profile),
-            fault_plans: None,
-            profiles: None,
-            confidentiality: None,
-            rebalance: RebalanceConfig::default(),
-        }
-    }
-
     /// Sets the leader-side batching factor on every cost profile (template and
     /// per-shard overrides alike), so the batch knob flows to all shards in one
     /// call. The caller builds the replicas with the matching
@@ -134,9 +119,11 @@ pub struct ShardedRunStats {
     /// Online-rebalancing counters (all zero unless the run used
     /// [`ShardedCluster::run_rebalancing`] with migrations enabled).
     pub migration: MigrationStats,
+    /// Transaction-coordinator counters (all zero unless the workload issued
+    /// [`recipe_core::Request::Txn`] requests).
+    pub txn: TxnStats,
     /// Commits bucketed by completion time (throughput timeline). Populated
-    /// only by [`ShardedCluster::run_rebalancing`] when
-    /// [`RebalanceConfig::timeline_bucket_ns`] is non-zero.
+    /// when [`RebalanceConfig::timeline_bucket_ns`] is non-zero.
     pub timeline: Vec<TimelineBucket>,
 }
 
@@ -150,36 +137,6 @@ pub struct TimelineBucket {
     pub committed: u64,
 }
 
-/// One global client's issue event in the driver's queue. `work` is `Some` for
-/// re-issues of an already-generated operation (a `WrongShard` redirect or a
-/// donor refusal during a migration drain): re-drawing from the workload
-/// closure would silently mutate stateful generators, the same bug class the
-/// single-group retry path fixed in PR 1.
-#[derive(Debug)]
-pub(crate) struct DriverEvent {
-    pub(crate) at: u64,
-    pub(crate) seq: u64,
-    pub(crate) client_id: u64,
-    pub(crate) work: Option<(u64, Operation)>,
-}
-
-impl PartialEq for DriverEvent {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-impl Eq for DriverEvent {}
-impl PartialOrd for DriverEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for DriverEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// N independent replica groups behind one consistent-hash router, driven on a
 /// single interleaved virtual clock.
 pub struct ShardedCluster<R: Replica> {
@@ -189,18 +146,9 @@ pub struct ShardedCluster<R: Replica> {
 }
 
 impl<R: Replica> ShardedCluster<R> {
-    /// Creates a sharded cluster from one replica group per shard.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a DeploymentSpec and use ShardedCluster::build / build_with instead"
-    )]
-    pub fn new(groups: Vec<Vec<R>>, config: ShardedConfig) -> Self {
-        Self::from_groups(groups, config)
-    }
-
     /// Creates a sharded cluster from one replica group per shard plus the
     /// lowered configuration — the shared body of [`ShardedCluster::build`]
-    /// and the deprecated [`ShardedCluster::new`].
+    /// and [`ShardedCluster::build_with`].
     ///
     /// # Panics
     /// Panics if `groups.len() != config.shards`, if any override vector has
@@ -329,8 +277,11 @@ impl<R: Replica> ShardedCluster<R> {
         }
     }
 
-    /// Runs the sharded simulation, generating operations with
-    /// `workload(client_id, seq)` and routing each by key.
+    /// Runs the sharded simulation, generating single-key operations with
+    /// `workload(client_id, seq)` and routing each by key — the operation
+    /// -level compatibility surface over [`ShardedCluster::run_requests`]
+    /// (every draw is lowered to a [`Request::Single`]; the rebalancing
+    /// controller stays off, matching this method's historical behaviour).
     ///
     /// The run ends when the configured number of operations has committed
     /// across all shards, every event queue drains, or the virtual-time cap is
@@ -338,161 +289,15 @@ impl<R: Replica> ShardedCluster<R> {
     pub fn run<W>(&mut self, mut workload: W) -> ShardedRunStats
     where
         W: FnMut(u64, u64) -> Operation,
+        R: RangeStateTransfer,
     {
-        for shard in &mut self.shards {
-            shard.seed_initial_events();
-        }
-
-        let mut queue: BinaryHeap<Reverse<DriverEvent>> = BinaryHeap::new();
-        let mut next_seq = 0u64;
-        for client_id in 0..self.config.base.clients.clients as u64 {
-            queue.push(Reverse(DriverEvent {
-                at: client_id * 200,
-                seq: next_seq,
-                client_id,
-                work: None,
-            }));
-            next_seq += 1;
-        }
-
-        let target = self.config.base.clients.total_operations as u64;
-        let link_latency = self.config.base.cost_model.link_latency_ns;
-        let think = self.config.base.cost_model.client_think_ns;
-        let cap = self.config.base.max_virtual_ns;
-
-        // Every client caches the router epoch it last resolved against; a
-        // stale cache earns a WrongShard redirect instead of a mis-route.
-        // Without live migrations the epoch never moves and no redirect fires.
-        let mut client_versions: Vec<RouterVersion> =
-            vec![self.router.version(); self.config.base.clients.clients];
-        let mut next_request_id: HashMap<u64, u64> = HashMap::new();
-        let mut latencies_ns: Vec<u64> = Vec::new();
-        let mut shard_latencies: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
-        let mut committed = 0u64;
-        let mut committed_reads = 0u64;
-        let mut committed_writes = 0u64;
-        let mut global_now = 0u64;
-
-        loop {
-            if committed >= target {
-                break;
-            }
-            // The globally-earliest event wins; driver events go first on ties
-            // so a client issue at time T lands before shard work at T.
-            let driver_at = queue.peek().map(|Reverse(event)| event.at);
-            let shard_at = self
-                .shards
-                .iter()
-                .enumerate()
-                .filter_map(|(shard, cluster)| cluster.peek_next_at().map(|at| (at, shard)))
-                .min();
-            let take_driver = match (driver_at, shard_at) {
-                (None, None) => break,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (Some(d), Some((s, _))) => d <= s,
-            };
-
-            if take_driver {
-                let Reverse(event) = queue.pop().expect("peeked driver event");
-                if event.at > cap {
-                    break;
-                }
-                global_now = global_now.max(event.at);
-                let client_id = event.client_id;
-                let (rid, operation) = match event.work {
-                    Some(work) => work,
-                    None => {
-                        let request_id = next_request_id.entry(client_id).or_insert(0);
-                        *request_id += 1;
-                        (*request_id, workload(client_id, *request_id))
-                    }
-                };
-                let point = stable_key_hash(operation.key());
-                let shard = match self
-                    .router
-                    .route(point, client_versions[client_id as usize])
-                {
-                    RouteDecision::Owned { shard } => shard,
-                    RouteDecision::WrongShard { new_version, .. } => {
-                        // The stale placement refused the operation; the client
-                        // adopts the new epoch and retries after the redirect
-                        // round trip. Never resolves to the panic-on-stale
-                        // behaviour of computing placement once up front.
-                        client_versions[client_id as usize] = new_version;
-                        queue.push(Reverse(DriverEvent {
-                            at: event.at + 2 * link_latency,
-                            seq: next_seq,
-                            client_id,
-                            work: Some((rid, operation)),
-                        }));
-                        next_seq += 1;
-                        continue;
-                    }
-                };
-                if let Err(operation) =
-                    self.shards[shard].try_submit_at(event.at, client_id, rid, operation)
-                {
-                    // No live coordinator on that shard right now; try again
-                    // shortly (same backoff as the single-group loop) with the
-                    // *identical* payload — a fresh workload draw would
-                    // silently drop this operation and mutate stateful
-                    // generators, the same bug class the retry path fixed in
-                    // PR 1.
-                    queue.push(Reverse(DriverEvent {
-                        at: event.at + 1_000_000,
-                        seq: next_seq,
-                        client_id,
-                        work: Some((rid, operation)),
-                    }));
-                    next_seq += 1;
-                }
-            } else {
-                let (at, shard) = shard_at.expect("selected shard event");
-                if at > cap {
-                    break;
-                }
-                global_now = global_now.max(at);
-                match self.shards[shard].step() {
-                    StepOutcome::Idle => continue,
-                    StepOutcome::CapReached => break,
-                    StepOutcome::NeedsIssue { .. } => {
-                        unreachable!("external-client shards never issue internally")
-                    }
-                    StepOutcome::Processed => {}
-                }
-                for completion in self.shards[shard].drain_completions() {
-                    committed += 1;
-                    if completion.was_write {
-                        committed_writes += 1;
-                    } else {
-                        committed_reads += 1;
-                    }
-                    latencies_ns.push(completion.latency_ns);
-                    shard_latencies[shard].push(completion.latency_ns);
-                    // Closed loop: the client's next operation may route to a
-                    // different shard, so issuance returns to the driver.
-                    queue.push(Reverse(DriverEvent {
-                        at: completion.at_ns + link_latency + think,
-                        seq: next_seq,
-                        client_id: completion.client_id,
-                        work: None,
-                    }));
-                    next_seq += 1;
-                }
-            }
-        }
-
-        self.finalize(
-            global_now,
-            committed,
-            committed_reads,
-            committed_writes,
-            latencies_ns,
-            shard_latencies,
+        self.run_engine(
+            move |client, seq| Some(Request::Single(workload(client, seq))),
+            false,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn finalize(
         &mut self,
         global_now: u64,
@@ -501,8 +306,19 @@ impl<R: Replica> ShardedCluster<R> {
         committed_writes: u64,
         mut latencies_ns: Vec<u64>,
         shard_latencies: Vec<Vec<u64>>,
+        txn_shard_ops: &[(u64, u64, u64)],
     ) -> ShardedRunStats {
         let mut per_shard: Vec<RunStats> = self.shards.iter_mut().map(|s| s.finish()).collect();
+        // Transactional commits apply below the per-shard protocol (the
+        // coordinator installs them directly), so the groups' own counters
+        // never see them; fold the driver-side `(ops, reads, writes)` tallies
+        // back in so per-shard figures and the imbalance factor reflect the
+        // full served load.
+        for (stats, &(ops, reads, writes)) in per_shard.iter_mut().zip(txn_shard_ops) {
+            stats.committed += ops;
+            stats.committed_reads += reads;
+            stats.committed_writes += writes;
+        }
         // The driver owns latency accounting in external-client mode; fold
         // each completion's latency back onto the shard that served it, so
         // per-shard figures expose policy costs (a confidential shard's mean
@@ -543,6 +359,7 @@ impl<R: Replica> ShardedCluster<R> {
             per_shard,
             imbalance,
             migration: MigrationStats::default(),
+            txn: TxnStats::default(),
             timeline: Vec::new(),
         }
     }

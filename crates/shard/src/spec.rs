@@ -2,12 +2,13 @@
 //! positional constructors.
 //!
 //! Assembling a sharded deployment used to take three coupled steps — a
-//! `build_sharded_cluster` closure for the replicas, a
-//! [`ShardedConfig::uniform`](crate::ShardedConfig) for the simulator knobs
-//! and a `ShardedCluster::new` to tie them together — and the confidentiality
-//! choice was a `bool` baked into every replica at construction, which made
-//! *per-shard* policies inexpressible. [`DeploymentSpec`] replaces the
-//! three-step with one declarative description:
+//! `build_sharded_cluster` closure for the replicas, a `ShardedConfig` built
+//! by hand for the simulator knobs and a `ShardedCluster::new` to tie them
+//! together — and the confidentiality choice was a `bool` baked into every
+//! replica at construction, which made *per-shard* policies inexpressible.
+//! [`DeploymentSpec`] (now the only construction surface; the deprecated
+//! three-step shims were removed after their one-release grace period)
+//! replaces the three-step with one declarative description:
 //!
 //! * **workspace-level defaults** — replica count per group, cost profile,
 //!   confidentiality, batching triggers, fault plan, client population, seed,
@@ -48,6 +49,7 @@ use recipe_sim::{ClientModel, CostProfile, Replica, SimConfig};
 use crate::migration::RebalanceConfig;
 use crate::router::ShardRouter;
 use crate::sharded::{ShardedCluster, ShardedConfig};
+use crate::txn::TxnConfig;
 
 /// Per-shard overrides layered over a [`DeploymentSpec`]'s defaults.
 ///
@@ -213,6 +215,7 @@ pub struct DeploymentSpec {
     seed: u64,
     max_virtual_ns: u64,
     rebalance: RebalanceConfig,
+    txn: TxnConfig,
     overrides: BTreeMap<usize, ShardPolicy>,
 }
 
@@ -240,6 +243,7 @@ impl DeploymentSpec {
             seed: 42,
             max_virtual_ns: 120 * 1_000_000_000,
             rebalance: RebalanceConfig::default(),
+            txn: TxnConfig::default(),
             overrides: BTreeMap::new(),
         }
     }
@@ -315,6 +319,13 @@ impl DeploymentSpec {
     /// Sets the online-rebalancing controller knobs.
     pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
         self.rebalance = rebalance;
+        self
+    }
+
+    /// Sets the transaction-coordinator knobs (2PC retransmission timeout,
+    /// abort backoff, and the adversarial plan applied to 2PC frames).
+    pub fn with_txn(mut self, txn: TxnConfig) -> Self {
+        self.txn = txn;
         self
     }
 
@@ -400,6 +411,7 @@ impl DeploymentSpec {
             ),
             confidentiality: Some(policies.iter().map(|p| p.confidentiality).collect()),
             rebalance: self.rebalance.clone(),
+            txn: self.txn.clone(),
         }
     }
 }
@@ -445,6 +457,28 @@ impl<R: PolicyReplica> ShardedCluster<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_policy_replica_protocol_builds_and_runs_sharded() {
+        // Regression pin: `run`/`run_requests` require `RangeStateTransfer`,
+        // so every protocol `PolicyReplica` advertises must implement it —
+        // a buildable-but-unrunnable deployment is an API lie.
+        fn drive<R: PolicyReplica + recipe_sim::RangeStateTransfer>() -> u64 {
+            let spec = DeploymentSpec::new(2, 3).with_clients(4, 40);
+            let mut cluster = ShardedCluster::<R>::build(spec);
+            cluster
+                .run(|client, seq| recipe_core::Operation::Put {
+                    key: format!("k{client}-{seq}").into_bytes(),
+                    value: vec![0u8; 32],
+                })
+                .total
+                .committed
+        }
+        assert_eq!(drive::<RaftReplica>(), 40);
+        assert_eq!(drive::<ChainReplica>(), 40);
+        assert_eq!(drive::<AbdReplica>(), 40);
+        assert_eq!(drive::<AllConcurReplica>(), 40);
+    }
 
     #[test]
     fn defaults_resolve_uniformly() {
@@ -531,23 +565,31 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_three_step_still_builds_the_same_deployment() {
-        // The old surface survives one release as thin shims: the three-step
-        // must keep compiling and produce a cluster with the same shape and
-        // placement as the spec path.
-        let groups = recipe_protocols::build_sharded_cluster(2, 3, 1, |_, id, m| {
-            RaftReplica::recipe(id, m, false)
-        });
-        let legacy =
-            ShardedCluster::new(groups, ShardedConfig::uniform(2, 3, CostProfile::recipe()));
-        let spec_built = ShardedCluster::<RaftReplica>::build(DeploymentSpec::new(2, 3));
-        assert_eq!(legacy.shards(), spec_built.shards());
-        assert_eq!(legacy.router(), spec_built.router());
-        assert_eq!(
-            legacy.confidentiality_of(0),
-            spec_built.confidentiality_of(0)
+    fn build_and_build_with_produce_the_same_deployment_shape() {
+        // PR 4 promised the deprecated three-step shims
+        // (`build_sharded_cluster` / `ShardedConfig::uniform` /
+        // `ShardedCluster::new`) for one release; they are gone now, and the
+        // spec path is the only construction surface. The old compat test's
+        // equivalence check lives on between the two spec entry points.
+        let built = ShardedCluster::<RaftReplica>::build(DeploymentSpec::new(2, 3));
+        let built_with = ShardedCluster::<RaftReplica>::build_with(
+            DeploymentSpec::new(2, 3),
+            |shard, id, membership, policy| {
+                RaftReplica::build_replica(shard, id, membership, policy)
+            },
         );
+        assert_eq!(built.shards(), built_with.shards());
+        assert_eq!(built.router(), built_with.router());
+        assert_eq!(
+            built.confidentiality_of(0),
+            built_with.confidentiality_of(0)
+        );
+        // The lowered config carries the workspace defaults the deprecated
+        // `uniform` used to produce.
+        let config = DeploymentSpec::new(2, 3).to_sharded_config();
+        assert_eq!(config.shards, 2);
+        assert_eq!(config.base.profiles.len(), 3);
+        assert!(!config.base.profiles[0].confidential);
     }
 
     #[test]

@@ -1,0 +1,832 @@
+//! The cross-shard transaction coordinator: two-phase commit through the
+//! shield layer.
+//!
+//! A [`recipe_core::Request::Txn`] may touch keys on several replica groups.
+//! The driver-side coordinator groups the sub-operations by owning shard,
+//! opens one fresh [`recipe_protocols::TxnChannel`] per participant (channel
+//! keys and counters are per transaction), and runs classic vote-then-decide
+//! 2PC against the participant shard leaders:
+//!
+//! 1. **Prepare** — each participant leader locks the touched keys in its
+//!    partitioned store and stages the writes (all-or-nothing per
+//!    participant; see `recipe_kv::txn`), then votes.
+//! 2. **Decide** — all votes granted ⇒ **Commit**: each leader applies its
+//!    staged writes through its normal apply path and the coordinator
+//!    installs the applied records on the group's followers (the
+//!    migration-import idiom, so replicas never diverge). Any conflict vote
+//!    ⇒ **Abort**: every participant discards its staged writes, and the
+//!    client retries the whole transaction after a deterministic backoff
+//!    with per-client jitter.
+//!
+//! Every 2PC frame — prepare, vote, commit, abort, ack — is a
+//! [`recipe_core::TxnFrame`]: MAC'd under an attestation-provisioned channel
+//! key, stamped with a trusted counter, and AEAD-sealed whenever **any**
+//! participant shard's confidentiality policy is confidential (the
+//! stricter-wins rule shard migrations use). Frames cross the same
+//! adversarial network model as protocol traffic ([`TxnConfig::fault_plan`]):
+//! a dropped, tampered or reordered frame is retransmitted as the *same
+//! sealed bytes* after [`TxnConfig::retry_timeout_ns`] — re-sealing would
+//! burn a counter slot and wedge the channel — and participants answer
+//! re-delivered requests from a cached sealed response, which makes every
+//! phase exactly-once end to end.
+//!
+//! Deadlock freedom: a participant's prepare either locks *all* its keys or
+//! none, and the coordinator collects every vote before deciding, so no
+//! transaction ever waits while holding a partial lock set.
+//!
+//! Cost accounting: each prepare/commit charges the participant leader (and
+//! each follower install) through [`recipe_sim::ProtocolCostModel`]'s
+//! transaction terms, with EPC pressure evaluated against the shard's total
+//! in-flight staged bytes — many large open prepares cross the EPC cliff
+//! exactly like oversized batch frames (§B.3).
+//!
+//! Known limitation (documented, not hidden): a participant-group leader
+//! crash between prepare and commit parks the transaction until the group
+//! has a write coordinator again, and the staged state lives only on the old
+//! leader — recovery of in-flight transactions across leader failover is a
+//! ROADMAP item.
+
+use std::collections::{BTreeMap, HashSet};
+
+use recipe_core::{Operation, Request, TxnBody};
+use recipe_net::{
+    FaultDecision, FaultPlan, MsgBuf, NetworkFaultInjector, NodeId, ReqType, WireMessage,
+};
+use recipe_protocols::TxnChannel;
+use recipe_sim::{CostProfile, RangeEntry, RangeStateTransfer, Replica, TxnVote};
+use recipe_workload::stable_key_hash;
+
+use crate::migration::ControllerState;
+use crate::sharded::ShardedCluster;
+
+/// Knobs of the transaction coordinator, configured per deployment through
+/// [`crate::DeploymentSpec::with_txn`].
+#[derive(Debug, Clone)]
+pub struct TxnConfig {
+    /// How long the coordinator waits for a phase round trip before
+    /// retransmitting the frame (same sealed bytes), virtual ns.
+    pub retry_timeout_ns: u64,
+    /// Base client backoff after an aborted (lock-conflict) transaction
+    /// attempt, virtual ns. A per-client jitter is added on top so two
+    /// symmetrically conflicting transactions cannot re-collide forever.
+    pub conflict_backoff_ns: u64,
+    /// Adversarial plan applied to 2PC frames (both legs of every round
+    /// trip). Defaults to benign; the atomicity tests turn on drops,
+    /// tampering, duplication and replays.
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for TxnConfig {
+    fn default() -> Self {
+        TxnConfig {
+            retry_timeout_ns: 2_000_000, // 2 ms
+            conflict_backoff_ns: 400_000,
+            fault_plan: FaultPlan::benign(),
+        }
+    }
+}
+
+/// Counters of the transaction machinery for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct TxnStats {
+    /// Transaction attempts the coordinator started 2PC for.
+    pub started: u64,
+    /// Transactions that committed atomically on every participant.
+    pub committed: u64,
+    /// Attempts aborted on a lock conflict (the client retried).
+    pub aborted: u64,
+    /// Committed transactions that spanned more than one shard.
+    pub cross_shard_committed: u64,
+    /// Largest participant fan-out observed on a committed transaction.
+    pub max_fanout: u64,
+    /// Operations carried by committed transactions.
+    pub committed_ops: u64,
+    /// Whole-transaction re-routes after a `WrongShard` redirect (a
+    /// migration moved a touched key; the client re-resolves every key
+    /// against the new epoch before 2PC starts).
+    pub wrong_shard_retries: u64,
+    /// Whole-transaction backoffs because a touched range was draining for
+    /// a migration cutover.
+    pub refusal_backoffs: u64,
+    /// 2PC frames sent (requests + responses, including retransmissions).
+    pub frames_sent: u64,
+    /// 2PC frames the adversary dropped (each triggers a retransmission).
+    pub frames_dropped: u64,
+    /// 2PC frames a receiving shield rejected (tampered, duplicated or
+    /// replayed deliveries — never executed).
+    pub frames_rejected: u64,
+    /// Frames that travelled AEAD-sealed (a participant was confidential).
+    pub sealed_frames: u64,
+    /// Total wire bytes of all sent 2PC frames.
+    pub wire_bytes: u64,
+    /// Prepare votes denied by a lock conflict.
+    pub prepare_conflicts: u64,
+    /// Committed-write records installed on participant followers.
+    pub participant_installs: u64,
+    /// Virtual nanoseconds of prepare/commit/install work charged to
+    /// participant replicas.
+    pub txn_busy_ns: u64,
+}
+
+/// Which 2PC phase a transaction is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnPhase {
+    Preparing,
+    Committing,
+    Aborting,
+}
+
+/// Round-trip state of the current phase on one participant.
+struct Participant {
+    shard: usize,
+    /// Sub-operations routed to this shard, in client order.
+    ops: Vec<Operation>,
+    /// Ring arcs the sub-operations live on (drain / capture checks).
+    arcs: Vec<usize>,
+    channel: TxnChannel,
+    /// The sealed request of the current phase, cached for retransmission.
+    request_wire: Vec<u8>,
+    /// The participant's sealed response, cached so a request re-delivered
+    /// after a lost response is answered without re-execution.
+    response_wire: Option<Vec<u8>>,
+    /// Virtual time the participant finished executing the current phase.
+    processed_finish: u64,
+    /// The round trip of the current phase completed (response delivered).
+    done: bool,
+    /// Virtual time the response reached the coordinator.
+    ready_at: u64,
+    /// The participant's prepare vote, once delivered.
+    granted: Option<bool>,
+    /// Total key+value payload bytes of this participant's sub-operations.
+    payload_bytes: usize,
+    /// Payload bytes of the staged writes (Put operations only).
+    staged_bytes: usize,
+}
+
+/// One transaction in flight at the coordinator.
+struct InflightTxn {
+    txn_id: u64,
+    client_id: u64,
+    request_id: u64,
+    issued_at: u64,
+    phase: TxnPhase,
+    participants: Vec<Participant>,
+}
+
+impl InflightTxn {
+    fn phase_done(&self) -> bool {
+        self.participants.iter().all(|p| p.done)
+    }
+
+    fn phase_ready_at(&self) -> u64 {
+        self.participants
+            .iter()
+            .map(|p| p.ready_at)
+            .max()
+            .unwrap_or(self.issued_at)
+    }
+
+    fn request(&self) -> Request {
+        Request::Txn(
+            self.participants
+                .iter()
+                .flat_map(|p| p.ops.iter().cloned())
+                .collect(),
+        )
+    }
+}
+
+/// A committed transaction, handed to the driver for completion accounting.
+pub(crate) struct CommittedTxn {
+    pub(crate) client_id: u64,
+    pub(crate) latency_ns: u64,
+    pub(crate) finished_at: u64,
+    /// `(shard, arc, is_write)` per operation, participant-major.
+    pub(crate) op_placements: Vec<(usize, usize, bool)>,
+}
+
+/// How a [`ShardedCluster::txn_advance_event`] resolved.
+pub(crate) enum TxnResolution {
+    /// The transaction moved to its next phase (or is still collecting
+    /// round trips); nothing for the driver to account yet.
+    Pending,
+    /// Committed: the driver records completions and re-issues the client.
+    Committed(CommittedTxn),
+    /// Aborted: the driver requeues the whole request after a backoff.
+    Aborted {
+        /// The issuing client.
+        client_id: u64,
+        /// The request id to retry under.
+        request_id: u64,
+        /// Virtual time the abort finished on every participant.
+        finished_at: u64,
+        /// The original request, rebuilt for the retry.
+        request: Request,
+    },
+}
+
+/// An event the transaction machinery asks the driver to schedule.
+pub(crate) enum TxnSchedule {
+    /// Retransmit participant `participant`'s current-phase frame at `at`.
+    Retry {
+        /// The transaction.
+        txn_id: u64,
+        /// Participant index within the transaction.
+        participant: usize,
+        /// Virtual retransmission time.
+        at: u64,
+    },
+    /// Every round trip of the current phase landed; advance at `at`.
+    Advance {
+        /// The transaction.
+        txn_id: u64,
+        /// Virtual time of the latest response arrival.
+        at: u64,
+    },
+}
+
+/// What one round-trip attempt produced.
+enum RoundTrip {
+    Done,
+    Retry { retry_at: u64 },
+}
+
+/// Driver-side transaction coordinator state for one run.
+pub(crate) struct TxnManager {
+    pub(crate) config: TxnConfig,
+    pub(crate) stats: TxnStats,
+    inflight: BTreeMap<u64, InflightTxn>,
+    next_txn_id: u64,
+    injector: NetworkFaultInjector,
+    wire_seq: u64,
+    /// In-flight staged bytes per shard (EPC pressure input).
+    staged_per_shard: Vec<usize>,
+    /// Per-shard replica cost profiles, resolved once at engine start.
+    profiles: Vec<Vec<CostProfile>>,
+    link_latency_ns: u64,
+}
+
+impl TxnManager {
+    pub(crate) fn new(
+        config: TxnConfig,
+        seed: u64,
+        profiles: Vec<Vec<CostProfile>>,
+        link_latency_ns: u64,
+    ) -> Self {
+        // A dedicated deterministic fault stream for 2PC frames, independent
+        // of the per-shard protocol fault streams.
+        let injector_seed = seed.wrapping_add(stable_key_hash(b"txn-coordinator-faults"));
+        TxnManager {
+            injector: NetworkFaultInjector::new(config.fault_plan, injector_seed),
+            config,
+            stats: TxnStats::default(),
+            inflight: BTreeMap::new(),
+            next_txn_id: 0,
+            wire_seq: 0,
+            staged_per_shard: vec![0; profiles.len()],
+            profiles,
+            link_latency_ns,
+        }
+    }
+
+    /// True when no transaction is in flight.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// In-flight transactions with a participant on `shard` whose arcs
+    /// intersect `arc_set` — these block a migration drain exactly like
+    /// outstanding single-key operations do.
+    pub(crate) fn inflight_on(&self, shard: usize, arc_set: &HashSet<usize>) -> usize {
+        self.inflight
+            .values()
+            .filter(|txn| {
+                txn.participants
+                    .iter()
+                    .any(|p| p.shard == shard && p.arcs.iter().any(|arc| arc_set.contains(arc)))
+            })
+            .count()
+    }
+
+    /// Sends one leg of a round trip through the adversarial network.
+    /// `open` verifies bytes at the receiving shield; extra copies the
+    /// adversary produces (tampered, duplicated, replayed) are fed through
+    /// it too, so rejections are real shield rejections. Returns the opened
+    /// body when the authentic frame was delivered.
+    fn send_leg<T>(
+        &mut self,
+        wire: &[u8],
+        src: NodeId,
+        dst: NodeId,
+        sealed: bool,
+        mut open: impl FnMut(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        self.wire_seq += 1;
+        self.stats.frames_sent += 1;
+        self.stats.wire_bytes += wire.len() as u64;
+        if sealed {
+            self.stats.sealed_frames += 1;
+        }
+        let message = WireMessage {
+            wire_id: self.wire_seq,
+            src,
+            dst,
+            is_response: false,
+            buf: MsgBuf::new(ReqType::REPLICATE, wire.to_vec()),
+        };
+        match self.injector.decide(&message) {
+            FaultDecision::Deliver => open(wire),
+            FaultDecision::Drop => {
+                self.stats.frames_dropped += 1;
+                None
+            }
+            FaultDecision::Tamper(corrupted) => {
+                // The corrupted copy is rejected without consuming the
+                // counter; the authentic frame never arrives — timeout and
+                // retransmission recover.
+                if open(&corrupted.buf.payload).is_none() {
+                    self.stats.frames_rejected += 1;
+                }
+                self.stats.frames_dropped += 1;
+                None
+            }
+            FaultDecision::Duplicate => {
+                // Authentic delivery first; the duplicate is rejected by the
+                // trusted counter.
+                let body = open(wire);
+                if open(wire).is_none() {
+                    self.stats.frames_rejected += 1;
+                }
+                body
+            }
+            FaultDecision::Replay(older) => {
+                // Authentic delivery; the replayed older frame is rejected
+                // by the counter (same transaction) or the per-transaction
+                // keys (another transaction's frame).
+                let body = open(wire);
+                if open(&older.buf.payload).is_none() {
+                    self.stats.frames_rejected += 1;
+                }
+                body
+            }
+        }
+    }
+
+    /// Synthetic network addresses for the injector's channel bookkeeping
+    /// (replays are picked per (src, dst) pair).
+    fn coordinator_addr() -> NodeId {
+        NodeId(u64::MAX - 1)
+    }
+
+    fn participant_addr(shard: usize) -> NodeId {
+        NodeId(u64::MAX - 2 - shard as u64)
+    }
+}
+
+impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
+    /// Starts 2PC for one routed transaction. `per_op` pairs each operation
+    /// of `ops` with its `(arc, shard)` placement, resolved by the caller
+    /// under the client's refreshed router epoch. Returns the schedules to
+    /// queue, or the operations back when a participant group currently has
+    /// no live write coordinator (the caller requeues the whole request).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn txn_begin(
+        &mut self,
+        txns: &mut TxnManager,
+        st: &mut ControllerState,
+        client_id: u64,
+        request_id: u64,
+        ops: Vec<Operation>,
+        per_op: &[(usize, usize)],
+        at: u64,
+    ) -> Result<Vec<TxnSchedule>, Vec<Operation>> {
+        debug_assert_eq!(ops.len(), per_op.len());
+        // Every participant needs a live leader before locks are taken
+        // anywhere (a crashed group would park the other groups' locks).
+        let mut shard_set: Vec<usize> = per_op.iter().map(|&(_, shard)| shard).collect();
+        shard_set.sort_unstable();
+        shard_set.dedup();
+        if shard_set
+            .iter()
+            .any(|&shard| self.shards[shard].write_coordinator().is_none())
+        {
+            return Err(ops);
+        }
+        let mut by_shard: BTreeMap<usize, (Vec<Operation>, Vec<usize>)> = BTreeMap::new();
+        for (op, &(arc, shard)) in ops.into_iter().zip(per_op) {
+            let entry = by_shard.entry(shard).or_default();
+            entry.0.push(op);
+            if !entry.1.contains(&arc) {
+                entry.1.push(arc);
+            }
+        }
+
+        let txn_id = txns.next_txn_id;
+        txns.next_txn_id += 1;
+        txns.stats.started += 1;
+
+        // Stricter-wins confidentiality over all participants: one
+        // confidential shard seals every frame of the transaction, so the
+        // untrusted host cannot learn the transaction's shape from its
+        // plaintext legs.
+        let confidential = by_shard
+            .keys()
+            .any(|&shard| self.confidentiality_of(shard).is_confidential());
+
+        let mut txn = InflightTxn {
+            txn_id,
+            client_id,
+            request_id,
+            issued_at: at,
+            phase: TxnPhase::Preparing,
+            participants: by_shard
+                .into_iter()
+                .map(|(shard, (ops, arcs))| {
+                    let payload_bytes = ops.iter().map(|op| op.key().len() + op.value_len()).sum();
+                    let staged_bytes = ops
+                        .iter()
+                        .filter(|op| op.is_write())
+                        .map(|op| op.key().len() + op.value_len())
+                        .sum();
+                    let mut channel = TxnChannel::new(txn_id, shard, confidential);
+                    let request_wire = channel.seal_request(&TxnBody::Prepare { ops: ops.clone() });
+                    Participant {
+                        shard,
+                        ops,
+                        arcs,
+                        channel,
+                        request_wire,
+                        response_wire: None,
+                        processed_finish: at,
+                        done: false,
+                        ready_at: at,
+                        granted: None,
+                        payload_bytes,
+                        staged_bytes,
+                    }
+                })
+                .collect(),
+        };
+
+        let schedules = self.txn_pump(txns, st, &mut txn, None, at);
+        txns.inflight.insert(txn_id, txn);
+        Ok(schedules)
+    }
+
+    /// Handles a retransmission timer for one participant round trip.
+    pub(crate) fn txn_retry_event(
+        &mut self,
+        txns: &mut TxnManager,
+        st: &mut ControllerState,
+        txn_id: u64,
+        participant: usize,
+        at: u64,
+    ) -> Vec<TxnSchedule> {
+        let Some(mut txn) = txns.inflight.remove(&txn_id) else {
+            return Vec::new(); // already resolved
+        };
+        let schedules = self.txn_pump(txns, st, &mut txn, Some(participant), at);
+        txns.inflight.insert(txn_id, txn);
+        schedules
+    }
+
+    /// Handles a phase-advance event: all round trips of the current phase
+    /// landed at `at`. Decides (after prepare), completes (after commit) or
+    /// resolves the retry (after abort).
+    pub(crate) fn txn_advance_event(
+        &mut self,
+        txns: &mut TxnManager,
+        st: &mut ControllerState,
+        txn_id: u64,
+        at: u64,
+    ) -> (TxnResolution, Vec<TxnSchedule>) {
+        let Some(mut txn) = txns.inflight.remove(&txn_id) else {
+            return (TxnResolution::Pending, Vec::new());
+        };
+        debug_assert!(txn.phase_done(), "advance fired before the phase landed");
+        match txn.phase {
+            TxnPhase::Preparing => {
+                let all_granted = txn.participants.iter().all(|p| p.granted == Some(true));
+                let next = if all_granted {
+                    TxnPhase::Committing
+                } else {
+                    TxnPhase::Aborting
+                };
+                txn.phase = next;
+                let body = if all_granted {
+                    TxnBody::Commit
+                } else {
+                    TxnBody::Abort
+                };
+                for p in &mut txn.participants {
+                    p.request_wire = p.channel.seal_request(&body);
+                    p.response_wire = None;
+                    p.done = false;
+                }
+                let schedules = self.txn_pump(txns, st, &mut txn, None, at);
+                txns.inflight.insert(txn_id, txn);
+                (TxnResolution::Pending, schedules)
+            }
+            TxnPhase::Committing => {
+                let finished_at = txn.phase_ready_at();
+                let mut op_placements = Vec::new();
+                let mut fanout = 0u64;
+                for p in &txn.participants {
+                    fanout += 1;
+                    for op in &p.ops {
+                        let arc = self.router.arc_of_point(stable_key_hash(op.key()));
+                        op_placements.push((p.shard, arc, op.is_write()));
+                    }
+                }
+                txns.stats.committed += 1;
+                txns.stats.committed_ops += op_placements.len() as u64;
+                txns.stats.max_fanout = txns.stats.max_fanout.max(fanout);
+                if fanout > 1 {
+                    txns.stats.cross_shard_committed += 1;
+                }
+                (
+                    TxnResolution::Committed(CommittedTxn {
+                        client_id: txn.client_id,
+                        latency_ns: finished_at.saturating_sub(txn.issued_at),
+                        finished_at,
+                        op_placements,
+                    }),
+                    Vec::new(),
+                )
+            }
+            TxnPhase::Aborting => {
+                txns.stats.aborted += 1;
+                (
+                    TxnResolution::Aborted {
+                        client_id: txn.client_id,
+                        request_id: txn.request_id,
+                        finished_at: txn.phase_ready_at(),
+                        request: txn.request(),
+                    },
+                    Vec::new(),
+                )
+            }
+        }
+    }
+
+    /// Runs round trips for the not-yet-done participants of the current
+    /// phase (`only` restricts to one participant — the retry path) and
+    /// returns the events to schedule: per-leg retries, plus the phase
+    /// advance when the last round trip landed.
+    fn txn_pump(
+        &mut self,
+        txns: &mut TxnManager,
+        st: &mut ControllerState,
+        txn: &mut InflightTxn,
+        only: Option<usize>,
+        at: u64,
+    ) -> Vec<TxnSchedule> {
+        let mut schedules = Vec::new();
+        let was_done = txn.phase_done();
+        for idx in 0..txn.participants.len() {
+            if txn.participants[idx].done || only.is_some_and(|o| o != idx) {
+                continue;
+            }
+            match self.txn_round_trip(txns, st, txn, idx, at) {
+                RoundTrip::Done => {}
+                RoundTrip::Retry { retry_at } => schedules.push(TxnSchedule::Retry {
+                    txn_id: txn.txn_id,
+                    participant: idx,
+                    at: retry_at,
+                }),
+            }
+        }
+        if !was_done && txn.phase_done() {
+            schedules.push(TxnSchedule::Advance {
+                txn_id: txn.txn_id,
+                at: txn.phase_ready_at().max(at),
+            });
+        }
+        schedules
+    }
+
+    /// One attempt of the current phase's round trip on participant `idx`.
+    fn txn_round_trip(
+        &mut self,
+        txns: &mut TxnManager,
+        st: &mut ControllerState,
+        txn: &mut InflightTxn,
+        idx: usize,
+        at: u64,
+    ) -> RoundTrip {
+        let link = txns.link_latency_ns;
+        let txn_id = txn.txn_id;
+        let sealed = txn.participants[idx].channel.is_confidential();
+        let shard = txn.participants[idx].shard;
+        let coordinator = TxnManager::coordinator_addr();
+        let participant_addr = TxnManager::participant_addr(shard);
+
+        if txn.participants[idx].response_wire.is_none() {
+            // Request leg: the participant has not executed this phase yet.
+            let wire = txn.participants[idx].request_wire.clone();
+            let body = {
+                let channel = &mut txn.participants[idx].channel;
+                txns.send_leg(&wire, coordinator, participant_addr, sealed, |bytes| {
+                    channel.open_request(bytes)
+                })
+            };
+            let Some(body) = body else {
+                return RoundTrip::Retry {
+                    retry_at: at + txns.config.retry_timeout_ns,
+                };
+            };
+            let arrival = at + link;
+            let payload_bytes = txn.participants[idx].payload_bytes;
+            let staged_bytes = txn.participants[idx].staged_bytes;
+            let granted = txn.participants[idx].granted == Some(true);
+            let (response, finish) = self.txn_execute_on(
+                txns,
+                st,
+                txn_id,
+                shard,
+                body,
+                arrival,
+                payload_bytes,
+                staged_bytes,
+                granted,
+            );
+            let p = &mut txn.participants[idx];
+            p.processed_finish = finish;
+            p.response_wire = Some(p.channel.seal_response(&response));
+        }
+
+        // Response leg (also the whole retry when the response was lost:
+        // the participant answers from its cached sealed response).
+        let p = &mut txn.participants[idx];
+        let wire = p.response_wire.clone().expect("response sealed above");
+        let body = {
+            let channel = &mut p.channel;
+            txns.send_leg(&wire, participant_addr, coordinator, sealed, |bytes| {
+                channel.open_response(bytes)
+            })
+        };
+        let Some(body) = body else {
+            return RoundTrip::Retry {
+                retry_at: at + txns.config.retry_timeout_ns,
+            };
+        };
+        match body {
+            TxnBody::Vote { granted, .. } => {
+                p.granted = Some(granted);
+                if !granted {
+                    txns.stats.prepare_conflicts += 1;
+                }
+            }
+            TxnBody::Ack { .. } => {}
+            other => panic!("participant answered with a request body: {other:?}"),
+        }
+        p.done = true;
+        p.ready_at = p.processed_finish.max(at) + link;
+        RoundTrip::Done
+    }
+
+    /// Executes one delivered 2PC request on the participant shard: charges
+    /// the leader (and, for commits, every follower install) through the
+    /// cost model, runs the replica hooks, and feeds committed writes on a
+    /// migrating range into the active migration's catch-up log. Returns
+    /// the response body and the virtual time the work finished.
+    #[allow(clippy::too_many_arguments)]
+    fn txn_execute_on(
+        &mut self,
+        txns: &mut TxnManager,
+        st: &mut ControllerState,
+        txn_id: u64,
+        shard: usize,
+        body: TxnBody,
+        arrival: u64,
+        payload_bytes: usize,
+        staged_bytes: usize,
+        granted: bool,
+    ) -> (TxnBody, u64) {
+        let model = self.config.base.cost_model.clone();
+        let Some(leader) = self.shards[shard].write_coordinator() else {
+            // The group lost its coordinator after the prepare check (a
+            // crash mid-transaction): vote no / ack emptily and let the
+            // coordinator abort — the documented failover limitation.
+            return match body {
+                TxnBody::Prepare { .. } => (
+                    TxnBody::Vote {
+                        granted: false,
+                        conflict: None,
+                    },
+                    arrival,
+                ),
+                _ => (TxnBody::Ack { applied: 0 }, arrival),
+            };
+        };
+        let leader_idx = self.shards[shard]
+            .node_ids()
+            .iter()
+            .position(|&node| node == leader)
+            .unwrap_or(0);
+        let profile = txns.profiles[shard]
+            .get(leader_idx)
+            .unwrap_or(&txns.profiles[shard][0])
+            .clone();
+
+        // Every 2PC phase pays the participant group's own replication round
+        // trip on top of the leader's work: the prepare record (locks +
+        // staged writes) and the commit decision must be durable in the
+        // group before the leader answers the coordinator — a participant
+        // answering from volatile leader state would break atomicity on the
+        // very failures 2PC exists to survive.
+        let replication_rt = 2 * txns.link_latency_ns;
+        match body {
+            TxnBody::Prepare { ops } => {
+                let staged_after = txns.staged_per_shard[shard] + staged_bytes;
+                let cost =
+                    model.txn_prepare_cost_ns(&profile, ops.len(), payload_bytes, staged_after);
+                let finish =
+                    self.shards[shard].charge_work_at(leader, arrival, cost) + replication_rt;
+                txns.stats.txn_busy_ns += cost;
+                match self.shards[shard]
+                    .replica_mut(leader)
+                    .txn_prepare(txn_id, &ops)
+                {
+                    TxnVote::Granted => {
+                        txns.staged_per_shard[shard] += staged_bytes;
+                        (
+                            TxnBody::Vote {
+                                granted: true,
+                                conflict: None,
+                            },
+                            finish,
+                        )
+                    }
+                    TxnVote::Conflict { key } => (
+                        TxnBody::Vote {
+                            granted: false,
+                            conflict: Some(key),
+                        },
+                        finish,
+                    ),
+                    TxnVote::Unsupported => panic!(
+                        "shard {shard} replicas do not implement transaction participation; \
+                         deploy a participating protocol (R-Raft, R-CR, R-ABD, PBFT) for \
+                         Request::Txn workloads"
+                    ),
+                }
+            }
+            TxnBody::Commit => {
+                let entries = self.shards[shard].replica_mut(leader).txn_commit(txn_id);
+                if granted {
+                    txns.staged_per_shard[shard] =
+                        txns.staged_per_shard[shard].saturating_sub(staged_bytes);
+                }
+                let entry_bytes: usize = entries.iter().map(RangeEntry::payload_len).sum();
+                let cost = model.txn_commit_cost_ns(&profile, entries.len(), entry_bytes);
+                let mut finish =
+                    self.shards[shard].charge_work_at(leader, arrival, cost) + replication_rt;
+                txns.stats.txn_busy_ns += cost;
+                if !entries.is_empty() {
+                    // Install the applied records on the group's followers —
+                    // the migration-import idiom, so replicas never diverge.
+                    let nodes = self.shards[shard].node_ids();
+                    for (idx, node) in nodes.into_iter().enumerate() {
+                        if node == leader {
+                            continue;
+                        }
+                        let fprofile = txns.profiles[shard]
+                            .get(idx)
+                            .unwrap_or(&txns.profiles[shard][0])
+                            .clone();
+                        let fcost = model.txn_commit_cost_ns(&fprofile, entries.len(), entry_bytes);
+                        let done = self.shards[shard].charge_work_at(node, arrival, fcost);
+                        txns.stats.txn_busy_ns += fcost;
+                        finish = finish.max(done);
+                        self.shards[shard].replica_mut(node).import_range(&entries);
+                        txns.stats.participant_installs += entries.len() as u64;
+                    }
+                    // Catch-up capture: committed transaction writes inside
+                    // an active migration's moving range replay on the
+                    // recipient exactly like single-key commits do.
+                    st.capture_txn_entries(&self.router, shard, &entries);
+                }
+                (
+                    TxnBody::Ack {
+                        applied: entries.len() as u32,
+                    },
+                    finish,
+                )
+            }
+            TxnBody::Abort => {
+                let cost = model.txn_commit_cost_ns(&profile, 0, 0);
+                let finish =
+                    self.shards[shard].charge_work_at(leader, arrival, cost) + replication_rt;
+                txns.stats.txn_busy_ns += cost;
+                self.shards[shard].replica_mut(leader).txn_abort(txn_id);
+                if granted {
+                    txns.staged_per_shard[shard] =
+                        txns.staged_per_shard[shard].saturating_sub(staged_bytes);
+                }
+                (TxnBody::Ack { applied: 0 }, finish)
+            }
+            other => panic!("coordinator sent a response body: {other:?}"),
+        }
+    }
+}

@@ -104,6 +104,14 @@ pub struct RunStats {
     /// Total protocol ops carried by delivered frames (equals
     /// `messages_delivered` without batching; larger when leaders batch).
     pub ops_delivered: u64,
+    /// Multi-key transactions that committed atomically (their constituent
+    /// operations are already classified into `committed` /
+    /// `committed_reads` / `committed_writes`; this counts whole
+    /// transactions). Only the sharded request driver produces these.
+    pub committed_txns: u64,
+    /// Transaction attempts that aborted (lock conflict) and were retried by
+    /// their client. Aborted attempts contribute nothing to `committed`.
+    pub aborted_txns: u64,
 }
 
 #[derive(Debug)]

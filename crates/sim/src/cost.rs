@@ -343,6 +343,51 @@ impl ProtocolCostModel {
             + entries as f64 * self.app_cost_with_pressure(profile, pressure)) as u64
     }
 
+    /// EPC paging pressure while a transaction prepare stages `staged_bytes`
+    /// of locked keys and pending writes inside the enclave on top of the
+    /// node's resident working set. Staged state is enclave-resident from
+    /// prepare until commit/abort (the lock table is trusted metadata like
+    /// the index), so many large in-flight prepares cross the EPC cliff
+    /// exactly like large batch frames and migration chunks do (§B.3).
+    pub fn txn_epc_pressure(&self, profile: &CostProfile, staged_bytes: usize) -> f64 {
+        self.migration_epc_pressure(profile, staged_bytes)
+    }
+
+    /// Cost for a participant leader to verify and execute one 2PC prepare
+    /// frame of `ops` operations totalling `payload_bytes`: the sealed
+    /// frame's transport + authentication cost once (single MAC/AEAD pass),
+    /// then per-op lock + staging work under the EPC pressure of keeping the
+    /// staged writes enclave-resident (`staged_bytes` is the store's total
+    /// in-flight staged footprint *including* this prepare).
+    pub fn txn_prepare_cost_ns(
+        &self,
+        profile: &CostProfile,
+        ops: usize,
+        payload_bytes: usize,
+        staged_bytes: usize,
+    ) -> u64 {
+        let pressure = self.txn_epc_pressure(profile, staged_bytes);
+        (self.message_cost_f64(profile, payload_bytes)
+            + ops.max(1) as f64 * self.app_cost_with_pressure(profile, pressure)) as u64
+    }
+
+    /// Cost for a participant leader to verify and execute one 2PC
+    /// commit/abort frame resolving `writes` staged writes totalling
+    /// `payload_bytes`: the frame's transport + authentication cost once,
+    /// then per-write apply work (the same application work a single-key
+    /// write pays — amortization covers the shield, never the store).
+    pub fn txn_commit_cost_ns(
+        &self,
+        profile: &CostProfile,
+        writes: usize,
+        payload_bytes: usize,
+    ) -> u64 {
+        let pressure = self.txn_epc_pressure(profile, payload_bytes);
+        (self.message_cost_f64(profile, 64)
+            + writes as f64 * self.app_cost_with_pressure(profile, pressure)
+            + payload_bytes as f64 * self.mac_per_byte_ns) as u64
+    }
+
     fn message_cost_f64(&self, profile: &CostProfile, payload_bytes: usize) -> f64 {
         let mut cost = self
             .net
@@ -567,6 +612,37 @@ mod tests {
         assert_eq!(
             m.migration_epc_pressure(&CostProfile::native_cft(), 1 << 30),
             1.0
+        );
+    }
+
+    #[test]
+    fn txn_costs_scale_with_ops_and_pay_epc_pressure_per_inflight_prepare() {
+        let m = ProtocolCostModel::default();
+        let profile = CostProfile::recipe();
+        // More ops in a prepare cost more; the frame overhead is paid once.
+        assert!(
+            m.txn_prepare_cost_ns(&profile, 8, 8 * 256, 8 * 256)
+                > m.txn_prepare_cost_ns(&profile, 2, 2 * 256, 2 * 256)
+        );
+        let eight = m.txn_prepare_cost_ns(&profile, 8, 8 * 256, 8 * 256);
+        let singles = 8 * m.txn_prepare_cost_ns(&profile, 1, 256, 256);
+        assert!(
+            eight < singles,
+            "prepare frame must amortize: {eight} !< {singles}"
+        );
+        // Many large in-flight prepares cross the EPC cliff: the same prepare
+        // costs more when the store already stages megabytes.
+        let calm = m.txn_prepare_cost_ns(&profile, 4, 1024, 4 * 1024);
+        let pressured = m.txn_prepare_cost_ns(&profile, 4, 1024, 64 * 1024 * 1024);
+        assert!(
+            pressured > calm,
+            "EPC pressure must surface: {pressured} !> {calm}"
+        );
+        assert!(m.txn_epc_pressure(&profile, 64 * 1024 * 1024) > 1.0);
+        assert_eq!(m.txn_epc_pressure(&CostProfile::native_cft(), 1 << 30), 1.0);
+        // Commits charge per staged write.
+        assert!(
+            m.txn_commit_cost_ns(&profile, 8, 8 * 256) > m.txn_commit_cost_ns(&profile, 1, 256)
         );
     }
 

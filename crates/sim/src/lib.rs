@@ -31,6 +31,6 @@ pub use cluster::{
     latency_summary, ClientModel, Completion, RunStats, SimCluster, SimConfig, StepOutcome,
 };
 pub use cost::{CostProfile, ProtocolCostModel};
-pub use replica::{Ctx, RangeEntry, RangeStateTransfer, Replica};
+pub use replica::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
 
 pub use recipe_tee::TrustedInstant as SimTime;

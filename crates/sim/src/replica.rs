@@ -7,7 +7,7 @@
 //! timer requests that the simulator then schedules with the appropriate virtual-time
 //! costs.
 
-use recipe_core::{ClientReply, ClientRequest};
+use recipe_core::{ClientReply, ClientRequest, Operation};
 use recipe_net::NodeId;
 use recipe_tee::TrustedInstant;
 use serde::{Deserialize, Serialize};
@@ -97,7 +97,35 @@ impl Ctx {
     }
 }
 
+/// A participant's answer to a two-phase-commit prepare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnVote {
+    /// Every touched key was locked and every write staged; the participant
+    /// is ready to commit.
+    Granted,
+    /// A touched key is locked by another in-flight transaction; nothing was
+    /// locked or staged (all-or-nothing), the coordinator must abort.
+    Conflict {
+        /// The first conflicting key.
+        key: Vec<u8>,
+    },
+    /// The replica type does not implement transaction participation (the
+    /// default) — routing a [`recipe_core::Request::Txn`] at such a group is
+    /// a deployment bug, which coordinators surface loudly.
+    Unsupported,
+}
+
 /// A deterministic protocol replica.
+///
+/// The three `txn_*` hooks are the participant side of cross-shard two-phase
+/// commit, driven by the sharded coordinator on the group's write
+/// coordinator: `txn_prepare` locks the touched keys in the replica's store
+/// and stages the writes, `txn_commit` applies them through the replica's
+/// normal apply path and returns the applied records (the coordinator
+/// installs them on the group's other replicas, mirroring how migration
+/// state transfer installs imported ranges), `txn_abort` discards them.
+/// The default implementations vote [`TxnVote::Unsupported`] — protocols opt
+/// in by overriding (R-Raft, R-CR, R-ABD and PBFT do).
 pub trait Replica {
     /// This replica's node id.
     fn id(&self) -> NodeId;
@@ -122,6 +150,28 @@ pub trait Replica {
 
     /// Protocol name, used in experiment output.
     fn protocol_name(&self) -> &'static str;
+
+    /// 2PC prepare: lock every key `ops` touches in the local store and stage
+    /// the writes, all-or-nothing. Called on the group's write coordinator.
+    fn txn_prepare(&mut self, txn_id: u64, ops: &[Operation]) -> TxnVote {
+        let _ = (txn_id, ops);
+        TxnVote::Unsupported
+    }
+
+    /// 2PC commit: apply `txn_id`'s staged writes through the replica's
+    /// normal apply path, release its locks, and return the applied records
+    /// (key, value, stored write timestamp) for installation on the group's
+    /// other replicas. Unknown transactions return an empty list (idempotent
+    /// re-commit).
+    fn txn_commit(&mut self, txn_id: u64) -> Vec<RangeEntry> {
+        let _ = txn_id;
+        Vec::new()
+    }
+
+    /// 2PC abort: discard `txn_id`'s staged writes and release its locks.
+    fn txn_abort(&mut self, txn_id: u64) {
+        let _ = txn_id;
+    }
 }
 
 /// One exported key-value record of a state-transfer range: the unit shipped

@@ -225,6 +225,141 @@ impl WorkloadGenerator {
     }
 }
 
+/// A generated request: one operation, or a multi-key transaction.
+///
+/// The protocol-level counterpart is `recipe_core::Request`;
+/// `recipe_shard::request_from_workload` bridges the two (this crate stays
+/// dependency-free).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadRequest {
+    /// A single-key operation (the fast path).
+    Single(WorkloadOp),
+    /// A multi-key atomic transaction.
+    Txn(Vec<WorkloadOp>),
+}
+
+impl WorkloadRequest {
+    /// The operations carried, in draw order.
+    pub fn ops(&self) -> &[WorkloadOp] {
+        match self {
+            WorkloadRequest::Single(op) => std::slice::from_ref(op),
+            WorkloadRequest::Txn(ops) => ops,
+        }
+    }
+
+    /// True for transactions.
+    pub fn is_txn(&self) -> bool {
+        matches!(self, WorkloadRequest::Txn(_))
+    }
+}
+
+/// A multi-key workload specification: the YCSB-style base stream plus
+/// transaction shape knobs. Shared by the transaction tests and the
+/// `fig_txn` benchmark so the scenario the tests validate is the scenario
+/// the figure measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnWorkloadSpec {
+    /// The single-key stream transactions draw their keys from (skew,
+    /// read/write mix, value size, seed).
+    pub base: WorkloadSpec,
+    /// Fraction of requests that are transactions, 0.0–1.0.
+    pub txn_fraction: f64,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Upper bound on the number of distinct *placement classes* a
+    /// transaction touches. The generator is placement-agnostic (this crate
+    /// knows nothing about shards): the caller passes a classifier —
+    /// typically `router.shard_for_key` via [`stable_key_hash`] — and draws
+    /// are rejection-sampled until the bound holds, so a deployment can
+    /// sweep cross-shard fan-out 1→N deterministically.
+    pub fan_out: usize,
+}
+
+impl Default for TxnWorkloadSpec {
+    fn default() -> Self {
+        TxnWorkloadSpec {
+            base: WorkloadSpec::default(),
+            txn_fraction: 0.5,
+            ops_per_txn: 3,
+            fan_out: 2,
+        }
+    }
+}
+
+impl TxnWorkloadSpec {
+    /// Builds the generator.
+    pub fn generator(&self) -> TxnWorkloadGenerator {
+        TxnWorkloadGenerator::new(self.clone())
+    }
+}
+
+/// A deterministic stream of single-key operations and multi-key
+/// transactions (see [`TxnWorkloadSpec`]).
+#[derive(Debug, Clone)]
+pub struct TxnWorkloadGenerator {
+    spec: TxnWorkloadSpec,
+    base: WorkloadGenerator,
+    /// Shape decisions (txn-or-single) draw from their own stream so the
+    /// key sequence of the base generator matches a pure single-key run
+    /// with the same seed as closely as possible.
+    shape_rng: StdRng,
+}
+
+impl TxnWorkloadGenerator {
+    /// Creates a generator for `spec`.
+    pub fn new(spec: TxnWorkloadSpec) -> Self {
+        let shape_seed = spec
+            .base
+            .seed
+            .wrapping_add(stable_key_hash(b"txn-workload-shape"));
+        TxnWorkloadGenerator {
+            base: spec.base.generator(),
+            shape_rng: StdRng::seed_from_u64(shape_seed),
+            spec,
+        }
+    }
+
+    /// The specification this generator follows.
+    pub fn spec(&self) -> &TxnWorkloadSpec {
+        &self.spec
+    }
+
+    /// Produces the next request. `classify` maps a key to its placement
+    /// class (e.g. its shard); a transaction's keys span at most
+    /// [`TxnWorkloadSpec::fan_out`] distinct classes.
+    pub fn next_request(&mut self, classify: &dyn Fn(&[u8]) -> usize) -> WorkloadRequest {
+        if self.spec.txn_fraction <= 0.0 || !self.shape_rng.gen_bool(self.spec.txn_fraction) {
+            return WorkloadRequest::Single(self.base.next_op());
+        }
+        let want = self.spec.ops_per_txn.max(1);
+        let fan_out = self.spec.fan_out.max(1);
+        let mut ops: Vec<WorkloadOp> = Vec::with_capacity(want);
+        let mut classes: Vec<usize> = Vec::new();
+        // Rejection-sample skewed draws until the fan-out bound holds; the
+        // attempt budget keeps the stream finite under adversarial
+        // classifiers, falling back to re-touching an accepted key (a
+        // same-class op by construction).
+        let mut attempts = 0usize;
+        while ops.len() < want {
+            if attempts >= want * 32 {
+                let repeat = ops.first().cloned().expect("at least one accepted op");
+                ops.push(repeat);
+                continue;
+            }
+            attempts += 1;
+            let op = self.base.next_op();
+            let class = classify(op.key());
+            if classes.contains(&class) || classes.len() < fan_out {
+                if !classes.contains(&class) {
+                    classes.push(class);
+                }
+                ops.push(op);
+            }
+        }
+        WorkloadRequest::Txn(ops)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +445,74 @@ mod tests {
         .generator();
         let differs = (0..100).any(|_| a.next_op() != c.next_op());
         assert!(differs);
+    }
+
+    #[test]
+    fn txn_generators_are_deterministic_and_bound_fanout() {
+        let spec = TxnWorkloadSpec {
+            txn_fraction: 0.4,
+            ops_per_txn: 4,
+            fan_out: 2,
+            ..TxnWorkloadSpec::default()
+        };
+        let classify = |key: &[u8]| (stable_key_hash(key) % 8) as usize;
+        let mut a = spec.generator();
+        let mut b = spec.generator();
+        let mut txns = 0usize;
+        for _ in 0..3_000 {
+            let ra = a.next_request(&classify);
+            assert_eq!(ra, b.next_request(&classify));
+            if let WorkloadRequest::Txn(ops) = &ra {
+                txns += 1;
+                assert_eq!(ops.len(), 4);
+                let mut classes: Vec<usize> = ops.iter().map(|op| classify(op.key())).collect();
+                classes.sort_unstable();
+                classes.dedup();
+                assert!(classes.len() <= 2, "fan-out bound violated: {classes:?}");
+            }
+            assert_eq!(
+                ra.is_txn(),
+                ra.ops().len() > 1 || matches!(ra, WorkloadRequest::Txn(_))
+            );
+        }
+        let fraction = txns as f64 / 3_000.0;
+        assert!((fraction - 0.4).abs() < 0.05, "txn fraction {fraction}");
+    }
+
+    #[test]
+    fn txn_fraction_zero_degenerates_to_the_single_key_stream() {
+        let spec = TxnWorkloadSpec {
+            txn_fraction: 0.0,
+            ..TxnWorkloadSpec::default()
+        };
+        let mut with_txns = spec.generator();
+        let mut plain = spec.base.generator();
+        let classify = |_: &[u8]| 0usize;
+        for _ in 0..500 {
+            match with_txns.next_request(&classify) {
+                WorkloadRequest::Single(op) => assert_eq!(op, plain.next_op()),
+                WorkloadRequest::Txn(_) => panic!("txn at fraction 0"),
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_one_transactions_stay_in_one_class() {
+        let spec = TxnWorkloadSpec {
+            txn_fraction: 1.0,
+            ops_per_txn: 3,
+            fan_out: 1,
+            ..TxnWorkloadSpec::default()
+        };
+        let classify = |key: &[u8]| (stable_key_hash(key) % 4) as usize;
+        let mut generator = spec.generator();
+        for _ in 0..300 {
+            let WorkloadRequest::Txn(ops) = generator.next_request(&classify) else {
+                panic!("fraction 1.0 must always produce txns");
+            };
+            let class = classify(ops[0].key());
+            assert!(ops.iter().all(|op| classify(op.key()) == class));
+        }
     }
 
     proptest! {
