@@ -10,14 +10,14 @@ fn main() {
         .nth(1)
         .and_then(|arg| arg.parse().ok())
         .unwrap_or(1_200);
-    let rows = recipe_bench::fig_batching(operations);
+    let report = recipe_bench::fig_batching_report(operations);
     recipe_bench::print_rows(
         "Leader batching: Raft (native) / R-Raft (confidential), batch sizes 1-64 (write-only, 64 B)",
-        &rows,
+        &report.rows,
     );
-    println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
+    println!("\n{}", serde_json::to_string_pretty(&report.rows).unwrap());
     if let Some(path) = std::env::args().nth(2) {
-        let summary = recipe_bench::batching_summary(&rows);
+        let summary = recipe_bench::batching_summary(&report);
         recipe_bench::write_summary(&path, &summary).expect("summary written");
         println!("summary written to {path}");
     }

@@ -1,0 +1,191 @@
+//! Observability experiment: runs the mixed single-key / transaction /
+//! migration workload twice with the same seed — telemetry off, then on —
+//! and validates the whole telemetry pipeline end to end:
+//!
+//! 1. the virtual-time results of both runs must be bit-identical (telemetry
+//!    only observes);
+//! 2. the JSONL export must round-trip through the span/metric/attribution
+//!    schema validator, non-empty;
+//! 3. every shard's cost attribution must reconcile: busy + idle ns equals
+//!    `replicas × elapsed` within 1%;
+//! 4. the telemetry-enabled run must not cost more than 10% wall-clock
+//!    overhead over the disabled run (the perf gate for the subsystem).
+//!
+//! Any violation exits non-zero, so CI can run this binary as a smoke test.
+//! It also prints the per-shard "where the nanoseconds went" attribution
+//! table that decomposes the confidential-shard overhead into its cost
+//! categories, and writes the Chrome-trace + JSONL exports.
+//!
+//! Arguments: `[operations] [output_dir]` — default 2000 operations, exports
+//! written under `target/observe/`.
+
+use std::time::Instant;
+
+use recipe_bench::{attribution_reconciliation, fig_observe, ObserveReport};
+use recipe_telemetry::{validate_jsonl, CostCategory};
+
+/// Minimum accumulated wall-clock seconds in the telemetry-off mode before
+/// the overhead gate is trusted; below this, scheduler noise dominates and
+/// the comparison would flake.
+const MIN_GATE_SECS: f64 = 0.2;
+
+/// Maximum tolerated wall-clock overhead of telemetry-on over telemetry-off.
+const MAX_OVERHEAD: f64 = 0.10;
+
+fn timed(operations: usize, telemetry: bool) -> (ObserveReport, f64) {
+    let start = Instant::now();
+    let report = fig_observe(operations, telemetry);
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let operations = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(2_000);
+    let out_dir = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "target/observe".into());
+
+    let (off, wall_off) = timed(operations, false);
+    let (on, wall_on) = timed(operations, true);
+
+    // 1. Telemetry must be invisible on the virtual clock.
+    if on.stats != off.stats {
+        eprintln!("FAIL: telemetry changed the run (virtual-time stats differ between modes)");
+        std::process::exit(1);
+    }
+    let stats = &on.stats;
+    println!(
+        "mixed workload: {} committed ({} txns, {} aborted attempts), {} migrations, \
+         {:.0} ops/s virtual",
+        stats.total.committed,
+        stats.total.committed_txns,
+        stats.total.aborted_txns,
+        stats.migration.migrations_completed,
+        stats.total.throughput_ops,
+    );
+    let telemetry = on
+        .telemetry
+        .expect("telemetry-enabled run carries a report");
+    println!(
+        "trace: {} spans ({} dropped), {} metrics, {} shard attributions",
+        telemetry.spans.len(),
+        telemetry.spans_dropped,
+        telemetry.metrics.len(),
+        telemetry.attribution.len(),
+    );
+
+    // 2. Schema-validate the JSONL export.
+    let jsonl = telemetry.to_jsonl();
+    match validate_jsonl(&jsonl) {
+        Ok(summary) if summary.spans > 0 && summary.attribution > 0 => {
+            println!(
+                "jsonl: {} span, {} metric, {} attribution lines — schema ok",
+                summary.spans, summary.metrics, summary.attribution
+            );
+        }
+        Ok(summary) => {
+            eprintln!(
+                "FAIL: degenerate trace (spans={}, attribution={})",
+                summary.spans, summary.attribution
+            );
+            std::process::exit(1);
+        }
+        Err(err) => {
+            eprintln!("FAIL: jsonl schema violation: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    // 3. Per-shard attribution must reconcile with the virtual clock.
+    let violations = attribution_reconciliation(&telemetry, 0.01);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("FAIL: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("attribution reconciles: busy + idle = replicas x elapsed on every shard (±1%)");
+
+    // The attribution table: where the nanoseconds went, per shard. Shard 0
+    // is confidential, shard 1 plaintext — the per-category deltas decompose
+    // the confidential-mode overhead.
+    println!("\n=== Cost attribution (virtual ns, share of shard capacity) ===");
+    for shard in &telemetry.attribution {
+        let capacity = shard.capacity_ns() as f64;
+        println!(
+            "shard {} ({} replicas, {:.1} ms elapsed):",
+            shard.shard,
+            shard.replicas,
+            shard.elapsed_ns as f64 / 1e6
+        );
+        for (category, ns) in shard.busy.entries() {
+            if ns == 0 {
+                continue;
+            }
+            println!(
+                "  {:<14} {:>14} ns  {:>6.2}%",
+                category.as_str(),
+                ns,
+                ns as f64 / capacity * 100.0
+            );
+        }
+    }
+    if telemetry.attribution.len() >= 2 {
+        println!("\n=== Confidential-shard overhead vs shard 1 (per category, ns) ===");
+        let conf = &telemetry.attribution[0];
+        let plain = &telemetry.attribution[1];
+        for category in CostCategory::ALL {
+            if category == CostCategory::Idle {
+                continue;
+            }
+            let delta = conf.busy.get(category) as i64 - plain.busy.get(category) as i64;
+            if delta != 0 {
+                println!("  {:<14} {:>+14}", category.as_str(), delta);
+            }
+        }
+    }
+
+    // Exports.
+    std::fs::create_dir_all(&out_dir).expect("output dir created");
+    let trace_path = format!("{out_dir}/observe_trace.json");
+    let jsonl_path = format!("{out_dir}/observe.jsonl");
+    std::fs::write(&trace_path, telemetry.to_chrome_trace()).expect("trace written");
+    std::fs::write(&jsonl_path, &jsonl).expect("jsonl written");
+    println!("\nchrome trace written to {trace_path} (load via ui.perfetto.dev)");
+    println!("jsonl export written to {jsonl_path}");
+
+    // 4. Wall-clock overhead gate. Each mode is sampled several times
+    // (alternating, at least 3 pairs and enough accumulated time to rise
+    // above scheduler noise) and the *fastest* sample of each mode is
+    // compared — the minimum is the run least disturbed by the host.
+    let mut off_samples = vec![wall_off];
+    let mut on_samples = vec![wall_on];
+    while off_samples.len() < 3 || off_samples.iter().sum::<f64>() < MIN_GATE_SECS {
+        off_samples.push(timed(operations, false).1);
+        on_samples.push(timed(operations, true).1);
+    }
+    let best = |samples: &[f64]| samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (best_off, best_on) = (best(&off_samples), best(&on_samples));
+    let committed = stats.total.committed as f64;
+    let overhead = best_on / best_off - 1.0;
+    println!(
+        "\ntelemetry overhead: {:.0} ops/s off vs {:.0} ops/s on (best of {} wall-clock \
+         samples each) = {:.1}% overhead (gate {:.0}%)",
+        committed / best_off,
+        committed / best_on,
+        off_samples.len(),
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    if overhead > MAX_OVERHEAD {
+        eprintln!(
+            "FAIL: telemetry overhead {:.1}% exceeds the {:.0}% gate",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("observability checks passed");
+}

@@ -13,13 +13,14 @@ use std::cell::RefCell;
 
 use recipe_attest::{ConfigAndAttestService, IntelAttestationService, QuoteVerifier, SecretBundle};
 use recipe_bft::{DamysusReplica, PbftReplica};
-use recipe_core::{Membership, Operation};
+use recipe_core::{Membership, Operation, Request};
 use recipe_net::{ExecMode, NetCostModel, Transport};
 use recipe_protocols::{AbdReplica, AllConcurReplica, BatchConfig, ChainReplica, RaftReplica};
 use recipe_shard::{
     DeploymentSpec, PolicyReplica, RebalanceConfig, ShardPolicy, ShardedCluster, ShardedRunStats,
 };
 use recipe_sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
+use recipe_telemetry::{TelemetryConfig, TelemetryReport};
 use recipe_workload::{stable_key_hash, TxnWorkloadSpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -543,8 +544,25 @@ pub fn damysus_compare(operations: usize) -> Vec<ExperimentRow> {
 /// the fig6a overhead factors) over a frame recovers most of the
 /// confidential-mode tax.
 pub fn fig_batching(operations: usize) -> Vec<ExperimentRow> {
+    fig_batching_report(operations).rows
+}
+
+/// Results of the batching experiment: the display rows plus the raw
+/// simulator statistics behind each row (same order), so summaries can report
+/// the latency percentiles the rows do not carry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchingReport {
+    /// One row per (protocol, batch-size) configuration.
+    pub rows: Vec<ExperimentRow>,
+    /// The raw statistics behind each row, in row order.
+    pub stats: Vec<RunStats>,
+}
+
+/// [`fig_batching`] with the raw per-row [`RunStats`] kept alongside the rows.
+pub fn fig_batching_report(operations: usize) -> BatchingReport {
     let batch_sizes = [1usize, 4, 16, 64];
     let mut rows = Vec::new();
+    let mut raw = Vec::new();
     for (protocol, confidential, label) in [
         (ProtocolKind::NativeRaft, false, "Raft (native)"),
         (ProtocolKind::RRaft, true, "R-Raft (conf.)"),
@@ -569,9 +587,10 @@ pub fn fig_batching(operations: usize) -> Vec<ExperimentRow> {
                 mean_latency_us: stats.mean_latency_us,
                 speedup_vs_baseline: stats.throughput_ops / base,
             });
+            raw.push(stats);
         }
     }
-    rows
+    BatchingReport { rows, stats: raw }
 }
 
 /// Shard-scaling experiment (beyond the paper): aggregate throughput of
@@ -929,6 +948,109 @@ pub fn fig_txn(operations: usize) -> TxnReport {
     }
 }
 
+/// Results of the observability experiment: the driver statistics plus the
+/// telemetry report scraped from the run (absent when telemetry was off).
+#[derive(Debug)]
+pub struct ObserveReport {
+    /// The driver statistics of the run.
+    pub stats: ShardedRunStats,
+    /// Spans, metrics and per-shard cost attribution; `None` when the run
+    /// was executed with telemetry disabled.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+/// Observability experiment: a mixed single-key / cross-shard-transaction /
+/// online-migration workload on two 3-replica R-Raft shards, shard 0
+/// confidential. Every 8th request is a fan-out-2 transaction through 2PC;
+/// the single-key stream starts balanced and then funnels into a hot range
+/// on the confidential shard so the rebalancing controller migrates it away
+/// mid-run. The same seed with `telemetry` on and off produces bit-identical
+/// [`ShardedRunStats`] — telemetry only observes the virtual clock.
+pub fn fig_observe(operations: usize, telemetry: bool) -> ObserveReport {
+    let balanced_ops = (operations * 7) / 32;
+    let bucket_ns = 5_000_000u64;
+    let mut spec = DeploymentSpec::new(2, 3)
+        .with_seed(9)
+        .with_clients(64, operations)
+        .with_shard_policy(0, ShardPolicy::confidential())
+        .with_rebalance(RebalanceConfig {
+            check_interval_ns: 10_000_000,
+            min_window_commits: 120,
+            imbalance_threshold: 1.4,
+            timeline_bucket_ns: bucket_ns,
+            ..RebalanceConfig::enabled()
+        });
+    if telemetry {
+        spec = spec.with_telemetry(TelemetryConfig::enabled());
+    }
+    let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
+    let hot = hot_range_on_shard(cluster.router(), 0, 48, 2);
+    let router = cluster.router().clone();
+    let txn_workload = TxnWorkloadSpec {
+        base: WorkloadSpec {
+            seed: 9,
+            read_ratio: 0.5,
+            ..WorkloadSpec::default()
+        },
+        txn_fraction: 1.0,
+        ops_per_txn: 2,
+        fan_out: 2,
+    };
+    let generator = RefCell::new(txn_workload.generator());
+    let issued = std::cell::Cell::new(0usize);
+    let stats = cluster.run_requests(move |client, seq| {
+        let n = issued.get();
+        issued.set(n + 1);
+        if n % 8 == 7 {
+            let request = generator
+                .borrow_mut()
+                .next_request(&|key| router.shard_for_key(key));
+            return Some(recipe_shard::request_from_workload(request));
+        }
+        let key = if n < balanced_ops {
+            format!("user{:08}", (client * 131 + seq * 17) % 10_000).into_bytes()
+        } else {
+            hot[n % hot.len()].clone()
+        };
+        Some(Request::Single(Operation::Put {
+            key,
+            value: vec![0xAB; 64],
+        }))
+    });
+    let telemetry = cluster.take_telemetry_report();
+    ObserveReport { stats, telemetry }
+}
+
+/// Checks that a telemetry report's per-shard cost attribution reconciles:
+/// for every shard, busy + idle nanoseconds must equal `replicas ×
+/// elapsed_ns` within `tolerance` (fraction). Returns the violations,
+/// human-readable; empty means every shard reconciles.
+pub fn attribution_reconciliation(report: &TelemetryReport, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if report.attribution.is_empty() {
+        violations.push("telemetry report carries no shard attribution".into());
+    }
+    for shard in &report.attribution {
+        let capacity = shard.capacity_ns() as f64;
+        let accounted = shard.busy.total() as f64;
+        if capacity == 0.0 {
+            violations.push(format!("shard {}: zero capacity", shard.shard));
+            continue;
+        }
+        let error = (accounted - capacity).abs() / capacity;
+        if error > tolerance {
+            violations.push(format!(
+                "shard {}: attribution accounts for {accounted:.0} of {capacity:.0} \
+                 capacity ns ({:.2}% off, tolerance {:.2}%)",
+                shard.shard,
+                error * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    violations
+}
+
 /// The summary of a `fig_txn` run: aggregate ops/s per sweep step (gated)
 /// plus the transaction counters that must stay non-degenerate.
 pub fn txn_summary(report: &TxnReport) -> BenchSummary {
@@ -980,6 +1102,12 @@ pub fn txn_summary(report: &TxnReport) -> BenchSummary {
             .map(|s| s.total.committed as f64)
             .sum::<f64>(),
     });
+    for (row, stats) in report.rows.iter().zip(&report.sweep) {
+        metrics.extend(latency_metrics(
+            &format!("{}_", metric_slug(&row.config)),
+            &stats.total,
+        ));
+    }
     BenchSummary {
         bench: "fig_txn".into(),
         metrics,
@@ -1014,6 +1142,12 @@ pub fn confidential_policy_summary(report: &ConfidentialPolicyReport) -> BenchSu
             .map(|s| s.total.committed as f64)
             .sum::<f64>(),
     });
+    for (n, stats) in report.sweep.iter().enumerate() {
+        metrics.extend(latency_metrics(
+            &format!("conf_shards_{n}_of_4_"),
+            &stats.total,
+        ));
+    }
     BenchSummary {
         bench: "fig_confidential_policy".into(),
         metrics,
@@ -1264,29 +1398,59 @@ pub fn metric_slug(label: &str) -> String {
     slug.trim_end_matches('_').to_string()
 }
 
+/// Latency-percentile metrics (`<prefix>p50_us` … `<prefix>p999_us`) off a
+/// run's latency distribution. Percentile names never end in `_ops_per_sec`,
+/// so the perf gate treats them as informational, not gated.
+pub fn latency_metrics(prefix: &str, stats: &RunStats) -> Vec<BenchMetric> {
+    [
+        ("p50_us", stats.p50_latency_us),
+        ("p90_us", stats.p90_latency_us),
+        ("p99_us", stats.p99_latency_us),
+        ("p999_us", stats.p999_latency_us),
+    ]
+    .into_iter()
+    .map(|(name, value)| BenchMetric {
+        name: format!("{prefix}{name}"),
+        value,
+    })
+    .collect()
+}
+
 /// The committed-ops/sec summary of a `fig_batching` run: one metric per
-/// (protocol, batch-size) row.
-pub fn batching_summary(rows: &[ExperimentRow]) -> BenchSummary {
+/// (protocol, batch-size) row, plus the row's latency percentiles.
+pub fn batching_summary(report: &BatchingReport) -> BenchSummary {
+    let mut metrics: Vec<BenchMetric> = report
+        .rows
+        .iter()
+        .map(|row| BenchMetric {
+            name: format!(
+                "{}_{}_ops_per_sec",
+                metric_slug(&row.protocol),
+                metric_slug(&row.config)
+            ),
+            value: row.throughput_ops,
+        })
+        .collect();
+    for (row, stats) in report.rows.iter().zip(&report.stats) {
+        metrics.extend(latency_metrics(
+            &format!(
+                "{}_{}_",
+                metric_slug(&row.protocol),
+                metric_slug(&row.config)
+            ),
+            stats,
+        ));
+    }
     BenchSummary {
         bench: "fig_batching".into(),
-        metrics: rows
-            .iter()
-            .map(|row| BenchMetric {
-                name: format!(
-                    "{}_{}_ops_per_sec",
-                    metric_slug(&row.protocol),
-                    metric_slug(&row.config)
-                ),
-                value: row.throughput_ops,
-            })
-            .collect(),
+        metrics,
     }
 }
 
 /// The summary of a `fig_rebalance` run: phase throughputs, the recovery
 /// ratio and the migration counters that must stay non-degenerate.
 pub fn rebalance_summary(report: &RebalanceReport) -> BenchSummary {
-    BenchSummary {
+    let mut summary = BenchSummary {
         bench: "fig_rebalance".into(),
         metrics: vec![
             BenchMetric {
@@ -1320,7 +1484,11 @@ pub fn rebalance_summary(report: &RebalanceReport) -> BenchSummary {
                 value: report.stats.total.committed as f64,
             },
         ],
-    }
+    };
+    summary
+        .metrics
+        .extend(latency_metrics("total_", &report.stats.total));
+    summary
 }
 
 /// Writes a summary as pretty JSON to `path`.
@@ -1629,14 +1797,17 @@ mod tests {
 
     #[test]
     fn bench_summaries_and_perf_gate_catch_regressions() {
-        let rows = vec![ExperimentRow {
-            protocol: "R-Raft (conf.)".into(),
-            config: "batch=16".into(),
-            throughput_ops: 1000.0,
-            mean_latency_us: 10.0,
-            speedup_vs_baseline: 2.0,
-        }];
-        let baseline = batching_summary(&rows);
+        let report = BatchingReport {
+            rows: vec![ExperimentRow {
+                protocol: "R-Raft (conf.)".into(),
+                config: "batch=16".into(),
+                throughput_ops: 1000.0,
+                mean_latency_us: 10.0,
+                speedup_vs_baseline: 2.0,
+            }],
+            stats: vec![RunStats::default()],
+        };
+        let baseline = batching_summary(&report);
         assert_eq!(baseline.metrics[0].name, "r_raft_conf_batch_16_ops_per_sec");
         // Identical run: gate passes.
         assert!(perf_gate_compare(&baseline, &baseline, 0.15).is_empty());

@@ -233,6 +233,10 @@ impl Replica for AllConcurReplica {
         true
     }
 
+    fn protocol_counters(&self) -> Option<recipe_telemetry::ProtocolCounters> {
+        Some(self.shield.counters())
+    }
+
     fn protocol_name(&self) -> &'static str {
         if self.shield.mode().is_recipe() {
             "R-AllConcur"

@@ -91,6 +91,9 @@ pub struct Batcher {
     config: BatchConfig,
     queues: BTreeMap<NodeId, Queue>,
     timer_armed: bool,
+    flushes: u64,
+    flushed_ops: u64,
+    timer_flushes: u64,
 }
 
 impl Batcher {
@@ -100,7 +103,17 @@ impl Batcher {
             config,
             queues: BTreeMap::new(),
             timer_armed: false,
+            flushes: 0,
+            flushed_ops: 0,
+            timer_flushes: 0,
         }
+    }
+
+    /// Folds this batcher's flush counters into a telemetry snapshot.
+    pub fn fold_counters(&self, counters: &mut recipe_telemetry::ProtocolCounters) {
+        counters.batch_flushes += self.flushes;
+        counters.batch_flushed_ops += self.flushed_ops;
+        counters.batch_timer_flushes += self.timer_flushes;
     }
 
     /// The flush triggers.
@@ -125,17 +138,24 @@ impl Batcher {
     /// Takes everything queued for `dst` (empty if nothing is pending).
     pub fn take(&mut self, dst: NodeId) -> Vec<BatchOp> {
         match self.queues.remove(&dst) {
-            Some(queue) => queue.ops,
+            Some(queue) => {
+                self.flushes += 1;
+                self.flushed_ops += queue.ops.len() as u64;
+                queue.ops
+            }
             None => Vec::new(),
         }
     }
 
     /// Drains every destination, in `NodeId` order.
     pub fn drain_all(&mut self) -> Vec<(NodeId, Vec<BatchOp>)> {
-        std::mem::take(&mut self.queues)
+        let drained: Vec<(NodeId, Vec<BatchOp>)> = std::mem::take(&mut self.queues)
             .into_iter()
             .map(|(dst, queue)| (dst, queue.ops))
-            .collect()
+            .collect();
+        self.flushes += drained.len() as u64;
+        self.flushed_ops += drained.iter().map(|(_, ops)| ops.len() as u64).sum::<u64>();
+        drained
     }
 
     /// Total ops pending across all destinations.
@@ -189,6 +209,7 @@ impl Batcher {
     ) {
         self.timer_fired();
         for (dst, ops) in self.drain_all() {
+            self.timer_flushes += 1;
             emit(ctx, dst, ops);
         }
     }

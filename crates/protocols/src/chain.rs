@@ -245,6 +245,12 @@ impl Replica for ChainReplica {
         self.is_tail()
     }
 
+    fn protocol_counters(&self) -> Option<recipe_telemetry::ProtocolCounters> {
+        let mut counters = self.shield.counters();
+        self.batcher.fold_counters(&mut counters);
+        Some(counters)
+    }
+
     fn protocol_name(&self) -> &'static str {
         if self.shield.mode().is_recipe() {
             "R-CR"

@@ -454,6 +454,12 @@ impl Replica for RaftReplica {
         self.is_leader()
     }
 
+    fn protocol_counters(&self) -> Option<recipe_telemetry::ProtocolCounters> {
+        let mut counters = self.shield.counters();
+        self.batcher.fold_counters(&mut counters);
+        Some(counters)
+    }
+
     fn protocol_name(&self) -> &'static str {
         if self.shield.mode().is_recipe() {
             "R-Raft"

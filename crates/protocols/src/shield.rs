@@ -184,6 +184,9 @@ pub struct ProtocolShield {
     mode: ProtocolMode,
     auth: Option<AuthLayer>,
     dropped: u64,
+    sealed_frames: u64,
+    sealed_ops: u64,
+    opened_frames: u64,
 }
 
 impl ProtocolShield {
@@ -239,6 +242,9 @@ impl ProtocolShield {
             mode: ProtocolMode::Recipe { confidentiality },
             auth: Some(AuthLayer::new(node, enclave, confidentiality)),
             dropped: 0,
+            sealed_frames: 0,
+            sealed_ops: 0,
+            opened_frames: 0,
         }
     }
 
@@ -249,6 +255,9 @@ impl ProtocolShield {
             mode: ProtocolMode::Native,
             auth: None,
             dropped: 0,
+            sealed_frames: 0,
+            sealed_ops: 0,
+            opened_frames: 0,
         }
     }
 
@@ -280,6 +289,18 @@ impl ProtocolShield {
         self.dropped
     }
 
+    /// Telemetry snapshot of this shield's seal/open/reject counters (the
+    /// batcher contributes the `batch_*` fields separately).
+    pub fn counters(&self) -> recipe_telemetry::ProtocolCounters {
+        recipe_telemetry::ProtocolCounters {
+            sealed_frames: self.sealed_frames,
+            sealed_ops: self.sealed_ops,
+            opened_frames: self.opened_frames,
+            rejected_frames: self.dropped,
+            ..Default::default()
+        }
+    }
+
     /// Moves both sides to a new view (no-op in native mode).
     pub fn set_view(&mut self, view: u64) {
         if let Some(auth) = &mut self.auth {
@@ -289,6 +310,8 @@ impl ProtocolShield {
 
     /// Wraps a protocol message of type `kind` for `dst` into wire bytes.
     pub fn wrap(&mut self, dst: NodeId, kind: u16, payload: &[u8]) -> Vec<u8> {
+        self.sealed_frames += 1;
+        self.sealed_ops += 1;
         match &mut self.auth {
             None => {
                 serde_json::to_vec(&NativeFrameRef { kind, payload }).expect("frame serializes")
@@ -308,6 +331,8 @@ impl ProtocolShield {
     /// Panics on an empty batch — flushing nothing is a caller bug.
     pub fn wrap_batch(&mut self, dst: NodeId, ops: Vec<BatchOp>) -> Vec<u8> {
         assert!(!ops.is_empty(), "wrap_batch requires at least one op");
+        self.sealed_frames += 1;
+        self.sealed_ops += ops.len() as u64;
         match &mut self.auth {
             None => serde_json::to_vec(&NativeBatch { ops }).expect("batch frame serializes"),
             Some(auth) => auth
@@ -326,6 +351,8 @@ impl ProtocolShield {
     /// Panics on a native-mode shield: transaction frames only exist inside
     /// the authenticated channel.
     pub fn wrap_txn(&mut self, dst: NodeId, txn_id: u64, body: &TxnBody) -> Vec<u8> {
+        self.sealed_frames += 1;
+        self.sealed_ops += 1;
         self.auth
             .as_mut()
             .expect("2PC frames require a Recipe-mode shield")
@@ -349,7 +376,10 @@ impl ProtocolShield {
             return None;
         };
         match auth.verify_txn(frame) {
-            TxnVerifyOutcome::Accept { txn_id, body, .. } => Some((txn_id, body)),
+            TxnVerifyOutcome::Accept { txn_id, body, .. } => {
+                self.opened_frames += 1;
+                Some((txn_id, body))
+            }
             _ => {
                 self.dropped += 1;
                 None
@@ -370,8 +400,10 @@ impl ProtocolShield {
         match &mut self.auth {
             None => {
                 if let Ok(frame) = serde_json::from_slice::<NativeFrame>(bytes) {
+                    self.opened_frames += 1;
                     out.push((frame.kind, frame.payload));
                 } else if let Ok(batch) = serde_json::from_slice::<NativeBatch>(bytes) {
+                    self.opened_frames += 1;
                     for op in batch.ops {
                         out.push((op.kind, op.payload));
                     }
@@ -382,7 +414,10 @@ impl ProtocolShield {
             Some(auth) => {
                 if let Some(msg) = ShieldedMessage::from_wire(bytes) {
                     match auth.verify_owned(msg) {
-                        VerifyOutcome::Accept { kind, payload, .. } => out.push((kind, payload)),
+                        VerifyOutcome::Accept { kind, payload, .. } => {
+                            self.opened_frames += 1;
+                            out.push((kind, payload));
+                        }
                         VerifyOutcome::Future { .. } => {}
                         _ => {
                             self.dropped += 1;
@@ -392,6 +427,7 @@ impl ProtocolShield {
                 } else if let Some(frame) = BatchFrame::from_wire(bytes) {
                     match auth.verify_batch(frame) {
                         BatchVerifyOutcome::Accept { ops, .. } => {
+                            self.opened_frames += 1;
                             for op in ops {
                                 out.push((op.kind, op.payload));
                             }

@@ -194,6 +194,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
         let mut shard_latencies: Vec<Vec<u64>> = vec![Vec::new(); shard_count];
         let mut txn_shard_ops: Vec<(u64, u64, u64)> = vec![(0, 0, 0); shard_count];
         let mut timeline: Vec<u64> = Vec::new();
+        let mut timeline_aborts: Vec<u64> = Vec::new();
         let mut committed = 0u64;
         let mut committed_reads = 0u64;
         let mut committed_writes = 0u64;
@@ -346,6 +347,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                                 request,
                             } => {
                                 global_now = global_now.max(finished_at);
+                                bucket_commit(&mut timeline_aborts, finished_at, 1);
                                 // Deterministic per-client jitter breaks the
                                 // symmetry of mutually aborting transactions.
                                 let backoff =
@@ -440,6 +442,20 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                     }));
                     next_seq += 1;
                     continue;
+                }
+
+                // Every placement resolved under the client's epoch: mark the
+                // routing decision on the serving shard's trace (the first
+                // placement for transactions — the coordinator-entry shard).
+                if let Some(&(_, shard)) = placements.first() {
+                    if let Some(t) = self.shards[shard].telemetry_mut() {
+                        t.instant(
+                            recipe_telemetry::SpanKind::RouterResolve,
+                            client_id,
+                            event.at,
+                            rid,
+                        );
+                    }
                 }
 
                 match request {
@@ -603,12 +619,20 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
         stats.txn = txns.stats;
         stats.total.committed_txns = txns.stats.committed;
         stats.total.aborted_txns = txns.stats.aborted;
-        stats.timeline = timeline
-            .iter()
-            .enumerate()
-            .map(|(i, &committed)| TimelineBucket {
+        let mut timeline_migrations: Vec<u64> = Vec::new();
+        for &at in &st.cutover_times {
+            bucket_commit(&mut timeline_migrations, at, 1);
+        }
+        let buckets = timeline
+            .len()
+            .max(timeline_aborts.len())
+            .max(timeline_migrations.len());
+        stats.timeline = (0..buckets)
+            .map(|i| TimelineBucket {
                 end_ns: (i as u64 + 1) * rb.timeline_bucket_ns,
-                committed,
+                committed: timeline.get(i).copied().unwrap_or(0),
+                aborted: timeline_aborts.get(i).copied().unwrap_or(0),
+                migrations: timeline_migrations.get(i).copied().unwrap_or(0),
             })
             .collect();
         stats

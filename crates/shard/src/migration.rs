@@ -34,6 +34,7 @@ use std::collections::{HashMap, HashSet};
 use recipe_core::{Operation, Request};
 use recipe_protocols::{ChunkPhase, MigrationChannel, MigrationChunk};
 use recipe_sim::{RangeEntry, RangeStateTransfer, Replica};
+use recipe_telemetry::{ChargeKind, SpanKind};
 use recipe_workload::stable_key_hash;
 use serde::{Deserialize, Serialize};
 
@@ -175,6 +176,8 @@ pub(crate) struct ControllerState {
     active: Option<ActiveMigration>,
     next_migration_id: u64,
     pub(crate) stats: MigrationStats,
+    /// Virtual times of completed cutovers, for timeline bucketing.
+    pub(crate) cutover_times: Vec<u64>,
 }
 
 impl ControllerState {
@@ -186,6 +189,7 @@ impl ControllerState {
             active: None,
             next_migration_id: 0,
             stats: MigrationStats::default(),
+            cutover_times: Vec::new(),
         }
     }
 
@@ -349,6 +353,10 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             let active = st.active.as_mut().expect("checked above");
             active.draining = true;
             active.transfer_ready_at = None;
+            let donor = active.donor;
+            if let Some(t) = self.shards[donor].telemetry_mut() {
+                t.instant(SpanKind::MigrationDrain, 0, now, st.next_migration_id);
+            }
             if inflight_moving == 0 {
                 self.finish_cutover(st, rb, now);
             }
@@ -551,6 +559,27 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             );
             donor_busy_from = sent_at;
             st.stats.transfer_busy_ns += export_cost + send_cost;
+            if self.shards[active.donor].telemetry_mut().is_some() {
+                let mut breakdown =
+                    model.snapshot_export_breakdown(donor_profile, batch.len(), payload_bytes);
+                breakdown.merge(&model.send_breakdown(donor_profile, wire.len()));
+                let kind = if is_snapshot {
+                    SpanKind::MigrationSnapshot
+                } else {
+                    SpanKind::MigrationCatchUp
+                };
+                let t = self.shards[active.donor]
+                    .telemetry_mut()
+                    .expect("checked above");
+                t.charge(ChargeKind::SnapshotExport, &breakdown);
+                t.span(
+                    kind,
+                    donor_leader.0,
+                    sent_at - (export_cost + send_cost),
+                    sent_at,
+                    chunk.seq,
+                );
+            }
 
             // Wire + recipient side: verify the sealed frame, install on every
             // replica of the group (each pays the import).
@@ -570,6 +599,14 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                     self.shards[active.recipient].charge_work_at(*node, arrival, import_cost);
                 st.stats.transfer_busy_ns += import_cost;
                 ready_at = ready_at.max(done);
+                if self.shards[active.recipient].telemetry_mut().is_some() {
+                    let breakdown =
+                        model.snapshot_import_breakdown(profile, opened.entries.len(), wire.len());
+                    let t = self.shards[active.recipient]
+                        .telemetry_mut()
+                        .expect("checked above");
+                    t.charge(ChargeKind::SnapshotImport, &breakdown);
+                }
                 self.shards[active.recipient]
                     .replica_mut(*node)
                     .import_range(&opened.entries);
@@ -642,6 +679,15 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
         self.router.rebalance(&active.arcs, active.recipient);
         st.stats.migrations_completed += 1;
         st.stats.last_cutover_ns = now;
+        st.cutover_times.push(now);
+        if let Some(t) = self.shards[active.donor].telemetry_mut() {
+            t.instant(
+                SpanKind::MigrationCutover,
+                0,
+                now,
+                st.stats.migrations_completed,
+            );
+        }
         st.next_check_ns = now + rb.check_interval_ns;
         st.clear_window();
     }

@@ -26,6 +26,7 @@ use recipe_net::{FaultPlan, NodeId};
 use recipe_sim::{
     CostProfile, RangeStateTransfer, Replica, RunStats, SimCluster, SimConfig, StepOutcome,
 };
+use recipe_telemetry::{MetricsRegistry, ShardTelemetry, TelemetryConfig, TelemetryReport};
 use recipe_workload::stable_key_hash;
 
 use crate::migration::{MigrationStats, RebalanceConfig};
@@ -65,6 +66,12 @@ pub struct ShardedConfig {
     /// Transaction-coordinator knobs (retransmission timeout, abort backoff,
     /// 2PC fault plan).
     pub txn: TxnConfig,
+    /// Telemetry gating: off by default, in which case the run is
+    /// bit-identical to a build without the telemetry subsystem. When
+    /// enabled, each shard records spans, metric charges and cost
+    /// attribution retrievable via
+    /// [`ShardedCluster::take_telemetry_report`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl ShardedConfig {
@@ -127,7 +134,7 @@ pub struct ShardedRunStats {
     pub timeline: Vec<TimelineBucket>,
 }
 
-/// One bucket of the throughput timeline: commits whose replies landed in
+/// One bucket of the throughput timeline: activity whose completion landed in
 /// `(end_ns - bucket_width, end_ns]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TimelineBucket {
@@ -135,6 +142,11 @@ pub struct TimelineBucket {
     pub end_ns: u64,
     /// Commits completed inside the window.
     pub committed: u64,
+    /// Transactions aborted inside the window (2PC aborts resolve here at
+    /// their coordinator-side finish time).
+    pub aborted: u64,
+    /// Migration cutovers that landed inside the window.
+    pub migrations: u64,
 }
 
 /// N independent replica groups behind one consistent-hash router, driven on a
@@ -186,6 +198,9 @@ impl<R: Replica> ShardedCluster<R> {
                 }
                 let mut cluster = SimCluster::new(replicas, shard_config);
                 cluster.set_external_clients(true);
+                if config.telemetry.enabled {
+                    cluster.set_telemetry(ShardTelemetry::new(shard as u32, &config.telemetry));
+                }
                 cluster
             })
             .collect();
@@ -227,6 +242,38 @@ impl<R: Replica> ShardedCluster<R> {
             None => self.config.base.profiles.iter().any(|p| p.confidential),
         };
         ConfidentialityMode::from(confidential)
+    }
+
+    /// Drains every shard's telemetry into one merged [`TelemetryReport`]:
+    /// protocol counters are scraped off the replicas, each shard's charges
+    /// become registry samples, its attribution row gets `Idle` filled
+    /// against `replicas × elapsed`, and all tracers' spans concatenate in
+    /// shard order. Returns `None` when the deployment ran with telemetry
+    /// disabled. Call once, after the run; the shards' telemetry state is
+    /// consumed.
+    pub fn take_telemetry_report(&mut self) -> Option<TelemetryReport> {
+        if !self.config.telemetry.enabled {
+            return None;
+        }
+        let mut report = TelemetryReport::default();
+        let mut registry = MetricsRegistry::default();
+        for shard in &mut self.shards {
+            shard.scrape_protocol_counters();
+            let replicas = shard.replica_count() as u32;
+            let elapsed_ns = shard.now_ns();
+            let Some(mut telemetry) = shard.take_telemetry() else {
+                continue;
+            };
+            report
+                .attribution
+                .push(telemetry.export(replicas, elapsed_ns, &mut registry));
+            report.spans_dropped += telemetry.tracer().dropped();
+            report
+                .spans
+                .append(&mut telemetry.tracer_mut().take_spans());
+        }
+        report.metrics = registry.snapshot();
+        Some(report)
     }
 
     /// Immutable access to one shard's cluster (post-run assertions).
@@ -324,9 +371,12 @@ impl<R: Replica> ShardedCluster<R> {
         // per-shard figures expose policy costs (a confidential shard's mean
         // service latency is visibly higher than a plaintext one's).
         for (stats, mut latencies) in per_shard.iter_mut().zip(shard_latencies) {
-            let (mean_us, p99_us) = recipe_sim::latency_summary(&mut latencies);
-            stats.mean_latency_us = mean_us;
-            stats.p99_latency_us = p99_us;
+            let summary = recipe_sim::latency_percentiles(&mut latencies);
+            stats.mean_latency_us = summary.mean_us;
+            stats.p50_latency_us = summary.p50_us;
+            stats.p90_latency_us = summary.p90_us;
+            stats.p99_latency_us = summary.p99_us;
+            stats.p999_latency_us = summary.p999_us;
         }
         let elapsed_secs = global_now.max(1) as f64 / 1e9;
         let mut total = RunStats {
@@ -344,9 +394,12 @@ impl<R: Replica> ShardedCluster<R> {
             total.messages_replayed += stats.messages_replayed;
             total.ops_delivered += stats.ops_delivered;
         }
-        let (mean_us, p99_us) = recipe_sim::latency_summary(&mut latencies_ns);
-        total.mean_latency_us = mean_us;
-        total.p99_latency_us = p99_us;
+        let summary = recipe_sim::latency_percentiles(&mut latencies_ns);
+        total.mean_latency_us = summary.mean_us;
+        total.p50_latency_us = summary.p50_us;
+        total.p90_latency_us = summary.p90_us;
+        total.p99_latency_us = summary.p99_us;
+        total.p999_latency_us = summary.p999_us;
         let imbalance = if committed == 0 {
             1.0
         } else {

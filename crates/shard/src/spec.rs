@@ -216,6 +216,7 @@ pub struct DeploymentSpec {
     max_virtual_ns: u64,
     rebalance: RebalanceConfig,
     txn: TxnConfig,
+    telemetry: recipe_telemetry::TelemetryConfig,
     overrides: BTreeMap<usize, ShardPolicy>,
 }
 
@@ -244,6 +245,7 @@ impl DeploymentSpec {
             max_virtual_ns: 120 * 1_000_000_000,
             rebalance: RebalanceConfig::default(),
             txn: TxnConfig::default(),
+            telemetry: recipe_telemetry::TelemetryConfig::default(),
             overrides: BTreeMap::new(),
         }
     }
@@ -326,6 +328,26 @@ impl DeploymentSpec {
     /// abort backoff, and the adversarial plan applied to 2PC frames).
     pub fn with_txn(mut self, txn: TxnConfig) -> Self {
         self.txn = txn;
+        self
+    }
+
+    /// Turns the telemetry subsystem on (or tunes it). Telemetry is off by
+    /// default, in which case a run is bit-identical to one on a build
+    /// without the subsystem; enabled, every shard records spans on the
+    /// virtual clock, per-category cost attribution and a metrics registry,
+    /// all retrievable after the run via
+    /// [`ShardedCluster::take_telemetry_report`].
+    pub fn with_telemetry(mut self, telemetry: recipe_telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the throughput-timeline bucket width in virtual nanoseconds
+    /// (lowered into [`RebalanceConfig::timeline_bucket_ns`]; `0` disables
+    /// the timeline). Each bucket counts commits, transaction aborts and
+    /// migration cutovers whose completion landed inside its window.
+    pub fn with_timeline_bucket_ns(mut self, bucket_ns: u64) -> Self {
+        self.rebalance.timeline_bucket_ns = bucket_ns;
         self
     }
 
@@ -412,6 +434,7 @@ impl DeploymentSpec {
             confidentiality: Some(policies.iter().map(|p| p.confidentiality).collect()),
             rebalance: self.rebalance.clone(),
             txn: self.txn.clone(),
+            telemetry: self.telemetry.clone(),
         }
     }
 }

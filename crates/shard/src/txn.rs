@@ -54,6 +54,7 @@ use recipe_net::{
 };
 use recipe_protocols::TxnChannel;
 use recipe_sim::{CostProfile, RangeEntry, RangeStateTransfer, Replica, TxnVote};
+use recipe_telemetry::{ChargeKind, CostCategory, SpanKind};
 use recipe_workload::stable_key_hash;
 
 use crate::migration::ControllerState;
@@ -670,18 +671,23 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                 retry_at: at + txns.config.retry_timeout_ns,
             };
         };
-        match body {
+        let response_kind = match body {
             TxnBody::Vote { granted, .. } => {
                 p.granted = Some(granted);
                 if !granted {
                     txns.stats.prepare_conflicts += 1;
                 }
+                SpanKind::TxnVote
             }
-            TxnBody::Ack { .. } => {}
+            TxnBody::Ack { .. } => SpanKind::TxnAck,
             other => panic!("participant answered with a request body: {other:?}"),
-        }
+        };
         p.done = true;
         p.ready_at = p.processed_finish.max(at) + link;
+        let ready_at = p.ready_at;
+        if let Some(t) = self.shards[shard].telemetry_mut() {
+            t.instant(response_kind, 0, ready_at, txn_id);
+        }
         RoundTrip::Done
     }
 
@@ -744,6 +750,24 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                 let finish =
                     self.shards[shard].charge_work_at(leader, arrival, cost) + replication_rt;
                 txns.stats.txn_busy_ns += cost;
+                if self.shards[shard].telemetry_mut().is_some() {
+                    let mut breakdown = model.txn_prepare_breakdown(
+                        &profile,
+                        ops.len(),
+                        payload_bytes,
+                        staged_after,
+                    );
+                    breakdown.add(CostCategory::Replication, replication_rt);
+                    let t = self.shards[shard].telemetry_mut().expect("checked above");
+                    t.charge(ChargeKind::TxnPrepare, &breakdown);
+                    t.span(
+                        SpanKind::TxnPrepare,
+                        leader.0,
+                        finish - cost - replication_rt,
+                        finish,
+                        txn_id,
+                    );
+                }
                 match self.shards[shard]
                     .replica_mut(leader)
                     .txn_prepare(txn_id, &ops)
@@ -783,6 +807,16 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                 let mut finish =
                     self.shards[shard].charge_work_at(leader, arrival, cost) + replication_rt;
                 txns.stats.txn_busy_ns += cost;
+                let span_start = finish - cost - replication_rt;
+                let telemetry_on = self.shards[shard].telemetry_mut().is_some();
+                let mut commit_breakdown = if telemetry_on {
+                    let mut breakdown =
+                        model.txn_commit_breakdown(&profile, entries.len(), entry_bytes);
+                    breakdown.add(CostCategory::Replication, replication_rt);
+                    Some(breakdown)
+                } else {
+                    None
+                };
                 if !entries.is_empty() {
                     // Install the applied records on the group's followers —
                     // the migration-import idiom, so replicas never diverge.
@@ -798,6 +832,13 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                         let fcost = model.txn_commit_cost_ns(&fprofile, entries.len(), entry_bytes);
                         let done = self.shards[shard].charge_work_at(node, arrival, fcost);
                         txns.stats.txn_busy_ns += fcost;
+                        if let Some(breakdown) = commit_breakdown.as_mut() {
+                            breakdown.merge(&model.txn_commit_breakdown(
+                                &fprofile,
+                                entries.len(),
+                                entry_bytes,
+                            ));
+                        }
                         finish = finish.max(done);
                         self.shards[shard].replica_mut(node).import_range(&entries);
                         txns.stats.participant_installs += entries.len() as u64;
@@ -806,6 +847,11 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                     // an active migration's moving range replay on the
                     // recipient exactly like single-key commits do.
                     st.capture_txn_entries(&self.router, shard, &entries);
+                }
+                if let Some(breakdown) = commit_breakdown {
+                    let t = self.shards[shard].telemetry_mut().expect("checked above");
+                    t.charge(ChargeKind::TxnCommit, &breakdown);
+                    t.span(SpanKind::TxnCommit, leader.0, span_start, finish, txn_id);
                 }
                 (
                     TxnBody::Ack {
@@ -819,6 +865,19 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                 let finish =
                     self.shards[shard].charge_work_at(leader, arrival, cost) + replication_rt;
                 txns.stats.txn_busy_ns += cost;
+                if self.shards[shard].telemetry_mut().is_some() {
+                    let mut breakdown = model.txn_commit_breakdown(&profile, 0, 0);
+                    breakdown.add(CostCategory::Replication, replication_rt);
+                    let t = self.shards[shard].telemetry_mut().expect("checked above");
+                    t.charge(ChargeKind::TxnAbort, &breakdown);
+                    t.span(
+                        SpanKind::TxnAbort,
+                        leader.0,
+                        finish - cost - replication_rt,
+                        finish,
+                        txn_id,
+                    );
+                }
                 self.shards[shard].replica_mut(leader).txn_abort(txn_id);
                 if granted {
                     txns.staged_per_shard[shard] =

@@ -16,6 +16,7 @@ use recipe_net::{
     FaultDecision, FaultPlan, MsgBuf, NetworkFaultInjector, NodeId, ReqType, WireMessage,
 };
 use recipe_tee::TrustedInstant;
+use recipe_telemetry::{ChargeKind, CostCategory, ShardTelemetry, SpanKind};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{CostProfile, ProtocolCostModel};
@@ -91,8 +92,14 @@ pub struct RunStats {
     pub throughput_ops: f64,
     /// Mean request latency in microseconds.
     pub mean_latency_us: f64,
+    /// Median request latency in microseconds.
+    pub p50_latency_us: f64,
+    /// 90th percentile request latency in microseconds.
+    pub p90_latency_us: f64,
     /// 99th percentile request latency in microseconds.
     pub p99_latency_us: f64,
+    /// 99.9th percentile request latency in microseconds.
+    pub p999_latency_us: f64,
     /// Messages delivered between replicas.
     pub messages_delivered: u64,
     /// Messages dropped / suppressed by the network adversary.
@@ -236,6 +243,9 @@ pub struct SimCluster<R: Replica> {
     /// completed requests are queued for [`SimCluster::drain_completions`].
     external_clients: bool,
     completions: Vec<Completion>,
+    /// Attached telemetry, `None` (the default) disables every telemetry
+    /// branch on the hot paths — runs are bit-identical to a build without it.
+    telemetry: Option<ShardTelemetry>,
     #[allow(dead_code)]
     rng: StdRng,
 }
@@ -267,8 +277,44 @@ impl<R: Replica> SimCluster<R> {
             read_rr: 0,
             external_clients: false,
             completions: Vec::new(),
+            telemetry: None,
             rng: StdRng::seed_from_u64(config.seed),
             config,
+        }
+    }
+
+    /// Attaches per-shard telemetry (span tracer, cost attribution, latency
+    /// histogram). Telemetry only observes: with or without it, the same
+    /// events run at the same virtual times.
+    pub fn set_telemetry(&mut self, telemetry: ShardTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry, if any (drivers charge out-of-band work here).
+    pub fn telemetry_mut(&mut self) -> Option<&mut ShardTelemetry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Detaches and returns the telemetry for export.
+    pub fn take_telemetry(&mut self) -> Option<ShardTelemetry> {
+        self.telemetry.take()
+    }
+
+    /// Number of replicas (telemetry reconciles busy time against
+    /// `replicas × elapsed`).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Folds every replica's shield/batcher counters into the attached
+    /// telemetry (call once, at the end of a run).
+    pub fn scrape_protocol_counters(&mut self) {
+        if let Some(t) = self.telemetry.as_mut() {
+            for replica in &self.replicas {
+                if let Some(counters) = replica.protocol_counters() {
+                    t.absorb_protocol_counters(&counters);
+                }
+            }
         }
     }
 
@@ -473,6 +519,9 @@ impl<R: Replica> SimCluster<R> {
                 request,
             },
         );
+        if let Some(t) = self.telemetry.as_mut() {
+            t.instant(SpanKind::ClientSubmit, target_node.0, self.now, client_id);
+        }
         Ok(())
     }
 
@@ -547,11 +596,26 @@ impl<R: Replica> SimCluster<R> {
                     return StepOutcome::Processed;
                 }
                 let idx = self.index_of(node);
-                let cost = self.config.cost_model.recv_cost_ns(
-                    &self.config.profiles[idx],
-                    request.operation.value_len() + 64,
-                );
+                let bytes = request.operation.value_len() + 64;
+                let cost = self
+                    .config
+                    .cost_model
+                    .recv_cost_ns(&self.config.profiles[idx], bytes);
                 let finish = self.start_work(idx, cost);
+                if let Some(t) = self.telemetry.as_mut() {
+                    let breakdown = self
+                        .config
+                        .cost_model
+                        .recv_breakdown(&self.config.profiles[idx], bytes);
+                    t.charge(ChargeKind::ClientIngest, &breakdown);
+                    t.span(
+                        SpanKind::BatcherEnqueue,
+                        node.0,
+                        finish - cost,
+                        finish,
+                        request.client_id,
+                    );
+                }
                 let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(finish));
                 self.replicas[idx].on_client_request(request, &mut ctx);
                 self.apply_effects(idx, ctx);
@@ -574,6 +638,25 @@ impl<R: Replica> SimCluster<R> {
                     bytes.len(),
                 );
                 let finish = self.start_work(idx, cost);
+                if let Some(t) = self.telemetry.as_mut() {
+                    let breakdown = self.config.cost_model.batch_recv_breakdown(
+                        &self.config.profiles[idx],
+                        ops as usize,
+                        bytes.len(),
+                    );
+                    let app_ns = breakdown.get(CostCategory::App)
+                        + breakdown.get(CostCategory::TeeExec)
+                        + breakdown.get(CostCategory::EpcPressure);
+                    t.charge(ChargeKind::PeerDeliver, &breakdown);
+                    t.span(
+                        SpanKind::Replication,
+                        to.0,
+                        finish - cost,
+                        finish,
+                        ops as u64,
+                    );
+                    t.span(SpanKind::Apply, to.0, finish - app_ns, finish, ops as u64);
+                }
                 let mut ctx = Ctx::new(to, TrustedInstant::from_nanos(finish));
                 self.replicas[idx].on_message(from, &bytes, &mut ctx);
                 self.apply_effects(idx, ctx);
@@ -648,6 +731,21 @@ impl<R: Replica> SimCluster<R> {
                 bytes.len(),
             );
             send_finish = send_finish.max(self.now) + send_cost;
+            if let Some(t) = self.telemetry.as_mut() {
+                let breakdown = self.config.cost_model.batch_send_breakdown(
+                    &self.config.profiles[src_idx],
+                    ops as usize,
+                    bytes.len(),
+                );
+                t.charge(ChargeKind::FrameSend, &breakdown);
+                t.span(
+                    SpanKind::ShieldWrap,
+                    src.0,
+                    send_finish - send_cost,
+                    send_finish,
+                    ops as u64,
+                );
+            }
 
             // The Byzantine network decides the fate of the message.
             let wire = WireMessage {
@@ -672,9 +770,15 @@ impl<R: Replica> SimCluster<R> {
                 ),
                 FaultDecision::Drop => {
                     self.stats.messages_dropped += 1;
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.instant(SpanKind::FaultDrop, dst.0, self.now, ops as u64);
+                    }
                 }
                 FaultDecision::Tamper(corrupted) => {
                     self.stats.messages_tampered += 1;
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.instant(SpanKind::FaultTamper, dst.0, deliver_at, ops as u64);
+                    }
                     self.push(
                         deliver_at,
                         EventKind::Deliver {
@@ -687,6 +791,9 @@ impl<R: Replica> SimCluster<R> {
                 }
                 FaultDecision::Duplicate => {
                     self.stats.messages_replayed += 1;
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.instant(SpanKind::FaultDuplicate, dst.0, deliver_at, ops as u64);
+                    }
                     self.push(
                         deliver_at,
                         EventKind::Deliver {
@@ -708,6 +815,9 @@ impl<R: Replica> SimCluster<R> {
                 }
                 FaultDecision::Replay(older) => {
                     self.stats.messages_replayed += 1;
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.instant(SpanKind::FaultReplay, dst.0, deliver_at, ops as u64);
+                    }
                     self.push(
                         deliver_at,
                         EventKind::Deliver {
@@ -755,6 +865,10 @@ impl<R: Replica> SimCluster<R> {
         if let Some(out) = self.issue_time.remove(&client_id) {
             let latency = self.now.saturating_sub(out.issued_ns);
             self.latencies_ns.push(latency);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.instant(SpanKind::Reply, reply.replier, self.now, client_id);
+                t.record_latency(latency);
+            }
             self.stats.committed += 1;
             // Classify by the *issued operation*, not by reply fields: a read
             // miss carries neither value nor found-flag, and write acks may set
@@ -789,25 +903,61 @@ impl<R: Replica> SimCluster<R> {
         self.stats.elapsed_secs = elapsed;
         self.stats.throughput_ops = self.stats.committed as f64 / elapsed;
         let mut sorted = self.latencies_ns.clone();
-        let (mean_us, p99_us) = latency_summary(&mut sorted);
-        self.stats.mean_latency_us = mean_us;
-        self.stats.p99_latency_us = p99_us;
+        let summary = latency_percentiles(&mut sorted);
+        self.stats.mean_latency_us = summary.mean_us;
+        self.stats.p50_latency_us = summary.p50_us;
+        self.stats.p90_latency_us = summary.p90_us;
+        self.stats.p99_latency_us = summary.p99_us;
+        self.stats.p999_latency_us = summary.p999_us;
     }
 }
 
+/// Mean and tail percentiles of a latency sample, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median (50th percentile).
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// 99.9th percentile.
+    pub p999_us: f64,
+}
+
 /// Summarizes a latency sample as `(mean_us, p99_us)`, sorting the slice in
-/// place. `(0.0, 0.0)` for an empty sample. Shared by the single-group and
-/// sharded drivers so the percentile convention cannot drift between them.
+/// place. `(0.0, 0.0)` for an empty sample. Compatibility wrapper around
+/// [`latency_percentiles`].
 pub fn latency_summary(latencies_ns: &mut [u64]) -> (f64, f64) {
+    let summary = latency_percentiles(latencies_ns);
+    (summary.mean_us, summary.p99_us)
+}
+
+/// Computes the full [`LatencySummary`] of a sample, sorting the slice in
+/// place. All zeros for an empty sample. Shared by the single-group and
+/// sharded drivers so the percentile convention cannot drift between them:
+/// percentile `q` is the element at index `(len as f64 * q) as usize`,
+/// clamped to the last element.
+pub fn latency_percentiles(latencies_ns: &mut [u64]) -> LatencySummary {
     if latencies_ns.is_empty() {
-        return (0.0, 0.0);
+        return LatencySummary::default();
     }
     let sum: u64 = latencies_ns.iter().sum();
     let mean_us = sum as f64 / latencies_ns.len() as f64 / 1_000.0;
     latencies_ns.sort_unstable();
-    let idx = ((latencies_ns.len() as f64) * 0.99) as usize;
-    let p99_us = latencies_ns[idx.min(latencies_ns.len() - 1)] as f64 / 1_000.0;
-    (mean_us, p99_us)
+    let pick = |q: f64| {
+        let idx = ((latencies_ns.len() as f64) * q) as usize;
+        latencies_ns[idx.min(latencies_ns.len() - 1)] as f64 / 1_000.0
+    };
+    LatencySummary {
+        mean_us,
+        p50_us: pick(0.50),
+        p90_us: pick(0.90),
+        p99_us: pick(0.99),
+        p999_us: pick(0.999),
+    }
 }
 
 #[cfg(test)]

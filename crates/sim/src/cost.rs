@@ -21,7 +21,28 @@
 
 use recipe_net::{ExecMode, NetCostModel, Transport};
 use recipe_tee::EpcModel;
+use recipe_telemetry::{CostBreakdown, CostCategory};
 use serde::{Deserialize, Serialize};
+
+/// Cumulative truncation: accumulates f64 cost components in expression order
+/// and yields the integer nanoseconds each component adds on top of the
+/// previous truncation, so that the emitted integers always sum to the
+/// truncation of the full sum — exactly what the cost functions charge.
+#[derive(Debug, Default)]
+struct Cum {
+    acc: f64,
+    prev: u64,
+}
+
+impl Cum {
+    fn push(&mut self, component: f64) -> u64 {
+        self.acc += component;
+        let cur = self.acc as u64;
+        let delta = cur - self.prev;
+        self.prev = cur;
+        delta
+    }
+}
 
 /// Per-node execution profile: where the node runs and which layers it pays for.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -388,6 +409,219 @@ impl ProtocolCostModel {
             + payload_bytes as f64 * self.mac_per_byte_ns) as u64
     }
 
+    // -----------------------------------------------------------------------
+    // Cost attribution (telemetry)
+    // -----------------------------------------------------------------------
+    //
+    // Each `*_breakdown` function mirrors its `*_cost_ns` sibling and splits
+    // the charged integer across `recipe_telemetry::CostCategory` slots. The
+    // invariant every one of them keeps (pinned by tests below):
+    //
+    //     breakdown.total() == the exact u64 the cost function returns
+    //
+    // which is what lets the attribution table reconcile against the virtual
+    // clock. To guarantee it, the component terms are accumulated in the same
+    // floating-point expression order the cost functions use and cumulatively
+    // truncated (`Cum`); sub-splits of a jointly-added term (MAC bytes vs the
+    // fixed counter slot, TEE multiplier vs EPC pressure) divide the already-
+    // truncated integer, so rounding crumbs can never change the total.
+
+    /// Attribution twin of [`ProtocolCostModel::send_cost_ns`].
+    pub fn send_breakdown(&self, profile: &CostProfile, payload_bytes: usize) -> CostBreakdown {
+        let mut b = CostBreakdown::new();
+        let mut cum = Cum::default();
+        self.add_message_parts(&mut b, &mut cum, profile, payload_bytes);
+        b
+    }
+
+    /// Attribution twin of [`ProtocolCostModel::batch_send_cost_ns`].
+    pub fn batch_send_breakdown(
+        &self,
+        profile: &CostProfile,
+        ops: usize,
+        frame_bytes: usize,
+    ) -> CostBreakdown {
+        if ops <= 1 {
+            return self.send_breakdown(profile, frame_bytes);
+        }
+        let mut b = CostBreakdown::new();
+        let mut cum = Cum::default();
+        self.add_message_parts(&mut b, &mut cum, profile, frame_bytes);
+        b.add(
+            CostCategory::BatchOverhead,
+            cum.push((ops - 1) as f64 * self.batch_op_overhead_ns),
+        );
+        b
+    }
+
+    /// Attribution twin of [`ProtocolCostModel::recv_cost_ns`]. The message
+    /// and application terms are truncated separately, exactly like the cost
+    /// function (see the comment there on event-order parity).
+    pub fn recv_breakdown(&self, profile: &CostProfile, payload_bytes: usize) -> CostBreakdown {
+        let mut b = CostBreakdown::new();
+        let mut msg = Cum::default();
+        self.add_message_parts(&mut b, &mut msg, profile, payload_bytes);
+        let mut app = Cum::default();
+        self.add_app_parts(
+            &mut b,
+            &mut app,
+            profile,
+            1.0,
+            self.epc_pressure(profile, payload_bytes),
+        );
+        b
+    }
+
+    /// Attribution twin of [`ProtocolCostModel::batch_recv_cost_ns`].
+    pub fn batch_recv_breakdown(
+        &self,
+        profile: &CostProfile,
+        ops: usize,
+        frame_bytes: usize,
+    ) -> CostBreakdown {
+        if ops <= 1 {
+            return self.recv_breakdown(profile, frame_bytes);
+        }
+        let pressure = self.batch_epc_pressure(profile, ops, frame_bytes);
+        let mut b = CostBreakdown::new();
+        let mut cum = Cum::default();
+        self.add_message_parts(&mut b, &mut cum, profile, frame_bytes);
+        b.add(
+            CostCategory::BatchOverhead,
+            cum.push((ops - 1) as f64 * self.batch_op_overhead_ns),
+        );
+        self.add_app_parts(&mut b, &mut cum, profile, ops as f64, pressure);
+        b
+    }
+
+    /// Attribution twin of [`ProtocolCostModel::snapshot_export_cost_ns`].
+    pub fn snapshot_export_breakdown(
+        &self,
+        profile: &CostProfile,
+        entries: usize,
+        payload_bytes: usize,
+    ) -> CostBreakdown {
+        let pressure = self.migration_epc_pressure(profile, payload_bytes);
+        let mut b = CostBreakdown::new();
+        let mut cum = Cum::default();
+        self.add_app_parts(&mut b, &mut cum, profile, entries as f64, pressure);
+        b.add(
+            CostCategory::Mac,
+            cum.push(payload_bytes as f64 * self.mac_per_byte_ns),
+        );
+        b
+    }
+
+    /// Attribution twin of [`ProtocolCostModel::snapshot_import_cost_ns`].
+    pub fn snapshot_import_breakdown(
+        &self,
+        profile: &CostProfile,
+        entries: usize,
+        frame_bytes: usize,
+    ) -> CostBreakdown {
+        let pressure = self.migration_epc_pressure(profile, frame_bytes);
+        let mut b = CostBreakdown::new();
+        let mut cum = Cum::default();
+        self.add_message_parts(&mut b, &mut cum, profile, frame_bytes);
+        self.add_app_parts(&mut b, &mut cum, profile, entries as f64, pressure);
+        b
+    }
+
+    /// Attribution twin of [`ProtocolCostModel::txn_prepare_cost_ns`].
+    pub fn txn_prepare_breakdown(
+        &self,
+        profile: &CostProfile,
+        ops: usize,
+        payload_bytes: usize,
+        staged_bytes: usize,
+    ) -> CostBreakdown {
+        let pressure = self.txn_epc_pressure(profile, staged_bytes);
+        let mut b = CostBreakdown::new();
+        let mut cum = Cum::default();
+        self.add_message_parts(&mut b, &mut cum, profile, payload_bytes);
+        self.add_app_parts(&mut b, &mut cum, profile, ops.max(1) as f64, pressure);
+        b
+    }
+
+    /// Attribution twin of [`ProtocolCostModel::txn_commit_cost_ns`].
+    pub fn txn_commit_breakdown(
+        &self,
+        profile: &CostProfile,
+        writes: usize,
+        payload_bytes: usize,
+    ) -> CostBreakdown {
+        let pressure = self.txn_epc_pressure(profile, payload_bytes);
+        let mut b = CostBreakdown::new();
+        let mut cum = Cum::default();
+        self.add_message_parts(&mut b, &mut cum, profile, 64);
+        self.add_app_parts(&mut b, &mut cum, profile, writes as f64, pressure);
+        b.add(
+            CostCategory::Mac,
+            cum.push(payload_bytes as f64 * self.mac_per_byte_ns),
+        );
+        b
+    }
+
+    /// Pushes the message-cost components (transport, shield, signature,
+    /// AEAD) in the exact accumulation order of
+    /// [`ProtocolCostModel::message_cost_f64`].
+    fn add_message_parts(
+        &self,
+        b: &mut CostBreakdown,
+        cum: &mut Cum,
+        profile: &CostProfile,
+        payload_bytes: usize,
+    ) {
+        b.add(
+            CostCategory::Transport,
+            cum.push(
+                self.net
+                    .message_cost_ns(profile.transport, profile.exec, payload_bytes),
+            ),
+        );
+        if profile.shielded {
+            let mac_bytes = payload_bytes as f64 * self.mac_per_byte_ns;
+            let shield = cum.push(self.mac_ns + mac_bytes);
+            let mac = (mac_bytes as u64).min(shield);
+            b.add(CostCategory::Mac, mac);
+            b.add(CostCategory::CounterSlot, shield - mac);
+        }
+        if profile.uses_signatures {
+            b.add(CostCategory::Signature, cum.push(self.signature_ns));
+        }
+        if profile.confidential {
+            b.add(
+                CostCategory::Aead,
+                cum.push(payload_bytes as f64 * self.encrypt_per_byte_ns),
+            );
+        }
+    }
+
+    /// Pushes the application-work term `ops × app_cost_with_pressure` and
+    /// splits its integer between base app work, the TEE-execution excess and
+    /// the EPC-pressure excess (rounding crumbs land in the base slot).
+    fn add_app_parts(
+        &self,
+        b: &mut CostBreakdown,
+        cum: &mut Cum,
+        profile: &CostProfile,
+        ops: f64,
+        pressure: f64,
+    ) {
+        let acwp = self.app_cost_with_pressure(profile, pressure);
+        let total = cum.push(ops * acwp);
+        let tee_mult = match profile.exec {
+            ExecMode::Native => 1.0,
+            ExecMode::Tee => self.tee_app_penalty,
+        };
+        let no_pressure = profile.app_base_ns * tee_mult;
+        let epc = ((ops * (acwp - no_pressure)) as u64).min(total);
+        let tee = ((ops * (no_pressure - profile.app_base_ns)) as u64).min(total - epc);
+        b.add(CostCategory::EpcPressure, epc);
+        b.add(CostCategory::TeeExec, tee);
+        b.add(CostCategory::App, total - epc - tee);
+    }
+
     fn message_cost_f64(&self, profile: &CostProfile, payload_bytes: usize) -> f64 {
         let mut cost = self
             .net
@@ -644,6 +878,112 @@ mod tests {
         assert!(
             m.txn_commit_cost_ns(&profile, 8, 8 * 256) > m.txn_commit_cost_ns(&profile, 1, 256)
         );
+    }
+
+    #[test]
+    fn breakdowns_sum_exactly_to_their_cost_functions() {
+        // The attribution invariant: every *_breakdown splits the *exact*
+        // integer its *_cost_ns sibling charges — over every profile shape
+        // and a spread of sizes, including EPC-pressured ones.
+        let m = ProtocolCostModel::default();
+        let profiles = [
+            CostProfile::recipe(),
+            CostProfile::recipe().confidential(),
+            CostProfile::recipe().confidential().with_inflight(8192),
+            CostProfile::native_cft(),
+            CostProfile::pbft_baseline(),
+            CostProfile::damysus_baseline(),
+        ];
+        for p in &profiles {
+            for bytes in [0usize, 1, 63, 64, 256, 1024, 4096, 65_536] {
+                assert_eq!(
+                    m.send_breakdown(p, bytes).total(),
+                    m.send_cost_ns(p, bytes),
+                    "send {bytes}B"
+                );
+                assert_eq!(
+                    m.recv_breakdown(p, bytes).total(),
+                    m.recv_cost_ns(p, bytes),
+                    "recv {bytes}B"
+                );
+                for ops in [1usize, 2, 16, 64] {
+                    assert_eq!(
+                        m.batch_send_breakdown(p, ops, bytes).total(),
+                        m.batch_send_cost_ns(p, ops, bytes),
+                        "batch_send {ops}x{bytes}B"
+                    );
+                    assert_eq!(
+                        m.batch_recv_breakdown(p, ops, bytes).total(),
+                        m.batch_recv_cost_ns(p, ops, bytes),
+                        "batch_recv {ops}x{bytes}B"
+                    );
+                }
+                for entries in [0usize, 1, 64, 256] {
+                    assert_eq!(
+                        m.snapshot_export_breakdown(p, entries, bytes).total(),
+                        m.snapshot_export_cost_ns(p, entries, bytes),
+                        "snap_export {entries}x{bytes}B"
+                    );
+                    assert_eq!(
+                        m.snapshot_import_breakdown(p, entries, bytes).total(),
+                        m.snapshot_import_cost_ns(p, entries, bytes),
+                        "snap_import {entries}x{bytes}B"
+                    );
+                    assert_eq!(
+                        m.txn_prepare_breakdown(p, entries, bytes, 32 * 1024 * 1024)
+                            .total(),
+                        m.txn_prepare_cost_ns(p, entries, bytes, 32 * 1024 * 1024),
+                        "txn_prepare {entries}x{bytes}B"
+                    );
+                    assert_eq!(
+                        m.txn_commit_breakdown(p, entries, bytes).total(),
+                        m.txn_commit_cost_ns(p, entries, bytes),
+                        "txn_commit {entries}x{bytes}B"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_categories_land_where_the_profile_says() {
+        let m = ProtocolCostModel::default();
+        // Plain native profile: transport + app only.
+        let native = m.recv_breakdown(&CostProfile::native_cft(), 256);
+        assert_eq!(native.get(CostCategory::CounterSlot), 0);
+        assert_eq!(native.get(CostCategory::Mac), 0);
+        assert_eq!(native.get(CostCategory::Aead), 0);
+        assert_eq!(native.get(CostCategory::TeeExec), 0);
+        assert_eq!(native.get(CostCategory::EpcPressure), 0);
+        assert!(native.get(CostCategory::Transport) > 0);
+        assert!(native.get(CostCategory::App) > 0);
+        // Recipe: shield (counter slot + MAC bytes) and the TEE excess appear.
+        let recipe = m.recv_breakdown(&CostProfile::recipe(), 256);
+        assert!(recipe.get(CostCategory::CounterSlot) > 0);
+        assert!(recipe.get(CostCategory::Mac) > 0);
+        assert!(recipe.get(CostCategory::TeeExec) > 0);
+        assert_eq!(recipe.get(CostCategory::Aead), 0);
+        // Confidential adds AEAD proportional to the payload.
+        let conf = m.recv_breakdown(&CostProfile::recipe().confidential(), 1024);
+        assert!(conf.get(CostCategory::Aead) > 0);
+        assert!(
+            conf.get(CostCategory::Aead)
+                > m.recv_breakdown(&CostProfile::recipe().confidential(), 64)
+                    .get(CostCategory::Aead)
+        );
+        // Signature baselines pay the signature slot.
+        assert!(
+            m.recv_breakdown(&CostProfile::pbft_baseline(), 64)
+                .get(CostCategory::Signature)
+                > 0
+        );
+        // EPC pressure shows up for large pressured frames, never for native.
+        let pressured = m.batch_recv_breakdown(&CostProfile::recipe(), 64, 64 * 4096);
+        assert!(pressured.get(CostCategory::EpcPressure) > 0);
+        let unpressured = m.batch_recv_breakdown(&CostProfile::native_cft(), 64, 64 * 4096);
+        assert_eq!(unpressured.get(CostCategory::EpcPressure), 0);
+        // Batch frames carry the per-op dispatch overhead.
+        assert!(pressured.get(CostCategory::BatchOverhead) > 0);
     }
 
     #[test]

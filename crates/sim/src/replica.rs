@@ -172,6 +172,13 @@ pub trait Replica {
     fn txn_abort(&mut self, txn_id: u64) {
         let _ = txn_id;
     }
+
+    /// Telemetry snapshot of the replica's shield/batcher counters, if the
+    /// protocol keeps any. The simulator folds these into the attached
+    /// telemetry at export time; `None` (the default) contributes nothing.
+    fn protocol_counters(&self) -> Option<recipe_telemetry::ProtocolCounters> {
+        None
+    }
 }
 
 /// One exported key-value record of a state-transfer range: the unit shipped

@@ -16,6 +16,8 @@
 //!   and the YCSB-style workload generator that drive the evaluation.
 //! * [`recipe_shard`] — the sharded keyspace subsystem: a consistent-hash router
 //!   over many independent replica groups, driven on one virtual clock.
+//! * [`recipe_telemetry`] — the deterministic observability subsystem: virtual-clock
+//!   span tracing, a metrics registry and per-shard cost attribution.
 
 pub use recipe_attest as attest;
 pub use recipe_bft as bft;
@@ -27,4 +29,5 @@ pub use recipe_protocols as protocols;
 pub use recipe_shard as shard;
 pub use recipe_sim as sim;
 pub use recipe_tee as tee;
+pub use recipe_telemetry as telemetry;
 pub use recipe_workload as workload;
