@@ -1,0 +1,65 @@
+//! Regenerates the crash-recovery failover experiment: a participant-group
+//! leader is killed mid-2PC and (separately) mid-migration; the fault plane
+//! elects a new leader, the replicated prepare records resolve every
+//! in-flight transaction, and the crashed node restarts rollback-protected —
+//! zero lost or duplicated commits, with the throughput dip and recovery
+//! visible on the timeline.
+//!
+//! Arguments: `[operations] [summary_json_path]` — the first overrides the
+//! committed-operation count (default 2400; CI passes a smoke value), the
+//! second writes the machine-readable `BENCH_*.json` summary the perf gate
+//! compares against `crates/bench/baselines/`.
+fn main() {
+    let operations = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(2_400);
+    let report = recipe_bench::fig_failover(operations);
+    recipe_bench::print_rows(
+        "Crash-recovery failover: participant leader killed mid-2PC and mid-migration",
+        &report.rows,
+    );
+    println!(
+        "\ncrash at {:.2} ms, restart at {:.2} ms, throughput back to 80% of steady \
+         ({:.0} ops/s) after {:.2} ms; dip floor {:.0} ops/s",
+        report.crash_at_ns as f64 / 1e6,
+        report.recover_at_ns as f64 / 1e6,
+        report.steady_ops,
+        report.time_to_recover_ns as f64 / 1e6,
+        report.dip_floor_ops,
+    );
+    println!(
+        "2PC run: {} committed = {} txn ops (zero lost, zero duplicated), {} aborts retried",
+        report.crash_2pc.total.committed,
+        report.crash_2pc.txn.committed_ops,
+        report.crash_2pc.txn.aborted,
+    );
+    println!(
+        "migration run: {} committed, {} migration(s) completed despite the donor crash",
+        report.crash_migration.total.committed,
+        report.crash_migration.migration.migrations_completed,
+    );
+    println!("crashed-run throughput timeline (commits per bucket):");
+    for bucket in &report.crash_2pc.timeline {
+        let marker = if bucket.end_ns > report.crash_at_ns
+            && bucket.end_ns.saturating_sub(report.crash_at_ns) <= report.time_to_recover_ns
+        {
+            "  <- outage"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>7.2} ms  {:>5}  {}{}",
+            bucket.end_ns as f64 / 1e6,
+            bucket.committed,
+            "#".repeat((bucket.committed / 8) as usize),
+            marker
+        );
+    }
+    let summary = recipe_bench::failover_summary(&report);
+    println!("\n{}", serde_json::to_string_pretty(&summary).unwrap());
+    if let Some(path) = std::env::args().nth(2) {
+        recipe_bench::write_summary(&path, &summary).expect("summary written");
+        println!("summary written to {path}");
+    }
+}

@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use recipe_attest::{ConfigAndAttestService, IntelAttestationService, QuoteVerifier, SecretBundle};
 use recipe_bft::{DamysusReplica, PbftReplica};
 use recipe_core::{Membership, Operation, Request};
-use recipe_net::{ExecMode, NetCostModel, Transport};
+use recipe_net::{CrashPlan, ExecMode, NetCostModel, NodeId, Transport};
 use recipe_protocols::{AbdReplica, AllConcurReplica, BatchConfig, ChainReplica, RaftReplica};
 use recipe_shard::{
     DeploymentSpec, PolicyReplica, RebalanceConfig, ShardPolicy, ShardedCluster, ShardedRunStats,
@@ -1049,6 +1049,322 @@ pub fn attribution_reconciliation(report: &TelemetryReport, tolerance: f64) -> V
         }
     }
     violations
+}
+
+/// Results of the crash-recovery failover experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailoverReport {
+    /// Crash-free vs crashed throughput for both scenarios; "speedup" is
+    /// relative to the scenario's own crash-free twin.
+    pub rows: Vec<ExperimentRow>,
+    /// Crash-free transactional run (the 2PC yardstick).
+    pub baseline_2pc: ShardedRunStats,
+    /// The same run with the shard-0 leader crashed mid-2PC and recovered.
+    pub crash_2pc: ShardedRunStats,
+    /// Crash-free mixed single/txn/migration run (the migration yardstick).
+    pub baseline_migration: ShardedRunStats,
+    /// The same run with the donor-shard leader crashed mid-migration.
+    pub crash_migration: ShardedRunStats,
+    /// When the 2PC participant leader was crashed, virtual ns.
+    pub crash_at_ns: u64,
+    /// When it restarted (rollback-protected), virtual ns.
+    pub recover_at_ns: u64,
+    /// Crash until aggregate throughput climbed back to 80% of the
+    /// pre-crash steady rate, from the crashed run's timeline, virtual ns.
+    pub time_to_recover_ns: u64,
+    /// Mean aggregate throughput of the crashed 2PC run before the crash,
+    /// ops/s.
+    pub steady_ops: f64,
+    /// Deepest timeline bucket between the crash and the recovery point,
+    /// ops/s — the throughput dip the failover machinery bounds.
+    pub dip_floor_ops: f64,
+}
+
+/// Crash-recovery failover experiment (beyond the paper): kill a participant
+/// group's leader and watch the fault plane put the deployment back together
+/// with zero lost or duplicated commits.
+///
+/// Two scenarios, each measured against its own crash-free twin:
+///
+/// * **mid-2PC** — three 3-replica R-Raft shards under a 100%-transaction
+///   workload (fan-out 2, so nearly every commit crosses shards); shard 0's
+///   leader is crashed a quarter of the way through the run and restarts
+///   rollback-protected halfway through. In-flight transactions park on the
+///   coordinator's retry queue, the replicated prepare records let the next
+///   leader adopt the staged locks, and every transaction resolves: the run
+///   must end with `committed == txn.committed_ops` and no crashed nodes.
+/// * **mid-migration** — the observability deployment (two shards, mixed
+///   single/transaction traffic funnelling into a hot range that the
+///   controller migrates off shard 0); the donor shard's leader is crashed
+///   just before the baseline's cutover point. The migration must still
+///   complete and the commit target must still be reached.
+///
+/// The crash schedule is derived from the crash-free twin's measured
+/// duration, so the experiment stays meaningful across operation counts —
+/// and stays deterministic, because the twin is deterministic. Runs much
+/// below ~1600 operations end before the migration controller can act and
+/// fail the migration-twin assertion rather than silently skipping the
+/// scenario.
+pub fn fig_failover(operations: usize) -> FailoverReport {
+    let run_txn = |crash: Option<CrashPlan>, bucket_ns: u64| -> ShardedRunStats {
+        let mut spec = DeploymentSpec::new(3, 3)
+            .with_seed(17)
+            .with_clients(24, operations)
+            .with_timeline_bucket_ns(bucket_ns);
+        if let Some(plan) = crash {
+            spec = spec.with_shard_policy(0, ShardPolicy::new().with_crash_plan(plan));
+        }
+        let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
+        let router = cluster.router().clone();
+        let workload = TxnWorkloadSpec {
+            base: WorkloadSpec {
+                seed: 17,
+                read_ratio: 0.5,
+                ..WorkloadSpec::default()
+            },
+            txn_fraction: 1.0,
+            ops_per_txn: 3,
+            fan_out: 2,
+        };
+        let generator = RefCell::new(workload.generator());
+        let stats = cluster.run_requests(move |_client, _seq| {
+            let request = generator
+                .borrow_mut()
+                .next_request(&|key| router.shard_for_key(key));
+            Some(recipe_shard::request_from_workload(request))
+        });
+        for shard in 0..cluster.shards() {
+            assert!(
+                cluster.shard(shard).crashed_nodes().is_empty(),
+                "shard {shard}: crashed node never recovered"
+            );
+        }
+        stats
+    };
+
+    // Crash-free twin first: its measured duration places the crash and
+    // sizes the timeline buckets for the crashed run.
+    let baseline_2pc = run_txn(None, 0);
+    let elapsed_ns = (baseline_2pc.total.elapsed_secs * 1e9) as u64;
+    let crash_at_ns = (elapsed_ns / 4).max(100_000);
+    let recover_at_ns = crash_at_ns + (elapsed_ns / 4).max(100_000);
+    let bucket_ns = (elapsed_ns / 32).max(50_000);
+
+    let crash_2pc = run_txn(
+        Some(CrashPlan::none().crash_recover(NodeId(0), crash_at_ns, recover_at_ns)),
+        bucket_ns,
+    );
+    // Zero lost, zero duplicated: the driver drained the full target and —
+    // the workload being 100% transactions — every committed operation is
+    // accounted to a committed transaction exactly once.
+    assert!(crash_2pc.total.committed >= operations as u64);
+    assert_eq!(crash_2pc.total.committed, crash_2pc.txn.committed_ops);
+
+    // Time-to-recover off the crashed run's timeline: steady rate is the
+    // mean of the buckets fully before the crash; recovery is the first
+    // bucket after the crash back at 80% of it.
+    let timeline = &crash_2pc.timeline;
+    let pre: Vec<u64> = timeline
+        .iter()
+        .filter(|b| b.end_ns <= crash_at_ns)
+        .map(|b| b.committed)
+        .collect();
+    let bucket_secs = bucket_ns as f64 / 1e9;
+    let steady_buckets = if pre.is_empty() {
+        crash_2pc.total.throughput_ops * bucket_secs
+    } else {
+        pre.iter().sum::<u64>() as f64 / pre.len() as f64
+    };
+    let steady_ops = steady_buckets / bucket_secs;
+    let mut time_to_recover_ns = 0u64;
+    let mut dip_floor_ops = steady_ops;
+    for bucket in timeline.iter().filter(|b| b.end_ns > crash_at_ns) {
+        dip_floor_ops = dip_floor_ops.min(bucket.committed as f64 / bucket_secs);
+        if (bucket.committed as f64) >= 0.8 * steady_buckets {
+            time_to_recover_ns = bucket.end_ns.saturating_sub(crash_at_ns);
+            break;
+        }
+    }
+
+    // Mid-migration scenario: the observability deployment, with the donor
+    // shard's leader crashed shortly before the crash-free twin's cutover.
+    let run_migration = |crash: Option<CrashPlan>| -> ShardedRunStats {
+        let balanced_ops = (operations * 7) / 32;
+        let mut spec = DeploymentSpec::new(2, 3)
+            .with_seed(9)
+            .with_clients(64, operations)
+            .with_rebalance(RebalanceConfig {
+                check_interval_ns: 10_000_000,
+                min_window_commits: 120,
+                imbalance_threshold: 1.4,
+                timeline_bucket_ns: 5_000_000,
+                ..RebalanceConfig::enabled()
+            });
+        if let Some(plan) = crash {
+            spec = spec.with_shard_policy(0, ShardPolicy::new().with_crash_plan(plan));
+        }
+        let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
+        let hot = hot_range_on_shard(cluster.router(), 0, 48, 2);
+        let router = cluster.router().clone();
+        let txn_workload = TxnWorkloadSpec {
+            base: WorkloadSpec {
+                seed: 9,
+                read_ratio: 0.5,
+                ..WorkloadSpec::default()
+            },
+            txn_fraction: 1.0,
+            ops_per_txn: 2,
+            fan_out: 2,
+        };
+        let generator = RefCell::new(txn_workload.generator());
+        let issued = std::cell::Cell::new(0usize);
+        let stats = cluster.run_requests(move |client, seq| {
+            let n = issued.get();
+            issued.set(n + 1);
+            if n % 8 == 7 {
+                let request = generator
+                    .borrow_mut()
+                    .next_request(&|key| router.shard_for_key(key));
+                return Some(recipe_shard::request_from_workload(request));
+            }
+            let key = if n < balanced_ops {
+                format!("user{:08}", (client * 131 + seq * 17) % 10_000).into_bytes()
+            } else {
+                hot[n % hot.len()].clone()
+            };
+            Some(Request::Single(Operation::Put {
+                key,
+                value: vec![0xAB; 64],
+            }))
+        });
+        for shard in 0..cluster.shards() {
+            assert!(
+                cluster.shard(shard).crashed_nodes().is_empty(),
+                "shard {shard}: crashed node never recovered"
+            );
+        }
+        stats
+    };
+
+    let baseline_migration = run_migration(None);
+    assert!(
+        baseline_migration.migration.migrations_completed >= 1,
+        "crash-free migration twin never migrated; crash placement would be meaningless"
+    );
+    let cutover_ns = baseline_migration.migration.last_cutover_ns;
+    let migration_crash_ns = (cutover_ns * 7 / 8).max(100_000);
+    let migration_recover_ns = migration_crash_ns + (cutover_ns / 4).max(100_000);
+    let crash_migration = run_migration(Some(CrashPlan::none().crash_recover(
+        NodeId(0),
+        migration_crash_ns,
+        migration_recover_ns,
+    )));
+    assert!(crash_migration.total.committed >= operations as u64);
+    assert!(
+        crash_migration.migration.migrations_completed >= 1,
+        "migration did not survive the donor leader crash"
+    );
+
+    let rows = vec![
+        ExperimentRow {
+            protocol: "R-Raft 3 shards, 100% txn".into(),
+            config: "crash-free".into(),
+            throughput_ops: baseline_2pc.total.throughput_ops,
+            mean_latency_us: baseline_2pc.total.mean_latency_us,
+            speedup_vs_baseline: 1.0,
+        },
+        ExperimentRow {
+            protocol: "R-Raft 3 shards, 100% txn".into(),
+            config: "leader crash mid-2PC".into(),
+            throughput_ops: crash_2pc.total.throughput_ops,
+            mean_latency_us: crash_2pc.total.mean_latency_us,
+            speedup_vs_baseline: crash_2pc.total.throughput_ops / baseline_2pc.total.throughput_ops,
+        },
+        ExperimentRow {
+            protocol: "R-Raft 2 shards, migration".into(),
+            config: "crash-free".into(),
+            throughput_ops: baseline_migration.total.throughput_ops,
+            mean_latency_us: baseline_migration.total.mean_latency_us,
+            speedup_vs_baseline: 1.0,
+        },
+        ExperimentRow {
+            protocol: "R-Raft 2 shards, migration".into(),
+            config: "donor leader crash".into(),
+            throughput_ops: crash_migration.total.throughput_ops,
+            mean_latency_us: crash_migration.total.mean_latency_us,
+            speedup_vs_baseline: crash_migration.total.throughput_ops
+                / baseline_migration.total.throughput_ops,
+        },
+    ];
+    FailoverReport {
+        rows,
+        baseline_2pc,
+        crash_2pc,
+        baseline_migration,
+        crash_migration,
+        crash_at_ns,
+        recover_at_ns,
+        time_to_recover_ns,
+        steady_ops,
+        dip_floor_ops,
+    }
+}
+
+/// The summary of a `fig_failover` run: crash-free and crashed throughput
+/// for both scenarios (gated) plus the recovery figures and the commit
+/// counters that must stay non-degenerate.
+pub fn failover_summary(report: &FailoverReport) -> BenchSummary {
+    let mut summary = BenchSummary {
+        bench: "fig_failover".into(),
+        metrics: vec![
+            BenchMetric {
+                name: "crash_free_2pc_ops_per_sec".into(),
+                value: report.baseline_2pc.total.throughput_ops,
+            },
+            BenchMetric {
+                name: "leader_crash_2pc_ops_per_sec".into(),
+                value: report.crash_2pc.total.throughput_ops,
+            },
+            BenchMetric {
+                name: "crash_free_migration_ops_per_sec".into(),
+                value: report.baseline_migration.total.throughput_ops,
+            },
+            BenchMetric {
+                name: "donor_leader_crash_migration_ops_per_sec".into(),
+                value: report.crash_migration.total.throughput_ops,
+            },
+            BenchMetric {
+                name: "time_to_recover_ms".into(),
+                value: report.time_to_recover_ns as f64 / 1e6,
+            },
+            // Deliberately not `_ops_per_sec`: the dip depth is reported,
+            // not gated — it measures the outage, not a regression.
+            BenchMetric {
+                name: "dip_floor_ops".into(),
+                value: report.dip_floor_ops,
+            },
+            BenchMetric {
+                name: "steady_state_ops".into(),
+                value: report.steady_ops,
+            },
+            BenchMetric {
+                name: "crash_2pc_committed".into(),
+                value: report.crash_2pc.total.committed as f64,
+            },
+            BenchMetric {
+                name: "crash_2pc_txn_committed_ops".into(),
+                value: report.crash_2pc.txn.committed_ops as f64,
+            },
+            BenchMetric {
+                name: "crash_migrations_completed".into(),
+                value: report.crash_migration.migration.migrations_completed as f64,
+            },
+        ],
+    };
+    summary
+        .metrics
+        .extend(latency_metrics("crash_2pc_", &report.crash_2pc.total));
+    summary
 }
 
 /// The summary of a `fig_txn` run: aggregate ops/s per sweep step (gated)

@@ -22,7 +22,7 @@ use recipe_core::{ClientReply, ClientRequest, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, StoreConfig, Timestamp};
 use recipe_net::NodeId;
 use recipe_protocols::{BatchConfig, Batcher};
-use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, RestartReport, TxnVote};
 use serde::{Deserialize, Serialize};
 
 /// Timer token: flush partially-filled batches (time-budget trigger).
@@ -74,8 +74,14 @@ pub struct PbftReplica {
     kv: PartitionedKvStore,
     view: u64,
     next_seq: u64,
-    slots: HashMap<u64, SlotState>,
+    /// Agreement slots keyed by `(view, seq)`: sequence numbers are scoped to
+    /// the view that assigned them, so a new primary after a view change can
+    /// never collide with slots the crashed primary populated.
+    slots: HashMap<(u64, u64), SlotState>,
     executed_ops: u64,
+    /// Members the trusted configuration service reported down (sorted). Used
+    /// to advance past crashed primaries deterministically.
+    down: Vec<NodeId>,
     /// Outgoing-message batcher (unbatched by default, preserving the paper's
     /// baseline; see [`PbftReplica::with_batching`]).
     batcher: Batcher,
@@ -93,6 +99,7 @@ impl PbftReplica {
             next_seq: 0,
             slots: HashMap::new(),
             executed_ops: 0,
+            down: Vec::new(),
             batcher: Batcher::new(BatchConfig::unbatched()),
         }
     }
@@ -169,9 +176,32 @@ impl PbftReplica {
         }
     }
 
+    /// Installs a later view: the round-robin primary for `view` takes over.
+    /// This is the deterministic stand-in for PBFT's view-change protocol —
+    /// every replica receives the same failure notice from the trusted
+    /// configuration service and jumps to the same view, and requests that
+    /// were in flight under the old primary are re-proposed by the client
+    /// retransmission rather than by a new-view certificate.
+    fn install_view(&mut self, view: u64) {
+        if view <= self.view {
+            return;
+        }
+        self.view = view;
+        self.next_seq = 0;
+    }
+
+    /// The smallest view `> self.view` whose round-robin primary is live.
+    fn next_live_view(&self) -> u64 {
+        let mut view = self.view + 1;
+        while self.down.contains(&self.membership.leader_for_view(view)) {
+            view += 1;
+        }
+        view
+    }
+
     fn try_execute(&mut self, seq: u64, ctx: &mut Ctx) {
         let quorum = self.quorum_2f1();
-        let Some(slot) = self.slots.get_mut(&seq) else {
+        let Some(slot) = self.slots.get_mut(&(self.view, seq)) else {
             return;
         };
         if slot.executed || !slot.prepared || slot.commits.len() < quorum {
@@ -217,7 +247,7 @@ impl PbftReplica {
                     return;
                 }
                 let digest = Self::digest(&request);
-                let slot = self.slots.entry(seq).or_default();
+                let slot = self.slots.entry((view, seq)).or_default();
                 if slot.request.is_none() {
                     slot.request = Some(request);
                     slot.digest = digest;
@@ -242,9 +272,9 @@ impl PbftReplica {
                 if view != self.view {
                     return;
                 }
-                let slot = self.slots.entry(seq).or_default();
+                let slot = self.slots.entry((view, seq)).or_default();
                 if slot.request.is_some() && slot.digest != digest {
-                    return; // conflicting digest: ignore (view change out of scope)
+                    return; // conflicting digest: ignore (handled by view change)
                 }
                 slot.prepares.insert(replica);
                 self.after_prepare(seq, ctx);
@@ -258,7 +288,7 @@ impl PbftReplica {
                 if view != self.view {
                     return;
                 }
-                let slot = self.slots.entry(seq).or_default();
+                let slot = self.slots.entry((view, seq)).or_default();
                 if slot.request.is_some() && slot.digest != digest {
                     return;
                 }
@@ -270,7 +300,7 @@ impl PbftReplica {
 
     fn after_prepare(&mut self, seq: u64, ctx: &mut Ctx) {
         let needed = self.quorum_2f();
-        let (ready, digest) = match self.slots.get_mut(&seq) {
+        let (ready, digest) = match self.slots.get_mut(&(self.view, seq)) {
             Some(slot)
                 if !slot.prepared && slot.request.is_some() && slot.prepares.len() >= needed =>
             {
@@ -311,7 +341,7 @@ impl Replica for PbftReplica {
         let seq = self.next_seq;
         self.next_seq += 1;
         let digest = Self::digest(&request);
-        let slot = self.slots.entry(seq).or_default();
+        let slot = self.slots.entry((self.view, seq)).or_default();
         slot.request = Some(request.clone());
         slot.digest = digest;
         slot.prepares.insert(self.id.0);
@@ -375,6 +405,89 @@ impl Replica for PbftReplica {
 
     fn txn_abort(&mut self, txn_id: u64) {
         self.kv.txn_abort(txn_id);
+    }
+
+    fn txn_stage_replicated(&mut self, txn_id: u64, ops: &[Operation]) {
+        recipe_protocols::txn::kv_txn_stage_replicated(&mut self.kv, txn_id, ops);
+    }
+
+    fn txn_drop_replicated(&mut self, txn_id: u64) {
+        self.kv.txn_drop_replicated(txn_id);
+    }
+
+    fn txn_adopt_replicated(&mut self) -> Vec<u64> {
+        self.kv.txn_adopt_replicated()
+    }
+
+    fn txn_export_records(&mut self) -> Vec<(u64, Vec<(Vec<u8>, Option<Vec<u8>>)>)> {
+        self.kv.txn_export_records()
+    }
+
+    fn txn_import_record(&mut self, txn_id: u64, ops: &[(Vec<u8>, Option<Vec<u8>>)]) {
+        self.kv.txn_stage_replicated(txn_id, ops);
+    }
+
+    fn current_view(&self) -> u64 {
+        self.view
+    }
+
+    fn export_recovery_snapshot(&mut self) -> Option<Vec<RangeEntry>> {
+        recipe_protocols::migration::kv_export_range(&mut self.kv, &|_| true).ok()
+    }
+
+    fn on_restart(
+        &mut self,
+        view: u64,
+        snapshot: Option<Vec<RangeEntry>>,
+        _ctx: &mut Ctx,
+    ) -> RestartReport {
+        self.slots.clear();
+        self.down.clear();
+        self.next_seq = 0;
+        self.batcher = Batcher::new(*self.batcher.config());
+        self.kv.txn_reset();
+        self.view = self.view.max(view);
+        let (verified, discarded, bytes) = self.kv.rehydrate();
+        if let Some(entries) = snapshot {
+            recipe_protocols::migration::kv_import_range(&mut self.kv, &entries);
+        }
+        let restored = self
+            .kv
+            .keys()
+            .iter()
+            .filter_map(|key| self.kv.timestamp_of(key))
+            .map(|ts| ts.logical)
+            .max()
+            .unwrap_or(0);
+        self.executed_ops = self.executed_ops.max(restored);
+        RestartReport {
+            verified_entries: verified,
+            discarded_entries: discarded,
+            payload_bytes: bytes,
+        }
+    }
+
+    fn on_peer_down(&mut self, peer: NodeId, _ctx: &mut Ctx) {
+        if let Err(idx) = self.down.binary_search(&peer) {
+            self.down.insert(idx, peer);
+        }
+        // If the crashed peer was the current primary, every survivor jumps
+        // to the next view with a live primary.
+        if self.membership.leader_for_view(self.view) == peer {
+            let next = self.next_live_view();
+            self.install_view(next);
+            if self.is_primary() {
+                // Adopt prepare records replicated from the crashed primary
+                // so in-flight transactions resolve on the new one.
+                let _ = self.kv.txn_adopt_replicated();
+            }
+        }
+    }
+
+    fn on_peer_up(&mut self, peer: NodeId, _ctx: &mut Ctx) {
+        if let Ok(idx) = self.down.binary_search(&peer) {
+            self.down.remove(idx);
+        }
     }
 }
 

@@ -775,6 +775,30 @@ impl AuthLayer {
         self.pending.get(&src).map(BTreeMap::len).unwrap_or(0)
     }
 
+    /// The trusted send counter toward `dst` — how many frames this node's
+    /// enclave has sealed on the `self → dst` channel. The attestation service
+    /// reads this during re-attestation of a restarted peer (paper §3.7) so the
+    /// peer can fast-forward its receive counter past frames it slept through.
+    pub fn send_counter_to(&self, dst: NodeId) -> u64 {
+        let label = ChannelId::new(self.node, dst).label();
+        self.enclave.counter_value(&format!("send:{label}"))
+    }
+
+    /// Re-attestation channel resync: fast-forwards the trusted receive counter
+    /// for the `src → self` channel to `peer_send_counter` (the value the
+    /// attestation service read from `src`'s enclave) and discards any frames
+    /// buffered from `src`. Counters only move forward — `advance_to` refuses
+    /// regressions — so a compromised resync can never re-open the replay
+    /// window. Frames sealed before the resync point arriving afterwards are
+    /// rejected as replays: a recovering replica cannot act on stale traffic.
+    pub fn resync_from(&mut self, src: NodeId, peer_send_counter: u64) {
+        let label = ChannelId::new(src, self.node).label();
+        if let Ok(counter) = self.enclave.counter_mut(&format!("recv:{label}")) {
+            let _ = counter.advance_to(peer_send_counter);
+        }
+        self.pending.remove(&src);
+    }
+
     /// Opens a borrowed message payload (clones it when no decryption is
     /// needed — the caller keeps the message).
     fn open_payload(&self, msg: &ShieldedMessage) -> Result<Vec<u8>, RecipeError> {

@@ -118,6 +118,49 @@ impl Membership {
     pub fn chain_tail(&self) -> NodeId {
         *self.members.last().expect("membership is non-empty")
     }
+
+    // ------------------------------------------------------------------
+    // Live-set chain roles (crash–recovery reconfiguration).
+    //
+    // Chain Replication reconfigures around failed nodes through its
+    // external master; here the trusted configuration service plays that
+    // role, handing every replica the same `down` set, and the chain
+    // deterministically reforms over the survivors in sorted order. With an
+    // empty `down` set every method matches its static counterpart.
+    // ------------------------------------------------------------------
+
+    /// The chain order over live members only (sorted, `down` filtered out).
+    pub fn chain_order_live(&self, down: &[NodeId]) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|m| !down.contains(m))
+            .collect()
+    }
+
+    /// Head of the live chain, `None` when every member is down.
+    pub fn chain_head_live(&self, down: &[NodeId]) -> Option<NodeId> {
+        self.members.iter().copied().find(|m| !down.contains(m))
+    }
+
+    /// Tail of the live chain, `None` when every member is down.
+    pub fn chain_tail_live(&self, down: &[NodeId]) -> Option<NodeId> {
+        self.members
+            .iter()
+            .copied()
+            .rev()
+            .find(|m| !down.contains(m))
+    }
+
+    /// Successor of `node` in the live chain: the next live member after it
+    /// in sorted order, `None` when `node` is the live tail (or unknown).
+    pub fn chain_successor_live(&self, node: NodeId, down: &[NodeId]) -> Option<NodeId> {
+        let idx = self.members.iter().position(|&m| m == node)?;
+        self.members[idx + 1..]
+            .iter()
+            .copied()
+            .find(|m| !down.contains(m))
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +227,30 @@ mod tests {
         assert_eq!(m.chain_successor(NodeId(3)), Some(NodeId(5)));
         assert_eq!(m.chain_successor(NodeId(5)), None);
         assert_eq!(m.chain_successor(NodeId(9)), None);
+    }
+
+    #[test]
+    fn live_chain_reforms_around_down_nodes() {
+        let m = Membership::of_size(3, 1);
+        // No failures: live roles match the static chain.
+        assert_eq!(m.chain_head_live(&[]), Some(NodeId(0)));
+        assert_eq!(m.chain_tail_live(&[]), Some(NodeId(2)));
+        assert_eq!(m.chain_successor_live(NodeId(0), &[]), Some(NodeId(1)));
+        // Head down: the next live member takes over; the relay is skipped.
+        let down = [NodeId(0)];
+        assert_eq!(m.chain_head_live(&down), Some(NodeId(1)));
+        assert_eq!(m.chain_successor_live(NodeId(1), &down), Some(NodeId(2)));
+        // Middle down: head forwards straight to the tail.
+        let down = [NodeId(1)];
+        assert_eq!(m.chain_successor_live(NodeId(0), &down), Some(NodeId(2)));
+        // Tail down: the predecessor becomes tail (no successor).
+        let down = [NodeId(2)];
+        assert_eq!(m.chain_tail_live(&down), Some(NodeId(1)));
+        assert_eq!(m.chain_successor_live(NodeId(1), &down), None);
+        // Everyone down: no roles.
+        let all = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(m.chain_head_live(&all), None);
+        assert_eq!(m.chain_tail_live(&all), None);
     }
 
     #[test]

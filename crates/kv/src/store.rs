@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::KvError;
 use crate::skiplist::SkipList;
 use crate::timestamp::Timestamp;
-use crate::txn::TxnTable;
+use crate::txn::{TxnRecordOps, TxnTable};
 
 /// Configuration for a [`PartitionedKvStore`].
 #[derive(Clone, Debug)]
@@ -292,6 +292,31 @@ impl PartitionedKvStore {
         self.index.iter().map(|(k, _)| k.to_vec()).collect()
     }
 
+    /// Rollback-protected rehydration after a restart: re-reads every key
+    /// through the verified path ([`Self::get`] — enclave hash check, AEAD
+    /// open in confidential mode) and deletes every record that fails. What
+    /// survives is exactly the state the enclave can vouch for; anything the
+    /// host corrupted or dropped while the node was down is discarded rather
+    /// than served. Returns `(verified, discarded, verified_payload_bytes)`.
+    pub fn rehydrate(&mut self) -> (u64, u64, u64) {
+        let mut verified = 0u64;
+        let mut discarded = 0u64;
+        let mut bytes = 0u64;
+        for key in self.keys() {
+            match self.get(&key) {
+                Ok(read) => {
+                    verified += 1;
+                    bytes += (key.len() + read.value.len()) as u64;
+                }
+                Err(_) => {
+                    discarded += 1;
+                    self.delete(&key);
+                }
+            }
+        }
+        (verified, discarded, bytes)
+    }
+
     // ------------------------------------------------------------------
     // Two-phase-commit participation (cross-shard transactions)
     // ------------------------------------------------------------------
@@ -343,6 +368,56 @@ impl PartitionedKvStore {
     /// locks. Returns true when the transaction was known.
     pub fn txn_abort(&mut self, txn_id: u64) -> bool {
         self.txns.abort(txn_id)
+    }
+
+    /// True when `txn_id` has a staged (prepared, unresolved) transaction. A
+    /// 2PC coordinator probes this on a newly elected participant leader to
+    /// decide whether a replicated prepare survived a failover.
+    pub fn txn_is_prepared(&self, txn_id: u64) -> bool {
+        self.txns.is_prepared(txn_id)
+    }
+
+    /// Transaction ids with staged state, ascending (failover enumeration).
+    pub fn txn_staged_ids(&self) -> Vec<u64> {
+        self.txns.staged_txn_ids()
+    }
+
+    /// Drops all staged transactions and locks — the lock table is volatile
+    /// enclave state and does not survive a restart (see
+    /// [`crate::txn::TxnTable::reset`]). Returns how many were discarded.
+    pub fn txn_reset(&mut self) -> usize {
+        self.txns.reset()
+    }
+
+    /// Records a prepare replicated from the group leader (passive: no
+    /// locks until adopted). See [`crate::txn::TxnTable::stage_replicated`].
+    pub fn txn_stage_replicated(&mut self, txn_id: u64, ops: &[(Vec<u8>, Option<Vec<u8>>)]) {
+        self.txns.stage_replicated(txn_id, ops);
+    }
+
+    /// Discards a replicated prepare record once the coordinator's decision
+    /// reached this follower. Returns true when the record existed.
+    pub fn txn_drop_replicated(&mut self, txn_id: u64) -> bool {
+        self.txns.drop_replicated(txn_id)
+    }
+
+    /// Failover adoption: promotes every replicated prepare record into a
+    /// real staged transaction with locks, returning the adopted ids
+    /// (ascending). See [`crate::txn::TxnTable::adopt_replicated`].
+    pub fn txn_adopt_replicated(&mut self) -> Vec<u64> {
+        self.txns.adopt_replicated()
+    }
+
+    /// Transaction ids with a replicated (passive) prepare record, ascending.
+    pub fn txn_replicated_ids(&self) -> Vec<u64> {
+        self.txns.replicated_txn_ids()
+    }
+
+    /// Exports every prepare record this store knows (real and passive) in
+    /// the replicated wire form, for a recovering group member to import.
+    /// See [`crate::txn::TxnTable::export_records`].
+    pub fn txn_export_records(&self) -> Vec<(u64, TxnRecordOps)> {
+        self.txns.export_records()
     }
 
     // ------------------------------------------------------------------

@@ -23,6 +23,11 @@ use std::collections::BTreeMap;
 
 use crate::error::KvError;
 
+/// One exported prepare record's operations in the
+/// [`TxnTable::stage_replicated`] wire form: lock keys as valueless
+/// (`None`) entries first, then the staged writes in order.
+pub type TxnRecordOps = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+
 /// One transaction's staged state on a participant store.
 #[derive(Debug, Clone, Default)]
 struct StagedTxn {
@@ -40,6 +45,15 @@ pub struct TxnTable {
     locks: BTreeMap<Vec<u8>, u64>,
     /// Per-transaction staged state.
     staged: BTreeMap<u64, StagedTxn>,
+    /// Passive copies of prepare records replicated from the group leader.
+    /// They hold no locks (the leader enforces 2PL for the group) and stay
+    /// invisible to `is_locked`/`staged_bytes`, so a follower carrying them
+    /// behaves exactly as it did before the record arrived. Their sole
+    /// purpose is failover: a follower that becomes leader *adopts* them —
+    /// promoting each into a real staged transaction with locks — and the
+    /// in-flight transactions then resolve through the coordinator's normal
+    /// commit/abort frames instead of being lost with the old leader.
+    replicated: BTreeMap<u64, StagedTxn>,
 }
 
 impl TxnTable {
@@ -137,6 +151,106 @@ impl TxnTable {
     pub fn abort(&mut self, txn_id: u64) -> bool {
         self.take_staged(txn_id).is_some()
     }
+
+    /// Transaction ids with staged state, in ascending order (a recovering
+    /// participant group enumerates these to resolve in-flight transactions).
+    pub fn staged_txn_ids(&self) -> Vec<u64> {
+        self.staged.keys().copied().collect()
+    }
+
+    /// Records a prepare replicated from the group leader: keys and staged
+    /// writes, but **no locks** — the record is passive until adopted on
+    /// failover. Idempotent, and a no-op when this store already holds the
+    /// transaction as a real (leader-side) prepare.
+    pub fn stage_replicated(&mut self, txn_id: u64, ops: &[(Vec<u8>, Option<Vec<u8>>)]) {
+        if self.staged.contains_key(&txn_id) || self.replicated.contains_key(&txn_id) {
+            return;
+        }
+        let mut txn = StagedTxn::default();
+        for (key, write) in ops {
+            if !txn.keys.contains(key) {
+                txn.keys.push(key.clone());
+            }
+            if let Some(value) = write {
+                txn.writes.push((key.clone(), value.clone()));
+            }
+        }
+        self.replicated.insert(txn_id, txn);
+    }
+
+    /// Discards a replicated prepare record (the coordinator's decision
+    /// reached the group: the follower installs committed entries through
+    /// the import path, or drops everything on abort). Returns true when the
+    /// record existed.
+    pub fn drop_replicated(&mut self, txn_id: u64) -> bool {
+        self.replicated.remove(&txn_id).is_some()
+    }
+
+    /// Transaction ids with a replicated prepare record, ascending.
+    pub fn replicated_txn_ids(&self) -> Vec<u64> {
+        self.replicated.keys().copied().collect()
+    }
+
+    /// Exports every prepare record this store knows — real staged
+    /// transactions and passive replicated copies alike — in the
+    /// [`TxnTable::stage_replicated`] wire form (lock keys first as
+    /// valueless entries, then the staged writes in order). A recovering
+    /// group member imports these as passive records, so a node that later
+    /// re-wins coordinatorship can adopt the full in-flight set: its own
+    /// pre-crash staging was volatile enclave state and is gone.
+    pub fn export_records(&self) -> Vec<(u64, TxnRecordOps)> {
+        fn to_ops(txn: &StagedTxn) -> TxnRecordOps {
+            let mut ops: TxnRecordOps = txn.keys.iter().map(|key| (key.clone(), None)).collect();
+            ops.extend(
+                txn.writes
+                    .iter()
+                    .map(|(key, value)| (key.clone(), Some(value.clone()))),
+            );
+            ops
+        }
+        let mut out: BTreeMap<u64, TxnRecordOps> = BTreeMap::new();
+        for (txn_id, txn) in &self.staged {
+            out.insert(*txn_id, to_ops(txn));
+        }
+        for (txn_id, txn) in &self.replicated {
+            out.entry(*txn_id).or_insert_with(|| to_ops(txn));
+        }
+        out.into_iter().collect()
+    }
+
+    /// Failover adoption: promotes every replicated prepare record into a
+    /// real staged transaction with locks. The old leader granted its locks
+    /// all-or-nothing, so no two in-flight records can conflict and adoption
+    /// never fails. Returns the adopted ids, ascending.
+    pub fn adopt_replicated(&mut self) -> Vec<u64> {
+        let replicated = std::mem::take(&mut self.replicated);
+        let mut adopted = Vec::with_capacity(replicated.len());
+        for (txn_id, txn) in replicated {
+            if self.staged.contains_key(&txn_id) {
+                continue;
+            }
+            for key in &txn.keys {
+                self.locks.insert(key.clone(), txn_id);
+            }
+            self.staged.insert(txn_id, txn);
+            adopted.push(txn_id);
+        }
+        adopted
+    }
+
+    /// Drops every staged transaction, every replicated prepare record and
+    /// every lock. A restarting replica calls this: the lock table is
+    /// volatile enclave state and does not survive a crash — in-flight
+    /// transactions are resolved by the rest of the group, which holds the
+    /// replicated prepare records. Returns how many transactions were
+    /// discarded.
+    pub fn reset(&mut self) -> usize {
+        self.locks.clear();
+        let dropped = self.staged.len() + self.replicated.len();
+        self.staged.clear();
+        self.replicated.clear();
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +329,51 @@ mod tests {
         assert_eq!(writes.len(), 2);
         assert_eq!(writes[1].1, b"second");
         assert!(!table.is_locked(b"a"));
+    }
+
+    #[test]
+    fn replicated_records_hold_no_locks_until_adopted() {
+        let mut table = TxnTable::default();
+        table.stage_replicated(1, &[put(b"a", b"1"), get(b"b")]);
+        // Passive: no locks, no staged bytes, invisible to single-key 2PL.
+        assert!(!table.is_locked(b"a"));
+        assert!(!table.is_locked(b"b"));
+        assert!(!table.is_prepared(1));
+        assert_eq!(table.staged_bytes(), 0);
+        assert_eq!(table.replicated_txn_ids(), vec![1]);
+        // Failover: adoption promotes the record into a real prepare.
+        assert_eq!(table.adopt_replicated(), vec![1]);
+        assert!(table.is_locked(b"a"));
+        assert!(table.is_locked(b"b"));
+        assert!(table.is_prepared(1));
+        assert!(table.replicated_txn_ids().is_empty());
+        // The adopted transaction commits through the normal path.
+        let writes = table.take_staged(1).unwrap();
+        assert_eq!(writes, vec![(b"a".to_vec(), b"1".to_vec())]);
+        assert!(!table.is_locked(b"a"));
+    }
+
+    #[test]
+    fn replicated_records_drop_on_decision_and_reset() {
+        let mut table = TxnTable::default();
+        table.stage_replicated(1, &[put(b"a", b"1")]);
+        table.stage_replicated(1, &[put(b"a", b"1")]); // idempotent
+        assert!(table.drop_replicated(1));
+        assert!(!table.drop_replicated(1));
+        table.stage_replicated(2, &[put(b"b", b"2")]);
+        assert_eq!(table.reset(), 1);
+        assert!(table.replicated_txn_ids().is_empty());
+    }
+
+    #[test]
+    fn adoption_skips_transactions_already_prepared_locally() {
+        let mut table = TxnTable::default();
+        table.prepare(1, &[put(b"a", b"real")]).unwrap();
+        // A stray replicated copy of the same transaction must not shadow
+        // the real prepare (and staging it is already a no-op).
+        table.stage_replicated(1, &[put(b"a", b"copy")]);
+        assert!(table.adopt_replicated().is_empty());
+        assert_eq!(table.take_staged(1).unwrap()[0].1, b"real");
     }
 
     #[test]

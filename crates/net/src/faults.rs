@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-use crate::types::WireMessage;
+use crate::types::{NodeId, WireMessage};
 
 /// Probabilities (0.0–1.0) for each adversarial action, evaluated per message.
 ///
@@ -32,6 +32,10 @@ pub struct FaultPlan {
     /// Extra delivery delay (nanoseconds) applied uniformly at random up to this
     /// bound; only meaningful to transports that model time (the simulator).
     pub max_extra_delay_ns: u64,
+    /// How many past messages the injector keeps as replay material. Larger
+    /// buffers let the adversary replay older traffic (stressing the
+    /// non-equivocation window); replay-heavy scenarios tune this up.
+    pub capture_limit: usize,
 }
 
 impl Default for FaultPlan {
@@ -42,6 +46,7 @@ impl Default for FaultPlan {
             duplicate_probability: 0.0,
             replay_probability: 0.0,
             max_extra_delay_ns: 0,
+            capture_limit: 256,
         }
     }
 }
@@ -68,15 +73,95 @@ impl FaultPlan {
             duplicate_probability: 0.05,
             replay_probability: 0.05,
             max_extra_delay_ns: 200_000,
+            ..FaultPlan::default()
         }
     }
 
-    /// True if every probability is zero.
+    /// True if the plan perturbs nothing: every probability is zero *and* no
+    /// extra delay is injected. A delay-only plan reorders traffic, which is
+    /// very much a fault to any protocol that cares about timing.
     pub fn is_benign(&self) -> bool {
-        self.drop_probability == 0.0
-            && self.tamper_probability == 0.0
-            && self.duplicate_probability == 0.0
-            && self.replay_probability == 0.0
+        !self.has_message_faults() && self.max_extra_delay_ns == 0
+    }
+
+    /// True if any per-message adversarial action (drop/tamper/duplicate/
+    /// replay) has non-zero probability. Distinct from [`is_benign`]: a
+    /// delay-only plan has no message faults but is not benign.
+    ///
+    /// [`is_benign`]: FaultPlan::is_benign
+    pub fn has_message_faults(&self) -> bool {
+        self.drop_probability > 0.0
+            || self.tamper_probability > 0.0
+            || self.duplicate_probability > 0.0
+            || self.replay_probability > 0.0
+    }
+}
+
+/// One scheduled crash (and optional restart) of a node, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashEntry {
+    /// The node that fails.
+    pub node: NodeId,
+    /// Virtual-clock instant of the crash.
+    pub crash_at_ns: u64,
+    /// Virtual-clock instant of the restart, or `None` for crash-stop (the
+    /// node never returns). Restarts are rollback-protected: the recovering
+    /// replica rehydrates only from sealed, counter-verified state.
+    pub recover_at_ns: Option<u64>,
+}
+
+/// A deterministic, virtual-clock crash schedule: which nodes fail when, and
+/// when (if ever) they restart.
+///
+/// Unlike the probabilistic [`FaultPlan`], the crash schedule is exact — the
+/// same plan under the same seed produces a bit-identical run, which is what
+/// lets failover experiments live under the replay/regression gates. An empty
+/// plan injects nothing and leaves the event stream untouched.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// The scheduled crash/recover pairs.
+    pub entries: Vec<CrashEntry>,
+}
+
+impl CrashPlan {
+    /// A plan with no crashes.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Adds a crash-stop entry: `node` fails at `crash_at_ns` and never
+    /// returns.
+    pub fn crash(mut self, node: NodeId, crash_at_ns: u64) -> Self {
+        self.entries.push(CrashEntry {
+            node,
+            crash_at_ns,
+            recover_at_ns: None,
+        });
+        self
+    }
+
+    /// Adds a crash-recovery entry: `node` fails at `crash_at_ns` and
+    /// restarts (rollback-protected) at `recover_at_ns`.
+    ///
+    /// # Panics
+    /// Panics if `recover_at_ns <= crash_at_ns` — a node cannot restart
+    /// before it failed.
+    pub fn crash_recover(mut self, node: NodeId, crash_at_ns: u64, recover_at_ns: u64) -> Self {
+        assert!(
+            recover_at_ns > crash_at_ns,
+            "recovery must come after the crash"
+        );
+        self.entries.push(CrashEntry {
+            node,
+            crash_at_ns,
+            recover_at_ns: Some(recover_at_ns),
+        });
+        self
+    }
+
+    /// True if the plan schedules no crashes at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -102,7 +187,6 @@ pub struct NetworkFaultInjector {
     plan: FaultPlan,
     rng: StdRng,
     captured: VecDeque<WireMessage>,
-    capture_limit: usize,
 }
 
 impl NetworkFaultInjector {
@@ -112,7 +196,6 @@ impl NetworkFaultInjector {
             plan,
             rng: StdRng::seed_from_u64(seed),
             captured: VecDeque::new(),
-            capture_limit: 256,
         }
     }
 
@@ -138,12 +221,18 @@ impl NetworkFaultInjector {
     /// Decides the fate of `message`.
     pub fn decide(&mut self, message: &WireMessage) -> FaultDecision {
         // Capture honest traffic so later replays have material to work with.
+        // The buffer bound is a plan knob: replay-heavy scenarios widen it to
+        // reach further into the past.
         self.captured.push_back(message.clone());
-        if self.captured.len() > self.capture_limit {
+        while self.captured.len() > self.plan.capture_limit.max(1) {
             self.captured.pop_front();
         }
 
-        if self.plan.is_benign() {
+        // Fast path keyed on the per-message probabilities specifically (not
+        // `is_benign`, which also covers delay): a delay-only plan must not
+        // consume a decision roll here, or its delay samples would diverge
+        // from the pre-crash-plane RNG sequence.
+        if !self.plan.has_message_faults() {
             return FaultDecision::Deliver;
         }
         let roll: f64 = self.rng.gen();
@@ -281,6 +370,61 @@ mod tests {
         for _ in 0..100 {
             assert!(injector.sample_extra_delay_ns() <= 1_000);
         }
+    }
+
+    #[test]
+    fn delay_only_plan_is_not_benign() {
+        let plan = FaultPlan {
+            max_extra_delay_ns: 1_000,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_benign());
+        assert!(!plan.has_message_faults());
+        assert!(FaultPlan::benign().is_benign());
+        assert!(FaultPlan::byzantine().has_message_faults());
+    }
+
+    #[test]
+    fn capture_limit_bounds_replay_material() {
+        // With a capture window of 1 the only replay candidate on the channel
+        // is the previous message (the current one is excluded by wire_id).
+        let plan = FaultPlan {
+            replay_probability: 1.0,
+            capture_limit: 1,
+            ..FaultPlan::default()
+        };
+        let mut injector = NetworkFaultInjector::new(plan, 9);
+        assert_eq!(injector.decide(&msg(1, b"a")), FaultDecision::Deliver);
+        for i in 2..20u64 {
+            match injector.decide(&msg(i, format!("m{i}").into_bytes().as_slice())) {
+                // The window held only the immediately preceding message.
+                FaultDecision::Replay(older) => assert_eq!(older.wire_id, i - 1),
+                FaultDecision::Deliver => {}
+                other => panic!("expected Replay or Deliver, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_plan_builders_and_ordering() {
+        let plan = CrashPlan::none()
+            .crash_recover(NodeId(0), 1_000, 5_000)
+            .crash(NodeId(2), 3_000);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.entries.len(), 2);
+        assert_eq!(plan.entries[0].recover_at_ns, Some(5_000));
+        assert_eq!(plan.entries[1].recover_at_ns, None);
+        assert!(CrashPlan::none().is_empty());
+        // Round-trips through serde for scenario files.
+        let json = serde_json::to_vec(&plan).unwrap();
+        let back: CrashPlan = serde_json::from_slice(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must come after the crash")]
+    fn crash_plan_rejects_recovery_before_crash() {
+        let _ = CrashPlan::none().crash_recover(NodeId(0), 5_000, 5_000);
     }
 
     proptest! {

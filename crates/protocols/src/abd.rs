@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, RestartReport, TxnVote};
 use serde::{Deserialize, Serialize};
 
 use crate::shield::ProtocolShield;
@@ -440,6 +440,68 @@ impl Replica for AbdReplica {
 
     fn txn_abort(&mut self, txn_id: u64) {
         self.kv.txn_abort(txn_id);
+    }
+
+    fn txn_stage_replicated(&mut self, txn_id: u64, ops: &[Operation]) {
+        crate::txn::kv_txn_stage_replicated(&mut self.kv, txn_id, ops);
+    }
+
+    fn txn_drop_replicated(&mut self, txn_id: u64) {
+        self.kv.txn_drop_replicated(txn_id);
+    }
+
+    fn txn_adopt_replicated(&mut self) -> Vec<u64> {
+        self.kv.txn_adopt_replicated()
+    }
+
+    fn txn_export_records(&mut self) -> Vec<(u64, Vec<(Vec<u8>, Option<Vec<u8>>)>)> {
+        self.kv.txn_export_records()
+    }
+
+    fn txn_import_record(&mut self, txn_id: u64, ops: &[(Vec<u8>, Option<Vec<u8>>)]) {
+        self.kv.txn_stage_replicated(txn_id, ops);
+    }
+
+    fn channel_send_counter(&self, peer: NodeId) -> u64 {
+        self.shield.send_counter_to(peer)
+    }
+
+    fn resync_channel_from(&mut self, peer: NodeId, peer_send_counter: u64) {
+        self.shield.resync_from(peer, peer_send_counter);
+    }
+
+    fn export_recovery_snapshot(&mut self) -> Option<Vec<RangeEntry>> {
+        crate::migration::kv_export_range(&mut self.kv, &|_| true).ok()
+    }
+
+    fn on_restart(
+        &mut self,
+        _view: u64,
+        snapshot: Option<Vec<RangeEntry>>,
+        _ctx: &mut Ctx,
+    ) -> RestartReport {
+        // ABD is leaderless: nothing to elect. In-flight quorum ops are
+        // volatile and lost; the client retransmission restarts them.
+        self.inflight.clear();
+        self.kv.txn_reset();
+        let (verified, discarded, bytes) = self.kv.rehydrate();
+        if let Some(entries) = snapshot {
+            crate::migration::kv_import_range(&mut self.kv, &entries);
+        }
+        let restored = self
+            .kv
+            .keys()
+            .iter()
+            .filter_map(|key| self.kv.timestamp_of(key))
+            .map(|ts| ts.logical)
+            .max()
+            .unwrap_or(0);
+        self.applied_writes = self.applied_writes.max(restored);
+        RestartReport {
+            verified_entries: verified,
+            discarded_entries: discarded,
+            payload_bytes: bytes,
+        }
     }
 }
 

@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, RestartReport};
 use serde::{Deserialize, Serialize};
 
 use crate::shield::ProtocolShield;
@@ -242,6 +242,50 @@ impl Replica for AllConcurReplica {
             "R-AllConcur"
         } else {
             "AllConcur"
+        }
+    }
+
+    fn channel_send_counter(&self, peer: NodeId) -> u64 {
+        self.shield.send_counter_to(peer)
+    }
+
+    fn resync_channel_from(&mut self, peer: NodeId, peer_send_counter: u64) {
+        self.shield.resync_from(peer, peer_send_counter);
+    }
+
+    fn export_recovery_snapshot(&mut self) -> Option<Vec<RangeEntry>> {
+        crate::migration::kv_export_range(&mut self.kv, &|_| true).ok()
+    }
+
+    fn on_restart(
+        &mut self,
+        _view: u64,
+        snapshot: Option<Vec<RangeEntry>>,
+        _ctx: &mut Ctx,
+    ) -> RestartReport {
+        // AllConcur is leaderless (every node coordinates its own
+        // proposals); in-flight proposals and buffered peer proposals are
+        // volatile and lost, and the client retransmission reissues them.
+        self.own.clear();
+        self.buffered.clear();
+        self.kv.txn_reset();
+        let (verified, discarded, bytes) = self.kv.rehydrate();
+        if let Some(entries) = snapshot {
+            crate::migration::kv_import_range(&mut self.kv, &entries);
+        }
+        let restored = self
+            .kv
+            .keys()
+            .iter()
+            .filter_map(|key| self.kv.timestamp_of(key))
+            .map(|ts| ts.logical)
+            .max()
+            .unwrap_or(0);
+        self.applied_writes = self.applied_writes.max(restored);
+        RestartReport {
+            verified_entries: verified,
+            discarded_entries: discarded,
+            payload_bytes: bytes,
         }
     }
 }

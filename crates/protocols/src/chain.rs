@@ -11,7 +11,7 @@
 use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, RestartReport, TxnVote};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{BatchConfig, Batcher};
@@ -46,6 +46,12 @@ pub struct ChainReplica {
     /// downstream destination, so batching coalesces the head's (and every
     /// relay's) forwards into amortized frames.
     batcher: Batcher,
+    /// Members the trusted configuration service reported down (sorted).
+    /// Chain roles — head, tail, successor — are computed over the live
+    /// members only, which is Chain Replication's master-driven
+    /// reconfiguration. Empty in crash-free runs, where every role matches
+    /// the static chain exactly.
+    down: Vec<NodeId>,
 }
 
 impl ChainReplica {
@@ -82,6 +88,7 @@ impl ChainReplica {
             next_seq: 0,
             applied_writes: 0,
             batcher: Batcher::new(BatchConfig::unbatched()),
+            down: Vec::new(),
         }
     }
 
@@ -91,14 +98,14 @@ impl ChainReplica {
         self
     }
 
-    /// True if this node is the head of the chain.
+    /// True if this node heads the live chain.
     pub fn is_head(&self) -> bool {
-        self.membership.chain_head() == self.id
+        self.membership.chain_head_live(&self.down) == Some(self.id)
     }
 
-    /// True if this node is the tail of the chain.
+    /// True if this node is the tail of the live chain.
     pub fn is_tail(&self) -> bool {
-        self.membership.chain_tail() == self.id
+        self.membership.chain_tail_live(&self.down) == Some(self.id)
     }
 
     /// Writes applied by this replica.
@@ -132,7 +139,7 @@ impl ChainReplica {
         } = msg;
         // Every node along the chain applies the write as it passes through.
         self.apply(&key, &value);
-        match self.membership.chain_successor(self.id) {
+        match self.membership.chain_successor_live(self.id, &self.down) {
             Some(next) => {
                 let forward = ChainMsg::Forward {
                     seq,
@@ -279,6 +286,90 @@ impl Replica for ChainReplica {
 
     fn txn_abort(&mut self, txn_id: u64) {
         self.kv.txn_abort(txn_id);
+    }
+
+    fn txn_stage_replicated(&mut self, txn_id: u64, ops: &[Operation]) {
+        crate::txn::kv_txn_stage_replicated(&mut self.kv, txn_id, ops);
+    }
+
+    fn txn_drop_replicated(&mut self, txn_id: u64) {
+        self.kv.txn_drop_replicated(txn_id);
+    }
+
+    fn txn_adopt_replicated(&mut self) -> Vec<u64> {
+        self.kv.txn_adopt_replicated()
+    }
+
+    fn txn_export_records(&mut self) -> Vec<(u64, Vec<(Vec<u8>, Option<Vec<u8>>)>)> {
+        self.kv.txn_export_records()
+    }
+
+    fn txn_import_record(&mut self, txn_id: u64, ops: &[(Vec<u8>, Option<Vec<u8>>)]) {
+        self.kv.txn_stage_replicated(txn_id, ops);
+    }
+
+    fn channel_send_counter(&self, peer: NodeId) -> u64 {
+        self.shield.send_counter_to(peer)
+    }
+
+    fn resync_channel_from(&mut self, peer: NodeId, peer_send_counter: u64) {
+        self.shield.resync_from(peer, peer_send_counter);
+    }
+
+    fn export_recovery_snapshot(&mut self) -> Option<Vec<RangeEntry>> {
+        crate::migration::kv_export_range(&mut self.kv, &|_| true).ok()
+    }
+
+    fn on_restart(
+        &mut self,
+        _view: u64,
+        snapshot: Option<Vec<RangeEntry>>,
+        _ctx: &mut Ctx,
+    ) -> RestartReport {
+        self.batcher = Batcher::new(*self.batcher.config());
+        self.down.clear();
+        self.kv.txn_reset();
+        let (verified, discarded, bytes) = self.kv.rehydrate();
+        if let Some(entries) = snapshot {
+            crate::migration::kv_import_range(&mut self.kv, &entries);
+        }
+        // `applied_writes` and `next_seq` are backed by the trusted
+        // monotonic counter, so they survive the crash; advancing to the
+        // freshest surviving timestamp additionally covers state adopted
+        // from the snapshot, keeping re-applied writes from reusing
+        // logical timestamps.
+        let restored = self
+            .kv
+            .keys()
+            .iter()
+            .filter_map(|key| self.kv.timestamp_of(key))
+            .map(|ts| ts.logical)
+            .max()
+            .unwrap_or(0);
+        self.applied_writes = self.applied_writes.max(restored);
+        RestartReport {
+            verified_entries: verified,
+            discarded_entries: discarded,
+            payload_bytes: bytes,
+        }
+    }
+
+    fn on_peer_down(&mut self, peer: NodeId, _ctx: &mut Ctx) {
+        if let Err(idx) = self.down.binary_search(&peer) {
+            self.down.insert(idx, peer);
+        }
+        if self.is_head() {
+            // This node just became (or confirmed itself as) the live head:
+            // adopt any prepare records replicated from a crashed head so
+            // in-flight transactions resolve here.
+            let _ = self.kv.txn_adopt_replicated();
+        }
+    }
+
+    fn on_peer_up(&mut self, peer: NodeId, _ctx: &mut Ctx) {
+        if let Ok(idx) = self.down.binary_search(&peer) {
+            self.down.remove(idx);
+        }
     }
 }
 

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 use recipe_core::{ClientReply, ClientRequest, ConfidentialityMode, Membership, Operation};
 use recipe_kv::{PartitionedKvStore, Timestamp};
 use recipe_net::NodeId;
-use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
+use recipe_sim::{Ctx, RangeEntry, RangeStateTransfer, Replica, RestartReport, TxnVote};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{BatchConfig, Batcher};
@@ -294,6 +294,14 @@ impl RaftReplica {
                 }
             }
             RaftMsg::Heartbeat { view } => {
+                if view > self.view {
+                    // A heartbeat from a newer view: the election happened
+                    // while this replica was down (or partitioned) — adopt
+                    // the view instead of waiting out another election. In
+                    // crash-free runs the view never advances, so this
+                    // branch is never taken there.
+                    self.install_view(view, ctx);
+                }
                 if view >= self.view {
                     self.last_heartbeat_ns = ctx.now().as_nanos();
                 }
@@ -328,6 +336,10 @@ impl RaftReplica {
         // entries are already in the KV stores of a majority.
         self.pending.clear();
         if self.is_leader() {
+            // Failover adoption: in-flight transactions the crashed leader
+            // prepared become real (locked) prepares on the new leader, so
+            // the 2PC coordinator's commit/abort frames resolve them here.
+            let _ = self.kv.txn_adopt_replicated();
             let beat = RaftMsg::Heartbeat { view: self.view };
             self.broadcast(ctx, &beat);
             ctx.set_timer(HEARTBEAT_PERIOD_NS, TOKEN_HEARTBEAT);
@@ -489,6 +501,97 @@ impl Replica for RaftReplica {
 
     fn txn_abort(&mut self, txn_id: u64) {
         self.kv.txn_abort(txn_id);
+    }
+
+    fn txn_stage_replicated(&mut self, txn_id: u64, ops: &[Operation]) {
+        crate::txn::kv_txn_stage_replicated(&mut self.kv, txn_id, ops);
+    }
+
+    fn txn_drop_replicated(&mut self, txn_id: u64) {
+        self.kv.txn_drop_replicated(txn_id);
+    }
+
+    fn txn_adopt_replicated(&mut self) -> Vec<u64> {
+        self.kv.txn_adopt_replicated()
+    }
+
+    fn txn_export_records(&mut self) -> Vec<(u64, Vec<(Vec<u8>, Option<Vec<u8>>)>)> {
+        self.kv.txn_export_records()
+    }
+
+    fn txn_import_record(&mut self, txn_id: u64, ops: &[(Vec<u8>, Option<Vec<u8>>)]) {
+        self.kv.txn_stage_replicated(txn_id, ops);
+    }
+
+    fn current_view(&self) -> u64 {
+        self.view
+    }
+
+    fn channel_send_counter(&self, peer: NodeId) -> u64 {
+        self.shield.send_counter_to(peer)
+    }
+
+    fn resync_channel_from(&mut self, peer: NodeId, peer_send_counter: u64) {
+        self.shield.resync_from(peer, peer_send_counter);
+    }
+
+    fn export_recovery_snapshot(&mut self) -> Option<Vec<RangeEntry>> {
+        crate::migration::kv_export_range(&mut self.kv, &|_| true).ok()
+    }
+
+    fn on_restart(
+        &mut self,
+        view: u64,
+        snapshot: Option<Vec<RangeEntry>>,
+        ctx: &mut Ctx,
+    ) -> RestartReport {
+        // Everything volatile died with the process: in-flight leader state,
+        // uncommitted follower entries, election bookkeeping, queued batches
+        // and the 2PC lock table (the rest of the group holds the replicated
+        // prepare records and resolves in-flight transactions).
+        self.pending.clear();
+        self.uncommitted.clear();
+        self.voted.clear();
+        self.view_votes.clear();
+        self.batcher = Batcher::new(*self.batcher.config());
+        self.kv.txn_reset();
+
+        // Adopt the view the attestation service observed among live peers so
+        // traffic from a deposed leader can never be accepted.
+        self.view = view;
+        self.shield.set_view(view);
+        self.last_heartbeat_ns = ctx.now().as_nanos();
+
+        // Rollback-protected rehydration: only records the enclave verifies
+        // survive; then the catch-up snapshot from a live peer installs the
+        // writes committed while this node was down. The committed-entry
+        // counter restarts at the highest verified log position, never
+        // behind it (the trusted counter story).
+        let (verified, discarded, bytes) = self.kv.rehydrate();
+        if let Some(entries) = snapshot {
+            crate::migration::kv_import_range(&mut self.kv, &entries);
+        }
+        let restored = self
+            .kv
+            .keys()
+            .iter()
+            .filter_map(|key| self.kv.timestamp_of(key))
+            .map(|ts| ts.logical)
+            .max()
+            .unwrap_or(0);
+        self.committed_entries = self.committed_entries.max(restored);
+
+        if self.is_leader() {
+            let beat = RaftMsg::Heartbeat { view: self.view };
+            self.broadcast(ctx, &beat);
+            ctx.set_timer(HEARTBEAT_PERIOD_NS, TOKEN_HEARTBEAT);
+        }
+        ctx.set_timer(ELECTION_TIMEOUT_NS, TOKEN_FAILURE_DETECTOR);
+        RestartReport {
+            verified_entries: verified,
+            discarded_entries: discarded,
+            payload_bytes: bytes,
+        }
     }
 }
 

@@ -308,6 +308,26 @@ impl ProtocolShield {
         }
     }
 
+    /// The trusted send counter toward `peer` (0 in native mode). Read by the
+    /// attestation service while re-attesting a restarted peer so it can
+    /// fast-forward the peer's receive counter past frames it slept through.
+    pub fn send_counter_to(&self, peer: NodeId) -> u64 {
+        self.auth
+            .as_ref()
+            .map(|auth| auth.send_counter_to(peer))
+            .unwrap_or(0)
+    }
+
+    /// Re-attestation channel resync for the `peer → self` direction: the
+    /// receive counter jumps forward to `peer_send_counter` and buffered
+    /// frames from `peer` are discarded (no-op in native mode). Monotonic —
+    /// never re-opens the replay window.
+    pub fn resync_from(&mut self, peer: NodeId, peer_send_counter: u64) {
+        if let Some(auth) = &mut self.auth {
+            auth.resync_from(peer, peer_send_counter);
+        }
+    }
+
     /// Wraps a protocol message of type `kind` for `dst` into wire bytes.
     pub fn wrap(&mut self, dst: NodeId, kind: u16, payload: &[u8]) -> Vec<u8> {
         self.sealed_frames += 1;

@@ -83,6 +83,17 @@ pub fn kv_txn_prepare(
     }
 }
 
+/// The shared body of every replica's `txn_stage_replicated` override:
+/// records the leader's prepare as a passive (lock-free) record the store
+/// can adopt on failover.
+pub fn kv_txn_stage_replicated(
+    kv: &mut recipe_kv::PartitionedKvStore,
+    txn_id: u64,
+    ops: &[Operation],
+) {
+    kv.txn_stage_replicated(txn_id, &txn_lock_set(ops));
+}
+
 /// The shared body of every replica's `txn_commit` override: takes the
 /// staged writes out of the store (releasing the locks) and applies each
 /// through the caller's normal apply path via `apply`, returning the applied

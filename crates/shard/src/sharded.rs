@@ -22,7 +22,7 @@
 //! [`ShardedRunStats`] meaningful.
 
 use recipe_core::{ConfidentialityMode, Operation, Request};
-use recipe_net::{FaultPlan, NodeId};
+use recipe_net::{CrashPlan, FaultPlan, NodeId};
 use recipe_sim::{
     CostProfile, RangeStateTransfer, Replica, RunStats, SimCluster, SimConfig, StepOutcome,
 };
@@ -51,6 +51,10 @@ pub struct ShardedConfig {
     pub base: SimConfig,
     /// Per-shard fault-plan overrides (e.g. a lossy network on one shard only).
     pub fault_plans: Option<Vec<FaultPlan>>,
+    /// Per-shard crash schedules (deterministic crash/recover events on the
+    /// virtual clock). `None` keeps every shard on the template's
+    /// `base.crash_plan` (empty by default — crash-free).
+    pub crash_plans: Option<Vec<CrashPlan>>,
     /// Per-shard cost-profile overrides (heterogeneous hardware per group).
     pub profiles: Option<Vec<Vec<CostProfile>>>,
     /// Per-shard confidentiality policies, resolved by the deployment spec.
@@ -103,6 +107,9 @@ impl ShardedConfig {
             .wrapping_add(stable_key_hash(format!("shard-seed:{shard}").as_bytes()));
         if let Some(plans) = &self.fault_plans {
             config.fault_plan = plans[shard];
+        }
+        if let Some(plans) = &self.crash_plans {
+            config.crash_plan = plans[shard].clone();
         }
         if let Some(profiles) = &self.profiles {
             config.profiles = profiles[shard].clone();
@@ -169,6 +176,9 @@ impl<R: Replica> ShardedCluster<R> {
         assert_eq!(groups.len(), config.shards, "one replica group per shard");
         if let Some(plans) = &config.fault_plans {
             assert_eq!(plans.len(), config.shards, "one fault plan per shard");
+        }
+        if let Some(plans) = &config.crash_plans {
+            assert_eq!(plans.len(), config.shards, "one crash plan per shard");
         }
         if let Some(profiles) = &config.profiles {
             assert_eq!(profiles.len(), config.shards, "one profile set per shard");
@@ -289,6 +299,12 @@ impl<R: Replica> ShardedCluster<R> {
     /// Schedules a crash of `node` in `shard` at virtual time `at_ns`.
     pub fn crash_at(&mut self, shard: usize, node: NodeId, at_ns: u64) {
         self.shards[shard].crash_at(node, at_ns);
+    }
+
+    /// Schedules a rollback-protected restart of `node` in `shard` at virtual
+    /// time `at_ns` (see [`SimCluster::recover_at`]).
+    pub fn recover_at(&mut self, shard: usize, node: NodeId, at_ns: u64) {
+        self.shards[shard].recover_at(node, at_ns);
     }
 
     /// Settles in-flight work: processes remaining shard events for another

@@ -42,7 +42,7 @@
 use std::collections::BTreeMap;
 
 use recipe_core::{ConfidentialityMode, Membership};
-use recipe_net::FaultPlan;
+use recipe_net::{CrashPlan, FaultPlan};
 use recipe_protocols::{AbdReplica, AllConcurReplica, BatchConfig, ChainReplica, RaftReplica};
 use recipe_sim::{ClientModel, CostProfile, Replica, SimConfig};
 
@@ -68,6 +68,7 @@ pub struct ShardPolicy {
     batch: Option<BatchConfig>,
     profile: Option<CostProfile>,
     fault_plan: Option<FaultPlan>,
+    crash_plan: Option<CrashPlan>,
 }
 
 impl ShardPolicy {
@@ -113,6 +114,15 @@ impl ShardPolicy {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Overrides the shard's crash schedule: deterministic crash/recover
+    /// events on the virtual clock (node ids are group-local). Recovered
+    /// nodes restart rollback-protected — state rehydrated from sealed
+    /// values and the trusted counter only.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = Some(plan);
+        self
+    }
 }
 
 /// The fully-resolved policy of one shard: workspace defaults with that
@@ -132,6 +142,8 @@ pub struct ResolvedShardPolicy {
     pub profile: CostProfile,
     /// The group's network fault plan.
     pub fault_plan: FaultPlan,
+    /// The group's deterministic crash schedule (empty = crash-free).
+    pub crash_plan: CrashPlan,
 }
 
 /// A replica type that can be constructed from a resolved shard policy —
@@ -211,6 +223,7 @@ pub struct DeploymentSpec {
     confidentiality: ConfidentialityMode,
     batch: BatchConfig,
     fault_plan: FaultPlan,
+    crash_plan: CrashPlan,
     clients: ClientModel,
     seed: u64,
     max_virtual_ns: u64,
@@ -240,6 +253,7 @@ impl DeploymentSpec {
             confidentiality: ConfidentialityMode::Plaintext,
             batch: BatchConfig::unbatched(),
             fault_plan: FaultPlan::benign(),
+            crash_plan: CrashPlan::none(),
             clients: ClientModel::default(),
             seed: 42,
             max_virtual_ns: 120 * 1_000_000_000,
@@ -279,6 +293,17 @@ impl DeploymentSpec {
     /// Sets the workspace-default network fault plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the workspace-default crash schedule: deterministic crash/recover
+    /// events on the virtual clock, applied to every shard (node ids are
+    /// group-local; individual shards can override with
+    /// [`ShardPolicy::with_crash_plan`]). Crashed nodes drop their volatile
+    /// state; recovered nodes restart rollback-protected, rehydrating only
+    /// from sealed values and the trusted monotonic counter.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
         self
     }
 
@@ -399,12 +424,16 @@ impl DeploymentSpec {
         let fault_plan = overrides
             .and_then(|p| p.fault_plan)
             .unwrap_or(self.fault_plan);
+        let crash_plan = overrides
+            .and_then(|p| p.crash_plan.clone())
+            .unwrap_or_else(|| self.crash_plan.clone());
         ResolvedShardPolicy {
             shard,
             confidentiality,
             batch,
             profile,
             fault_plan,
+            crash_plan,
         }
     }
 
@@ -420,11 +449,13 @@ impl DeploymentSpec {
         base.clients = self.clients.clone();
         base.max_virtual_ns = self.max_virtual_ns;
         base.fault_plan = self.fault_plan;
+        base.crash_plan = self.crash_plan.clone();
         ShardedConfig {
             shards: self.shards,
             vnodes_per_shard: self.vnodes_per_shard,
             base,
             fault_plans: Some(policies.iter().map(|p| p.fault_plan).collect()),
+            crash_plans: Some(policies.iter().map(|p| p.crash_plan.clone()).collect()),
             profiles: Some(
                 policies
                     .iter()

@@ -40,11 +40,18 @@
 //! in-flight staged bytes — many large open prepares cross the EPC cliff
 //! exactly like oversized batch frames (§B.3).
 //!
-//! Known limitation (documented, not hidden): a participant-group leader
-//! crash between prepare and commit parks the transaction until the group
-//! has a write coordinator again, and the staged state lives only on the old
-//! leader — recovery of in-flight transactions across leader failover is a
-//! ROADMAP item.
+//! Participant failover: a granted prepare is **replicated into the
+//! participant group** — every live follower records a passive copy of the
+//! prepare (the group replication round trip the cost model already charges
+//! per phase is the durability barrier for exactly this record). When the
+//! participant leader crashes between prepare and commit, the group's next
+//! write coordinator *adopts* the replicated records (promoting them into
+//! real locked prepares; see `recipe_kv::txn::TxnTable::adopt_replicated`),
+//! and the coordinator — which holds the frame for the crashed group and
+//! retransmits after [`TxnConfig::retry_timeout_ns`] — lands the decision on
+//! the new leader: no transaction is lost, duplicated or parked. A recovered
+//! replica restarts with a clean transaction table (`txn_reset`; volatile
+//! enclave state) and relies on the group's surviving records.
 
 use std::collections::{BTreeMap, HashSet};
 
@@ -622,6 +629,19 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
         let coordinator = TxnManager::coordinator_addr();
         let participant_addr = TxnManager::participant_addr(shard);
 
+        if txn.participants[idx].response_wire.is_none()
+            && self.shards[shard].write_coordinator().is_none()
+        {
+            // The participant group is between leaders (its coordinator
+            // crashed and failover has not landed yet): hold the frame and
+            // retransmit after the timeout. The replicated prepare record
+            // makes this safe — the group's next write coordinator adopts
+            // the in-flight transaction and answers the retried frame.
+            return RoundTrip::Retry {
+                retry_at: at + txns.config.retry_timeout_ns,
+            };
+        }
+
         if txn.participants[idx].response_wire.is_none() {
             // Request leg: the participant has not executed this phase yet.
             let wire = txn.participants[idx].request_wire.clone();
@@ -711,9 +731,11 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
     ) -> (TxnBody, u64) {
         let model = self.config.base.cost_model.clone();
         let Some(leader) = self.shards[shard].write_coordinator() else {
-            // The group lost its coordinator after the prepare check (a
-            // crash mid-transaction): vote no / ack emptily and let the
-            // coordinator abort — the documented failover limitation.
+            // `txn_round_trip` checks liveness before the request leg, and
+            // nothing between that check and this call steps the group's
+            // event queue, so a request can never land on a leaderless
+            // group. Vote no on a prepare (a safe early abort) and refuse
+            // to swallow a decision.
             return match body {
                 TxnBody::Prepare { .. } => (
                     TxnBody::Vote {
@@ -722,9 +744,21 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                     },
                     arrival,
                 ),
-                _ => (TxnBody::Ack { applied: 0 }, arrival),
+                other => unreachable!(
+                    "2PC decision {other:?} delivered to leaderless shard {shard}; \
+                     the coordinator holds decision frames until failover completes"
+                ),
             };
         };
+        // Lazy-adoption net: promote any prepare records replicated from a
+        // crashed coordinator before executing this request. Leader-based
+        // groups already adopted at their become-coordinator hook (view
+        // install / head reassignment); this covers leaderless ABD groups,
+        // whose acting coordinator is picked per-request. A no-op on
+        // crash-free runs — an acting coordinator never holds passive copies.
+        let _ = self.shards[shard]
+            .replica_mut(leader)
+            .txn_adopt_replicated();
         let leader_idx = self.shards[shard]
             .node_ids()
             .iter()
@@ -774,6 +808,22 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                 {
                     TxnVote::Granted => {
                         txns.staged_per_shard[shard] += staged_bytes;
+                        // Replicate the prepare record into the group: every
+                        // live follower keeps a passive (lock-free) copy so
+                        // the next coordinator can adopt the in-flight
+                        // transaction if this leader crashes before the
+                        // decision lands. The replication round trip charged
+                        // above is the durability barrier for this record.
+                        let nodes = self.shards[shard].node_ids();
+                        for node in nodes {
+                            if node == leader || self.shards[shard].crashed_nodes().contains(&node)
+                            {
+                                continue;
+                            }
+                            self.shards[shard]
+                                .replica_mut(node)
+                                .txn_stage_replicated(txn_id, &ops);
+                        }
                         (
                             TxnBody::Vote {
                                 granted: true,
@@ -798,6 +848,21 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             }
             TxnBody::Commit => {
                 let entries = self.shards[shard].replica_mut(leader).txn_commit(txn_id);
+                // The decision resolves the transaction on every live
+                // follower: retire the passive replicated record, and
+                // release any stale *adopted* copy on a node that won
+                // coordinatorship during a failover window and has since
+                // yielded it (its staged writes are superseded by the
+                // leader's committed entries installed below). Runs before
+                // the entries check so read-only transactions resolve too.
+                for node in self.shards[shard].node_ids() {
+                    if node == leader || self.shards[shard].crashed_nodes().contains(&node) {
+                        continue;
+                    }
+                    let replica = self.shards[shard].replica_mut(node);
+                    replica.txn_drop_replicated(txn_id);
+                    replica.txn_abort(txn_id);
+                }
                 if granted {
                     txns.staged_per_shard[shard] =
                         txns.staged_per_shard[shard].saturating_sub(staged_bytes);
@@ -822,7 +887,10 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                     // the migration-import idiom, so replicas never diverge.
                     let nodes = self.shards[shard].node_ids();
                     for (idx, node) in nodes.into_iter().enumerate() {
-                        if node == leader {
+                        if node == leader || self.shards[shard].crashed_nodes().contains(&node) {
+                            // Crashed followers miss the install; the
+                            // rollback-protected recovery snapshot catches
+                            // them up when they restart.
                             continue;
                         }
                         let fprofile = txns.profiles[shard]
@@ -879,6 +947,14 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                     );
                 }
                 self.shards[shard].replica_mut(leader).txn_abort(txn_id);
+                for node in self.shards[shard].node_ids() {
+                    if node == leader || self.shards[shard].crashed_nodes().contains(&node) {
+                        continue;
+                    }
+                    let replica = self.shards[shard].replica_mut(node);
+                    replica.txn_drop_replicated(txn_id);
+                    replica.txn_abort(txn_id);
+                }
                 if granted {
                     txns.staged_per_shard[shard] =
                         txns.staged_per_shard[shard].saturating_sub(staged_bytes);

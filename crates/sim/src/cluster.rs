@@ -13,14 +13,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recipe_core::{ClientReply, ClientRequest, Operation};
 use recipe_net::{
-    FaultDecision, FaultPlan, MsgBuf, NetworkFaultInjector, NodeId, ReqType, WireMessage,
+    CrashPlan, FaultDecision, FaultPlan, MsgBuf, NetworkFaultInjector, NodeId, ReqType, WireMessage,
 };
 use recipe_tee::TrustedInstant;
 use recipe_telemetry::{ChargeKind, CostCategory, ShardTelemetry, SpanKind};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{CostProfile, ProtocolCostModel};
-use crate::replica::{Ctx, Replica};
+use crate::replica::{Ctx, RangeEntry, Replica};
 
 /// Closed-loop client population configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +60,15 @@ pub struct SimConfig {
     /// re-sent (possibly to a different coordinator) after this long without a
     /// reply, which is how clients survive coordinator crashes.
     pub retry_timeout_ns: u64,
+    /// Deterministic crash schedule: nodes crash at `crash_at_ns` and (when
+    /// `recover_at_ns` is set) restart rollback-protected at `recover_at_ns`.
+    /// An empty plan schedules nothing — crash-free runs are bit-identical to
+    /// builds without the recovery plane.
+    pub crash_plan: CrashPlan,
+    /// How long after a crash (or recovery) the trusted configuration service
+    /// notifies the surviving replicas via [`Replica::on_peer_down`] /
+    /// [`Replica::on_peer_up`]. Only consumed when a crash actually happens.
+    pub failure_detection_delay_ns: u64,
 }
 
 impl SimConfig {
@@ -73,6 +82,8 @@ impl SimConfig {
             clients: ClientModel::default(),
             max_virtual_ns: 120 * 1_000_000_000,
             retry_timeout_ns: 100_000_000,
+            crash_plan: CrashPlan::none(),
+            failure_detection_delay_ns: 15_000_000,
         }
     }
 }
@@ -147,6 +158,16 @@ enum EventKind {
     },
     Crash {
         node: NodeId,
+    },
+    Recover {
+        node: NodeId,
+    },
+    /// The trusted configuration service tells `node` that `about` went down
+    /// (`up: false`) or was re-attested and rejoined (`up: true`).
+    PeerNotice {
+        node: NodeId,
+        about: NodeId,
+        up: bool,
     },
 }
 
@@ -347,6 +368,18 @@ impl<R: Replica> SimCluster<R> {
         self.push(at_ns, EventKind::Crash { node });
     }
 
+    /// Schedules a rollback-protected restart of `node` at virtual time
+    /// `at_ns`. On recovery the node is re-attested: its shield channels are
+    /// resynced against every live peer's trusted send counter (stale
+    /// in-flight frames reject as replays), it adopts the highest view any
+    /// live peer runs, and [`Replica::on_restart`] rehydrates only state the
+    /// enclave can verify — the re-verification work is charged on the
+    /// node's virtual-clock compute. A no-op if the node is not crashed when
+    /// the event fires.
+    pub fn recover_at(&mut self, node: NodeId, at_ns: u64) {
+        self.push(at_ns, EventKind::Recover { node });
+    }
+
     /// Current virtual time in nanoseconds.
     pub fn now_ns(&self) -> u64 {
         self.now
@@ -450,12 +483,20 @@ impl<R: Replica> SimCluster<R> {
         self.finish()
     }
 
-    /// Schedules the protocol kick-off timers (token 0 at time 0). Called once,
-    /// by [`SimCluster::run`] or by an external driver before stepping.
+    /// Schedules the protocol kick-off timers (token 0 at time 0) and the
+    /// configured crash schedule. Called once, by [`SimCluster::run`] or by an
+    /// external driver before stepping.
     pub fn seed_initial_events(&mut self) {
         for idx in 0..self.replicas.len() {
             let node = self.replicas[idx].id();
             self.push(0, EventKind::Timer { node, token: 0 });
+        }
+        let entries = self.config.crash_plan.entries.clone();
+        for entry in entries {
+            self.crash_at(entry.node, entry.crash_at_ns);
+            if let Some(recover_at_ns) = entry.recover_at_ns {
+                self.recover_at(entry.node, recover_at_ns);
+            }
         }
     }
 
@@ -539,7 +580,55 @@ impl<R: Replica> SimCluster<R> {
         self.now = event.at;
         match event.kind {
             EventKind::Crash { node } => {
-                self.crashed.insert(node);
+                if self.crashed.insert(node) {
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.instant(SpanKind::NodeCrash, node.0, self.now, 0);
+                    }
+                    // The trusted configuration service observes the failure
+                    // and notifies the survivors after the detection delay.
+                    let peers: Vec<NodeId> = self
+                        .replicas
+                        .iter()
+                        .map(|r| r.id())
+                        .filter(|&p| p != node)
+                        .collect();
+                    let notice_at = self.now + self.config.failure_detection_delay_ns;
+                    for peer in peers {
+                        self.push(
+                            notice_at,
+                            EventKind::PeerNotice {
+                                node: peer,
+                                about: node,
+                                up: false,
+                            },
+                        );
+                    }
+                }
+            }
+            EventKind::Recover { node } => {
+                if self.crashed.remove(&node) {
+                    self.handle_recover(node);
+                }
+            }
+            EventKind::PeerNotice { node, about, up } => {
+                if self.crashed.contains(&node) {
+                    return StepOutcome::Processed;
+                }
+                let idx = self.index_of(node);
+                let view_before = self.replicas[idx].current_view();
+                let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(self.now));
+                if up {
+                    self.replicas[idx].on_peer_up(about, &mut ctx);
+                } else {
+                    self.replicas[idx].on_peer_down(about, &mut ctx);
+                }
+                if let Some(t) = self.telemetry.as_mut() {
+                    let view_after = self.replicas[idx].current_view();
+                    if view_after != view_before {
+                        t.instant(SpanKind::ViewChange, node.0, self.now, view_after);
+                    }
+                }
+                self.apply_effects(idx, ctx);
             }
             EventKind::ClientIssue { client_id } => {
                 return StepOutcome::NeedsIssue { client_id };
@@ -657,8 +746,15 @@ impl<R: Replica> SimCluster<R> {
                     );
                     t.span(SpanKind::Apply, to.0, finish - app_ns, finish, ops as u64);
                 }
+                let view_before = self.replicas[idx].current_view();
                 let mut ctx = Ctx::new(to, TrustedInstant::from_nanos(finish));
                 self.replicas[idx].on_message(from, &bytes, &mut ctx);
+                if let Some(t) = self.telemetry.as_mut() {
+                    let view_after = self.replicas[idx].current_view();
+                    if view_after != view_before {
+                        t.instant(SpanKind::ViewChange, to.0, finish, view_after);
+                    }
+                }
                 self.apply_effects(idx, ctx);
             }
             EventKind::Timer { node, token } => {
@@ -666,12 +762,159 @@ impl<R: Replica> SimCluster<R> {
                     return StepOutcome::Processed;
                 }
                 let idx = self.index_of(node);
+                let view_before = self.replicas[idx].current_view();
                 let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(self.now));
                 self.replicas[idx].on_timer(token, &mut ctx);
+                if let Some(t) = self.telemetry.as_mut() {
+                    let view_after = self.replicas[idx].current_view();
+                    if view_after != view_before {
+                        t.instant(SpanKind::ViewChange, node.0, self.now, view_after);
+                    }
+                }
                 self.apply_effects(idx, ctx);
             }
         }
         StepOutcome::Processed
+    }
+
+    /// Re-attests and restarts a node that just left the crashed set (the
+    /// caller already removed it). Mirrors the paper's §3.7 recovery flow,
+    /// with the simulator playing the attestation/configuration service:
+    ///
+    /// 1. **Channel resync** — both directions of every channel with a live
+    ///    peer fast-forward their receive counters to the peer's trusted send
+    ///    counter. Frames sealed while the node slept then reject as
+    ///    *replays*: a recovering replica can neither act on stale traffic
+    ///    nor wedge buffering an unfillable gap.
+    /// 2. **View catch-up** — the node adopts the highest view any live peer
+    ///    runs, so it can never accept traffic from a deposed leader.
+    /// 3. **Rollback-protected rehydration** — [`Replica::on_restart`] drops
+    ///    all volatile protocol state and re-verifies every host-resident
+    ///    record against the enclave's sealed metadata; the verification work
+    ///    is charged to the node's serialized compute and attributed to
+    ///    `charge.recovery_ns`.
+    /// 4. The configuration service notifies the survivors
+    ///    ([`Replica::on_peer_up`]) after the detection delay.
+    fn handle_recover(&mut self, node: NodeId) {
+        let idx = self.index_of(node);
+        let live_peers: Vec<(usize, NodeId)> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.id() != node && !self.crashed.contains(&r.id()))
+            .map(|(i, r)| (i, r.id()))
+            .collect();
+        let mut rejoin_view = self.replicas[idx].current_view();
+        for &(peer_idx, peer) in &live_peers {
+            let toward_node = self.replicas[peer_idx].channel_send_counter(node);
+            self.replicas[idx].resync_channel_from(peer, toward_node);
+            let toward_peer = self.replicas[idx].channel_send_counter(peer);
+            self.replicas[peer_idx].resync_channel_from(node, toward_peer);
+            rejoin_view = rejoin_view.max(self.replicas[peer_idx].current_view());
+        }
+
+        // §3.7 state snapshot: the first live peer exports its verified state
+        // so writes committed while the node slept are caught up before it
+        // serves anything. The export competes for the donor's compute.
+        let snapshot = live_peers
+            .first()
+            .and_then(|&(peer_idx, _)| {
+                self.replicas[peer_idx]
+                    .export_recovery_snapshot()
+                    .map(|entries| (peer_idx, entries))
+            })
+            .map(|(peer_idx, entries)| {
+                let payload: usize = entries.iter().map(RangeEntry::payload_len).sum();
+                let export_cost = self.config.cost_model.snapshot_export_cost_ns(
+                    &self.config.profiles[peer_idx],
+                    entries.len(),
+                    payload,
+                );
+                let start = self.now.max(self.busy_until[peer_idx]);
+                self.busy_until[peer_idx] = start + export_cost;
+                if let Some(t) = self.telemetry.as_mut() {
+                    let breakdown = self.config.cost_model.snapshot_export_breakdown(
+                        &self.config.profiles[peer_idx],
+                        entries.len(),
+                        payload,
+                    );
+                    t.charge(ChargeKind::SnapshotExport, &breakdown);
+                }
+                (entries, payload)
+            });
+        let (snapshot_entries, snapshot_len, snapshot_bytes) = match snapshot {
+            Some((entries, payload)) => {
+                let len = entries.len();
+                (Some(entries), len, payload)
+            }
+            None => (None, 0, 0),
+        };
+
+        let mut ctx = Ctx::new(node, TrustedInstant::from_nanos(self.now));
+        let report = self.replicas[idx].on_restart(rejoin_view, snapshot_entries, &mut ctx);
+        // In-flight prepare records ride the same catch-up transfer: the
+        // donor exports every record it knows (real and passive) and the
+        // joiner stores them as passive copies, so if it later re-wins
+        // coordinatorship it can adopt the full in-flight set — its own
+        // pre-crash staging was volatile enclave state and is gone.
+        if let Some(&(donor_idx, _)) = live_peers.first() {
+            let records = self.replicas[donor_idx].txn_export_records();
+            for (txn_id, ops) in &records {
+                self.replicas[idx].txn_import_record(*txn_id, ops);
+            }
+        }
+        // The configuration the node is handed includes who is still down.
+        let mut still_down: Vec<NodeId> = self.crashed.iter().copied().collect();
+        still_down.sort_unstable();
+        for down in still_down {
+            self.replicas[idx].on_peer_down(down, &mut ctx);
+        }
+
+        // The joiner pays for the verified re-scan of its sealed state plus
+        // the import of the catch-up snapshot, serialized on its compute.
+        let cost = self.config.cost_model.recovery_cost_ns(
+            &self.config.profiles[idx],
+            report.verified_entries as usize,
+            report.payload_bytes as usize,
+        ) + self.config.cost_model.snapshot_import_cost_ns(
+            &self.config.profiles[idx],
+            snapshot_len,
+            snapshot_bytes,
+        );
+        let finish = self.start_work(idx, cost);
+        if let Some(t) = self.telemetry.as_mut() {
+            let mut breakdown = self.config.cost_model.recovery_breakdown(
+                &self.config.profiles[idx],
+                report.verified_entries as usize,
+                report.payload_bytes as usize,
+            );
+            breakdown.merge(&self.config.cost_model.snapshot_import_breakdown(
+                &self.config.profiles[idx],
+                snapshot_len,
+                snapshot_bytes,
+            ));
+            t.charge(ChargeKind::Recovery, &breakdown);
+            t.span(
+                SpanKind::NodeRecover,
+                node.0,
+                finish - cost,
+                finish,
+                report.verified_entries,
+            );
+        }
+        self.apply_effects(idx, ctx);
+
+        let notice_at = self.now + self.config.failure_detection_delay_ns;
+        for &(_, peer) in &live_peers {
+            self.push(
+                notice_at,
+                EventKind::PeerNotice {
+                    node: peer,
+                    about: node,
+                    up: true,
+                },
+            );
+        }
     }
 
     /// Finalizes and returns the statistics for everything processed so far.

@@ -348,6 +348,21 @@ impl ProtocolCostModel {
             + payload_bytes as f64 * self.mac_per_byte_ns) as u64
     }
 
+    /// Cost for a restarting replica to rehydrate rollback-protected state:
+    /// every host-resident record is re-read through the verified path —
+    /// per-entry store work under the same EPC pressure a bulk scan of
+    /// `payload_bytes` causes, plus the per-byte MAC of re-verifying the
+    /// sealed values against the trusted counter. Same shape as a snapshot
+    /// export (both are verified bulk scans of the local store).
+    pub fn recovery_cost_ns(
+        &self,
+        profile: &CostProfile,
+        entries: usize,
+        payload_bytes: usize,
+    ) -> u64 {
+        self.snapshot_export_cost_ns(profile, entries, payload_bytes)
+    }
+
     /// Cost for a recipient replica to verify and apply one chunk of `entries`
     /// records in a sealed frame of `frame_bytes`: the frame's transport +
     /// authentication cost once (single MAC/AEAD pass over the chunk — the
@@ -510,6 +525,16 @@ impl ProtocolCostModel {
             cum.push(payload_bytes as f64 * self.mac_per_byte_ns),
         );
         b
+    }
+
+    /// Attribution twin of [`ProtocolCostModel::recovery_cost_ns`].
+    pub fn recovery_breakdown(
+        &self,
+        profile: &CostProfile,
+        entries: usize,
+        payload_bytes: usize,
+    ) -> CostBreakdown {
+        self.snapshot_export_breakdown(profile, entries, payload_bytes)
     }
 
     /// Attribution twin of [`ProtocolCostModel::snapshot_import_cost_ns`].
@@ -928,6 +953,11 @@ mod tests {
                         m.snapshot_import_breakdown(p, entries, bytes).total(),
                         m.snapshot_import_cost_ns(p, entries, bytes),
                         "snap_import {entries}x{bytes}B"
+                    );
+                    assert_eq!(
+                        m.recovery_breakdown(p, entries, bytes).total(),
+                        m.recovery_cost_ns(p, entries, bytes),
+                        "recovery {entries}x{bytes}B"
                     );
                     assert_eq!(
                         m.txn_prepare_breakdown(p, entries, bytes, 32 * 1024 * 1024)

@@ -32,6 +32,8 @@ pub use cluster::{
     SimCluster, SimConfig, StepOutcome,
 };
 pub use cost::{CostProfile, ProtocolCostModel};
-pub use replica::{Ctx, RangeEntry, RangeStateTransfer, Replica, TxnVote};
+pub use replica::{
+    Ctx, RangeEntry, RangeStateTransfer, Replica, RestartReport, TxnRecordOps, TxnVote,
+};
 
 pub use recipe_tee::TrustedInstant as SimTime;

@@ -115,6 +115,26 @@ pub enum TxnVote {
     Unsupported,
 }
 
+/// What a restarting replica salvaged while rehydrating rollback-protected
+/// state: entries that passed the store's verified-read path (sealed value +
+/// trusted counter check) versus entries discarded because verification
+/// failed. The simulator charges the re-verification work on the virtual
+/// clock and attributes it to `charge.recovery_ns`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestartReport {
+    /// Entries that passed verification and were kept.
+    pub verified_entries: u64,
+    /// Entries discarded because the sealed value failed verification.
+    pub discarded_entries: u64,
+    /// Total key+value bytes re-verified (drives the MAC cost of rehydration).
+    pub payload_bytes: u64,
+}
+
+/// One exported prepare record's operations, in the wire form
+/// [`Replica::txn_import_record`] expects: lock keys as valueless (`None`)
+/// entries first, then the staged writes in order.
+pub type TxnRecordOps = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+
 /// A deterministic protocol replica.
 ///
 /// The three `txn_*` hooks are the participant side of cross-shard two-phase
@@ -173,11 +193,124 @@ pub trait Replica {
         let _ = txn_id;
     }
 
+    /// Records a prepare record replicated from the participant group's
+    /// leader: passive (no locks) until adopted on failover. The
+    /// coordinator's prepare phase already pays the group replication round
+    /// trip in the cost model; this hook is the state that round trip
+    /// carries. Default: not a participant, nothing to record.
+    fn txn_stage_replicated(&mut self, txn_id: u64, ops: &[Operation]) {
+        let _ = (txn_id, ops);
+    }
+
+    /// Discards the replicated prepare record for `txn_id` once the
+    /// coordinator's decision reached this follower (committed entries then
+    /// arrive through the import path; aborts just drop the record).
+    fn txn_drop_replicated(&mut self, txn_id: u64) {
+        let _ = txn_id;
+    }
+
+    /// Failover adoption: promotes every replicated prepare record this
+    /// replica holds into a real staged transaction with locks, returning
+    /// the adopted transaction ids. Called when this replica becomes the
+    /// group's write coordinator, so in-flight transactions prepared on a
+    /// crashed leader resolve through the coordinator's normal commit/abort
+    /// frames instead of being lost. Default: nothing to adopt.
+    fn txn_adopt_replicated(&mut self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Exports every prepare record this replica knows (its own staged
+    /// transactions and passive replicated copies) in the replicated wire
+    /// form `(txn_id, [(key, staged write)])`. A recovering group member
+    /// imports these via [`Replica::txn_import_record`], so a node that
+    /// later re-wins coordinatorship can adopt the full in-flight set —
+    /// its own pre-crash staging was volatile enclave state.
+    fn txn_export_records(&mut self) -> Vec<(u64, TxnRecordOps)> {
+        Vec::new()
+    }
+
+    /// Imports one prepare record exported by a live peer during recovery,
+    /// as a passive (lock-free) replicated copy.
+    fn txn_import_record(&mut self, txn_id: u64, ops: &[(Vec<u8>, Option<Vec<u8>>)]) {
+        let _ = (txn_id, ops);
+    }
+
     /// Telemetry snapshot of the replica's shield/batcher counters, if the
     /// protocol keeps any. The simulator folds these into the attached
     /// telemetry at export time; `None` (the default) contributes nothing.
     fn protocol_counters(&self) -> Option<recipe_telemetry::ProtocolCounters> {
         None
+    }
+
+    // ------------------------------------------------------------------
+    // Crash–recovery hooks. All default to no-ops so protocols without a
+    // crash–recovery story keep compiling (and crash-free runs stay
+    // bit-identical — none of these is called unless a node actually
+    // crashes or recovers).
+    // ------------------------------------------------------------------
+
+    /// The view/configuration number this replica currently operates in.
+    /// View-less protocols (R-ABD, R-AllConcur) keep the default `0`.
+    fn current_view(&self) -> u64 {
+        0
+    }
+
+    /// The trusted send counter toward `peer` — how many frames this node has
+    /// sealed on the `self → peer` channel. Read by the simulator acting as
+    /// the attestation service while re-attesting a restarted peer.
+    fn channel_send_counter(&self, peer: NodeId) -> u64 {
+        let _ = peer;
+        0
+    }
+
+    /// Re-attestation channel resync: fast-forward the receive counter for
+    /// `peer → self` to `peer_send_counter` (frames sealed earlier are
+    /// rejected as replays afterwards — stale traffic cannot reach a
+    /// recovering replica) and drop any buffered future frames from `peer`.
+    fn resync_channel_from(&mut self, peer: NodeId, peer_send_counter: u64) {
+        let _ = (peer, peer_send_counter);
+    }
+
+    /// Exports this replica's full verified state for a recovering peer (the
+    /// §3.7 "state snapshot of the current epoch"). The attestation service
+    /// asks the first live peer; `None` (the default, and the outcome when a
+    /// record fails verification) means the joiner restarts from its own
+    /// sealed state only.
+    fn export_recovery_snapshot(&mut self) -> Option<Vec<RangeEntry>> {
+        None
+    }
+
+    /// Restart after a crash, rollback-protected: drop all volatile protocol
+    /// state, adopt `view` (the view the attestation service observed among
+    /// live peers), rehydrate from sealed storage only — re-verifying every
+    /// host-resident record and discarding what fails — then apply
+    /// `snapshot` (a live peer's verified state, see
+    /// [`Replica::export_recovery_snapshot`]) so writes committed while the
+    /// node slept are caught up before it serves anything. Returns what was
+    /// salvaged so the simulator can charge the re-verification work.
+    fn on_restart(
+        &mut self,
+        view: u64,
+        snapshot: Option<Vec<RangeEntry>>,
+        ctx: &mut Ctx,
+    ) -> RestartReport {
+        let _ = (view, snapshot, ctx);
+        RestartReport::default()
+    }
+
+    /// Deterministic failure notice from the trusted configuration service:
+    /// `peer` has been observed crashed. Protocols with a static topology
+    /// (R-CR's chain, PBFT's primary) reconfigure around the dead node here;
+    /// protocols with their own failure detector (R-Raft) can ignore it.
+    fn on_peer_down(&mut self, peer: NodeId, ctx: &mut Ctx) {
+        let _ = (peer, ctx);
+    }
+
+    /// Deterministic recovery notice from the trusted configuration service:
+    /// `peer` has been re-attested and rejoined. Inverse of
+    /// [`Replica::on_peer_down`].
+    fn on_peer_up(&mut self, peer: NodeId, ctx: &mut Ctx) {
+        let _ = (peer, ctx);
     }
 }
 

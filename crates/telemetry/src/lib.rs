@@ -91,11 +91,14 @@ pub enum ChargeKind {
     TxnCommit,
     /// 2PC abort processing on a participant leader.
     TxnAbort,
+    /// Rollback-protected rehydration on a recovering replica: re-verifying
+    /// sealed KV state against the trusted counter after a restart.
+    Recovery,
 }
 
 impl ChargeKind {
     /// Number of charge kinds.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every kind, in declaration order.
     pub const ALL: [ChargeKind; ChargeKind::COUNT] = [
@@ -107,6 +110,7 @@ impl ChargeKind {
         ChargeKind::TxnPrepare,
         ChargeKind::TxnCommit,
         ChargeKind::TxnAbort,
+        ChargeKind::Recovery,
     ];
 
     /// Stable lower-snake name, used as the `charge.<name>_ns` metric suffix.
@@ -120,6 +124,7 @@ impl ChargeKind {
             ChargeKind::TxnPrepare => "txn_prepare",
             ChargeKind::TxnCommit => "txn_commit",
             ChargeKind::TxnAbort => "txn_abort",
+            ChargeKind::Recovery => "recovery",
         }
     }
 

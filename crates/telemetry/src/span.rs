@@ -59,11 +59,18 @@ pub enum SpanKind {
     FaultDuplicate,
     /// The network adversary replayed an old frame (instant).
     FaultReplay,
+    /// A node crashed and stopped processing events (instant).
+    NodeCrash,
+    /// A node restarted and rehydrated rollback-protected state (duration:
+    /// the sealed-state re-verification work).
+    NodeRecover,
+    /// A replica installed a new view after a leader/head failure (instant).
+    ViewChange,
 }
 
 impl SpanKind {
     /// Every kind, in declaration order (used by exporters and tests).
-    pub const ALL: [SpanKind; 20] = [
+    pub const ALL: [SpanKind; 23] = [
         SpanKind::ClientSubmit,
         SpanKind::RouterResolve,
         SpanKind::BatcherEnqueue,
@@ -84,6 +91,9 @@ impl SpanKind {
         SpanKind::FaultTamper,
         SpanKind::FaultDuplicate,
         SpanKind::FaultReplay,
+        SpanKind::NodeCrash,
+        SpanKind::NodeRecover,
+        SpanKind::ViewChange,
     ];
 
     /// Stable lower-snake name used in the JSONL export and the Chrome trace.
@@ -109,6 +119,9 @@ impl SpanKind {
             SpanKind::FaultTamper => "fault_tamper",
             SpanKind::FaultDuplicate => "fault_duplicate",
             SpanKind::FaultReplay => "fault_replay",
+            SpanKind::NodeCrash => "node_crash",
+            SpanKind::NodeRecover => "node_recover",
+            SpanKind::ViewChange => "view_change",
         }
     }
 

@@ -238,7 +238,7 @@ fn atomicity_survives_dropped_and_reordered_2pc_frames() {
             tamper_probability: 0.05,
             duplicate_probability: 0.05,
             replay_probability: 0.05,
-            max_extra_delay_ns: 0,
+            ..FaultPlan::default()
         },
         ..TxnConfig::default()
     });
@@ -553,7 +553,7 @@ proptest::proptest! {
                         tamper_probability: tamper_pct as f64 / 100.0,
                         duplicate_probability: duplicate_pct as f64 / 100.0,
                         replay_probability: replay_pct as f64 / 100.0,
-                        max_extra_delay_ns: 0,
+                        ..FaultPlan::default()
                     },
                     ..TxnConfig::default()
                 });
