@@ -1,0 +1,94 @@
+//! Runs the perf-gate smoke sweeps by auto-discovery: every
+//! `BENCH_<name>.json` baseline gets its registered experiment executed
+//! in-process at the smoke operation count, and the fresh summary lands in
+//! the output directory for `perf_gate` to compare.
+//!
+//! Usage: `perf_smoke <baseline_dir> <out_dir>`
+//!
+//! Adding a baseline file without registering a runner here is an error (exit
+//! 2) — the gate must never silently skip a baseline it cannot reproduce.
+
+use recipe_bench::{write_summary, BenchSummary};
+
+struct Entry {
+    /// Baseline stem: `BENCH_<name>.json`.
+    name: &'static str,
+    /// Committed-operation count for the CI smoke run (matches the old
+    /// hand-listed workflow steps, so the checked-in baselines keep
+    /// reproducing bit-for-bit).
+    smoke_ops: usize,
+    run: fn(usize) -> BenchSummary,
+}
+
+const REGISTRY: &[Entry] = &[
+    Entry {
+        name: "batching",
+        smoke_ops: 80,
+        run: |ops| recipe_bench::batching_summary(&recipe_bench::fig_batching_report(ops)),
+    },
+    Entry {
+        name: "rebalance",
+        smoke_ops: 3200,
+        run: |ops| recipe_bench::rebalance_summary(&recipe_bench::fig_rebalance(ops)),
+    },
+    Entry {
+        name: "confidential_policy",
+        smoke_ops: 800,
+        run: |ops| {
+            recipe_bench::confidential_policy_summary(&recipe_bench::fig_confidential_policy(ops))
+        },
+    },
+    Entry {
+        name: "txn",
+        smoke_ops: 600,
+        run: |ops| recipe_bench::txn_summary(&recipe_bench::fig_txn(ops)),
+    },
+    Entry {
+        name: "failover",
+        smoke_ops: 2400,
+        run: |ops| recipe_bench::failover_summary(&recipe_bench::fig_failover(ops)),
+    },
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_dir = args
+        .next()
+        .expect("usage: perf_smoke <baseline_dir> <out_dir>");
+    let out_dir = args
+        .next()
+        .expect("usage: perf_smoke <baseline_dir> <out_dir>");
+    std::fs::create_dir_all(&out_dir).expect("output dir created");
+
+    let mut stems: Vec<String> = std::fs::read_dir(&baseline_dir)
+        .unwrap_or_else(|err| panic!("cannot list {baseline_dir}: {err}"))
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter_map(|name| {
+            name.strip_prefix("BENCH_")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .map(str::to_string)
+        })
+        .collect();
+    stems.sort();
+    assert!(
+        !stems.is_empty(),
+        "no BENCH_*.json baselines in {baseline_dir}"
+    );
+
+    for stem in &stems {
+        let Some(entry) = REGISTRY.iter().find(|e| e.name == stem) else {
+            eprintln!(
+                "BENCH_{stem}.json has no registered runner in perf_smoke \
+                 (crates/bench/src/bin/perf_smoke.rs): the perf gate cannot reproduce it"
+            );
+            std::process::exit(2);
+        };
+        println!("== {stem} (smoke: {} ops) ==", entry.smoke_ops);
+        let summary = (entry.run)(entry.smoke_ops);
+        let path = format!("{out_dir}/BENCH_{stem}.json");
+        write_summary(&path, &summary).expect("summary written");
+        println!("summary written to {path}");
+    }
+    println!("\nperf_smoke: {} summaries regenerated", stems.len());
+}

@@ -32,7 +32,7 @@ use recipe_net::NodeId;
 use recipe_sim::Ctx;
 
 /// Flush triggers for a [`Batcher`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BatchConfig {
     /// Flush a destination once it holds this many ops (`1` disables batching:
     /// every message is sent immediately as a single shielded message).

@@ -1,0 +1,221 @@
+//! Running a loaded [`Scenario`] through the unified sharded driver and
+//! checking its declared expectations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recipe_bft::PbftReplica;
+use recipe_core::Membership;
+use recipe_protocols::{AbdReplica, AllConcurReplica, ChainReplica, RaftReplica};
+use recipe_shard::{
+    request_from_workload, PolicyReplica, ResolvedShardPolicy, ShardRouter, ShardedCluster,
+    ShardedRunStats,
+};
+use recipe_sim::{RangeStateTransfer, Replica};
+use recipe_telemetry::{SpanKind, TelemetryReport};
+use recipe_workload::{stable_key_hash, WorkloadOp, WorkloadRequest};
+
+use crate::model::{Protocol, Scenario, WorkloadKind};
+
+/// The result of driving one scenario under one protocol.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol this outcome ran under.
+    pub protocol: &'static str,
+    /// Full driver statistics.
+    pub stats: ShardedRunStats,
+    /// Leader failovers observed (telemetry `ViewChange` spans; 0 when
+    /// telemetry is off).
+    pub view_changes: u64,
+    /// The telemetry report, when the deployment enabled telemetry.
+    pub telemetry: Option<TelemetryReport>,
+    /// Violated expectations, one actionable message each. Empty = pass.
+    pub failures: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// True when every declared expectation held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the scenario once per declared protocol, in declaration order.
+pub fn run_scenario(scenario: &Scenario) -> Vec<ScenarioOutcome> {
+    scenario
+        .protocols
+        .iter()
+        .map(|&p| run_protocol(scenario, p))
+        .collect()
+}
+
+/// Runs the scenario under one specific protocol.
+pub fn run_protocol(scenario: &Scenario, protocol: Protocol) -> ScenarioOutcome {
+    match protocol {
+        Protocol::Raft => drive::<RaftReplica, _>(scenario, protocol, RaftReplica::build_replica),
+        Protocol::Chain => {
+            drive::<ChainReplica, _>(scenario, protocol, ChainReplica::build_replica)
+        }
+        Protocol::Abd => drive::<AbdReplica, _>(scenario, protocol, AbdReplica::build_replica),
+        Protocol::AllConcur => {
+            drive::<AllConcurReplica, _>(scenario, protocol, AllConcurReplica::build_replica)
+        }
+        // PBFT is the baseline outside the `PolicyReplica` family: no
+        // confidential mode (scenario validation rejects that combination),
+        // built through the caller-factory path like `fig_protocols` does.
+        Protocol::Pbft => {
+            drive::<PbftReplica, _>(scenario, protocol, |_, id, membership, policy| {
+                PbftReplica::new(id, membership).with_batching(policy.batch)
+            })
+        }
+    }
+}
+
+fn drive<R, F>(scenario: &Scenario, protocol: Protocol, make: F) -> ScenarioOutcome
+where
+    R: Replica + RangeStateTransfer,
+    F: FnMut(usize, u64, Membership, &ResolvedShardPolicy) -> R,
+{
+    let mut cluster = ShardedCluster::<R>::build_with(scenario.deployment.clone(), make);
+    let router = cluster.router().clone();
+    let mut failures = Vec::new();
+
+    let stats = match &scenario.workload {
+        WorkloadKind::Single(spec) => {
+            let mut gen = spec.generator();
+            cluster.run_requests(move |_, _| {
+                Some(request_from_workload(WorkloadRequest::Single(
+                    gen.next_op(),
+                )))
+            })
+        }
+        WorkloadKind::Txn(spec) => {
+            let mut gen = spec.generator();
+            cluster.run_requests(move |_, _| {
+                let request = gen.next_request(&|key| router.shard_for_key(key));
+                Some(request_from_workload(request))
+            })
+        }
+        WorkloadKind::HotShard {
+            base,
+            hot_shard,
+            hot_fraction,
+            hot_arcs,
+            keys_per_arc,
+        } => {
+            let hot_keys = hot_range(&router, *hot_shard, *hot_arcs, *keys_per_arc);
+            if hot_keys.is_empty() {
+                failures.push(format!(
+                    "workload.hot_shard: shard {hot_shard} owns no keys in the probe universe \
+                     (try more vnodes_per_shard or a different hot_shard)"
+                ));
+            }
+            let hot_fraction = *hot_fraction;
+            let mut gen = base.generator();
+            // Separate stream for the redirect decisions so the base key/op
+            // sequence stays aligned with a pure single-key run on the same
+            // seed (the same idiom TxnWorkloadGenerator uses for its shape
+            // stream).
+            let mut pick =
+                StdRng::seed_from_u64(base.seed.wrapping_add(stable_key_hash(b"hot-shard-pick")));
+            cluster.run_requests(move |_, _| {
+                let mut op = gen.next_op();
+                if !hot_keys.is_empty() && hot_fraction > 0.0 && pick.gen_bool(hot_fraction) {
+                    let key = hot_keys[pick.gen_range(0..hot_keys.len())].clone();
+                    op = match op {
+                        WorkloadOp::Read { .. } => WorkloadOp::Read { key },
+                        WorkloadOp::Write { value, .. } => WorkloadOp::Write { key, value },
+                    };
+                }
+                Some(request_from_workload(WorkloadRequest::Single(op)))
+            })
+        }
+    };
+
+    let telemetry = cluster.take_telemetry_report();
+    let view_changes = telemetry
+        .as_ref()
+        .map(|report| {
+            report
+                .spans
+                .iter()
+                .filter(|span| span.kind == SpanKind::ViewChange)
+                .count() as u64
+        })
+        .unwrap_or(0);
+    failures.extend(check_expectations(scenario, &stats, view_changes));
+    ScenarioOutcome {
+        scenario: scenario.name.clone(),
+        protocol: protocol.name(),
+        stats,
+        view_changes,
+        telemetry,
+        failures,
+    }
+}
+
+/// Keys of the probe universe owned by `shard`, at most `keys_per_arc` from
+/// each of up to `hot_arcs` distinct ring arcs — the same hot-range shape
+/// `fig_rebalance` uses, so a skew scenario provokes the same controller
+/// behaviour the figure measures.
+fn hot_range(
+    router: &ShardRouter,
+    shard: usize,
+    hot_arcs: usize,
+    keys_per_arc: usize,
+) -> Vec<Vec<u8>> {
+    let mut by_arc: std::collections::BTreeMap<usize, Vec<Vec<u8>>> = Default::default();
+    for i in 0..10_000 {
+        let key = format!("user{i:08}").into_bytes();
+        if router.shard_for_key(&key) == shard {
+            by_arc
+                .entry(router.arc_of_point(stable_key_hash(&key)))
+                .or_default()
+                .push(key);
+        }
+    }
+    by_arc
+        .into_values()
+        .take(hot_arcs)
+        .flat_map(|keys| keys.into_iter().take(keys_per_arc))
+        .collect()
+}
+
+fn check_expectations(
+    scenario: &Scenario,
+    stats: &ShardedRunStats,
+    view_changes: u64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let expect = &scenario.expect;
+    let target = scenario.deployment.client_model().total_operations as u64;
+    if expect.zero_lost_commits && stats.total.committed < target {
+        failures.push(format!(
+            "zero_lost_commits: only {} of {target} targeted operations committed (lost to a \
+             fault or the time cap)",
+            stats.total.committed
+        ));
+    }
+    if let Some(min) = expect.min_committed_ops {
+        if stats.total.committed < min {
+            failures.push(format!(
+                "min_committed_ops: committed {} < declared minimum {min}",
+                stats.total.committed
+            ));
+        }
+    }
+    if expect.expect_migrations && stats.migration.migrations_completed == 0 {
+        failures.push(format!(
+            "expect_migrations: no migration reached cutover (started = {})",
+            stats.migration.migrations_started
+        ));
+    }
+    if expect.expect_view_changes && view_changes == 0 {
+        failures.push(
+            "expect_view_changes: no leader failover observed (no ViewChange telemetry span)"
+                .to_string(),
+        );
+    }
+    failures
+}

@@ -1,0 +1,594 @@
+//! A minimal TOML parser producing [`serde::Value`] trees.
+//!
+//! The build environment has no crates.io access, so scenario files get a
+//! hand-rolled parser for the TOML subset the corpus actually uses:
+//!
+//! * `key = value` pairs with bare, quoted and dotted keys;
+//! * `[table]` headers and `[[array-of-tables]]` headers (dotted paths
+//!   descend through tables *and* into the last element of an array of
+//!   tables, per the TOML spec);
+//! * basic (`"..."` with escapes) and literal (`'...'`) strings;
+//! * integers (underscore separators, sign) and floats (`.`/exponent);
+//! * booleans, arrays (multi-line, trailing comma tolerated) and inline
+//!   tables;
+//! * `#` comments.
+//!
+//! Unsupported TOML (multi-line strings, dates, hex/octal/binary ints,
+//! `inf`/`nan`) fails with a line-numbered error rather than parsing wrong.
+//! Duplicate keys and duplicate `[table]` headers are errors: a scenario file
+//! that assigns the same knob twice is almost certainly a copy-paste bug.
+//!
+//! Integers become [`Value::Int`], floats [`Value::Float`], tables
+//! [`Value::Map`] (insertion order preserved) — exactly the tree
+//! `serde_json::from_str::<Value>` produces, so the strict decoder in
+//! [`crate::decode`] serves both formats.
+
+use std::collections::HashSet;
+
+use serde::Value;
+
+/// A parse failure, carrying the 1-based line it was detected on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line number of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TOML parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Parses a TOML document into a [`Value::Map`] tree.
+pub fn parse(input: &str) -> Result<Value, TomlError> {
+    let mut parser = Parser {
+        src: input.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut root = Value::Map(Vec::new());
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+    // Explicitly defined `[table]` headers, for duplicate detection.
+    let mut defined: HashSet<String> = HashSet::new();
+
+    loop {
+        parser.skip_trivia();
+        let Some(c) = parser.peek() else { break };
+        if c == b'[' {
+            parser.bump();
+            let array_of_tables = parser.peek() == Some(b'[');
+            if array_of_tables {
+                parser.bump();
+            }
+            let path = parser.parse_key_path()?;
+            parser.skip_ws();
+            parser.expect(b']')?;
+            if array_of_tables {
+                parser.expect(b']')?;
+                push_array_table(&mut root, &path, parser.line)?;
+            } else {
+                let joined = path.join(".");
+                if !defined.insert(joined.clone()) {
+                    return Err(parser.err(format!("table `[{joined}]` defined twice")));
+                }
+                open_table(&mut root, &path, parser.line)?;
+            }
+            parser.require_eol()?;
+            current = path;
+        } else {
+            let path = parser.parse_key_path()?;
+            parser.skip_ws();
+            parser.expect(b'=')?;
+            parser.skip_ws();
+            let value = parser.parse_value()?;
+            parser.require_eol()?;
+            let (key, prefix) = path.split_last().expect("key path is never empty");
+            let mut full = current.clone();
+            full.extend_from_slice(prefix);
+            let table = navigate(&mut root, &full, parser.line)?;
+            if table.iter().any(|(k, _)| k == key) {
+                return Err(TomlError {
+                    line: parser.line,
+                    msg: format!("duplicate key `{key}`"),
+                });
+            }
+            table.push((key.clone(), value));
+        }
+    }
+    Ok(root)
+}
+
+/// Descends `root` along `path`, creating empty tables for missing segments
+/// and stepping into the last element of any array of tables on the way.
+fn navigate<'v>(
+    root: &'v mut Value,
+    path: &[String],
+    line: usize,
+) -> Result<&'v mut Vec<(String, Value)>, TomlError> {
+    let mut node = root;
+    for seg in path {
+        // Two-phase borrow dance: find the index first, then re-borrow.
+        let entries = match node {
+            Value::Map(entries) => entries,
+            _ => unreachable!("navigation always lands on a map"),
+        };
+        let idx = match entries.iter().position(|(k, _)| k == seg) {
+            Some(idx) => idx,
+            None => {
+                entries.push((seg.clone(), Value::Map(Vec::new())));
+                entries.len() - 1
+            }
+        };
+        node = match &mut entries[idx].1 {
+            map @ Value::Map(_) => map,
+            Value::Array(items) => match items.last_mut() {
+                Some(map @ Value::Map(_)) => map,
+                _ => {
+                    return Err(TomlError {
+                        line,
+                        msg: format!("key `{seg}` is not an array of tables"),
+                    })
+                }
+            },
+            _ => {
+                return Err(TomlError {
+                    line,
+                    msg: format!("key `{seg}` is not a table"),
+                })
+            }
+        };
+    }
+    match node {
+        Value::Map(entries) => Ok(entries),
+        _ => unreachable!(),
+    }
+}
+
+/// Handles a `[table]` header: materializes the path (so an empty table still
+/// exists in the tree) and rejects re-opening a non-table.
+fn open_table(root: &mut Value, path: &[String], line: usize) -> Result<(), TomlError> {
+    navigate(root, path, line).map(|_| ())
+}
+
+/// Handles a `[[table]]` header: appends a fresh element to the array at
+/// `path`, creating the array on first sight.
+fn push_array_table(root: &mut Value, path: &[String], line: usize) -> Result<(), TomlError> {
+    let (last, prefix) = path.split_last().expect("header path is never empty");
+    let parent = navigate(root, prefix, line)?;
+    match parent.iter_mut().find(|(k, _)| k == last) {
+        None => parent.push((last.clone(), Value::Array(vec![Value::Map(Vec::new())]))),
+        Some((_, Value::Array(items))) => items.push(Value::Map(Vec::new())),
+        Some((k, _)) => {
+            return Err(TomlError {
+                line,
+                msg: format!("cannot redefine key `{k}` as an array of tables"),
+            })
+        }
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: String) -> TomlError {
+        TomlError {
+            line: self.line,
+            msg,
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), TomlError> {
+        match self.peek() {
+            Some(c) if c == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!(
+                "expected `{}`, found `{}`",
+                want as char, c as char
+            ))),
+            None => Err(self.err(format!("expected `{}`, found end of input", want as char))),
+        }
+    }
+
+    /// Skips spaces and tabs on the current line.
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, newlines and `#` comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while !matches!(self.peek(), Some(b'\n') | None) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Requires nothing but trailing whitespace / a comment on the rest of
+    /// the line.
+    fn require_eol(&mut self) -> Result<(), TomlError> {
+        self.skip_ws();
+        match self.peek() {
+            None | Some(b'\n') => Ok(()),
+            Some(b'#') => {
+                while !matches!(self.peek(), Some(b'\n') | None) {
+                    self.bump();
+                }
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!(
+                "unexpected character `{}` after value (one key-value pair per line)",
+                c as char
+            ))),
+        }
+    }
+
+    /// Parses a dotted key path: bare, `"quoted"` or `'quoted'` segments
+    /// separated by `.`.
+    fn parse_key_path(&mut self) -> Result<Vec<String>, TomlError> {
+        let mut segments = Vec::new();
+        loop {
+            self.skip_ws();
+            let seg = match self.peek() {
+                Some(b'"') => self.parse_basic_string()?,
+                Some(b'\'') => self.parse_literal_string()?,
+                Some(c) if is_bare_key_char(c) => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if is_bare_key_char(c)) {
+                        self.bump();
+                    }
+                    String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+                }
+                Some(c) => return Err(self.err(format!("expected a key, found `{}`", c as char))),
+                None => return Err(self.err("expected a key, found end of input".into())),
+            };
+            segments.push(seg);
+            self.skip_ws();
+            if self.peek() == Some(b'.') {
+                self.bump();
+            } else {
+                return Ok(segments);
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, TomlError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_basic_string()?)),
+            Some(b'\'') => Ok(Value::Str(self.parse_literal_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_inline_table(),
+            Some(_) => self.parse_scalar(),
+            None => Err(self.err("expected a value, found end of input".into())),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, TomlError> {
+        self.expect(b'"')?;
+        if self.src[self.pos..].starts_with(b"\"\"") {
+            return Err(self.err("multi-line strings are not supported".into()));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string".into())),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => out.push(self.parse_unicode_escape(4)?),
+                    Some(b'U') => out.push(self.parse_unicode_escape(8)?),
+                    Some(c) => {
+                        return Err(self.err(format!("unknown escape `\\{}`", c as char)));
+                    }
+                    None => return Err(self.err("unterminated string".into())),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(first) => {
+                    // Multi-byte UTF-8: copy the remaining bytes of the
+                    // sequence verbatim (input is a &str, so it is valid).
+                    let extra = match first {
+                        0xC0..=0xDF => 1,
+                        0xE0..=0xEF => 2,
+                        _ => 3,
+                    };
+                    let start = self.pos - 1;
+                    for _ in 0..extra {
+                        self.bump();
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 inside string".into()))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, TomlError> {
+        let mut code = 0u32;
+        for _ in 0..digits {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated unicode escape".into()))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err(format!("invalid hex digit `{}`", c as char)))?;
+            code = code * 16 + d;
+        }
+        char::from_u32(code).ok_or_else(|| self.err(format!("invalid unicode scalar U+{code:04X}")))
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, TomlError> {
+        self.expect(b'\'')?;
+        if self.src[self.pos..].starts_with(b"''") {
+            return Err(self.err("multi-line strings are not supported".into()));
+        }
+        let start = self.pos;
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string".into())),
+                Some(b'\'') => {
+                    return Ok(String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned());
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, TomlError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {}
+                Some(c) => {
+                    return Err(self.err(format!(
+                        "expected `,` or `]` in array, found `{}`",
+                        c as char
+                    )))
+                }
+                None => return Err(self.err("unterminated array".into())),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, TomlError> {
+        self.expect(b'{')?;
+        let mut root = Value::Map(Vec::new());
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b'}') {
+                self.bump();
+                return Ok(root);
+            }
+            let path = self.parse_key_path()?;
+            self.skip_ws();
+            self.expect(b'=')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            let (key, prefix) = path.split_last().expect("key path is never empty");
+            let line = self.line;
+            let table = navigate(&mut root, prefix, line)?;
+            if table.iter().any(|(k, _)| k == key) {
+                return Err(TomlError {
+                    line,
+                    msg: format!("duplicate key `{key}`"),
+                });
+            }
+            table.push((key.clone(), value));
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {}
+                Some(c) => {
+                    return Err(self.err(format!(
+                        "expected `,` or `}}` in inline table, found `{}`",
+                        c as char
+                    )))
+                }
+                None => return Err(self.err("unterminated inline table".into())),
+            }
+        }
+    }
+
+    /// Booleans and numbers (anything else that starts bare is an error).
+    fn parse_scalar(&mut self) -> Result<Value, TomlError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(c) if !matches!(c, b' ' | b'\t' | b'\r' | b'\n' | b',' | b']' | b'}' | b'#')
+        ) {
+            self.bump();
+        }
+        let token = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in value".into()))?;
+        match token {
+            "" => return Err(self.err("expected a value".into())),
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            "inf" | "-inf" | "+inf" | "nan" | "-nan" | "+nan" => {
+                return Err(self.err(format!("`{token}` is not supported")));
+            }
+            _ => {}
+        }
+        let lower = token.to_ascii_lowercase();
+        if lower.starts_with("0x")
+            || lower.starts_with("0o")
+            || lower.starts_with("0b")
+            || lower.starts_with("-0x")
+            || lower.starts_with("+0x")
+        {
+            return Err(self.err(format!(
+                "non-decimal integer `{token}` is not supported (use decimal)"
+            )));
+        }
+        if token.starts_with('_') || token.ends_with('_') || token.contains("__") {
+            return Err(self.err(format!("malformed number `{token}`")));
+        }
+        let digits: String = token.chars().filter(|&c| c != '_').collect();
+        if digits.contains(['.', 'e', 'E']) {
+            digits
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err(format!("invalid float `{token}`")))
+        } else {
+            digits
+                .parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| self.err(format!("invalid value `{token}` (dates, multi-line strings and non-decimal ints are not supported)")))
+        }
+    }
+}
+
+fn is_bare_key_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'v>(v: &'v Value, path: &[&str]) -> &'v Value {
+        let mut node = v;
+        for seg in path {
+            node = serde::map_get(node.as_map().unwrap(), seg).unwrap();
+        }
+        node
+    }
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = r#"
+# top level
+name = "demo"
+count = 1_200
+ratio = 0.5
+flag = true
+
+[table.sub]
+key = 'literal'
+list = [1, 2, 3,]
+
+[[entries]]
+node = 0
+
+[[entries]]
+node = 1
+inline = { a = 1, b = "two" }
+"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(get(&v, &["name"]), &Value::Str("demo".into()));
+        assert_eq!(get(&v, &["count"]), &Value::Int(1200));
+        assert_eq!(get(&v, &["ratio"]), &Value::Float(0.5));
+        assert_eq!(get(&v, &["flag"]), &Value::Bool(true));
+        assert_eq!(
+            get(&v, &["table", "sub", "key"]),
+            &Value::Str("literal".into())
+        );
+        assert_eq!(
+            get(&v, &["table", "sub", "list"]),
+            &Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        let entries = get(&v, &["entries"]).as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            serde::map_get(entries[1].as_map().unwrap(), "node"),
+            Some(&Value::Int(1))
+        );
+        assert_eq!(
+            get(&entries[1], &["inline", "b"]),
+            &Value::Str("two".into())
+        );
+    }
+
+    #[test]
+    fn sub_table_of_an_array_of_tables_targets_the_last_element() {
+        let doc = "
+[[shard_policy]]
+shard = 0
+
+[shard_policy.fault_plan]
+drop_probability = 0.1
+";
+        let v = parse(doc).unwrap();
+        let policies = get(&v, &["shard_policy"]).as_array().unwrap();
+        assert_eq!(policies.len(), 1);
+        assert_eq!(
+            get(&policies[0], &["fault_plan", "drop_probability"]),
+            &Value::Float(0.1)
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("a = 1\nb = \n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("a = 1\na = 2\n").unwrap_err();
+        assert!(err.msg.contains("duplicate key `a`"), "{}", err.msg);
+        let err = parse("[t]\nx = 1\n[t]\n").unwrap_err();
+        assert!(err.msg.contains("defined twice"), "{}", err.msg);
+        let err = parse("d = 1979-05-27\n").unwrap_err();
+        assert!(err.msg.contains("not supported"), "{}", err.msg);
+        let err = parse("s = \"\"\"x\"\"\"\n").unwrap_err();
+        assert!(err.msg.contains("multi-line"), "{}", err.msg);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse("a = 1 2\n").unwrap_err();
+        assert!(err.msg.contains("after value"), "{}", err.msg);
+    }
+}

@@ -42,7 +42,7 @@ use crate::router::ShardRouter;
 use crate::sharded::{ShardedCluster, ShardedRunStats};
 
 /// Knobs of the online-rebalancing controller.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RebalanceConfig {
     /// Master switch. `false` makes [`ShardedCluster::run_rebalancing`] behave
     /// like a plain run (plus timeline collection).

@@ -62,7 +62,7 @@ use crate::txn::TxnConfig;
 ///
 /// let policy = ShardPolicy::confidential().with_batch(BatchConfig::of_ops(16));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ShardPolicy {
     confidentiality: Option<ConfidentialityMode>,
     batch: Option<BatchConfig>,
@@ -213,7 +213,7 @@ impl PolicyReplica for AllConcurReplica {
 /// plus per-shard [`ShardPolicy`] overrides, consumed by
 /// [`ShardedCluster::build`]. See the [module docs](self) for the shape and
 /// an example.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DeploymentSpec {
     shards: usize,
     replicas_per_shard: usize,
@@ -397,6 +397,105 @@ impl DeploymentSpec {
         self.replicas_per_shard
     }
 
+    /// The crash-fault budget `f` of every group.
+    pub fn faults_tolerated(&self) -> usize {
+        self.faults_tolerated
+    }
+
+    /// The deterministic seed the run derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The global closed-loop client population.
+    pub fn client_model(&self) -> &ClientModel {
+        &self.clients
+    }
+
+    /// The telemetry configuration this deployment runs under.
+    pub fn telemetry(&self) -> &recipe_telemetry::TelemetryConfig {
+        &self.telemetry
+    }
+
+    /// Checks the spec for contradictory knobs that the builders would
+    /// otherwise panic on (or silently clamp) deep inside a run. Every error
+    /// names the offending field, so a deserialized spec fails fast with an
+    /// actionable message instead of an assert in the driver.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clients.clients == 0 {
+            return Err("clients.clients: must be >= 1 (a closed loop needs clients)".into());
+        }
+        if self.clients.total_operations == 0 {
+            return Err(
+                "clients.total_operations: must be >= 1 (the run would end before it starts)"
+                    .into(),
+            );
+        }
+        if self.vnodes_per_shard == 0 {
+            return Err("vnodes_per_shard: must be >= 1 (a shard needs ring presence)".into());
+        }
+        if self.max_virtual_ns == 0 {
+            return Err("max_virtual_ns: must be > 0 (the time cap would fire immediately)".into());
+        }
+        if self.replicas_per_shard < 2 * self.faults_tolerated + 1 {
+            return Err(format!(
+                "faults_tolerated: f = {} needs at least 2f+1 = {} replicas per shard, \
+                 but replicas_per_shard = {}",
+                self.faults_tolerated,
+                2 * self.faults_tolerated + 1,
+                self.replicas_per_shard
+            ));
+        }
+        if self.txn.retry_timeout_ns == 0 {
+            return Err(
+                "txn.retry_timeout_ns: must be > 0 (a zero timeout retransmits every event)".into(),
+            );
+        }
+        if self.rebalance.enabled {
+            if self.rebalance.chunk_entries == 0 {
+                return Err(
+                    "rebalance.chunk_entries: must be >= 1 (a migration chunk needs records)"
+                        .into(),
+                );
+            }
+            if self.rebalance.imbalance_threshold < 1.0 {
+                return Err(format!(
+                    "rebalance.imbalance_threshold: {} is below 1.0, which would flag a \
+                     perfectly balanced cluster as imbalanced",
+                    self.rebalance.imbalance_threshold
+                ));
+            }
+        }
+        for (shard, policy) in &self.overrides {
+            if *shard >= self.shards {
+                return Err(format!(
+                    "shard_policy[{shard}]: shard out of range (deployment has {} shards)",
+                    self.shards
+                ));
+            }
+            let _ = policy; // contents validated through the resolved view below
+        }
+        validate_batch(&self.batch, "batch")?;
+        validate_fault_plan(&self.fault_plan, "fault_plan")?;
+        validate_crash_plan(&self.crash_plan, self.replicas_per_shard, "crash_plan")?;
+        validate_fault_plan(&self.txn.fault_plan, "txn.fault_plan")?;
+        for shard in 0..self.shards {
+            if let Some(policy) = self.overrides.get(&shard) {
+                let at = |field: &str| format!("shard_policy[{shard}].{field}");
+                if let Some(batch) = &policy.batch {
+                    validate_batch(batch, &at("batch"))?;
+                }
+                if let Some(plan) = &policy.fault_plan {
+                    validate_fault_plan(plan, &at("fault_plan"))?;
+                }
+                if let Some(plan) = &policy.crash_plan {
+                    validate_crash_plan(plan, self.replicas_per_shard, &at("crash_plan"))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The membership every group runs (node ids are group-local, mirroring
     /// each group's own attestation domain).
     pub fn membership(&self) -> Membership {
@@ -468,6 +567,64 @@ impl DeploymentSpec {
             telemetry: self.telemetry.clone(),
         }
     }
+}
+
+fn validate_batch(batch: &BatchConfig, field: &str) -> Result<(), String> {
+    if batch.max_ops == 0 {
+        return Err(format!(
+            "{field}.max_ops: must be >= 1 (0 would never flush; 1 disables batching)"
+        ));
+    }
+    if batch.max_bytes == 0 {
+        return Err(format!(
+            "{field}.max_bytes: must be >= 1 (0 would never admit an op into a frame)"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_fault_plan(plan: &FaultPlan, field: &str) -> Result<(), String> {
+    let probs = [
+        ("drop_probability", plan.drop_probability),
+        ("tamper_probability", plan.tamper_probability),
+        ("duplicate_probability", plan.duplicate_probability),
+        ("replay_probability", plan.replay_probability),
+    ];
+    for (name, p) in probs {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!(
+                "{field}.{name}: {p} is not a probability (must be within 0.0..=1.0)"
+            ));
+        }
+    }
+    if plan.replay_probability > 0.0 && plan.capture_limit == 0 {
+        return Err(format!(
+            "{field}.capture_limit: replay_probability > 0 needs a non-empty capture buffer"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_crash_plan(plan: &CrashPlan, replicas: usize, field: &str) -> Result<(), String> {
+    for (i, entry) in plan.entries.iter().enumerate() {
+        if entry.node.0 >= replicas as u64 {
+            return Err(format!(
+                "{field}.entries[{i}].node: node {} out of range (groups have {replicas} \
+                 replicas, node ids are group-local 0..{replicas})",
+                entry.node.0
+            ));
+        }
+        if let Some(recover_at) = entry.recover_at_ns {
+            if recover_at <= entry.crash_at_ns {
+                return Err(format!(
+                    "{field}.entries[{i}].recover_at_ns: {recover_at} is not after \
+                     crash_at_ns = {} (a node cannot restart before it failed)",
+                    entry.crash_at_ns
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 impl<R: Replica> ShardedCluster<R> {

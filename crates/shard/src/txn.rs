@@ -69,7 +69,7 @@ use crate::sharded::ShardedCluster;
 
 /// Knobs of the transaction coordinator, configured per deployment through
 /// [`crate::DeploymentSpec::with_txn`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TxnConfig {
     /// How long the coordinator waits for a phase round trip before
     /// retransmitting the frame (same sealed bytes), virtual ns.

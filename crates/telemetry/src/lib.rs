@@ -41,7 +41,7 @@ pub use span::{Span, SpanKind, Tracer};
 /// Telemetry gating, carried on `DeploymentSpec`/`ShardedConfig`. Disabled by
 /// default; a disabled config never allocates a tracer and the simulator's
 /// hot paths skip every telemetry branch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TelemetryConfig {
     /// Master switch.
     pub enabled: bool,

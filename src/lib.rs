@@ -18,6 +18,8 @@
 //!   over many independent replica groups, driven on one virtual clock.
 //! * [`recipe_telemetry`] — the deterministic observability subsystem: virtual-clock
 //!   span tracing, a metrics registry and per-shard cost attribution.
+//! * [`recipe_scenario`] — declarative scenario files: TOML/JSON experiment
+//!   descriptions (deployment + workload + expectations) run through the driver.
 
 pub use recipe_attest as attest;
 pub use recipe_bft as bft;
@@ -26,6 +28,7 @@ pub use recipe_crypto as crypto;
 pub use recipe_kv as kv;
 pub use recipe_net as net;
 pub use recipe_protocols as protocols;
+pub use recipe_scenario as scenario;
 pub use recipe_shard as shard;
 pub use recipe_sim as sim;
 pub use recipe_tee as tee;

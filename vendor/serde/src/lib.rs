@@ -67,6 +67,21 @@ impl Value {
     }
 }
 
+// `Value` is its own data model: serializing is the identity, deserializing
+// keeps the tree as-is. Lets callers parse a document into a raw tree (e.g.
+// `serde_json::from_str::<Value>`) and inspect it before typed decoding.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Looks up a key in a map's entry list (helper used by derived impls).
 pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
