@@ -89,6 +89,7 @@ impl SecretBundle {
     /// Serializes and encrypts the bundle under the attestation shared secret.
     pub fn seal(&self, shared: &SharedSecret) -> Ciphertext {
         let cipher = Cipher::new(&shared.derive_cipher_key("recipe.attest.provisioning"));
+        // recipe-lint: allow(unwrap-in-lib, reason = "serializing the self-owned bundle cannot fail")
         let plaintext = serde_json::to_vec(self).expect("bundle serializes");
         cipher.seal(Nonce::from_view_counter(0xA77E, self.node_id), &plaintext)
     }

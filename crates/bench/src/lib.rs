@@ -1809,7 +1809,9 @@ pub fn rebalance_summary(report: &RebalanceReport) -> BenchSummary {
 
 /// Writes a summary as pretty JSON to `path`.
 pub fn write_summary(path: &str, summary: &BenchSummary) -> std::io::Result<()> {
-    std::fs::write(path, serde_json::to_string_pretty(summary).unwrap())
+    let json = serde_json::to_string_pretty(summary)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)
 }
 
 /// Compares a fresh run against a checked-in baseline: every `*_ops_per_sec`

@@ -89,6 +89,7 @@ impl DamysusReplica {
     fn send(&self, ctx: &mut Ctx, dst: NodeId, msg: &DamysusMsg) {
         ctx.send(
             dst,
+            // recipe-lint: allow(unwrap-in-lib, reason = "serializing a self-owned in-memory message cannot fail")
             serde_json::to_vec(msg).expect("damysus message serializes"),
         );
     }

@@ -149,6 +149,7 @@ impl PbftReplica {
     }
 
     fn send(&mut self, ctx: &mut Ctx, dst: NodeId, msg: &PbftMsg) {
+        // recipe-lint: allow(unwrap-in-lib, reason = "serializing a self-owned in-memory message cannot fail")
         let payload = serde_json::to_vec(msg).expect("pbft message serializes");
         if !self.batcher.is_batching() {
             ctx.send(dst, payload);
@@ -165,6 +166,7 @@ impl PbftReplica {
         };
         ctx.send_batch(
             dst,
+            // recipe-lint: allow(unwrap-in-lib, reason = "serializing a self-owned in-memory frame cannot fail")
             serde_json::to_vec(&frame).expect("pbft batch serializes"),
             count,
         );

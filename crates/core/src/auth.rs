@@ -376,6 +376,7 @@ impl AuthLayer {
             let nonce = Self::payload_nonce(&channel, counter);
             let ct = cipher.seal(nonce, payload);
             (
+                // recipe-lint: allow(unwrap-in-lib, reason = "serializing the just-built ciphertext cannot fail")
                 serde_json::to_vec(&ct).expect("ciphertext serializes"),
                 true,
             )

@@ -116,6 +116,7 @@ impl Membership {
 
     /// Tail of the chain.
     pub fn chain_tail(&self) -> NodeId {
+        // recipe-lint: allow(unwrap-in-lib, reason = "membership construction rejects empty member lists")
         *self.members.last().expect("membership is non-empty")
     }
 

@@ -90,6 +90,7 @@ impl Cipher {
     /// and authentication sub-keys.
     pub fn new(key: &CipherKey) -> Self {
         let master = MacKey::from_bytes(
+            // recipe-lint: allow(unwrap-in-lib, reason = "CipherKey wraps a 32-byte derived digest by construction")
             <[u8; DIGEST_LEN]>::try_from(key.expose_secret()).expect("cipher key is 32 bytes"),
         );
         Cipher {

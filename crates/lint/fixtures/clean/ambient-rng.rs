@@ -1,0 +1,7 @@
+//! The sanctioned form: every draw comes from the run's seeded RNG.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn jitter(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

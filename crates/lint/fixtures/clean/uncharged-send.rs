@@ -1,0 +1,6 @@
+//! The sanctioned form: the seal and its clock charge travel together.
+pub fn push_state(channel: &mut TxnChannel, clock: &mut Meter, body: &TxnBody) -> Vec<u8> {
+    let wire = channel.seal_request(body);
+    clock.charge_seal(wire.len() as u64);
+    wire
+}

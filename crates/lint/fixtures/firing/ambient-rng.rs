@@ -1,0 +1,6 @@
+// expect-finding: ambient-rng
+//! Draws from the ambient OS-seeded RNG: not reproducible from the run seed.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}

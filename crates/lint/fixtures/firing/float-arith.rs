@@ -1,0 +1,5 @@
+// expect-finding: float-arith
+//! Floating point on a state path in core code.
+pub fn mean_latency(total_ns: u64, samples: u64) -> f64 {
+    total_ns as f64 / samples as f64
+}

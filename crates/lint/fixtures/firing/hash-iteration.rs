@@ -1,0 +1,18 @@
+// expect-finding: hash-iteration
+//! Iterates a hash-ordered container in core code: visit order varies
+//! across processes, so any order-sensitive fold diverges.
+use std::collections::HashMap;
+
+pub struct Routing {
+    peers: HashMap<u64, u64>,
+}
+
+impl Routing {
+    pub fn checksum(&self) -> u64 {
+        let mut acc = 0u64;
+        for (id, weight) in self.peers.iter() {
+            acc = acc.wrapping_mul(31).wrapping_add(id ^ weight);
+        }
+        acc
+    }
+}

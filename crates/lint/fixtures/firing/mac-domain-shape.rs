@@ -1,0 +1,4 @@
+// expect-finding: mac-domain-shape
+//! A wire MAC domain that does not follow `recipe.<kind>.v<N>`: no version
+//! to bump, and greppability of the wire-format inventory is lost.
+pub const LEGACY_MAC_DOMAIN: &str = "recipe-legacy-frames";

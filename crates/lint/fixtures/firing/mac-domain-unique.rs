@@ -1,0 +1,5 @@
+// expect-finding: mac-domain-unique
+//! Two wire formats sharing one MAC domain: a frame sealed as one kind
+//! verifies as the other, so the formats are confusable.
+pub const REQ_MAC_DOMAIN: &str = "recipe.fixture_txn.v1";
+pub const RESP_MAC_DOMAIN: &str = "recipe.fixture_txn.v1";

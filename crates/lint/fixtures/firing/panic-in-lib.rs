@@ -1,0 +1,9 @@
+// expect-finding: panic-in-lib
+//! A panic on a reachable library path.
+pub fn parse_kind(kind: u8) -> Kind {
+    match kind {
+        0 => Kind::Read,
+        1 => Kind::Write,
+        other => panic!("unknown kind {other}"),
+    }
+}

@@ -1,0 +1,6 @@
+// expect-finding: print-in-lib
+//! Writes to stdout from library code: output the caller cannot capture,
+//! redirect or silence.
+pub fn report(committed: u64) {
+    println!("committed {committed} ops");
+}

@@ -1,0 +1,6 @@
+// expect-finding: raw-ctx-send
+//! Raw transmission outside the allowlisted shield modules: the frame skips
+//! AuthLayer/ProtocolShield and rides the wire unauthenticated.
+pub fn gossip(ctx: &mut Ctx, peer: NodeId, frame: Vec<u8>) {
+    ctx.send(peer, frame);
+}

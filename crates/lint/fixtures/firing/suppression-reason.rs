@@ -1,0 +1,7 @@
+// expect-finding: suppression-reason
+//! A suppression without a reason: the allow hides a finding while
+//! explaining nothing, so it is itself a finding (and suppresses nothing).
+pub fn head(xs: &[u64]) -> u64 {
+    // recipe-lint: allow(unwrap-in-lib)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,8 @@
+// expect-finding: thread-spawn
+//! Spawns an OS thread in core code: the simulator no longer owns the
+//! interleaving, so replays diverge.
+pub fn fan_out(work: Vec<u64>) {
+    std::thread::spawn(move || {
+        let _ = work.len();
+    });
+}

@@ -1,0 +1,5 @@
+// expect-finding: unwrap-in-lib
+//! A bare unwrap in library code: the panic carries no invariant.
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

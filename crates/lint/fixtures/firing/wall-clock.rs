@@ -1,0 +1,8 @@
+// expect-finding: wall-clock
+//! Reads the OS wall clock in deterministic core code: two replays of the
+//! same seed observe different times.
+use std::time::Instant;
+
+pub fn stamp_ns() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,251 @@
+//! # recipe-lint — workspace static analysis
+//!
+//! Every guarantee this reproduction makes — bit-identical committed state
+//! across seeds, every frame riding `AuthLayer`/`ProtocolShield`, disjoint
+//! MAC domains per wire format — used to be enforced by convention and
+//! after-the-fact proptests. This crate makes those invariants
+//! machine-checked at CI time: a comment/string/raw-string-aware Rust
+//! [`lexer`], a lightweight item [`scope`] scanner (no `syn` — token-level,
+//! like `recipe_scenario::toml`), and a [`rules`] engine with three rule
+//! families (determinism, shield coverage, hygiene) driven by a `lint.toml`
+//! [`config`] that reuses the scenario crate's TOML parser.
+//!
+//! Findings are silenced either by a config-level `[[allow]]` (rule + path
+//! prefix + reason) or an inline
+//! `recipe-lint: allow(<rule>, reason = "…")` comment — and the
+//! suppressions are themselves linted: an empty or missing reason is a
+//! finding ([`suppress`]).
+//!
+//! The `recipe-lint` binary walks the workspace, prints human or JSON
+//! output and exits `0` (clean), `1` (findings) or `2` (usage/config
+//! error); the `lint` CI job gates on it. The workspace itself stays clean:
+//! real findings get fixed or explicitly suppressed with reasons.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+pub mod suppress;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+pub use config::{parse_config, Config, PathAllow};
+pub use report::{Finding, LintReport};
+pub use rules::{rule_by_id, rule_ids, RULES};
+
+/// An analyzer failure (I/O or configuration), distinct from findings.
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints an in-memory set of `(repo-relative path, source)` files. This is
+/// the engine the binary, the fixture tests and the workspace-clean test
+/// all share.
+pub fn lint_files(files: &[(String, String)], config: &Config) -> LintReport {
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut domains = Vec::new();
+    let mut suppressions: BTreeMap<String, suppress::Suppressions> = BTreeMap::new();
+
+    for (path, source) in files {
+        let lexed = lexer::lex(source);
+        let scopes = scope::scan(&lexed.tokens);
+        let supp = suppress::parse(path, &lexed.comments);
+        let analysis = rules::analyze_file(path, &lexed.tokens, &scopes, config);
+        raw.extend(analysis.findings);
+        raw.extend(supp.findings.iter().cloned());
+        domains.extend(analysis.domains);
+        suppressions.insert(path.clone(), supp);
+    }
+    raw.extend(rules::check_domain_uniqueness(&domains));
+
+    let mut suppressed = 0usize;
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            let allowed = config.allow_for(&f.rule, &f.file).is_some()
+                || suppressions
+                    .get(&f.file)
+                    .is_some_and(|s| s.covers(&f.rule, f.line));
+            suppressed += allowed as usize;
+            !allowed
+        })
+        .collect();
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    LintReport {
+        files_scanned: files.len(),
+        suppressed,
+        findings,
+    }
+}
+
+/// Walks `root` for `.rs` files under the configured scan roots and lints
+/// them.
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<LintReport, LintError> {
+    let files = collect_sources(root, config)?;
+    Ok(lint_files(&files, config))
+}
+
+/// Loads `lint.toml` from `root` (falling back to defaults when absent)
+/// and lints the workspace.
+pub fn lint_workspace_at(root: &Path) -> Result<LintReport, LintError> {
+    let config_path = root.join("lint.toml");
+    let config = if config_path.exists() {
+        load_config(&config_path)?
+    } else {
+        Config::default()
+    };
+    lint_workspace(root, &config)
+}
+
+/// Reads and strictly parses a `lint.toml`.
+pub fn load_config(path: &Path) -> Result<Config, LintError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LintError(format!("cannot read {}: {e}", path.display())))?;
+    parse_config(&text).map_err(|e| LintError(format!("{}: {e}", path.display())))
+}
+
+/// Collects `(repo-relative path, source)` pairs under the scan roots, in
+/// sorted path order (the walk itself must be deterministic).
+fn collect_sources(root: &Path, config: &Config) -> Result<Vec<(String, String)>, LintError> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for scan_root in &config.roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, &mut paths)?;
+        }
+    }
+    let mut rel: Vec<String> = paths
+        .iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .filter(|r| !Config::path_matches(r, &config.exclude))
+        .collect();
+    rel.sort_unstable();
+    rel.dedup();
+    let mut out = Vec::with_capacity(rel.len());
+    for r in rel {
+        let text = std::fs::read_to_string(root.join(&r))
+            .map_err(|e| LintError(format!("cannot read {r}: {e}")))?;
+        out.push((r, text));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| LintError(format!("cannot list {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| LintError(format!("walk error under {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Never descend into build output or the vendored stand-ins.
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> (String, String) {
+        (path.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn inline_suppression_with_reason_silences_a_finding() {
+        let config = Config::default();
+        let dirty = lint_files(
+            &[file("crates/x/src/lib.rs", "fn f() { g().unwrap(); }")],
+            &config,
+        );
+        assert_eq!(dirty.findings.len(), 1);
+        assert_eq!(dirty.suppressed, 0);
+
+        let clean = lint_files(
+            &[file(
+                "crates/x/src/lib.rs",
+                "fn f() {\n    // recipe-lint: allow(unwrap-in-lib, reason = \"g is total\")\n    g().unwrap();\n}",
+            )],
+            &config,
+        );
+        assert!(clean.is_clean(), "{:?}", clean.findings);
+        assert_eq!(clean.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_itself_a_finding() {
+        let report = lint_files(
+            &[file(
+                "crates/x/src/lib.rs",
+                "fn f() {\n    // recipe-lint: allow(unwrap-in-lib)\n    g().unwrap();\n}",
+            )],
+            &Config::default(),
+        );
+        // The unwrap stays unsuppressed AND the empty reason is flagged.
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"unwrap-in-lib"));
+        assert!(rules.contains(&"suppression-reason"));
+    }
+
+    #[test]
+    fn config_allow_silences_by_path_prefix() {
+        let mut config = Config::default();
+        config.allows.push(PathAllow {
+            rule: "unwrap-in-lib".into(),
+            path: "crates/x/src".into(),
+            reason: "sanctioned".into(),
+        });
+        let report = lint_files(
+            &[
+                file("crates/x/src/lib.rs", "fn f() { g().unwrap(); }"),
+                file("crates/y/src/lib.rs", "fn f() { g().unwrap(); }"),
+            ],
+            &config,
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].file, "crates/y/src/lib.rs");
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn cross_file_domain_duplicates_are_caught() {
+        let report = lint_files(
+            &[
+                file(
+                    "crates/a/src/lib.rs",
+                    "const A_MAC_DOMAIN: &[u8] = b\"recipe.batch.v1\";",
+                ),
+                file(
+                    "crates/b/src/lib.rs",
+                    "const B_MAC_DOMAIN: &[u8] = b\"recipe.batch.v1\";",
+                ),
+            ],
+            &Config::default(),
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "mac-domain-unique");
+        assert_eq!(report.findings[0].file, "crates/b/src/lib.rs");
+    }
+}

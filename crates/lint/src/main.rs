@@ -1,0 +1,131 @@
+//! `recipe-lint` — the workspace static-analysis gate.
+//!
+//! ```text
+//! recipe-lint [--root DIR] [--config FILE] [--format human|json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes are stable: `0` clean, `1` findings, `2` usage or
+//! configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use recipe_lint::{lint_workspace, load_config, Config, RULES};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Human,
+        out: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = next_value(&mut it, "--root")?.into(),
+            "--config" => args.config = Some(next_value(&mut it, "--config")?.into()),
+            "--out" => args.out = Some(next_value(&mut it, "--out")?.into()),
+            "--format" => {
+                args.format = match next_value(&mut it, "--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (human|json)")),
+                }
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "recipe-lint [--root DIR] [--config FILE] [--format human|json] [--out FILE] [--list-rules]\n\
+                     \n\
+                     Workspace static analysis: determinism, shield-coverage and hygiene\n\
+                     invariants. Exit codes: 0 clean, 1 findings, 2 usage/config error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("recipe-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in RULES {
+            println!("{:<20} [{}] {}", rule.id, rule.family, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let config = if config_path.exists() {
+        match load_config(&config_path) {
+            Ok(config) => config,
+            Err(e) => {
+                eprintln!("recipe-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.config.is_some() {
+        eprintln!("recipe-lint: config {} not found", config_path.display());
+        return ExitCode::from(2);
+    } else {
+        Config::default()
+    };
+
+    let report = match lint_workspace(&args.root, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("recipe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = match args.format {
+        Format::Human => report.human(),
+        Format::Json => report.json(),
+    };
+    if let Some(out) = &args.out {
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("recipe-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{rendered}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

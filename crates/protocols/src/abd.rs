@@ -144,6 +144,7 @@ impl AbdReplica {
     }
 
     fn send(&mut self, ctx: &mut Ctx, dst: NodeId, msg: &AbdMsg) {
+        // recipe-lint: allow(unwrap-in-lib, reason = "serializing a self-owned in-memory message cannot fail")
         let payload = serde_json::to_vec(msg).expect("abd message serializes");
         let wire = self.shield.wrap(dst, 1, &payload);
         ctx.send(dst, wire);

@@ -117,6 +117,7 @@ impl AllConcurReplica {
     }
 
     fn send(&mut self, ctx: &mut Ctx, dst: NodeId, msg: &AllConcurMsg) {
+        // recipe-lint: allow(unwrap-in-lib, reason = "serializing a self-owned in-memory message cannot fail")
         let payload = serde_json::to_vec(msg).expect("allconcur message serializes");
         let wire = self.shield.wrap(dst, 1, &payload);
         ctx.send(dst, wire);

@@ -148,6 +148,7 @@ impl ChainReplica {
                     client_id,
                     request_id,
                 };
+                // recipe-lint: allow(unwrap-in-lib, reason = "serializing a self-owned in-memory message cannot fail")
                 let payload = serde_json::to_vec(&forward).expect("chain message serializes");
                 self.enqueue(ctx, next, payload);
             }

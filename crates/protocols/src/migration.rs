@@ -202,6 +202,7 @@ impl MigrationChannel {
             chunk.migration_id, self.migration_id,
             "chunk sealed on the wrong migration's channel"
         );
+        // recipe-lint: allow(unwrap-in-lib, reason = "serializing a self-owned in-memory chunk cannot fail")
         let payload = serde_json::to_vec(chunk).expect("migration chunk serializes");
         self.sender.wrap(
             endpoint(self.recipient, self.migration_id),

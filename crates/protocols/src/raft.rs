@@ -183,6 +183,7 @@ impl RaftReplica {
     }
 
     fn send(&mut self, ctx: &mut Ctx, dst: NodeId, msg: &RaftMsg) {
+        // recipe-lint: allow(unwrap-in-lib, reason = "serializing a self-owned in-memory message cannot fail")
         let payload = serde_json::to_vec(msg).expect("raft message serializes");
         self.enqueue(ctx, dst, payload);
     }

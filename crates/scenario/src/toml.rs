@@ -22,6 +22,29 @@
 //! [`Value::Map`] (insertion order preserved) — exactly the tree
 //! `serde_json::from_str::<Value>` produces, so the strict decoder in
 //! [`crate::decode`] serves both formats.
+//!
+//! This module is public API: besides scenario files, it parses
+//! `recipe-lint`'s `lint.toml` (paired with [`crate::decode::MapDecoder`]
+//! for strict unknown-key rejection). Parse a document with [`parse`] and
+//! walk the [`Value`] tree:
+//!
+//! ```
+//! use recipe_scenario::toml;
+//!
+//! let doc = toml::parse(
+//!     "[scan]\n\
+//!      roots = [\"crates\", \"src\"]  # directories walked\n\
+//!      budget_ms = 10_000\n",
+//! )
+//! .expect("well-formed document");
+//!
+//! let scan = doc.as_map().and_then(|m| serde::map_get(m, "scan")).unwrap();
+//! let roots = scan.as_map().and_then(|m| serde::map_get(m, "roots")).unwrap();
+//! assert_eq!(roots.as_array().map(<[_]>::len), Some(2));
+//!
+//! // Malformed input fails with the offending line, never parses wrong.
+//! assert_eq!(toml::parse("budget_ms = 0xfe").unwrap_err().line, 1);
+//! ```
 
 use std::collections::HashSet;
 

@@ -25,7 +25,7 @@
 //! wrappers lowering their workloads into `Request::Single` streams.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use recipe_core::Request;
 use recipe_sim::{RangeStateTransfer, Replica, StepOutcome};
@@ -97,7 +97,7 @@ pub(crate) struct Issued {
 
 /// Single-key operations currently in flight on the moving range of the
 /// active migration.
-fn singles_on_moving(st: &ControllerState, outstanding: &HashMap<u64, Issued>) -> usize {
+fn singles_on_moving(st: &ControllerState, outstanding: &BTreeMap<u64, Issued>) -> usize {
     match st.active_range() {
         Some((donor, arc_set)) => outstanding
             .values()
@@ -111,7 +111,7 @@ fn singles_on_moving(st: &ControllerState, outstanding: &HashMap<u64, Issued>) -
 /// operations plus transactions with a participant on it.
 fn inflight_on_moving(
     st: &ControllerState,
-    outstanding: &HashMap<u64, Issued>,
+    outstanding: &BTreeMap<u64, Issued>,
     txns: &TxnManager,
 ) -> usize {
     let singles = singles_on_moving(st, outstanding);
@@ -188,7 +188,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             link_latency,
         );
         let mut client_versions: Vec<RouterVersion> = vec![self.router.version(); clients];
-        let mut outstanding: HashMap<u64, Issued> = HashMap::new();
+        let mut outstanding: BTreeMap<u64, Issued> = BTreeMap::new();
         let mut next_request_id: HashMap<u64, u64> = HashMap::new();
         let mut latencies_ns: Vec<u64> = Vec::new();
         let mut shard_latencies: Vec<Vec<u64>> = vec![Vec::new(); shard_count];

@@ -29,7 +29,7 @@
 //! throughput timeline shows the true cost of the transfer, not a free move.
 
 use std::cmp::Reverse;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use recipe_core::{Operation, Request};
 use recipe_protocols::{ChunkPhase, MigrationChannel, MigrationChunk};
@@ -172,7 +172,7 @@ struct ActiveMigration {
 pub(crate) struct ControllerState {
     next_check_ns: u64,
     pub(crate) window_shard: Vec<u64>,
-    pub(crate) window_arc: HashMap<usize, u64>,
+    pub(crate) window_arc: BTreeMap<usize, u64>,
     active: Option<ActiveMigration>,
     next_migration_id: u64,
     pub(crate) stats: MigrationStats,
@@ -185,7 +185,7 @@ impl ControllerState {
         ControllerState {
             next_check_ns: first_check_ns,
             window_shard: vec![0; shards],
-            window_arc: HashMap::new(),
+            window_arc: BTreeMap::new(),
             active: None,
             next_migration_id: 0,
             stats: MigrationStats::default(),

@@ -7,7 +7,7 @@
 //! figures. All scheduling decisions are deterministic for a given seed.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -250,7 +250,7 @@ pub struct SimCluster<R: Replica> {
     next_seq: u64,
     now: u64,
     busy_until: Vec<u64>,
-    crashed: HashSet<NodeId>,
+    crashed: BTreeSet<NodeId>,
     /// Pending client bookkeeping: the outstanding request per client.
     issue_time: HashMap<u64, Outstanding>,
     next_request_id: HashMap<u64, u64>,
@@ -289,7 +289,7 @@ impl<R: Replica> SimCluster<R> {
             next_seq: 0,
             now: 0,
             busy_until: vec![0; n],
-            crashed: HashSet::new(),
+            crashed: BTreeSet::new(),
             issue_time: HashMap::new(),
             next_request_id: HashMap::new(),
             latencies_ns: Vec::new(),
@@ -397,7 +397,7 @@ impl<R: Replica> SimCluster<R> {
     }
 
     /// Nodes currently crashed.
-    pub fn crashed_nodes(&self) -> &HashSet<NodeId> {
+    pub fn crashed_nodes(&self) -> &BTreeSet<NodeId> {
         &self.crashed
     }
 
@@ -435,6 +435,7 @@ impl<R: Replica> SimCluster<R> {
         self.replicas
             .iter()
             .position(|r| r.id() == node)
+            // recipe-lint: allow(unwrap-in-lib, reason = "callers pass node ids obtained from this cluster")
             .expect("node is part of the cluster")
     }
 
@@ -864,8 +865,7 @@ impl<R: Replica> SimCluster<R> {
             }
         }
         // The configuration the node is handed includes who is still down.
-        let mut still_down: Vec<NodeId> = self.crashed.iter().copied().collect();
-        still_down.sort_unstable();
+        let still_down: Vec<NodeId> = self.crashed.iter().copied().collect();
         for down in still_down {
             self.replicas[idx].on_peer_down(down, &mut ctx);
         }

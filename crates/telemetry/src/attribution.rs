@@ -83,6 +83,7 @@ impl CostCategory {
         CostCategory::ALL
             .iter()
             .position(|c| *c == self)
+            // recipe-lint: allow(unwrap-in-lib, reason = "ALL enumerates every CostCategory variant")
             .expect("category is in ALL")
     }
 }

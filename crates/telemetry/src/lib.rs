@@ -132,6 +132,7 @@ impl ChargeKind {
         ChargeKind::ALL
             .iter()
             .position(|k| *k == self)
+            // recipe-lint: allow(unwrap-in-lib, reason = "ALL enumerates every ChargeKind variant")
             .expect("kind is in ALL")
     }
 }

@@ -342,6 +342,7 @@ impl TxnWorkloadGenerator {
         let mut attempts = 0usize;
         while ops.len() < want {
             if attempts >= want * 32 {
+                // recipe-lint: allow(unwrap-in-lib, reason = "the first draw is always accepted (fan_out >= 1), so ops is non-empty once the cap trips")
                 let repeat = ops.first().cloned().expect("at least one accepted op");
                 ops.push(repeat);
                 continue;

@@ -1,0 +1,24 @@
+//! The workspace ships lint-clean: `recipe-lint` over the real repo, with
+//! the real `lint.toml`, must report zero unsuppressed findings. Every
+//! suppression carries its reason either in `lint.toml` (`[[allow]]`) or in
+//! an inline `recipe-lint: allow(...)` comment, so a new finding — or a
+//! suppression whose reason went missing — fails the tier-1 suite, not just
+//! the CI lint job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = recipe_lint::lint_workspace_at(root).expect("workspace scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan ({} files) — did the scan roots move?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed lint findings:\n{}",
+        report.human()
+    );
+}
