@@ -48,6 +48,11 @@ const REGISTRY: &[Entry] = &[
         smoke_ops: 2400,
         run: |ops| recipe_bench::failover_summary(&recipe_bench::fig_failover(ops)),
     },
+    Entry {
+        name: "tenancy",
+        smoke_ops: 1500,
+        run: |ops| recipe_bench::tenancy_summary(&recipe_bench::fig_tenancy(ops)),
+    },
 ];
 
 fn main() {

@@ -63,6 +63,12 @@ fn main() {
             outcome.stats.txn.aborted,
             outcome.view_changes,
         );
+        for t in &outcome.stats.gateway.tenants {
+            println!(
+                "  tenant {:<10} admitted {:>6}  throttled {:>6}  rejected {:>4}  committed ops {:>6}",
+                t.tenant, t.admitted, t.throttled, t.rejected, t.committed_ops
+            );
+        }
         let prefix = metric_slug(outcome.protocol);
         metrics.push(BenchMetric {
             name: format!("{prefix}_committed_ops"),

@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use recipe_attest::{ConfigAndAttestService, IntelAttestationService, QuoteVerifier, SecretBundle};
 use recipe_bft::{DamysusReplica, PbftReplica};
 use recipe_core::{Membership, Operation, Request};
+use recipe_gateway::{GatewayConfig, TenantSpec};
 use recipe_net::{CrashPlan, ExecMode, NetCostModel, NodeId, Transport};
 use recipe_protocols::{AbdReplica, AllConcurReplica, BatchConfig, ChainReplica, RaftReplica};
 use recipe_shard::{
@@ -21,7 +22,9 @@ use recipe_shard::{
 };
 use recipe_sim::{ClientModel, CostProfile, Replica, RunStats, SimCluster, SimConfig};
 use recipe_telemetry::{TelemetryConfig, TelemetryReport};
-use recipe_workload::{stable_key_hash, TxnWorkloadSpec, WorkloadSpec};
+use recipe_workload::{
+    stable_key_hash, TenantMixSpec, TxnWorkloadSpec, WorkloadRequest, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which system a run exercises.
@@ -1364,6 +1367,183 @@ pub fn failover_summary(report: &FailoverReport) -> BenchSummary {
     summary
         .metrics
         .extend(latency_metrics("crash_2pc_", &report.crash_2pc.total));
+    summary
+}
+
+/// The outcome of `fig_tenancy`: noisy-neighbour containment under the
+/// tenant gateway's token-bucket admission control.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenancyReport {
+    /// Solo vs contended throughput; "speedup" is relative to the solo twin.
+    pub rows: Vec<ExperimentRow>,
+    /// The three well-behaved tenants running alone (the yardstick).
+    pub solo: ShardedRunStats,
+    /// The same quiet tenants plus a noisy tenant whose clients demand ~10×
+    /// its quota, clamped by the gateway's token bucket.
+    pub contained: ShardedRunStats,
+    /// The quota the noisy tenant was clamped to, ops per virtual second.
+    pub noisy_quota_ops_per_sec: u64,
+    /// Relative p99 degradation the quiet tenants suffered:
+    /// `contained_p99 / solo_p99 - 1`.
+    pub p99_degradation: f64,
+}
+
+/// Runs the multi-tenant noisy-neighbour experiment: three quiet tenants
+/// establish a solo baseline, then a fourth tenant joins whose closed-loop
+/// demand is ~10× the quota it is granted. The gateway's deterministic token
+/// bucket defers the excess before it reaches the router, so the quiet
+/// tenants' p99 stays within 10% of their solo baseline — the containment
+/// bound this figure asserts.
+pub fn fig_tenancy(operations: usize) -> TenancyReport {
+    const QUIET: [&str; 3] = ["alpha", "beta", "gamma"];
+    const CLIENTS_PER_TENANT: usize = 6;
+    let run = |tenants: Vec<TenantSpec>| -> ShardedRunStats {
+        let count = tenants.len();
+        let clients = count * CLIENTS_PER_TENANT;
+        let mut gateway = GatewayConfig::enabled();
+        for tenant in tenants {
+            gateway = gateway.with_tenant(tenant);
+        }
+        let spec = DeploymentSpec::new(2, 3)
+            .with_seed(23)
+            .with_clients(clients, operations)
+            .with_gateway(gateway);
+        let mut cluster = ShardedCluster::<RaftReplica>::build(spec);
+        // Every tenant runs the same YCSB mix; per-client streams derive
+        // from the mix seed, so adding the noisy tenant leaves the quiet
+        // tenants' request sequences untouched.
+        let mix = TenantMixSpec::uniform(
+            count,
+            WorkloadSpec {
+                seed: 23,
+                ..WorkloadSpec::ycsb(0.5, 256)
+            },
+        );
+        let generators = RefCell::new(mix.generators(clients));
+        cluster.run_requests(move |client, _seq| {
+            let op = generators.borrow_mut()[client as usize].next_op();
+            Some(recipe_shard::request_from_workload(
+                WorkloadRequest::Single(op),
+            ))
+        })
+    };
+
+    let solo = run(QUIET.iter().map(|n| TenantSpec::new(*n)).collect());
+    // Grant the noisy tenant a tenth of one solo fair share: its six clients
+    // would claim a full share if unthrottled, so demand lands at ~10× quota.
+    let fair_share = solo.total.throughput_ops / QUIET.len() as f64;
+    let noisy_quota = ((fair_share / 10.0).ceil() as u64).max(1);
+    let mut tenants: Vec<TenantSpec> = QUIET.iter().map(|n| TenantSpec::new(*n)).collect();
+    // A tight burst (not the default quota/10): the default would hand the
+    // noisy tenant a free opening burst the size of a whole smoke run.
+    tenants.push(
+        TenantSpec::new("noisy")
+            .with_quota(noisy_quota)
+            .with_burst(4),
+    );
+    let contained = run(tenants);
+
+    // The bucket must have actually clamped the noisy tenant...
+    let noisy = contained
+        .gateway
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "noisy")
+        .expect("noisy tenant accounted");
+    assert!(
+        noisy.throttled > 0,
+        "the noisy tenant was never throttled; the experiment exercised nothing"
+    );
+    // ...without starving it outright, and every quiet tenant kept working.
+    assert!(noisy.committed_ops > 0, "noisy tenant starved to zero");
+    for name in QUIET {
+        let t = contained
+            .gateway
+            .tenants
+            .iter()
+            .find(|t| t.tenant == name)
+            .expect("quiet tenant accounted");
+        assert!(t.committed_ops > 0, "tenant {name} committed nothing");
+        assert_eq!(t.rejected, 0, "tenant {name} spuriously rejected");
+    }
+    // The containment bound itself: the noisy tenant's 10× overload moves
+    // the quiet tenants' p99 by less than 10%.
+    let p99_degradation = contained.total.p99_latency_us / solo.total.p99_latency_us - 1.0;
+    assert!(
+        p99_degradation < 0.10,
+        "noisy neighbour not contained: p99 {:.1} us -> {:.1} us (+{:.1}%)",
+        solo.total.p99_latency_us,
+        contained.total.p99_latency_us,
+        p99_degradation * 100.0
+    );
+
+    let rows = vec![
+        ExperimentRow {
+            protocol: "R-Raft 2 shards, 3 tenants".into(),
+            config: "solo (quiet tenants only)".into(),
+            throughput_ops: solo.total.throughput_ops,
+            mean_latency_us: solo.total.mean_latency_us,
+            speedup_vs_baseline: 1.0,
+        },
+        ExperimentRow {
+            protocol: "R-Raft 2 shards, 4 tenants".into(),
+            config: "noisy tenant at 10x quota".into(),
+            throughput_ops: contained.total.throughput_ops,
+            mean_latency_us: contained.total.mean_latency_us,
+            speedup_vs_baseline: contained.total.throughput_ops / solo.total.throughput_ops,
+        },
+    ];
+    TenancyReport {
+        rows,
+        solo,
+        contained,
+        noisy_quota_ops_per_sec: noisy_quota,
+        p99_degradation,
+    }
+}
+
+/// The summary of a `fig_tenancy` run: solo and contended throughput
+/// (gated) plus the containment figures and per-tenant admission counters.
+pub fn tenancy_summary(report: &TenancyReport) -> BenchSummary {
+    let mut summary = BenchSummary {
+        bench: "fig_tenancy".into(),
+        metrics: vec![
+            BenchMetric {
+                name: "solo_quiet_ops_per_sec".into(),
+                value: report.solo.total.throughput_ops,
+            },
+            BenchMetric {
+                name: "contained_ops_per_sec".into(),
+                value: report.contained.total.throughput_ops,
+            },
+            // Informational (not `_ops_per_sec`): the quota is an input knob
+            // derived from the solo run, not a measured rate to gate.
+            BenchMetric {
+                name: "noisy_quota_ops".into(),
+                value: report.noisy_quota_ops_per_sec as f64,
+            },
+            BenchMetric {
+                name: "p99_degradation_pct".into(),
+                value: report.p99_degradation * 100.0,
+            },
+        ],
+    };
+    for t in &report.contained.gateway.tenants {
+        summary.metrics.push(BenchMetric {
+            name: format!("{}_committed_ops", metric_slug(&t.tenant)),
+            value: t.committed_ops as f64,
+        });
+        summary.metrics.push(BenchMetric {
+            name: format!("{}_throttled", metric_slug(&t.tenant)),
+            value: t.throttled as f64,
+        });
+    }
+    summary
+        .metrics
+        .extend(latency_metrics("solo_", &report.solo.total));
+    summary
+        .metrics
+        .extend(latency_metrics("contained_", &report.contained.total));
     summary
 }
 

@@ -1,0 +1,415 @@
+//! # recipe-gateway — the tenant gateway in front of the sharded driver
+//!
+//! The paper's middleware sits between untrusted clients and a confidential
+//! replicated store; this crate is the front door of that middleware: a
+//! composable chain of inbound ([`MiddlewareIn`]) and outbound
+//! ([`MiddlewareOut`]) stages — the `Middlewares(Vec<Middleware>)` shape of
+//! golem's worker gateway — that every [`Request`] traverses *before* the
+//! consistent-hash router:
+//!
+//! ```text
+//! client ──▶ gateway (resolve ▸ auth ▸ admission ▸ key-scope) ──▶ router ──▶ engine
+//!                 │ reject: client observes an error, moves on
+//!                 │ defer:  driver retries at the bucket's refill time
+//!                 ◀── completions run the outbound chain (accounting) ──
+//! ```
+//!
+//! On top of the chain it implements multi-tenancy:
+//!
+//! * **per-tenant authentication** — a MAC credential per tenant under
+//!   [`GATEWAY_MAC_DOMAIN`], derived from a master key exactly like
+//!   `AuthLayer` derives per-channel keys;
+//! * **tenant-scoped keyspaces** — every key is rewritten to
+//!   `<tenant>/<key>` before routing, and tenant names are validated
+//!   prefix-free, so tenants cannot read or clobber each other's keys on
+//!   any shard, through any migration;
+//! * **deterministic admission control** — integer token buckets on the
+//!   virtual clock: same seed, same throttle decisions, bit for bit.
+//!
+//! The gateway is **off by default** and bit-invisible when off (the same
+//! bar the telemetry subsystem meets): a driver built without a gateway, or
+//! with an empty pipeline, schedules the identical event sequence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod pipeline;
+pub mod tenant;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use recipe_core::Request;
+use recipe_crypto::MacKey;
+use serde::{Deserialize, Serialize};
+
+pub use admission::{Admission, TokenBucket};
+pub use pipeline::{
+    Decision, MiddlewareIn, MiddlewareOut, Pipeline, RejectReason, RequestCtx, ResponseCtx,
+};
+pub use tenant::{
+    mint_credential, scoped_prefix, KeyScope, TenantAuth, TenantResolve, TenantSpec,
+    GATEWAY_MAC_DOMAIN,
+};
+
+/// Gateway configuration as carried by a `DeploymentSpec` or scenario file.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    /// Master switch; when false the driver builds no pipeline at all and
+    /// runs are bit-identical to a gateway-less build.
+    pub enabled: bool,
+    /// The deployment's tenants, in declaration order. Empty = enabled but
+    /// untenanted: a pass-through pipeline (also bit-invisible).
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl GatewayConfig {
+    /// An enabled gateway with no tenants (pass-through).
+    pub fn enabled() -> Self {
+        GatewayConfig {
+            enabled: true,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Adds a tenant.
+    pub fn with_tenant(mut self, tenant: TenantSpec) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Validates the whole gateway block; error messages name the offending
+    /// field (`gateway.tenant[1].name: ...`).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, tenant) in self.tenants.iter().enumerate() {
+            tenant.validate(&format!("gateway.tenant[{i}]"))?;
+            if let Some(j) = self.tenants[..i].iter().position(|t| t.name == tenant.name) {
+                return Err(format!(
+                    "gateway.tenant[{i}].name: duplicate tenant name `{}` (also tenant[{j}]) \
+                     — tenant names are key namespaces and must be unique",
+                    tenant.name
+                ));
+            }
+        }
+        if !self.enabled && !self.tenants.is_empty() {
+            return Err(
+                "gateway.enabled: tenants are configured but the gateway is disabled \
+                 — enable it or drop the tenant blocks"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Per-tenant admission/accounting counters, reported in `ShardedRunStats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests admitted to the router.
+    pub admitted: u64,
+    /// Requests rejected outright (failed authentication).
+    pub rejected: u64,
+    /// Throttle events (a request may be deferred several times before a
+    /// token frees up; each deferral counts).
+    pub throttled: u64,
+    /// Operations whose commit completed, attributed by the outbound
+    /// accounting stage.
+    pub committed_ops: u64,
+}
+
+/// Gateway-level run statistics: one entry per tenant, declaration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayStats {
+    /// Per-tenant counters (empty when the gateway is off or untenanted).
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Shared mutable stats: the gateway facade increments admission counters,
+/// the outbound accounting middleware increments completion counters.
+type SharedStats = Rc<RefCell<GatewayStats>>;
+
+/// The outbound accounting stage: attributes every completed operation to
+/// its tenant.
+struct Accounting {
+    stats: SharedStats,
+}
+
+impl MiddlewareOut for Accounting {
+    fn name(&self) -> &'static str {
+        "accounting"
+    }
+
+    fn on_response(&mut self, ctx: &ResponseCtx) {
+        if let Some(tenant) = ctx.tenant {
+            if let Some(t) = self.stats.borrow_mut().tenants.get_mut(tenant) {
+                t.committed_ops += ctx.ops as u64;
+            }
+        }
+    }
+}
+
+/// The gateway's verdict on one request, as consumed by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayVerdict {
+    /// Forward to the router (keys already tenant-scoped).
+    Admitted {
+        /// Resolved tenant index, if tenanted.
+        tenant: Option<usize>,
+    },
+    /// Drop the request; the client observes an error and issues its next
+    /// operation.
+    Rejected {
+        /// Resolved tenant index, if resolution got that far.
+        tenant: Option<usize>,
+        /// Why the request was refused.
+        reason: RejectReason,
+    },
+    /// Re-present the request at `retry_at_ns` (virtual time).
+    Throttled {
+        /// Tenant whose bucket is empty.
+        tenant: Option<usize>,
+        /// Deterministic retry time.
+        retry_at_ns: u64,
+    },
+}
+
+/// The assembled gateway: the pipeline plus tenant metadata and stats.
+/// Built once per run by the sharded driver (when the config enables it).
+pub struct Gateway {
+    pipeline: Pipeline,
+    tenant_names: Vec<String>,
+    tenant_count: usize,
+    stats: SharedStats,
+}
+
+impl Gateway {
+    /// Builds the standard pipeline for `config`:
+    /// `tenant_resolve ▸ tenant_auth ▸ admission ▸ key_scope` inbound,
+    /// `accounting` outbound. Returns `None` when the gateway is disabled —
+    /// the driver then skips the admission hook entirely. The master key is
+    /// derived from the deployment seed, so credentials are deterministic
+    /// per seed.
+    pub fn from_config(config: &GatewayConfig, seed: u64) -> Option<Gateway> {
+        if !config.enabled {
+            return None;
+        }
+        let stats: SharedStats = Rc::new(RefCell::new(GatewayStats {
+            tenants: config
+                .tenants
+                .iter()
+                .map(|t| TenantStats {
+                    tenant: t.name.clone(),
+                    ..TenantStats::default()
+                })
+                .collect(),
+        }));
+        let mut pipeline = Pipeline::new();
+        if !config.tenants.is_empty() {
+            let master = master_key(seed);
+            pipeline.push_in(Box::new(TenantResolve::new(config.tenants.len())));
+            pipeline.push_in(Box::new(TenantAuth::new(&master, &config.tenants)));
+            pipeline.push_in(Box::new(Admission::new(&config.tenants)));
+            pipeline.push_in(Box::new(KeyScope::new(&config.tenants)));
+            pipeline.push_out(Box::new(Accounting {
+                stats: Rc::clone(&stats),
+            }));
+        }
+        Some(Gateway {
+            pipeline,
+            tenant_names: config.tenants.iter().map(|t| t.name.clone()).collect(),
+            tenant_count: config.tenants.len(),
+            stats,
+        })
+    }
+
+    /// Number of configured tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenant_count
+    }
+
+    /// A tenant's name, by index.
+    pub fn tenant_name(&self, tenant: usize) -> Option<&str> {
+        self.tenant_names.get(tenant).map(|s| s.as_str())
+    }
+
+    /// The client → tenant mapping this gateway uses.
+    pub fn tenant_of(&self, client_id: u64) -> Option<usize> {
+        TenantResolve::tenant_of(client_id, self.tenant_count)
+    }
+
+    /// Runs the inbound chain on a request at virtual time `now_ns`. On
+    /// admission the request's keys are already rewritten into the tenant's
+    /// namespace.
+    pub fn admit(
+        &mut self,
+        client_id: u64,
+        request_id: u64,
+        now_ns: u64,
+        request: &mut Request,
+    ) -> GatewayVerdict {
+        let mut ctx = RequestCtx {
+            client_id,
+            request_id,
+            now_ns,
+            tenant: None,
+        };
+        let decision = self.pipeline.admit(&mut ctx, request);
+        let mut stats = self.stats.borrow_mut();
+        let bump = |stats: &mut GatewayStats, tenant: Option<usize>, f: fn(&mut TenantStats)| {
+            if let Some(t) = tenant.and_then(|t| stats.tenants.get_mut(t)) {
+                f(t);
+            }
+        };
+        match decision {
+            Decision::Admit => {
+                bump(&mut stats, ctx.tenant, |t| t.admitted += 1);
+                GatewayVerdict::Admitted { tenant: ctx.tenant }
+            }
+            Decision::Reject(reason) => {
+                bump(&mut stats, ctx.tenant, |t| t.rejected += 1);
+                GatewayVerdict::Rejected {
+                    tenant: ctx.tenant,
+                    reason,
+                }
+            }
+            Decision::Defer { retry_at_ns } => {
+                bump(&mut stats, ctx.tenant, |t| t.throttled += 1);
+                GatewayVerdict::Throttled {
+                    tenant: ctx.tenant,
+                    retry_at_ns,
+                }
+            }
+        }
+    }
+
+    /// Runs the outbound chain for a completed request of `ops` operations.
+    pub fn complete(&mut self, client_id: u64, now_ns: u64, ops: usize) {
+        let ctx = ResponseCtx {
+            client_id,
+            now_ns,
+            tenant: self.tenant_of(client_id),
+            ops,
+        };
+        self.pipeline.complete(&ctx);
+    }
+
+    /// Snapshot of the per-tenant counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats.borrow().clone()
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("tenants", &self.tenant_names)
+            .field("pipeline", &self.pipeline)
+            .finish()
+    }
+}
+
+/// Derives the gateway's master MAC key from the deployment seed — the
+/// same "one root secret, per-purpose derivations" pattern the enclave's
+/// provisioned `AuthLayer` keys follow.
+fn master_key(seed: u64) -> MacKey {
+    let mut bytes = [0u8; 32];
+    for (i, chunk) in bytes.chunks_mut(8).enumerate() {
+        chunk.copy_from_slice(&seed.wrapping_add(i as u64).to_le_bytes());
+    }
+    MacKey::from_bytes(bytes).derive("gateway:master")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe_core::Operation;
+
+    fn tenanted() -> GatewayConfig {
+        GatewayConfig::enabled()
+            .with_tenant(TenantSpec::new("alice").with_quota(1_000))
+            .with_tenant(TenantSpec::new("bob"))
+    }
+
+    fn get(key: &[u8]) -> Request {
+        Request::Single(Operation::Get { key: key.to_vec() })
+    }
+
+    #[test]
+    fn disabled_config_builds_no_gateway() {
+        assert!(Gateway::from_config(&GatewayConfig::default(), 1).is_none());
+        assert!(Gateway::from_config(&GatewayConfig::enabled(), 1).is_some());
+    }
+
+    #[test]
+    fn admitted_request_is_scoped_and_counted() {
+        let mut gw = Gateway::from_config(&tenanted(), 42).expect("enabled");
+        let mut req = get(b"user1");
+        let verdict = gw.admit(0, 1, 0, &mut req);
+        assert_eq!(verdict, GatewayVerdict::Admitted { tenant: Some(0) });
+        assert_eq!(req.ops()[0].key(), b"alice/user1");
+        gw.complete(0, 10, 1);
+        let stats = gw.stats();
+        assert_eq!(stats.tenants[0].admitted, 1);
+        assert_eq!(stats.tenants[0].committed_ops, 1);
+        assert_eq!(stats.tenants[1].admitted, 0);
+    }
+
+    #[test]
+    fn revoked_tenant_is_rejected_every_time() {
+        let config = GatewayConfig::enabled().with_tenant(TenantSpec::new("mallory").revoked());
+        let mut gw = Gateway::from_config(&config, 42).expect("enabled");
+        let mut req = get(b"k");
+        match gw.admit(0, 1, 0, &mut req) {
+            GatewayVerdict::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::BadCredential)
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // The rejected request was never key-scoped.
+        assert_eq!(req.ops()[0].key(), b"k");
+        assert_eq!(gw.stats().tenants[0].rejected, 1);
+    }
+
+    #[test]
+    fn same_seed_same_verdict_sequence() {
+        let run = || {
+            let mut gw = Gateway::from_config(
+                &GatewayConfig::enabled().with_tenant(TenantSpec::new("t").with_quota(100)),
+                7,
+            )
+            .expect("enabled");
+            (0..500u64)
+                .map(|i| gw.admit(0, i, i * 100_000, &mut get(b"k")))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a
+            .iter()
+            .any(|v| matches!(v, GatewayVerdict::Throttled { .. })));
+        assert!(a
+            .iter()
+            .any(|v| matches!(v, GatewayVerdict::Admitted { .. })));
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let dup = GatewayConfig::enabled()
+            .with_tenant(TenantSpec::new("a"))
+            .with_tenant(TenantSpec::new("a"));
+        let err = dup.validate().expect_err("duplicate must fail");
+        assert!(err.contains("gateway.tenant[1].name"), "{err}");
+
+        let disabled_with_tenants = GatewayConfig {
+            enabled: false,
+            tenants: vec![TenantSpec::new("a")],
+        };
+        let err = disabled_with_tenants.validate().expect_err("contradiction");
+        assert!(err.contains("gateway.enabled"), "{err}");
+
+        assert!(tenanted().validate().is_ok());
+    }
+}

@@ -1,0 +1,217 @@
+//! The composable middleware chain.
+//!
+//! A [`Pipeline`] is an ordered list of inbound middlewares (auth, tenant
+//! resolution, admission control, key scoping) and outbound middlewares
+//! (accounting, response transforms), processed sequentially per request —
+//! the `Middlewares(Vec<Middleware>)` shape of golem's gateway, specialised
+//! to the deterministic driver: every hook runs on the virtual clock and is
+//! forbidden (by `recipe-lint`'s determinism family — this crate is a core
+//! path) from consulting wall clocks or ambient randomness.
+
+use recipe_core::Request;
+
+/// Everything a middleware may read about the request being admitted.
+///
+/// `tenant` starts as `None` and is filled in by the resolution middleware;
+/// later stages read it (and a `None` past resolution means "untenanted
+/// deployment", not an error).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestCtx {
+    /// Closed-loop client issuing the request.
+    pub client_id: u64,
+    /// Per-client request sequence number.
+    pub request_id: u64,
+    /// Virtual-clock timestamp of the admission decision.
+    pub now_ns: u64,
+    /// Tenant index resolved for this request, if any.
+    pub tenant: Option<usize>,
+}
+
+/// Completion notification handed to the outbound chain.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseCtx {
+    /// Client whose request completed.
+    pub client_id: u64,
+    /// Virtual-clock completion timestamp.
+    pub now_ns: u64,
+    /// Tenant the request was admitted under, if any.
+    pub tenant: Option<usize>,
+    /// Operations the request carried (1 for singles, N for transactions).
+    pub ops: usize,
+}
+
+/// Why an inbound middleware refused a request outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's credential failed MAC verification.
+    BadCredential,
+    /// The client maps to no configured tenant.
+    UnknownTenant,
+}
+
+impl RejectReason {
+    /// Stable label used in telemetry and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::BadCredential => "bad_credential",
+            RejectReason::UnknownTenant => "unknown_tenant",
+        }
+    }
+}
+
+/// The verdict of one inbound middleware (and, by folding, of the whole
+/// chain): the first non-[`Decision::Admit`] short-circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Pass the request to the next middleware (or the router).
+    Admit,
+    /// Drop the request; the client observes an error and moves on.
+    Reject(RejectReason),
+    /// Defer the request: the driver re-presents it at `retry_at_ns`
+    /// (deterministic virtual time — token-bucket refill, not backoff
+    /// jitter).
+    Defer {
+        /// Virtual time at which the request should be retried.
+        retry_at_ns: u64,
+    },
+}
+
+/// Inbound middleware: sees (and may rewrite) every request before the
+/// router.
+pub trait MiddlewareIn {
+    /// Stable middleware name (telemetry, debugging).
+    fn name(&self) -> &'static str;
+    /// Inspect/transform the request; the first non-`Admit` decision in the
+    /// chain wins.
+    fn on_request(&mut self, ctx: &mut RequestCtx, request: &mut Request) -> Decision;
+}
+
+/// Outbound middleware: observes every completion (accounting, response
+/// transforms).
+pub trait MiddlewareOut {
+    /// Stable middleware name.
+    fn name(&self) -> &'static str;
+    /// Observe a completed request.
+    fn on_response(&mut self, ctx: &ResponseCtx);
+}
+
+/// An ordered middleware chain. Requests traverse `inbound` front to back
+/// before routing; completions traverse `outbound` front to back.
+#[derive(Default)]
+pub struct Pipeline {
+    inbound: Vec<Box<dyn MiddlewareIn>>,
+    outbound: Vec<Box<dyn MiddlewareOut>>,
+}
+
+impl Pipeline {
+    /// The empty (pass-through) pipeline: admits everything untouched.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Appends an inbound middleware (runs after those already pushed).
+    pub fn push_in(&mut self, mw: Box<dyn MiddlewareIn>) {
+        self.inbound.push(mw);
+    }
+
+    /// Appends an outbound middleware.
+    pub fn push_out(&mut self, mw: Box<dyn MiddlewareOut>) {
+        self.outbound.push(mw);
+    }
+
+    /// Number of inbound stages (diagnostics).
+    pub fn inbound_len(&self) -> usize {
+        self.inbound.len()
+    }
+
+    /// Runs the inbound chain. The first non-`Admit` decision
+    /// short-circuits; a request that reaches the end is admitted with its
+    /// (possibly rewritten) operations.
+    pub fn admit(&mut self, ctx: &mut RequestCtx, request: &mut Request) -> Decision {
+        for mw in &mut self.inbound {
+            match mw.on_request(ctx, request) {
+                Decision::Admit => {}
+                other => return other,
+            }
+        }
+        Decision::Admit
+    }
+
+    /// Runs the outbound chain on a completion.
+    pub fn complete(&mut self, ctx: &ResponseCtx) {
+        for mw in &mut self.outbound {
+            mw.on_response(ctx);
+        }
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage_names = |names: Vec<&'static str>| names.join(" -> ");
+        write!(
+            f,
+            "Pipeline {{ in: [{}], out: [{}] }}",
+            stage_names(self.inbound.iter().map(|m| m.name()).collect()),
+            stage_names(self.outbound.iter().map(|m| m.name()).collect()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipe_core::Operation;
+
+    struct Tag(&'static str, Decision);
+    impl MiddlewareIn for Tag {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn on_request(&mut self, _ctx: &mut RequestCtx, request: &mut Request) -> Decision {
+            if let Request::Single(Operation::Put { value, .. }) = request {
+                value.push(self.0.as_bytes()[0]);
+            }
+            self.1
+        }
+    }
+
+    fn put() -> Request {
+        Request::Single(Operation::Put {
+            key: b"k".to_vec(),
+            value: Vec::new(),
+        })
+    }
+
+    fn ctx() -> RequestCtx {
+        RequestCtx {
+            client_id: 0,
+            request_id: 1,
+            now_ns: 0,
+            tenant: None,
+        }
+    }
+
+    #[test]
+    fn stages_run_in_order_and_first_refusal_wins() {
+        let mut p = Pipeline::new();
+        p.push_in(Box::new(Tag("a", Decision::Admit)));
+        p.push_in(Box::new(Tag("b", Decision::Defer { retry_at_ns: 7 })));
+        p.push_in(Box::new(Tag("c", Decision::Admit)));
+        let mut req = put();
+        let decision = p.admit(&mut ctx(), &mut req);
+        assert_eq!(decision, Decision::Defer { retry_at_ns: 7 });
+        // `a` and `b` ran (in order); `c` never saw the request.
+        match req {
+            Request::Single(Operation::Put { value, .. }) => assert_eq!(value, b"ab"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_admits_untouched() {
+        let mut p = Pipeline::new();
+        let mut req = put();
+        assert_eq!(p.admit(&mut ctx(), &mut req), Decision::Admit);
+        assert_eq!(req, put());
+    }
+}

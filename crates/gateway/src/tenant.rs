@@ -1,0 +1,322 @@
+//! Tenant resolution, per-tenant authentication and keyspace scoping.
+//!
+//! Tenancy is decided *before* the router sees a request, so everything a
+//! tenant does downstream — routing, replication, migration — happens under
+//! its scoped keys and nothing downstream needs tenant awareness.
+
+use recipe_core::{Operation, Request};
+use recipe_crypto::{MacKey, MacTag};
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::{Decision, MiddlewareIn, RejectReason, RequestCtx};
+
+/// MAC domain for tenant credentials: a credential is
+/// `MAC(derive(master, "gateway:tenant:<name>"), GATEWAY_MAC_DOMAIN || name)`.
+/// Domain-separated from every other wire format (the lint registry holds
+/// workspace-wide uniqueness).
+pub const GATEWAY_MAC_DOMAIN: &[u8] = b"recipe.gateway.v1";
+
+/// Declarative description of one tenant, as it appears in a
+/// `DeploymentSpec` or scenario file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant name; becomes the key-namespace prefix, so it must be
+    /// nonempty, `/`-free and unique (validated at deployment build).
+    pub name: String,
+    /// Admission quota in operations per virtual second; `0` = unlimited.
+    pub quota_ops_per_sec: u64,
+    /// Token-bucket burst capacity in operations (how far a tenant may run
+    /// ahead of its steady-state quota). Ignored when unlimited.
+    pub burst_ops: u64,
+    /// When false, the gateway mints this tenant's credential under a
+    /// revoked key, so every request fails authentication — the
+    /// deterministic stand-in for a key-rotation lockout.
+    pub authorized: bool,
+}
+
+impl TenantSpec {
+    /// An authorized tenant with an unlimited quota.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            quota_ops_per_sec: 0,
+            burst_ops: 1,
+            authorized: true,
+        }
+    }
+
+    /// Sets the admission quota (ops per virtual second) with a burst
+    /// capacity of one tenth of it (at least one op).
+    pub fn with_quota(mut self, ops_per_sec: u64) -> Self {
+        self.quota_ops_per_sec = ops_per_sec;
+        self.burst_ops = (ops_per_sec / 10).max(1);
+        self
+    }
+
+    /// Overrides the burst capacity.
+    pub fn with_burst(mut self, burst_ops: u64) -> Self {
+        self.burst_ops = burst_ops;
+        self
+    }
+
+    /// Marks the tenant's credential revoked.
+    pub fn revoked(mut self) -> Self {
+        self.authorized = false;
+        self
+    }
+
+    /// Checks a tenant spec in isolation; `field` names the spec's position
+    /// for error messages (`gateway.tenant[2]`).
+    pub fn validate(&self, field: &str) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err(format!("{field}.name: must be nonempty"));
+        }
+        if !self
+            .name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+        {
+            return Err(format!(
+                "{field}.name: `{}` must be [a-z0-9_-]+ (it becomes a key-namespace prefix)",
+                self.name
+            ));
+        }
+        if self.quota_ops_per_sec > 0 && self.burst_ops == 0 {
+            return Err(format!(
+                "{field}.burst_ops: must be >= 1 when quota_ops_per_sec is set \
+                 (a zero-burst bucket admits nothing, ever)"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Derives the per-tenant credential key from the deployment's master key.
+/// The label is domain-separated per tenant, mirroring `AuthLayer`'s
+/// per-channel `master.derive(label)` provisioning.
+fn tenant_key(master: &MacKey, name: &str) -> MacKey {
+    master.derive(&format!("gateway:tenant:{name}"))
+}
+
+/// Mints the credential a tenant presents on every request. A revoked
+/// tenant gets a tag under a different derivation, so verification fails
+/// without any non-determinism.
+pub fn mint_credential(master: &MacKey, name: &str, authorized: bool) -> MacTag {
+    let key = if authorized {
+        tenant_key(master, name)
+    } else {
+        master.derive(&format!("gateway:revoked:{name}"))
+    };
+    key.tag_parts(&[GATEWAY_MAC_DOMAIN, name.as_bytes()])
+}
+
+/// Resolves the tenant for a client: clients are assigned round-robin
+/// (`client_id % tenants`), the same mapping the per-tenant workload mixes
+/// use, so load composition is a pure function of the client id.
+pub struct TenantResolve {
+    tenants: usize,
+}
+
+impl TenantResolve {
+    /// Builds the resolver for a deployment with `tenants` tenants.
+    pub fn new(tenants: usize) -> Self {
+        TenantResolve { tenants }
+    }
+
+    /// The client → tenant mapping (shared with workload construction).
+    pub fn tenant_of(client_id: u64, tenants: usize) -> Option<usize> {
+        if tenants == 0 {
+            None
+        } else {
+            Some((client_id % tenants as u64) as usize)
+        }
+    }
+}
+
+impl MiddlewareIn for TenantResolve {
+    fn name(&self) -> &'static str {
+        "tenant_resolve"
+    }
+
+    fn on_request(&mut self, ctx: &mut RequestCtx, _request: &mut Request) -> Decision {
+        match TenantResolve::tenant_of(ctx.client_id, self.tenants) {
+            Some(tenant) => {
+                ctx.tenant = Some(tenant);
+                Decision::Admit
+            }
+            None => Decision::Reject(RejectReason::UnknownTenant),
+        }
+    }
+}
+
+/// Verifies the resolved tenant's credential against the gateway's derived
+/// per-tenant key — the `AuthLayer` admission check, specialised to the
+/// front door: constant work, no counters (credentials are not sequenced,
+/// requests are).
+pub struct TenantAuth {
+    /// `(verification key, presented credential)` per tenant index.
+    creds: Vec<(MacKey, MacTag)>,
+    names: Vec<String>,
+}
+
+impl TenantAuth {
+    /// Builds the verifier: derives each tenant's key from `master` and
+    /// mints the credential the tenant will present (revoked tenants get an
+    /// unverifiable one).
+    pub fn new(master: &MacKey, tenants: &[TenantSpec]) -> Self {
+        TenantAuth {
+            creds: tenants
+                .iter()
+                .map(|t| {
+                    (
+                        tenant_key(master, &t.name),
+                        mint_credential(master, &t.name, t.authorized),
+                    )
+                })
+                .collect(),
+            names: tenants.iter().map(|t| t.name.clone()).collect(),
+        }
+    }
+}
+
+impl MiddlewareIn for TenantAuth {
+    fn name(&self) -> &'static str {
+        "tenant_auth"
+    }
+
+    fn on_request(&mut self, ctx: &mut RequestCtx, _request: &mut Request) -> Decision {
+        let Some(tenant) = ctx.tenant else {
+            return Decision::Admit; // untenanted deployment: nothing to verify
+        };
+        let Some((key, cred)) = self.creds.get(tenant) else {
+            return Decision::Reject(RejectReason::UnknownTenant);
+        };
+        let name = &self.names[tenant];
+        match key.verify_parts(&[GATEWAY_MAC_DOMAIN, name.as_bytes()], cred) {
+            Ok(()) => Decision::Admit,
+            Err(_) => Decision::Reject(RejectReason::BadCredential),
+        }
+    }
+}
+
+/// Rewrites every key into the tenant's namespace (`<tenant>/<key>`), after
+/// admission and before routing. Tenant names are `/`-free and unique, so
+/// the prefixed keyspaces are prefix-free: no tenant can name — and
+/// therefore read or clobber — another tenant's keys, and the property
+/// survives migration because placement hashes the *scoped* key.
+pub struct KeyScope {
+    prefixes: Vec<Vec<u8>>,
+}
+
+impl KeyScope {
+    /// Builds the scoper for the deployment's tenants.
+    pub fn new(tenants: &[TenantSpec]) -> Self {
+        KeyScope {
+            prefixes: tenants.iter().map(|t| scoped_prefix(&t.name)).collect(),
+        }
+    }
+}
+
+/// The namespace prefix for a tenant name.
+pub fn scoped_prefix(name: &str) -> Vec<u8> {
+    let mut p = name.as_bytes().to_vec();
+    p.push(b'/');
+    p
+}
+
+impl MiddlewareIn for KeyScope {
+    fn name(&self) -> &'static str {
+        "key_scope"
+    }
+
+    fn on_request(&mut self, ctx: &mut RequestCtx, request: &mut Request) -> Decision {
+        let Some(prefix) = ctx.tenant.and_then(|t| self.prefixes.get(t)) else {
+            return Decision::Admit;
+        };
+        let scope = |key: &mut Vec<u8>| {
+            let mut scoped = Vec::with_capacity(prefix.len() + key.len());
+            scoped.extend_from_slice(prefix);
+            scoped.append(key);
+            *key = scoped;
+        };
+        match request {
+            Request::Single(op) => scope(op_key_mut(op)),
+            Request::Txn(ops) => {
+                for op in ops {
+                    scope(op_key_mut(op));
+                }
+            }
+        }
+        Decision::Admit
+    }
+}
+
+fn op_key_mut(op: &mut Operation) -> &mut Vec<u8> {
+    match op {
+        Operation::Put { key, .. } | Operation::Get { key } => key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn master() -> MacKey {
+        MacKey::from_bytes([7u8; 32])
+    }
+
+    #[test]
+    fn authorized_credential_verifies_revoked_does_not() {
+        let tenants = vec![TenantSpec::new("alice"), TenantSpec::new("eve").revoked()];
+        let mut auth = TenantAuth::new(&master(), &tenants);
+        let mut req = Request::Single(Operation::Get { key: b"k".to_vec() });
+        let mut ctx = RequestCtx {
+            client_id: 0,
+            request_id: 1,
+            now_ns: 0,
+            tenant: Some(0),
+        };
+        assert_eq!(auth.on_request(&mut ctx, &mut req), Decision::Admit);
+        ctx.tenant = Some(1);
+        assert_eq!(
+            auth.on_request(&mut ctx, &mut req),
+            Decision::Reject(RejectReason::BadCredential)
+        );
+    }
+
+    #[test]
+    fn key_scope_prefixes_every_op_of_a_txn() {
+        let tenants = vec![TenantSpec::new("alice"), TenantSpec::new("bob")];
+        let mut scope = KeyScope::new(&tenants);
+        let mut req = Request::Txn(vec![
+            Operation::Put {
+                key: b"x".to_vec(),
+                value: b"1".to_vec(),
+            },
+            Operation::Get { key: b"y".to_vec() },
+        ]);
+        let mut ctx = RequestCtx {
+            client_id: 1,
+            request_id: 1,
+            now_ns: 0,
+            tenant: Some(1),
+        };
+        assert_eq!(scope.on_request(&mut ctx, &mut req), Decision::Admit);
+        assert_eq!(req.ops()[0].key(), b"bob/x");
+        assert_eq!(req.ops()[1].key(), b"bob/y");
+    }
+
+    #[test]
+    fn tenant_names_are_prefix_free_namespaces() {
+        // `/` is rejected at validation, so no tenant prefix can be a
+        // prefix of another tenant's scoped key.
+        assert!(TenantSpec::new("a/b")
+            .validate("gateway.tenant[0]")
+            .is_err());
+        assert!(TenantSpec::new("").validate("gateway.tenant[0]").is_err());
+        assert!(TenantSpec::new("a-b_9").validate("t").is_ok());
+        let a = scoped_prefix("a");
+        let ab = scoped_prefix("ab");
+        assert!(!ab.starts_with(&a));
+    }
+}

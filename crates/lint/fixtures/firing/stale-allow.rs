@@ -1,0 +1,8 @@
+// expect-finding: stale-allow
+//! A suppression outliving the finding it excused: the unwrap it was
+//! written for has been refactored into `?`, so the allow now silences
+//! nothing and must be deleted.
+pub fn head(xs: &[u64]) -> Option<u64> {
+    // recipe-lint: allow(unwrap-in-lib, reason = "callers check emptiness before indexing")
+    xs.first().copied()
+}

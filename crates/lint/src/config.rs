@@ -132,9 +132,16 @@ impl Config {
 
     /// Config-level allow covering `(rule, path)`, if any.
     pub fn allow_for(&self, rule: &str, path: &str) -> Option<&PathAllow> {
-        self.allows
-            .iter()
-            .find(|a| a.rule == rule && Config::path_matches(path, std::slice::from_ref(&a.path)))
+        self.allow_index_for(rule, path).map(|i| &self.allows[i])
+    }
+
+    /// Index (into [`Config::allows`]) of the first allow covering
+    /// `(rule, path)`, so the engine can track which allows actually fire
+    /// (`stale-allow`).
+    pub fn allow_index_for(&self, rule: &str, path: &str) -> Option<usize> {
+        self.allows.iter().position(|a| {
+            a.rule == rule && Config::path_matches(path, std::slice::from_ref(&a.path))
+        })
     }
 }
 

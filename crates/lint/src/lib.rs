@@ -67,18 +67,78 @@ pub fn lint_files(files: &[(String, String)], config: &Config) -> LintReport {
     }
     raw.extend(rules::check_domain_uniqueness(&domains));
 
-    let mut suppressed = 0usize;
-    let mut findings: Vec<Finding> = raw
-        .into_iter()
-        .filter(|f| {
-            let allowed = config.allow_for(&f.rule, &f.file).is_some()
-                || suppressions
-                    .get(&f.file)
-                    .is_some_and(|s| s.covers(&f.rule, f.line));
-            suppressed += allowed as usize;
-            !allowed
-        })
+    // Filter through the suppressions, remembering which ones actually
+    // fired so the unused remainder can be reported as stale.
+    let mut used_allows = vec![false; config.allows.len()];
+    let mut used_inline: BTreeMap<&str, Vec<bool>> = suppressions
+        .iter()
+        .map(|(path, s)| (path.as_str(), vec![false; s.entries.len()]))
         .collect();
+    let mut suppressed = 0usize;
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        if let Some(idx) = config.allow_index_for(&f.rule, &f.file) {
+            used_allows[idx] = true;
+            suppressed += 1;
+        } else if let Some((used, idx)) = suppressions
+            .get(&f.file)
+            .and_then(|s| s.covering_entry(&f.rule, f.line))
+            .and_then(|idx| used_inline.get_mut(f.file.as_str()).map(|u| (u, idx)))
+        {
+            used[idx] = true;
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+
+    // stale-allow: every suppression must still silence something. A
+    // directive allowing `stale-allow` itself is exempt — it exists to
+    // silence this pass, so "unused" is its steady state and flagging it
+    // would never reach a fixpoint.
+    let mut stale: Vec<Finding> = Vec::new();
+    for (idx, allow) in config.allows.iter().enumerate() {
+        if allow.rule != "stale-allow" && !used_allows[idx] {
+            stale.push(Finding::new(
+                "stale-allow",
+                "lint.toml",
+                0,
+                format!(
+                    "[[allow]] of `{}` for `{}` silences no finding — the code it excused has moved on; delete the entry",
+                    allow.rule, allow.path
+                ),
+            ));
+        }
+    }
+    for (path, supp) in &suppressions {
+        for (idx, entry) in supp.entries.iter().enumerate() {
+            if entry.rule != "stale-allow" && !used_inline[path.as_str()][idx] {
+                stale.push(Finding::new(
+                    "stale-allow",
+                    path,
+                    entry.line,
+                    format!(
+                        "`recipe-lint: {}({})` silences no finding — the code it excused has moved on; delete the comment",
+                        if entry.file_scope { "allow-file" } else { "allow" },
+                        entry.rule
+                    ),
+                ));
+            }
+        }
+    }
+    // Stale findings ride the normal suppression channel (without feeding
+    // back into usage tracking).
+    for f in stale {
+        let allowed = config.allow_for(&f.rule, &f.file).is_some()
+            || suppressions
+                .get(&f.file)
+                .is_some_and(|s| s.covers(&f.rule, f.line));
+        if allowed {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
     findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     LintReport {
         files_scanned: files.len(),
@@ -226,6 +286,56 @@ mod tests {
         );
         assert_eq!(report.findings.len(), 1);
         assert_eq!(report.findings[0].file, "crates/y/src/lib.rs");
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn unused_inline_suppression_is_stale() {
+        let report = lint_files(
+            &[file(
+                "crates/x/src/lib.rs",
+                "fn f() {\n    // recipe-lint: allow(unwrap-in-lib, reason = \"g is total\")\n    g()?;\n}",
+            )],
+            &Config::default(),
+        );
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, "stale-allow");
+        assert_eq!(report.findings[0].line, 2);
+    }
+
+    #[test]
+    fn unused_config_allow_is_stale_and_lands_on_lint_toml() {
+        let mut config = Config::default();
+        config.allows.push(PathAllow {
+            rule: "unwrap-in-lib".into(),
+            path: "crates/x/src".into(),
+            reason: "sanctioned".into(),
+        });
+        let report = lint_files(&[file("crates/x/src/lib.rs", "fn f() { g(); }")], &config);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, "stale-allow");
+        assert_eq!(report.findings[0].file, "lint.toml");
+    }
+
+    #[test]
+    fn stale_allow_suppressions_are_exempt_from_staleness() {
+        // An allow of stale-allow itself is never reported stale (that
+        // would regress forever), and it silences the stale finding of a
+        // neighbouring dead directive.
+        let mut config = Config::default();
+        config.allows.push(PathAllow {
+            rule: "stale-allow".into(),
+            path: "crates/x/src".into(),
+            reason: "directive kept for a pending revert".into(),
+        });
+        let report = lint_files(
+            &[file(
+                "crates/x/src/lib.rs",
+                "fn f() {\n    // recipe-lint: allow(unwrap-in-lib, reason = \"g is total\")\n    g()?;\n}",
+            )],
+            &config,
+        );
+        assert!(report.is_clean(), "{:?}", report.findings);
         assert_eq!(report.suppressed, 1);
     }
 

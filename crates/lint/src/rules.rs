@@ -100,6 +100,11 @@ pub const RULES: &[Rule] = &[
         family: "meta",
         summary: "recipe-lint suppression with a missing/empty reason or naming an unknown rule",
     },
+    Rule {
+        id: "stale-allow",
+        family: "meta",
+        summary: "a suppression (inline or lint.toml [[allow]]) that no longer silences any finding",
+    },
 ];
 
 /// Looks a rule up by id.

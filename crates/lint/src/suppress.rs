@@ -41,9 +41,16 @@ pub struct Suppressions {
 impl Suppressions {
     /// True when `(rule, line)` is covered by a directive.
     pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.covering_entry(rule, line).is_some()
+    }
+
+    /// Index (into [`Suppressions::entries`]) of the first directive
+    /// covering `(rule, line)`, so the engine can track which directives
+    /// actually fire (`stale-allow`).
+    pub fn covering_entry(&self, rule: &str, line: usize) -> Option<usize> {
         self.entries
             .iter()
-            .any(|s| s.rule == rule && (s.file_scope || s.line == line || s.line + 1 == line))
+            .position(|s| s.rule == rule && (s.file_scope || s.line == line || s.line + 1 == line))
     }
 }
 

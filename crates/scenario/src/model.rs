@@ -42,6 +42,7 @@
 //! load time with the offending field named — never as a panic mid-run.
 
 use recipe_core::ConfidentialityMode;
+use recipe_gateway::{GatewayConfig, TenantSpec};
 use recipe_net::{CrashEntry, CrashPlan, FaultPlan, NodeId};
 use recipe_protocols::BatchConfig;
 use recipe_shard::{DeploymentSpec, RebalanceConfig, ShardPolicy, TxnConfig};
@@ -442,7 +443,44 @@ fn decode_deployment(d: &mut MapDecoder<'_>) -> Result<DeploymentSpec, ScenarioE
     if let Some(telemetry) = d.table("telemetry", decode_telemetry)? {
         spec = spec.with_telemetry(telemetry);
     }
+    if let Some(gateway) = decode_gateway(d)? {
+        spec = spec.with_gateway(gateway);
+    }
     Ok(spec)
+}
+
+/// The `[deployment.gateway]` switch plus `[[deployment.tenant]]` blocks.
+/// Tenant presence implies an enabled gateway — the same
+/// presence-implies-intent default as `[deployment.rebalance]` — while an
+/// explicit `enabled = false` alongside tenant blocks is contradictory and
+/// rejected by [`GatewayConfig::validate`] with the field named.
+fn decode_gateway(d: &mut MapDecoder<'_>) -> Result<Option<GatewayConfig>, ScenarioError> {
+    let enabled = d.table("gateway", |g| g.opt_or("enabled", true))?;
+    let tenants = d.tables("tenant", decode_tenant)?;
+    if enabled.is_none() && tenants.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(GatewayConfig {
+        enabled: enabled.unwrap_or(true),
+        tenants,
+    }))
+}
+
+/// One `[[deployment.tenant]]` element. Name format, quota/burst coherence
+/// and cross-tenant uniqueness are checked by `DeploymentSpec::validate`
+/// (through [`GatewayConfig::validate`]), which names the offending field.
+fn decode_tenant(_idx: usize, t: &mut MapDecoder<'_>) -> Result<TenantSpec, ScenarioError> {
+    let mut tenant = TenantSpec::new(t.req::<String>("name")?);
+    if let Some(quota) = t.opt::<u64>("quota_ops_per_sec")? {
+        tenant = tenant.with_quota(quota);
+    }
+    if let Some(burst) = t.opt::<u64>("burst_ops")? {
+        tenant = tenant.with_burst(burst);
+    }
+    if !t.opt_or("authorized", true)? {
+        tenant = tenant.revoked();
+    }
+    Ok(tenant)
 }
 
 /// `batch_ops = N` shorthand or a full `[.. .batch]` table — not both.

@@ -28,6 +28,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use recipe_core::Request;
+use recipe_gateway::{Gateway, GatewayVerdict};
 use recipe_sim::{RangeStateTransfer, Replica, StepOutcome};
 use recipe_workload::stable_key_hash;
 
@@ -46,6 +47,13 @@ pub(crate) enum DriverWork {
     /// closure would silently mutate stateful generators, the bug class the
     /// single-group retry path fixed in PR 1.
     Retry(u64, Request),
+    /// Re-present a throttled `(request_id, request)` to the tenant gateway
+    /// at its token bucket's refill time. Distinct from [`DriverWork::Retry`]:
+    /// a throttled request never finished admission (no quota charged, keys
+    /// not yet tenant-scoped), so it must re-enter the middleware chain —
+    /// whereas `Retry` work was already admitted and must *not* be scoped or
+    /// charged twice.
+    GatewayRetry(u64, Request),
     /// Retransmit one participant's current 2PC frame.
     TxnRetry {
         /// The transaction.
@@ -177,6 +185,17 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             next_seq += 1;
         }
 
+        // The tenant gateway fronts the router when the deployment enables
+        // it. `None` when disabled: every hook below is behind `if let`, so a
+        // gateway-off run schedules exactly the same events at exactly the
+        // same times as a build that predates the gateway — bit-identical,
+        // the same bar the telemetry layer meets.
+        let mut gateway = Gateway::from_config(&self.config.gateway, self.config.base.seed);
+        // Gateway spans land on shard 0's tracer: the front door sits before
+        // routing, so no serving shard is known yet. `tag` = tenant index
+        // (`u64::MAX` when the request resolved to no tenant).
+        let tenant_tag = |tenant: Option<usize>| tenant.map(|t| t as u64).unwrap_or(u64::MAX);
+
         let mut st = ControllerState::new(shard_count, rb.check_interval_ns);
         let profiles = (0..shard_count)
             .map(|shard| self.config.config_for_shard(shard).profiles)
@@ -283,7 +302,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                 global_now = global_now.max(event.at);
                 let client_id = event.client_id;
 
-                let (rid, request) = match event.work {
+                let (rid, mut request, via_gateway) = match event.work {
                     DriverWork::TxnRetry {
                         txn_id,
                         participant,
@@ -324,6 +343,13 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                                     done.finished_at,
                                     done.op_placements.len() as u64,
                                 );
+                                if let Some(gw) = gateway.as_mut() {
+                                    gw.complete(
+                                        done.client_id,
+                                        done.finished_at,
+                                        done.op_placements.len(),
+                                    );
+                                }
                                 for shard in seen_shards {
                                     shard_latencies[shard].push(done.latency_ns);
                                 }
@@ -376,7 +402,7 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                         match workload(client_id, rid) {
                             Some(request) => {
                                 next_request_id.insert(client_id, rid);
-                                (rid, request)
+                                (rid, request, true)
                             }
                             // The client retired; nothing more to issue.
                             None => continue,
@@ -386,9 +412,78 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                         if draining_txns {
                             continue; // past the target: the retry is moot
                         }
-                        (rid, request)
+                        // Already admitted and tenant-scoped — straight to
+                        // routing. Running it through the gateway again would
+                        // double-prefix its keys and double-charge its quota.
+                        (rid, request, false)
+                    }
+                    DriverWork::GatewayRetry(rid, request) => {
+                        if draining_txns {
+                            continue; // past the target: the deferral is moot
+                        }
+                        (rid, request, true)
                     }
                 };
+
+                if via_gateway {
+                    if let Some(gw) = gateway.as_mut() {
+                        match gw.admit(client_id, rid, event.at, &mut request) {
+                            GatewayVerdict::Admitted { tenant } => {
+                                if let Some(t) = self.shards[0].telemetry_mut() {
+                                    t.instant(
+                                        recipe_telemetry::SpanKind::GatewayAdmit,
+                                        client_id,
+                                        event.at,
+                                        tenant_tag(tenant),
+                                    );
+                                }
+                            }
+                            GatewayVerdict::Rejected { tenant, .. } => {
+                                if let Some(t) = self.shards[0].telemetry_mut() {
+                                    t.instant(
+                                        recipe_telemetry::SpanKind::GatewayReject,
+                                        client_id,
+                                        event.at,
+                                        tenant_tag(tenant),
+                                    );
+                                }
+                                // The client sees the error after a round
+                                // trip and moves on to its next operation —
+                                // rejection consumes the request, it does
+                                // not spin on it.
+                                queue.push(Reverse(DriverEvent {
+                                    at: event.at + 2 * link_latency + think,
+                                    seq: next_seq,
+                                    client_id,
+                                    work: DriverWork::Fresh,
+                                }));
+                                next_seq += 1;
+                                continue;
+                            }
+                            GatewayVerdict::Throttled {
+                                tenant,
+                                retry_at_ns,
+                            } => {
+                                if let Some(t) = self.shards[0].telemetry_mut() {
+                                    t.instant(
+                                        recipe_telemetry::SpanKind::GatewayThrottle,
+                                        client_id,
+                                        event.at,
+                                        tenant_tag(tenant),
+                                    );
+                                }
+                                queue.push(Reverse(DriverEvent {
+                                    at: retry_at_ns.max(event.at + 1),
+                                    seq: next_seq,
+                                    client_id,
+                                    work: DriverWork::GatewayRetry(rid, request),
+                                }));
+                                next_seq += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
 
                 // Route every operation under the client's cached epoch; one
                 // stale key re-resolves the whole request.
@@ -584,6 +679,9 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
                             }
                         }
                     }
+                    if let Some(gw) = gateway.as_mut() {
+                        gw.complete(completion.client_id, completion.at_ns, 1);
+                    }
                     queue.push(Reverse(DriverEvent {
                         at: completion.at_ns + link_latency + think,
                         seq: next_seq,
@@ -614,6 +712,10 @@ impl<R: Replica + RangeStateTransfer> ShardedCluster<R> {
             shard_latencies,
             &txn_shard_ops,
         );
+        if let Some(gw) = gateway.as_ref() {
+            stats.gateway = gw.stats();
+            self.last_gateway_stats = Some(stats.gateway.clone());
+        }
         st.stats.router_version = self.router.version().0;
         stats.migration = st.stats;
         stats.txn = txns.stats;

@@ -22,6 +22,7 @@
 //! [`ShardedRunStats`] meaningful.
 
 use recipe_core::{ConfidentialityMode, Operation, Request};
+use recipe_gateway::{GatewayConfig, GatewayStats};
 use recipe_net::{CrashPlan, FaultPlan, NodeId};
 use recipe_sim::{
     CostProfile, RangeStateTransfer, Replica, RunStats, SimCluster, SimConfig, StepOutcome,
@@ -76,6 +77,11 @@ pub struct ShardedConfig {
     /// attribution retrievable via
     /// [`ShardedCluster::take_telemetry_report`].
     pub telemetry: TelemetryConfig,
+    /// Tenant-gateway gating: off by default, in which case the driver
+    /// builds no pipeline and runs are bit-identical to a build without the
+    /// gateway subsystem. When enabled, every request traverses the
+    /// middleware chain (auth, admission, key scoping) before the router.
+    pub gateway: GatewayConfig,
 }
 
 impl ShardedConfig {
@@ -139,6 +145,9 @@ pub struct ShardedRunStats {
     /// Commits bucketed by completion time (throughput timeline). Populated
     /// when [`RebalanceConfig::timeline_bucket_ns`] is non-zero.
     pub timeline: Vec<TimelineBucket>,
+    /// Per-tenant gateway counters (admitted/rejected/throttled/committed;
+    /// empty unless the deployment enables the tenant gateway).
+    pub gateway: GatewayStats,
 }
 
 /// One bucket of the throughput timeline: activity whose completion landed in
@@ -162,6 +171,10 @@ pub struct ShardedCluster<R: Replica> {
     pub(crate) router: ShardRouter,
     pub(crate) shards: Vec<SimCluster<R>>,
     pub(crate) config: ShardedConfig,
+    /// Gateway counters of the last finished run, kept so
+    /// [`ShardedCluster::take_telemetry_report`] can export them as
+    /// tenant-labelled metrics after the driver returns.
+    pub(crate) last_gateway_stats: Option<GatewayStats>,
 }
 
 impl<R: Replica> ShardedCluster<R> {
@@ -218,6 +231,7 @@ impl<R: Replica> ShardedCluster<R> {
             router,
             shards,
             config,
+            last_gateway_stats: None,
         }
     }
 
@@ -281,6 +295,21 @@ impl<R: Replica> ShardedCluster<R> {
             report
                 .spans
                 .append(&mut telemetry.tracer_mut().take_spans());
+        }
+        // Gateway decisions surface per tenant: the admission counters of
+        // the last run, labelled `tenant=<name>` (the front door has no
+        // shard, so these ride the merged registry, not a shard's export).
+        if let Some(gateway) = &self.last_gateway_stats {
+            for t in &gateway.tenants {
+                for (name, value) in [
+                    ("gateway.admitted", t.admitted),
+                    ("gateway.rejected", t.rejected),
+                    ("gateway.throttled", t.throttled),
+                    ("gateway.committed_ops", t.committed_ops),
+                ] {
+                    registry.add_counter(name, &[("tenant", t.tenant.clone())], value);
+                }
+            }
         }
         report.metrics = registry.snapshot();
         Some(report)
@@ -430,6 +459,7 @@ impl<R: Replica> ShardedCluster<R> {
             migration: MigrationStats::default(),
             txn: TxnStats::default(),
             timeline: Vec::new(),
+            gateway: GatewayStats::default(),
         }
     }
 }

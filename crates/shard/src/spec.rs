@@ -230,6 +230,7 @@ pub struct DeploymentSpec {
     rebalance: RebalanceConfig,
     txn: TxnConfig,
     telemetry: recipe_telemetry::TelemetryConfig,
+    gateway: recipe_gateway::GatewayConfig,
     overrides: BTreeMap<usize, ShardPolicy>,
 }
 
@@ -260,6 +261,7 @@ impl DeploymentSpec {
             rebalance: RebalanceConfig::default(),
             txn: TxnConfig::default(),
             telemetry: recipe_telemetry::TelemetryConfig::default(),
+            gateway: recipe_gateway::GatewayConfig::default(),
             overrides: BTreeMap::new(),
         }
     }
@@ -367,6 +369,17 @@ impl DeploymentSpec {
         self
     }
 
+    /// Puts the tenant gateway in front of the router (or tunes it). The
+    /// gateway is off by default, in which case a run is bit-identical to one
+    /// on a build without the subsystem; enabled, every request traverses the
+    /// middleware pipeline — tenant resolution, per-tenant authentication,
+    /// token-bucket admission on the virtual clock, tenant key scoping —
+    /// before routing.
+    pub fn with_gateway(mut self, gateway: recipe_gateway::GatewayConfig) -> Self {
+        self.gateway = gateway;
+        self
+    }
+
     /// Sets the throughput-timeline bucket width in virtual nanoseconds
     /// (lowered into [`RebalanceConfig::timeline_bucket_ns`]; `0` disables
     /// the timeline). Each bucket counts commits, transaction aborts and
@@ -415,6 +428,11 @@ impl DeploymentSpec {
     /// The telemetry configuration this deployment runs under.
     pub fn telemetry(&self) -> &recipe_telemetry::TelemetryConfig {
         &self.telemetry
+    }
+
+    /// The tenant-gateway configuration this deployment runs under.
+    pub fn gateway(&self) -> &recipe_gateway::GatewayConfig {
+        &self.gateway
     }
 
     /// Checks the spec for contradictory knobs that the builders would
@@ -475,6 +493,7 @@ impl DeploymentSpec {
             }
             let _ = policy; // contents validated through the resolved view below
         }
+        self.gateway.validate()?;
         validate_batch(&self.batch, "batch")?;
         validate_fault_plan(&self.fault_plan, "fault_plan")?;
         validate_crash_plan(&self.crash_plan, self.replicas_per_shard, "crash_plan")?;
@@ -565,6 +584,7 @@ impl DeploymentSpec {
             rebalance: self.rebalance.clone(),
             txn: self.txn.clone(),
             telemetry: self.telemetry.clone(),
+            gateway: self.gateway.clone(),
         }
     }
 }

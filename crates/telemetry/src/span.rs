@@ -66,11 +66,20 @@ pub enum SpanKind {
     NodeRecover,
     /// A replica installed a new view after a leader/head failure (instant).
     ViewChange,
+    /// The tenant gateway admitted a request to the router (instant; `tag`
+    /// carries the tenant index).
+    GatewayAdmit,
+    /// The gateway rejected a request outright — failed tenant
+    /// authentication or no resolvable tenant (instant; `tag` = tenant).
+    GatewayReject,
+    /// The gateway deferred a request to its tenant's token-bucket refill
+    /// time (instant; `tag` = tenant).
+    GatewayThrottle,
 }
 
 impl SpanKind {
     /// Every kind, in declaration order (used by exporters and tests).
-    pub const ALL: [SpanKind; 23] = [
+    pub const ALL: [SpanKind; 26] = [
         SpanKind::ClientSubmit,
         SpanKind::RouterResolve,
         SpanKind::BatcherEnqueue,
@@ -94,6 +103,9 @@ impl SpanKind {
         SpanKind::NodeCrash,
         SpanKind::NodeRecover,
         SpanKind::ViewChange,
+        SpanKind::GatewayAdmit,
+        SpanKind::GatewayReject,
+        SpanKind::GatewayThrottle,
     ];
 
     /// Stable lower-snake name used in the JSONL export and the Chrome trace.
@@ -122,6 +134,9 @@ impl SpanKind {
             SpanKind::NodeCrash => "node_crash",
             SpanKind::NodeRecover => "node_recover",
             SpanKind::ViewChange => "view_change",
+            SpanKind::GatewayAdmit => "gateway_admit",
+            SpanKind::GatewayReject => "gateway_reject",
+            SpanKind::GatewayThrottle => "gateway_throttle",
         }
     }
 

@@ -361,6 +361,58 @@ impl TxnWorkloadGenerator {
     }
 }
 
+/// Per-tenant workload mixes for multi-tenant deployments: one
+/// [`WorkloadSpec`] per tenant, applied to the clients that tenant owns.
+///
+/// Clients map to tenants round-robin (`client_id % mixes.len()`) — the same
+/// static assignment the gateway's tenant resolver uses — so mix `i` is
+/// exactly the traffic tenant `i` submits, and a workload built from this
+/// spec stays in lockstep with the gateway's admission accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantMixSpec {
+    /// One workload mix per tenant, declaration order (must be non-empty).
+    pub mixes: Vec<WorkloadSpec>,
+}
+
+impl TenantMixSpec {
+    /// Uniform mixes: every tenant runs the same spec.
+    pub fn uniform(tenants: usize, spec: WorkloadSpec) -> Self {
+        TenantMixSpec {
+            mixes: vec![spec; tenants],
+        }
+    }
+
+    /// The tenant that owns `client_id` (round-robin).
+    ///
+    /// # Panics
+    /// Panics if `mixes` is empty.
+    pub fn tenant_of(&self, client_id: u64) -> usize {
+        assert!(!self.mixes.is_empty(), "at least one tenant mix");
+        (client_id % self.mixes.len() as u64) as usize
+    }
+
+    /// The per-client spec: the owning tenant's mix with a client-unique
+    /// seed folded in, so same-tenant clients draw independent streams while
+    /// the whole population stays a pure function of the mix seeds.
+    pub fn spec_for_client(&self, client_id: u64) -> WorkloadSpec {
+        let mix = &self.mixes[self.tenant_of(client_id)];
+        WorkloadSpec {
+            seed: mix
+                .seed
+                .wrapping_add(stable_key_hash(&client_id.to_le_bytes())),
+            ..mix.clone()
+        }
+    }
+
+    /// One generator per client, ready for a `(client_id, seq)` driver
+    /// closure.
+    pub fn generators(&self, clients: usize) -> Vec<WorkloadGenerator> {
+        (0..clients as u64)
+            .map(|c| self.spec_for_client(c).generator())
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +565,30 @@ mod tests {
             };
             let class = classify(ops[0].key());
             assert!(ops.iter().all(|op| classify(op.key()) == class));
+        }
+    }
+
+    #[test]
+    fn tenant_mixes_assign_clients_round_robin_and_stay_deterministic() {
+        let mix = TenantMixSpec {
+            mixes: vec![
+                WorkloadSpec::ycsb(0.9, 256),
+                WorkloadSpec::ycsb(0.1, 1024),
+                WorkloadSpec::ycsb(0.5, 256),
+            ],
+        };
+        assert_eq!(mix.tenant_of(0), 0);
+        assert_eq!(mix.tenant_of(4), 1);
+        assert_eq!(mix.tenant_of(8), 2);
+        // Clients of the same tenant share the mix but not the stream.
+        assert_eq!(mix.spec_for_client(1).value_size, 1024);
+        assert_ne!(mix.spec_for_client(1).seed, mix.spec_for_client(4).seed);
+        let mut a = mix.generators(6);
+        let mut b = mix.generators(6);
+        for (ga, gb) in a.iter_mut().zip(b.iter_mut()) {
+            for _ in 0..50 {
+                assert_eq!(ga.next_op(), gb.next_op());
+            }
         }
     }
 

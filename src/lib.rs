@@ -20,11 +20,14 @@
 //!   span tracing, a metrics registry and per-shard cost attribution.
 //! * [`recipe_scenario`] — declarative scenario files: TOML/JSON experiment
 //!   descriptions (deployment + workload + expectations) run through the driver.
+//! * [`recipe_gateway`] — the tenant gateway: a composable middleware pipeline
+//!   (auth, admission, key scoping) every request traverses before the router.
 
 pub use recipe_attest as attest;
 pub use recipe_bft as bft;
 pub use recipe_core as core;
 pub use recipe_crypto as crypto;
+pub use recipe_gateway as gateway;
 pub use recipe_kv as kv;
 pub use recipe_net as net;
 pub use recipe_protocols as protocols;

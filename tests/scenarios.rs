@@ -182,7 +182,7 @@ fn golden_corpus_loads_and_round_trips() {
         );
         checked += 1;
     }
-    assert!(checked >= 9, "only {checked} corpus files found");
+    assert!(checked >= 10, "only {checked} corpus files found");
 }
 
 /// Every file in the negative corpus declares its expected error substring
@@ -215,7 +215,7 @@ fn malformed_corpus_fails_with_declared_errors() {
         );
         checked += 1;
     }
-    assert!(checked >= 10, "only {checked} malformed files found");
+    assert!(checked >= 11, "only {checked} malformed files found");
 }
 
 /// The anchor test: a TOML scenario that mirrors `fig_rebalance`'s builder
